@@ -1,0 +1,81 @@
+//! Prints the reproduction of every table and figure in the paper's
+//! evaluation section.
+//!
+//! Usage: `report_tables [--lines N] [--seed S] [--table N]... [--figures]`
+//! With no selection flags, everything is printed.
+
+use llstar_bench::{cyclic_figure, figure1, figure2, figure6, report, GrammarRun};
+
+fn main() {
+    let mut lines = 2000usize;
+    let mut seed = 42u64;
+    let mut tables: Vec<u32> = Vec::new();
+    let mut figures = false;
+    let mut any_selection = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--lines" => {
+                i += 1;
+                lines = args[i].parse().expect("--lines takes an integer");
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--table" => {
+                i += 1;
+                tables.push(args[i].parse().expect("--table takes 1..=4"));
+                any_selection = true;
+            }
+            "--figures" => {
+                figures = true;
+                any_selection = true;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: report_tables [--lines N] [--seed S] [--table N]... [--figures]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if !any_selection {
+        tables = vec![1, 2, 3, 4];
+        figures = true;
+    }
+
+    if figures {
+        for fig in [figure1(), figure2(), cyclic_figure(), figure6()] {
+            println!("== {}\n{}", fig.title, fig.rendering);
+        }
+    }
+
+    if !tables.is_empty() {
+        eprintln!("running all six grammars on ~{lines}-line inputs (seed {seed})…");
+        let runs = report::run_all(lines, seed);
+        for t in &tables {
+            let text = match t {
+                1 => report::format_table1(
+                    &runs.iter().map(GrammarRun::table1_row).collect::<Vec<_>>(),
+                ),
+                2 => report::format_table2(
+                    &runs.iter().map(GrammarRun::table2_row).collect::<Vec<_>>(),
+                ),
+                3 => report::format_table3(
+                    &runs.iter().map(GrammarRun::table3_row).collect::<Vec<_>>(),
+                ),
+                4 => report::format_table4(
+                    &runs.iter().map(GrammarRun::table4_row).collect::<Vec<_>>(),
+                ),
+                other => {
+                    eprintln!("no such table: {other}");
+                    continue;
+                }
+            };
+            println!("{text}");
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Emits the scanner: the compiled lexer DFA as static tables plus a
+//! maximal-munch `tokenize` function.
+
+use crate::writer::CodeWriter;
+use llstar_grammar::Grammar;
+use llstar_lexer::Scanner;
+
+/// Generates the lexer tables and `tokenize` for `grammar` into `w`.
+///
+/// # Errors
+/// Returns the lexer build error message if the grammar's lexer spec is
+/// invalid.
+pub fn emit_lexer(w: &mut CodeWriter, grammar: &Grammar) -> Result<(), String> {
+    let scanner: Scanner = grammar.lexer.build().map_err(|e| e.to_string())?;
+    let dfa = scanner.dfa();
+
+    // Character classes as inclusive ordinal ranges.
+    let mut classes = String::from("static LEX_CLASSES: &[&[(u32, u32)]] = &[");
+    for class in &dfa.classes {
+        classes.push_str("&[");
+        for &(lo, hi) in class.ranges() {
+            classes.push_str(&format!("({lo}, {hi}), "));
+        }
+        classes.push_str("], ");
+    }
+    classes.push_str("];");
+    w.line(&classes);
+
+    // Transitions per DFA state.
+    let mut edges = String::from("static LEX_EDGES: &[&[(u16, u16)]] = &[");
+    for st in &dfa.states {
+        edges.push_str("&[");
+        for &(class, target) in &st.transitions {
+            edges.push_str(&format!("({class}, {target}), "));
+        }
+        edges.push_str("], ");
+    }
+    edges.push_str("];");
+    w.line(&edges);
+
+    // Accepting lexer rule per state (-1 = none).
+    let accepts: Vec<String> = dfa
+        .states
+        .iter()
+        .map(|s| s.accept.map_or("-1".to_string(), |r| r.to_string()))
+        .collect();
+    w.line(&format!("static LEX_ACCEPT: &[i32] = &[{}];", accepts.join(", ")));
+
+    // Per lexer rule: skip flag and emitted token type.
+    let skips: Vec<String> = scanner.rules().iter().map(|r| r.skip.to_string()).collect();
+    w.line(&format!("static LEX_SKIP: &[bool] = &[{}];", skips.join(", ")));
+    let ttypes: Vec<String> = scanner.rules().iter().map(|r| r.ttype.0.to_string()).collect();
+    w.line(&format!("static LEX_TTYPE: &[u32] = &[{}];", ttypes.join(", ")));
+    w.blank();
+
+    w.open("fn lex_class_of(c: char) -> Option<usize> {");
+    w.line("let x = c as u32;");
+    w.open("LEX_CLASSES.iter().position(|ranges| {");
+    w.line("ranges.iter().any(|&(lo, hi)| lo <= x && x <= hi)");
+    w.close("})");
+    w.close("}");
+    w.blank();
+
+    w.line("/// Tokenizes `input` with the generated maximal-munch scanner.");
+    w.open("pub fn tokenize(input: &str) -> Result<Vec<Token>, Error> {");
+    w.line("let mut tokens = Vec::new();");
+    w.line("let mut offset = 0usize;");
+    w.line("let (mut line, mut col) = (1u32, 1u32);");
+    w.open("while offset < input.len() {");
+    w.line("let rest = &input[offset..];");
+    w.line("let mut state = 0usize;");
+    w.line("let mut best: Option<(usize, usize)> = None;");
+    w.line("let mut consumed = 0usize;");
+    w.open("for c in rest.chars() {");
+    w.line("let Some(class) = lex_class_of(c) else { break };");
+    w.line("let Some(&(_, target)) = LEX_EDGES[state].iter().find(|&&(cl, _)| cl as usize == class) else { break };");
+    w.line("state = target as usize;");
+    w.line("consumed += c.len_utf8();");
+    w.open("if LEX_ACCEPT[state] >= 0 {");
+    w.line("best = Some((consumed, LEX_ACCEPT[state] as usize));");
+    w.close("}");
+    w.close("}");
+    w.open("match best {");
+    w.open("Some((len, rule)) => {");
+    w.open("if !LEX_SKIP[rule] {");
+    w.line("tokens.push(Token { ttype: LEX_TTYPE[rule], start: offset, end: offset + len, line, col });");
+    w.close("}");
+    w.open("for c in rest[..len].chars() {");
+    w.line("if c == '\\n' { line += 1; col = 1; } else { col += 1; }");
+    w.close("}");
+    w.line("offset += len;");
+    w.close("}");
+    w.open("None => {");
+    w.line("let ch = rest.chars().next().expect(\"offset < len\");");
+    w.line("return Err(Error { line, col, message: format!(\"no lexer rule matches {ch:?}\") });");
+    w.close("}");
+    w.close("}");
+    w.close("}");
+    w.line("tokens.push(Token { ttype: 0, start: offset, end: offset, line, col });");
+    w.line("Ok(tokens)");
+    w.close("}");
+    w.blank();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llstar_grammar::parse_grammar;
+
+    #[test]
+    fn emits_tables_and_function() {
+        let g = parse_grammar("grammar L; s : ID ; ID : [a-z]+ ; WS : [ ]+ -> skip ;").unwrap();
+        let mut w = CodeWriter::new();
+        emit_lexer(&mut w, &g).unwrap();
+        let src = w.finish();
+        assert!(src.contains("static LEX_CLASSES"), "{src}");
+        assert!(src.contains("pub fn tokenize"), "{src}");
+        assert!(src.contains("LEX_SKIP: &[bool] = &[false, true]"), "{src}");
+    }
+}

@@ -1,0 +1,446 @@
+//! Emits the recursive-descent parser: one function per rule, one
+//! predictor per decision (the lookahead DFA unrolled into a state-machine
+//! `match`), and one speculative matcher per syntactic predicate — the
+//! shape of ANTLR's generated parsers.
+
+use crate::writer::CodeWriter;
+use llstar_core::{
+    DecisionKind, DfaState, GrammarAnalysis, LookaheadDfa, PredSource,
+};
+use llstar_grammar::{Alt, Block, Ebnf, Element, Grammar};
+
+/// Walks grammar constructs in the exact order the ATN builder numbered
+/// their decisions, handing out decision ids.
+struct DecisionCursor<'a> {
+    analysis: &'a GrammarAnalysis,
+    next: usize,
+}
+
+impl<'a> DecisionCursor<'a> {
+    fn take(&mut self, expected: DecisionKind) -> usize {
+        let d = self
+            .analysis
+            .atn
+            .decisions
+            .get(self.next)
+            .unwrap_or_else(|| panic!("decision cursor ran past the end"));
+        assert_eq!(
+            d.kind, expected,
+            "codegen decision order diverged from ATN construction at d{}",
+            self.next
+        );
+        self.next += 1;
+        self.next - 1
+    }
+}
+
+struct ParserGen<'a> {
+    grammar: &'a Grammar,
+    analysis: &'a GrammarAnalysis,
+    /// Decision ids actually referenced by predictors, in emit order.
+    used_decisions: Vec<usize>,
+}
+
+/// Generates the parser for `grammar` into `w`. `analysis` must come from
+/// the same grammar.
+pub fn emit_parser(w: &mut CodeWriter, grammar: &Grammar, analysis: &GrammarAnalysis) {
+    let mut gen = ParserGen { grammar, analysis, used_decisions: Vec::new() };
+    gen.emit(w);
+}
+
+impl<'a> ParserGen<'a> {
+    fn emit(&mut self, w: &mut CodeWriter) {
+        self.emit_parser_struct(w);
+        let mut cursor = DecisionCursor { analysis: self.analysis, next: 0 };
+
+        w.open("impl<'h, H: Hooks> Parser<'h, H> {");
+        // Rule functions, in ATN construction order.
+        for rule in &self.grammar.rules {
+            self.emit_rule(w, rule, &mut cursor);
+        }
+        // Syntactic-predicate matchers (fragments come after all rules in
+        // the ATN, in synpred order).
+        for (i, frag) in self.grammar.synpreds.iter().enumerate() {
+            self.emit_synpred(w, i, frag, &mut cursor);
+        }
+        // Predictors for every decision that was referenced.
+        let used = std::mem::take(&mut self.used_decisions);
+        for d in used {
+            self.emit_predictor(w, d);
+        }
+        w.close("}");
+    }
+
+    fn emit_parser_struct(&self, w: &mut CodeWriter) {
+        w.line("enum Memo { Stop(usize), Fail(Error) }");
+        w.blank();
+        w.line("/// The generated recursive-descent LL(*) parser.");
+        w.open("pub struct Parser<'h, H: Hooks> {");
+        w.line("tokens: Vec<Token>,");
+        w.line("pos: usize,");
+        w.line("speculating: u32,");
+        w.line("memo: std::collections::HashMap<(u32, usize), Memo>,");
+        w.line("hooks: &'h mut H,");
+        w.close("}");
+        w.blank();
+        w.open("impl<'h, H: Hooks> Parser<'h, H> {");
+        w.line("/// Creates a parser over a token buffer ending in EOF.");
+        w.open("pub fn new(tokens: Vec<Token>, hooks: &'h mut H) -> Self {");
+        w.line("Parser { tokens, pos: 0, speculating: 0, memo: std::collections::HashMap::new(), hooks }");
+        w.close("}");
+        w.blank();
+        w.open("fn la(&self, i: usize) -> u32 {");
+        w.line("self.tokens[(self.pos + i - 1).min(self.tokens.len() - 1)].ttype");
+        w.close("}");
+        w.blank();
+        w.open("fn err_at(&self, offset: usize, message: String) -> Error {");
+        w.line("let t = self.tokens[(self.pos + offset).min(self.tokens.len() - 1)];");
+        w.line("Error { line: t.line, col: t.col, message }");
+        w.close("}");
+        w.blank();
+        w.open("fn expect(&mut self, ttype: u32, name: &str) -> Result<Token, Error> {");
+        w.open("if self.la(1) == ttype {");
+        w.line("let t = self.tokens[self.pos.min(self.tokens.len() - 1)];");
+        w.line("if self.pos + 1 < self.tokens.len() { self.pos += 1; }");
+        w.line("Ok(t)");
+        w.close("}");
+        w.open("else {");
+        w.line("Err(self.err_at(0, format!(\"expected {name}\")))");
+        w.close("}");
+        w.close("}");
+        w.close("}");
+        w.blank();
+    }
+
+    fn rule_fn_name(&self, idx: usize) -> String {
+        format!("parse_{}", self.grammar.rules[idx].name)
+    }
+
+    fn emit_rule(&mut self, w: &mut CodeWriter, rule: &llstar_grammar::Rule, cursor: &mut DecisionCursor<'_>) {
+        let name = self.rule_fn_name(rule.id.index());
+        let rid = rule.id.index();
+        w.blank();
+        w.line(&format!("/// Parses rule `{}` (memoized while speculating).", rule.name));
+        w.open(&format!("pub fn {name}(&mut self) -> Result<Tree, Error> {{"));
+        w.line("let start = self.pos;");
+        w.open("if self.speculating > 0 {");
+        w.open(&format!("match self.memo.get(&({rid}, start)) {{"));
+        w.line(&format!(
+            "Some(Memo::Stop(stop)) => {{ self.pos = *stop; return Ok(Tree::Rule {{ rule: {rid}, alt: 0, children: Vec::new() }}); }}"
+        ));
+        w.line("Some(Memo::Fail(e)) => return Err(e.clone()),");
+        w.line("None => {}");
+        w.close("}");
+        w.close("}");
+        w.line(&format!("let result = self.{name}_body();"));
+        w.open("if self.speculating > 0 {");
+        w.open("let entry = match &result {");
+        w.line("Ok(_) => Memo::Stop(self.pos),");
+        w.line("Err(e) => Memo::Fail(e.clone()),");
+        w.close("};");
+        w.line(&format!("self.memo.insert(({rid}, start), entry);"));
+        w.close("}");
+        w.line("result");
+        w.close("}");
+        w.blank();
+        w.open(&format!("fn {name}_body(&mut self) -> Result<Tree, Error> {{"));
+        w.line("let mut children: Vec<Tree> = Vec::new();");
+        w.line("let mut alt: u16 = 0;");
+        if rule.alts.len() > 1 {
+            let d = cursor.take(DecisionKind::RuleAlts);
+            self.used_decisions.push(d);
+            w.line(&format!("alt = self.predict_{d}()?;"));
+            w.open("match alt {");
+            for (i, a) in rule.alts.iter().enumerate() {
+                w.open(&format!("{} => {{", i + 1));
+                self.emit_sequence(w, &a.elements, cursor);
+                w.close("}");
+            }
+            w.line("_ => unreachable!(\"predictor returned an unknown alternative\"),");
+            w.close("}");
+        } else {
+            let a = rule.alts.first().expect("validated rules have alternatives");
+            self.emit_sequence(w, &a.elements, cursor);
+        }
+        w.line(&format!("Ok(Tree::Rule {{ rule: {}, alt, children }})", rule.id.index()));
+        w.close("}");
+    }
+
+    fn emit_synpred(&mut self, w: &mut CodeWriter, idx: usize, frag: &Alt, cursor: &mut DecisionCursor<'_>) {
+        let memo_key = self.grammar.rules.len() + idx;
+        w.blank();
+        w.line(&format!("/// Syntactic predicate {idx}: speculative match, rewinds."));
+        w.open(&format!("fn synpred_{idx}(&mut self) -> bool {{"));
+        w.line("let start = self.pos;");
+        w.open(&format!("match self.memo.get(&({memo_key}, start)) {{"));
+        w.line("Some(Memo::Stop(_)) => return true,");
+        w.line("Some(Memo::Fail(_)) => return false,");
+        w.line("None => {}");
+        w.close("}");
+        w.line("self.speculating += 1;");
+        w.line(&format!("let result = self.synpred_{idx}_body();"));
+        w.line("self.speculating -= 1;");
+        w.line("let stop = self.pos;");
+        w.line("self.pos = start;");
+        w.open("let entry = match &result {");
+        w.line("Ok(()) => Memo::Stop(stop),");
+        w.line("Err(e) => Memo::Fail(e.clone()),");
+        w.close("};");
+        w.line(&format!("self.memo.insert(({memo_key}, start), entry);"));
+        w.line("result.is_ok()");
+        w.close("}");
+        w.blank();
+        w.open(&format!("fn synpred_{idx}_body(&mut self) -> Result<(), Error> {{"));
+        w.line("let mut children: Vec<Tree> = Vec::new();");
+        // The fragment submachine has a single alternative.
+        self.emit_sequence(w, &frag.elements, cursor);
+        w.line("let _ = children;");
+        w.line("Ok(())");
+        w.close("}");
+    }
+
+    fn emit_sequence(
+        &mut self,
+        w: &mut CodeWriter,
+        elements: &[Element],
+        cursor: &mut DecisionCursor<'_>,
+    ) {
+        for e in elements {
+            self.emit_element(w, e, cursor);
+        }
+    }
+
+    fn emit_element(&mut self, w: &mut CodeWriter, e: &Element, cursor: &mut DecisionCursor<'_>) {
+        match e {
+            Element::Token(t) => {
+                let name = self.grammar.vocab.display_name(*t);
+                w.line(&format!(
+                    "children.push(Tree::Leaf(self.expect({}, {:?})?));",
+                    t.0, name
+                ));
+            }
+            Element::Rule(r) => {
+                w.line(&format!(
+                    "children.push(self.{}()?);",
+                    self.rule_fn_name(r.index())
+                ));
+            }
+            Element::SemPred(p) => {
+                let text = self.grammar.sempred_text(*p);
+                w.open(&format!(
+                    "if !self.hooks.sempred({}, {:?}, self.pos) {{",
+                    p.0, text
+                ));
+                w.line(&format!(
+                    "return Err(self.err_at(0, format!(\"predicate {{}} failed\", {:?})));",
+                    text
+                ));
+                w.close("}");
+            }
+            Element::SynPred(sp) => {
+                w.open(&format!("if !self.synpred_{}() {{", sp.0));
+                w.line(&format!(
+                    "return Err(self.err_at(0, \"syntactic predicate {} failed\".to_string()));",
+                    sp.0
+                ));
+                w.close("}");
+            }
+            Element::NotSynPred(sp) => {
+                w.open(&format!("if self.synpred_{}() {{", sp.0));
+                w.line(&format!(
+                    "return Err(self.err_at(0, \"negated syntactic predicate {} failed\".to_string()));",
+                    sp.0
+                ));
+                w.close("}");
+            }
+            Element::Action { id, always } => {
+                let text = self.grammar.action_text(*id);
+                let guard = if *always {
+                    "".to_string()
+                } else {
+                    "if self.speculating == 0 ".to_string()
+                };
+                w.open(&format!("{guard}{{"));
+                w.line(&format!("self.hooks.action({}, {:?}, self.pos);", id.0, text));
+                w.close("}");
+            }
+            Element::Block(b) => self.emit_block(w, b, cursor),
+        }
+    }
+
+    fn emit_block(&mut self, w: &mut CodeWriter, b: &Block, cursor: &mut DecisionCursor<'_>) {
+        match b.ebnf {
+            Ebnf::None => {
+                if b.alts.len() == 1 {
+                    self.emit_sequence(w, &b.alts[0].elements, cursor);
+                } else {
+                    let d = cursor.take(DecisionKind::Block);
+                    self.used_decisions.push(d);
+                    w.open(&format!("match self.predict_{d}()? {{"));
+                    for (i, a) in b.alts.iter().enumerate() {
+                        w.open(&format!("{} => {{", i + 1));
+                        self.emit_sequence(w, &a.elements, cursor);
+                        w.close("}");
+                    }
+                    w.line("_ => unreachable!(),");
+                    w.close("}");
+                }
+            }
+            Ebnf::Optional => {
+                let d = cursor.take(DecisionKind::Optional);
+                self.used_decisions.push(d);
+                let exit = b.alts.len() + 1;
+                w.open(&format!("match self.predict_{d}()? {{"));
+                for (i, a) in b.alts.iter().enumerate() {
+                    w.open(&format!("{} => {{", i + 1));
+                    self.emit_sequence(w, &a.elements, cursor);
+                    w.close("}");
+                }
+                w.line(&format!("{exit} => {{}} // skip"));
+                w.line("_ => unreachable!(),");
+                w.close("}");
+            }
+            Ebnf::Star => {
+                let d = cursor.take(DecisionKind::Star);
+                self.used_decisions.push(d);
+                let exit = b.alts.len() + 1;
+                w.open("loop {");
+                w.line("let before = self.pos;");
+                w.open(&format!("match self.predict_{d}()? {{"));
+                for (i, a) in b.alts.iter().enumerate() {
+                    w.open(&format!("{} => {{", i + 1));
+                    self.emit_sequence(w, &a.elements, cursor);
+                    w.close("}");
+                }
+                w.line(&format!("{exit} => break,"));
+                w.line("_ => unreachable!(),");
+                w.close("}");
+                w.line("if self.pos == before { break; } // ε-body guard");
+                w.close("}");
+            }
+            Ebnf::Plus => {
+                // Entry block decision first (if multiple alternatives),
+                // then the loop-back decision — the ATN builder's order.
+                let entry_d = if b.alts.len() > 1 {
+                    let d = cursor.take(DecisionKind::Block);
+                    self.used_decisions.push(d);
+                    Some(d)
+                } else {
+                    None
+                };
+                w.open("loop {");
+                w.line("let before = self.pos;");
+                if let Some(d) = entry_d {
+                    w.open(&format!("match self.predict_{d}()? {{"));
+                    for (i, a) in b.alts.iter().enumerate() {
+                        w.open(&format!("{} => {{", i + 1));
+                        // Inner decisions are emitted for alternative
+                        // bodies here; the cursor advances inside.
+                        self.emit_sequence(w, &a.elements, cursor);
+                        w.close("}");
+                    }
+                    w.line("_ => unreachable!(),");
+                    w.close("}");
+                } else {
+                    self.emit_sequence(w, &b.alts[0].elements, cursor);
+                }
+                let d = cursor.take(DecisionKind::PlusLoop);
+                self.used_decisions.push(d);
+                w.line(&format!("if self.predict_{d}()? != 1 {{ break; }}"));
+                w.line("if self.pos == before { break; } // ε-body guard");
+                w.close("}");
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Predictors
+    // -----------------------------------------------------------------
+
+    fn emit_predictor(&self, w: &mut CodeWriter, decision: usize) {
+        let analysis = &self.analysis.decisions[decision];
+        let dfa = &analysis.dfa;
+        let rule = self.analysis.atn.decisions[decision].rule;
+        let rule_name = &self.grammar.rule(rule).name;
+        w.blank();
+        w.line(&format!(
+            "/// Lookahead DFA for decision {decision} (rule `{rule_name}`)."
+        ));
+        w.open(&format!("fn predict_{decision}(&mut self) -> Result<u16, Error> {{"));
+        w.line("let mut s = 0usize;");
+        w.line("let mut i = 0usize;");
+        w.line("let _ = &mut i;");
+        w.open("loop {");
+        w.open("match s {");
+        for (sid, st) in dfa.states.iter().enumerate() {
+            self.emit_dfa_state(w, dfa, sid, st, rule_name);
+        }
+        w.line("_ => unreachable!(\"generated DFA has no such state\"),");
+        w.close("}");
+        w.close("}");
+        w.close("}");
+    }
+
+    fn emit_dfa_state(
+        &self,
+        w: &mut CodeWriter,
+        _dfa: &LookaheadDfa,
+        sid: usize,
+        st: &DfaState,
+        rule_name: &str,
+    ) {
+        if let Some(alt) = st.accept {
+            w.line(&format!("{sid} => return Ok({alt}),"));
+            return;
+        }
+        w.open(&format!("{sid} => {{"));
+        if !st.edges.is_empty() {
+            w.open("match self.la(i + 1) {");
+            for &(tok, target) in &st.edges {
+                w.line(&format!("{} => {{ s = {target}; i += 1; }}", tok.0));
+            }
+            w.open("_ => {");
+            self.emit_state_fallback(w, st, rule_name);
+            w.close("}");
+            w.close("}");
+        } else {
+            self.emit_state_fallback(w, st, rule_name);
+        }
+        w.close("}");
+    }
+
+    /// Emits the predicate/default/error handling reached when no token
+    /// edge applies in a DFA state.
+    fn emit_state_fallback(&self, w: &mut CodeWriter, st: &DfaState, rule_name: &str) {
+        for &(pred, alt) in &st.preds {
+            match pred {
+                PredSource::Sem(p) => {
+                    let text = self.grammar.sempred_text(p);
+                    w.line(&format!(
+                        "if self.hooks.sempred({}, {:?}, self.pos) {{ return Ok({alt}); }}",
+                        p.0, text
+                    ));
+                }
+                PredSource::Syn(sp) => {
+                    w.line(&format!(
+                        "if self.synpred_{}() {{ return Ok({alt}); }}",
+                        sp.0
+                    ));
+                }
+                PredSource::NotSyn(sp) => {
+                    w.line(&format!(
+                        "if !self.synpred_{}() {{ return Ok({alt}); }}",
+                        sp.0
+                    ));
+                }
+            }
+        }
+        if let Some(alt) = st.default_alt {
+            w.line(&format!("return Ok({alt});"));
+        } else {
+            w.line(&format!(
+                "return Err(self.err_at(i, \"no viable alternative for rule {rule_name}\".to_string()));"
+            ));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! A tiny indented-code writer used by the generator.
+
+/// Accumulates generated Rust source with indentation tracking.
+#[derive(Debug, Default)]
+pub struct CodeWriter {
+    out: String,
+    indent: usize,
+}
+
+impl CodeWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes one line at the current indentation.
+    pub fn line(&mut self, text: &str) {
+        if !text.is_empty() {
+            for _ in 0..self.indent {
+                self.out.push_str("    ");
+            }
+            self.out.push_str(text);
+        }
+        self.out.push('\n');
+    }
+
+    /// Writes a line, then increases indentation (for `… {`).
+    pub fn open(&mut self, text: &str) {
+        self.line(text);
+        self.indent += 1;
+    }
+
+    /// Decreases indentation, then writes a line (for `}`).
+    pub fn close(&mut self, text: &str) {
+        self.indent = self.indent.saturating_sub(1);
+        self.line(text);
+    }
+
+    /// A blank line.
+    pub fn blank(&mut self) {
+        self.out.push('\n');
+    }
+
+    /// Finishes, returning the source text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indentation_tracks_open_close() {
+        let mut w = CodeWriter::new();
+        w.open("fn main() {");
+        w.line("let x = 1;");
+        w.open("if x > 0 {");
+        w.line("x;");
+        w.close("}");
+        w.close("}");
+        assert_eq!(
+            w.finish(),
+            "fn main() {\n    let x = 1;\n    if x > 0 {\n        x;\n    }\n}\n"
+        );
+    }
+
+    #[test]
+    fn empty_line_has_no_trailing_spaces() {
+        let mut w = CodeWriter::new();
+        w.open("{");
+        w.line("");
+        w.close("}");
+        assert_eq!(w.finish(), "{\n\n}\n");
+    }
+}

@@ -1,0 +1,641 @@
+//! Augmented transition networks (Section 5.1).
+//!
+//! The grammar is converted to an ATN *M_G = (Q, Σ, Δ, E, F)* per Figure 7:
+//! one submachine per nonterminal with entry state `p_A` and stop state
+//! `p'_A`, ε edges to per-production left-edge states, terminal edges,
+//! nonterminal ("call") edges that record a follow state, predicate edges,
+//! and action edges. EBNF subrules become nested decision states; loops
+//! become cycles, exactly as ANTLR's analysis expects.
+
+use llstar_grammar::{ActionId, Alt, Block, Ebnf, Element, Grammar, PredId, RuleId, SynPredId};
+use llstar_lexer::TokenType;
+use std::fmt;
+
+/// Index of an ATN state within [`Atn::states`].
+pub type AtnStateId = usize;
+
+/// Index of a parsing decision within [`Atn::decisions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DecisionId(pub u32);
+
+impl DecisionId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DecisionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// An edge label in the ATN.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AtnEdge {
+    /// ε transition.
+    Epsilon,
+    /// Terminal transition.
+    Token(TokenType),
+    /// Nonterminal invocation: control enters `rule`'s submachine and
+    /// resumes at `follow` when its stop state is reached.
+    Rule {
+        /// The invoked rule.
+        rule: RuleId,
+        /// The state pushed on the call stack.
+        follow: AtnStateId,
+    },
+    /// Semantic predicate gate.
+    Pred(PredId),
+    /// Syntactic predicate gate (erased to a speculation-launching
+    /// semantic predicate at parse time, Section 4.1).
+    SynPred(SynPredId),
+    /// Negated syntactic predicate gate (Ford's PEG not-predicate):
+    /// passable only when the fragment does *not* match.
+    NotSynPred(SynPredId),
+    /// Embedded action (mutator); `always` actions run during speculation.
+    Action(ActionId, bool),
+}
+
+/// What role an ATN state plays (for rendering and decision bookkeeping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateKind {
+    /// Ordinary state.
+    Basic,
+    /// Submachine entry `p_A`.
+    RuleEntry,
+    /// Submachine stop `p'_A`.
+    RuleStop,
+    /// A decision state: its outgoing ε edges are the numbered
+    /// alternatives of decision `DecisionId`.
+    Decision(DecisionId),
+}
+
+/// One ATN state.
+#[derive(Debug, Clone)]
+pub struct AtnState {
+    /// Outgoing edges. For decision states, edge order is alternative
+    /// order (alternative *i* is edge *i−1*).
+    pub edges: Vec<(AtnEdge, AtnStateId)>,
+    /// The rule whose submachine owns this state.
+    pub rule: RuleId,
+    /// The state's role.
+    pub kind: StateKind,
+}
+
+/// What grammar construct a decision belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// Choice among a rule's productions.
+    RuleAlts,
+    /// Choice among a plain `( … )` block's alternatives.
+    Block,
+    /// `( … )?` — last alternative is "skip".
+    Optional,
+    /// `( … )*` loop entry — last alternative is "exit".
+    Star,
+    /// `( … )+` loop-back — last alternative is "exit".
+    PlusLoop,
+    /// Choice among a syntactic-predicate fragment's productions (these
+    /// exist so speculative parses can be interpreted; they are not
+    /// counted in grammar statistics).
+    SynPredAlts,
+}
+
+/// Metadata for one parsing decision.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// The decision number.
+    pub id: DecisionId,
+    /// The decision state in the ATN.
+    pub state: AtnStateId,
+    /// The rule containing the decision.
+    pub rule: RuleId,
+    /// The construct kind.
+    pub kind: DecisionKind,
+    /// `true` for decisions living inside syntactic-predicate fragments
+    /// (duplicates of real grammar decisions, used only by speculation).
+    pub synthetic: bool,
+}
+
+impl Decision {
+    /// Whether this decision counts toward grammar statistics (synthetic
+    /// synpred-fragment decisions do not).
+    pub fn is_grammar_decision(&self) -> bool {
+        !self.synthetic && !matches!(self.kind, DecisionKind::SynPredAlts)
+    }
+}
+
+/// The augmented transition network for a grammar.
+#[derive(Debug, Clone)]
+pub struct Atn {
+    /// All states.
+    pub states: Vec<AtnState>,
+    /// Entry state `p_A` per rule.
+    pub rule_entry: Vec<AtnStateId>,
+    /// Stop state `p'_A` per rule.
+    pub rule_stop: Vec<AtnStateId>,
+    /// All decisions, in creation order.
+    pub decisions: Vec<Decision>,
+    /// For each rule *A*, the follow states of every `Rule` edge that
+    /// invokes *A* (used by closure when the stack is empty).
+    pub rule_followers: Vec<Vec<AtnStateId>>,
+    /// Entry state per syntactic-predicate fragment (the fragment behaves
+    /// like an anonymous rule; the runtime speculates from here).
+    pub synpred_entry: Vec<AtnStateId>,
+    /// Stop state per syntactic-predicate fragment.
+    pub synpred_stop: Vec<AtnStateId>,
+    /// A synthetic state with a single `Token(EOF)` edge, used as the
+    /// continuation of rules that no other rule invokes (the start rule's
+    /// follow is end-of-file).
+    pub eof_follow: AtnStateId,
+    /// A synthetic state with an edge on *every* token type, used as the
+    /// continuation of syntactic-predicate fragments: once a fragment has
+    /// matched, anything at all may follow, so exit branches of decisions
+    /// inside fragments must stay viable on any next token.
+    pub any_follow: AtnStateId,
+}
+
+impl Atn {
+    /// Builds the ATN for `grammar` (Figure 7).
+    pub fn from_grammar(grammar: &Grammar) -> Atn {
+        Builder::new(grammar).build()
+    }
+
+    /// The decision whose decision state is `state`, if any.
+    pub fn decision_at(&self, state: AtnStateId) -> Option<&Decision> {
+        match self.states[state].kind {
+            StateKind::Decision(id) => Some(&self.decisions[id.index()]),
+            _ => None,
+        }
+    }
+
+    /// Whether `state` is some rule's stop state.
+    pub fn is_stop_state(&self, state: AtnStateId) -> bool {
+        self.states[state].kind == StateKind::RuleStop
+    }
+
+    /// Whether `state` is the stop state of a syntactic-predicate
+    /// fragment (whose continuation is the any-token wildcard).
+    pub fn is_fragment_stop(&self, state: AtnStateId) -> bool {
+        self.synpred_stop.binary_search(&state).is_ok()
+    }
+
+    /// Number of alternatives of decision `id`.
+    pub fn alt_count(&self, id: DecisionId) -> usize {
+        self.states[self.decisions[id.index()].state].edges.len()
+    }
+
+    /// Renders the ATN in Graphviz dot format (for debugging and the
+    /// Figure 6 test).
+    pub fn to_dot(&self, grammar: &Grammar) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph atn {\n  rankdir=LR;\n");
+        for (i, st) in self.states.iter().enumerate() {
+            let shape = match st.kind {
+                StateKind::RuleStop => "doublecircle",
+                StateKind::Decision(_) => "diamond",
+                _ => "circle",
+            };
+            let _ = writeln!(
+                out,
+                "  p{i} [shape={shape},label=\"p{i}\\n{}\"];",
+                grammar.rule(st.rule).name
+            );
+            for (edge, target) in &st.edges {
+                let label = match edge {
+                    AtnEdge::Epsilon => "ε".to_string(),
+                    AtnEdge::Token(t) => grammar.vocab.display_name(*t),
+                    AtnEdge::Rule { rule, .. } => grammar.rule(*rule).name.clone(),
+                    AtnEdge::Pred(p) => format!("{{{}}}?", grammar.sempred_text(*p)),
+                    AtnEdge::SynPred(sp) => format!("synpred{}=>", sp.0),
+                    AtnEdge::NotSynPred(sp) => format!("!synpred{}=>", sp.0),
+                    AtnEdge::Action(..) => "{…}".to_string(),
+                };
+                let _ = writeln!(out, "  p{i} -> p{target} [label=\"{label}\"];");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+struct Builder<'g> {
+    grammar: &'g Grammar,
+    states: Vec<AtnState>,
+    decisions: Vec<Decision>,
+    rule_entry: Vec<AtnStateId>,
+    rule_stop: Vec<AtnStateId>,
+    synpred_entry: Vec<AtnStateId>,
+    synpred_stop: Vec<AtnStateId>,
+    current_rule: RuleId,
+    in_fragment: bool,
+}
+
+impl<'g> Builder<'g> {
+    fn new(grammar: &'g Grammar) -> Self {
+        Builder {
+            grammar,
+            states: Vec::new(),
+            decisions: Vec::new(),
+            rule_entry: Vec::new(),
+            rule_stop: Vec::new(),
+            synpred_entry: Vec::new(),
+            synpred_stop: Vec::new(),
+            current_rule: RuleId(0),
+            in_fragment: false,
+        }
+    }
+
+    fn add_state(&mut self, kind: StateKind) -> AtnStateId {
+        self.states.push(AtnState { edges: Vec::new(), rule: self.current_rule, kind });
+        self.states.len() - 1
+    }
+
+    fn add_edge(&mut self, from: AtnStateId, edge: AtnEdge, to: AtnStateId) {
+        self.states[from].edges.push((edge, to));
+    }
+
+    fn new_decision(&mut self, state: AtnStateId, kind: DecisionKind) {
+        let id = DecisionId(self.decisions.len() as u32);
+        self.states[state].kind = StateKind::Decision(id);
+        self.decisions.push(Decision {
+            id,
+            state,
+            rule: self.current_rule,
+            kind,
+            synthetic: self.in_fragment,
+        });
+    }
+
+    fn build(mut self) -> Atn {
+        // Reserve entry/stop pairs for every rule first so Rule edges can
+        // target them during body construction.
+        for rule in &self.grammar.rules {
+            self.current_rule = rule.id;
+            let entry = self.add_state(StateKind::RuleEntry);
+            let stop = self.add_state(StateKind::RuleStop);
+            self.rule_entry.push(entry);
+            self.rule_stop.push(stop);
+        }
+        for rule in &self.grammar.rules {
+            self.current_rule = rule.id;
+            let entry = self.rule_entry[rule.id.index()];
+            let stop = self.rule_stop[rule.id.index()];
+            self.build_alternatives(entry, stop, &rule.alts, DecisionKind::RuleAlts);
+        }
+        // Syntactic-predicate fragments become anonymous submachines so
+        // both the analysis (if it ever chases them) and the speculative
+        // runtime can execute them. They are attributed to rule 0 for
+        // rendering purposes only.
+        self.current_rule = RuleId(0);
+        self.in_fragment = true;
+        for i in 0..self.grammar.synpreds.len() {
+            let frag: &Alt = &self.grammar.synpreds[i];
+            let entry = self.add_state(StateKind::RuleEntry);
+            let stop = self.add_state(StateKind::RuleStop);
+            let alts = vec![frag.clone()];
+            self.build_alternatives(entry, stop, &alts, DecisionKind::SynPredAlts);
+            self.synpred_entry.push(entry);
+            self.synpred_stop.push(stop);
+        }
+        self.in_fragment = false;
+        // Synthetic EOF continuation for otherwise-unreferenced rules.
+        let eof_follow = self.add_state(StateKind::Basic);
+        let eof_sink = self.add_state(StateKind::Basic);
+        self.add_edge(eof_follow, AtnEdge::Token(TokenType::EOF), eof_sink);
+        // Wildcard continuation for syntactic-predicate fragments.
+        let any_follow = self.add_state(StateKind::Basic);
+        let any_sink = self.add_state(StateKind::Basic);
+        self.add_edge(any_follow, AtnEdge::Token(TokenType::EOF), any_sink);
+        for t in self.grammar.vocab.token_types() {
+            self.add_edge(any_follow, AtnEdge::Token(t), any_sink);
+        }
+
+        // Collect Rule-edge followers per rule.
+        let mut rule_followers: Vec<Vec<AtnStateId>> =
+            vec![Vec::new(); self.grammar.rules.len()];
+        for st in &self.states {
+            for (edge, _) in &st.edges {
+                if let AtnEdge::Rule { rule, follow } = edge {
+                    rule_followers[rule.index()].push(*follow);
+                }
+            }
+        }
+        for followers in rule_followers.iter_mut() {
+            // Any rule may serve as a parse entry point, so end-of-file
+            // is always a possible continuation in addition to the real
+            // call sites.
+            followers.push(eof_follow);
+            followers.sort_unstable();
+            followers.dedup();
+        }
+
+        Atn {
+            states: self.states,
+            rule_entry: self.rule_entry,
+            rule_stop: self.rule_stop,
+            decisions: self.decisions,
+            rule_followers,
+            synpred_entry: self.synpred_entry,
+            synpred_stop: self.synpred_stop,
+            eof_follow,
+            any_follow,
+        }
+    }
+
+    /// Wires `entry` through each alternative to `stop`. Multi-alternative
+    /// sets make `entry` a decision state of the given kind.
+    fn build_alternatives(
+        &mut self,
+        entry: AtnStateId,
+        stop: AtnStateId,
+        alts: &[Alt],
+        kind: DecisionKind,
+    ) {
+        if alts.len() > 1 {
+            self.new_decision(entry, kind);
+        }
+        for alt in alts {
+            let left = self.add_state(StateKind::Basic);
+            self.add_edge(entry, AtnEdge::Epsilon, left);
+            let end = self.build_sequence(left, &alt.elements);
+            self.add_edge(end, AtnEdge::Epsilon, stop);
+        }
+    }
+
+    /// Builds the chain of states for `elements` starting at `start`;
+    /// returns the final state of the chain.
+    fn build_sequence(&mut self, start: AtnStateId, elements: &[Element]) -> AtnStateId {
+        let mut current = start;
+        for elem in elements {
+            current = self.build_element(current, elem);
+        }
+        current
+    }
+
+    fn build_element(&mut self, from: AtnStateId, elem: &Element) -> AtnStateId {
+        match elem {
+            Element::Token(t) => {
+                let next = self.add_state(StateKind::Basic);
+                self.add_edge(from, AtnEdge::Token(*t), next);
+                next
+            }
+            Element::Rule(r) => {
+                let next = self.add_state(StateKind::Basic);
+                let entry = self.rule_entry[r.index()];
+                self.add_edge(from, AtnEdge::Rule { rule: *r, follow: next }, entry);
+                next
+            }
+            Element::SemPred(p) => {
+                let next = self.add_state(StateKind::Basic);
+                self.add_edge(from, AtnEdge::Pred(*p), next);
+                next
+            }
+            Element::SynPred(sp) => {
+                let next = self.add_state(StateKind::Basic);
+                self.add_edge(from, AtnEdge::SynPred(*sp), next);
+                next
+            }
+            Element::NotSynPred(sp) => {
+                let next = self.add_state(StateKind::Basic);
+                self.add_edge(from, AtnEdge::NotSynPred(*sp), next);
+                next
+            }
+            Element::Action { id, always } => {
+                let next = self.add_state(StateKind::Basic);
+                self.add_edge(from, AtnEdge::Action(*id, *always), next);
+                next
+            }
+            Element::Block(block) => self.build_block(from, block),
+        }
+    }
+
+    fn build_block(&mut self, from: AtnStateId, block: &Block) -> AtnStateId {
+        match block.ebnf {
+            Ebnf::None => {
+                let end = self.add_state(StateKind::Basic);
+                if block.alts.len() > 1 {
+                    // `from` may already carry edges (mid-sequence), so
+                    // introduce a fresh decision state.
+                    let decision = self.add_state(StateKind::Basic);
+                    self.add_edge(from, AtnEdge::Epsilon, decision);
+                    self.new_decision(decision, DecisionKind::Block);
+                    for alt in &block.alts {
+                        let left = self.add_state(StateKind::Basic);
+                        self.add_edge(decision, AtnEdge::Epsilon, left);
+                        let alt_end = self.build_sequence(left, &alt.elements);
+                        self.add_edge(alt_end, AtnEdge::Epsilon, end);
+                    }
+                } else {
+                    let alt = block.alts.first().expect("blocks have at least one alt");
+                    let alt_end = self.build_sequence(from, &alt.elements);
+                    self.add_edge(alt_end, AtnEdge::Epsilon, end);
+                }
+                end
+            }
+            Ebnf::Optional => {
+                // Decision alternatives: each body alternative, then
+                // "skip" (greedy: body preferred).
+                let decision = self.add_state(StateKind::Basic);
+                self.add_edge(from, AtnEdge::Epsilon, decision);
+                self.new_decision(decision, DecisionKind::Optional);
+                let end = self.add_state(StateKind::Basic);
+                for alt in &block.alts {
+                    let left = self.add_state(StateKind::Basic);
+                    self.add_edge(decision, AtnEdge::Epsilon, left);
+                    let alt_end = self.build_sequence(left, &alt.elements);
+                    self.add_edge(alt_end, AtnEdge::Epsilon, end);
+                }
+                self.add_edge(decision, AtnEdge::Epsilon, end);
+                end
+            }
+            Ebnf::Star => {
+                // Loop-entry decision: body alternatives re-enter the
+                // decision; final alternative exits.
+                let decision = self.add_state(StateKind::Basic);
+                self.add_edge(from, AtnEdge::Epsilon, decision);
+                self.new_decision(decision, DecisionKind::Star);
+                let end = self.add_state(StateKind::Basic);
+                for alt in &block.alts {
+                    let left = self.add_state(StateKind::Basic);
+                    self.add_edge(decision, AtnEdge::Epsilon, left);
+                    let alt_end = self.build_sequence(left, &alt.elements);
+                    self.add_edge(alt_end, AtnEdge::Epsilon, decision);
+                }
+                self.add_edge(decision, AtnEdge::Epsilon, end);
+                end
+            }
+            Ebnf::Plus => {
+                // First iteration is unconditional; the loop-back state is
+                // the decision (alternatives: repeat…, exit).
+                let body_entry = self.add_state(StateKind::Basic);
+                self.add_edge(from, AtnEdge::Epsilon, body_entry);
+                let loopback = self.add_state(StateKind::Basic);
+                let end = self.add_state(StateKind::Basic);
+                // Entry block: if multiple alternatives, the first
+                // iteration needs its own decision.
+                if block.alts.len() > 1 {
+                    self.new_decision(body_entry, DecisionKind::Block);
+                }
+                for alt in &block.alts {
+                    let left = self.add_state(StateKind::Basic);
+                    self.add_edge(body_entry, AtnEdge::Epsilon, left);
+                    let alt_end = self.build_sequence(left, &alt.elements);
+                    self.add_edge(alt_end, AtnEdge::Epsilon, loopback);
+                }
+                self.new_decision(loopback, DecisionKind::PlusLoop);
+                // Loop-back alternatives: re-run the body, or exit.
+                self.add_edge(loopback, AtnEdge::Epsilon, body_entry);
+                self.add_edge(loopback, AtnEdge::Epsilon, end);
+                end
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llstar_grammar::parse_grammar;
+
+    /// Figure 6: ATN for S → Ac | Ad, A → aA | b.
+    #[test]
+    fn figure6_structure() {
+        let g = parse_grammar(
+            "grammar F6; s : a C | a D ; a : A a | B ; A:'a'; B:'b'; C:'c'; D:'d';",
+        )
+        .unwrap();
+        let atn = Atn::from_grammar(&g);
+        // Two decisions: s (2 alts) and a (2 alts).
+        let grammar_decisions: Vec<_> =
+            atn.decisions.iter().filter(|d| d.is_grammar_decision()).collect();
+        assert_eq!(grammar_decisions.len(), 2);
+        // Rule entries are decision states with 2 alternatives each.
+        for rule in &g.rules {
+            let entry = atn.rule_entry[rule.id.index()];
+            assert!(matches!(atn.states[entry].kind, StateKind::Decision(_)));
+            assert_eq!(atn.states[entry].edges.len(), 2);
+        }
+        // Rule `a` is invoked twice from s and once from itself -> three
+        // distinct follow states, plus the universal EOF continuation.
+        let a = g.rule_id("a").unwrap();
+        assert_eq!(atn.rule_followers[a.index()].len(), 4);
+        assert!(atn.rule_followers[a.index()].contains(&atn.eof_follow));
+        // Rule `s` is never invoked -> only the EOF continuation.
+        let s = g.rule_id("s").unwrap();
+        assert_eq!(atn.rule_followers[s.index()], vec![atn.eof_follow]);
+    }
+
+    #[test]
+    fn single_alt_rule_has_no_decision() {
+        let g = parse_grammar("grammar G; s : A B ; A:'a'; B:'b';").unwrap();
+        let atn = Atn::from_grammar(&g);
+        assert!(atn.decisions.is_empty());
+        // entry -ε-> left -A-> . -B-> . -ε-> stop
+        let entry = atn.rule_entry[0];
+        assert_eq!(atn.states[entry].kind, StateKind::RuleEntry);
+    }
+
+    #[test]
+    fn ebnf_operators_create_decisions() {
+        let g = parse_grammar("grammar G; s : A? B* C+ (D|E) ; A:'a'; B:'b'; C:'c'; D:'d'; E:'e';")
+            .unwrap();
+        let atn = Atn::from_grammar(&g);
+        let kinds: Vec<DecisionKind> = atn.decisions.iter().map(|d| d.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                DecisionKind::Optional,
+                DecisionKind::Star,
+                DecisionKind::PlusLoop,
+                DecisionKind::Block
+            ]
+        );
+    }
+
+    #[test]
+    fn star_loop_cycles_back_to_decision() {
+        let g = parse_grammar("grammar G; s : A* B ; A:'a'; B:'b';").unwrap();
+        let atn = Atn::from_grammar(&g);
+        let d = &atn.decisions[0];
+        assert_eq!(d.kind, DecisionKind::Star);
+        // Follow the body alternative: it must come back to the decision.
+        let (_, body_left) = atn.states[d.state].edges[0].clone();
+        let (edge, after_a) = atn.states[body_left].edges[0].clone();
+        assert!(matches!(edge, AtnEdge::Token(_)));
+        let (back_edge, back_target) = atn.states[after_a].edges[0].clone();
+        assert_eq!(back_edge, AtnEdge::Epsilon);
+        assert_eq!(back_target, d.state, "loop body returns to the decision state");
+    }
+
+    #[test]
+    fn plus_loop_runs_body_then_decides() {
+        let g = parse_grammar("grammar G; s : A+ ; A:'a';").unwrap();
+        let atn = Atn::from_grammar(&g);
+        assert_eq!(atn.decisions.len(), 1);
+        assert_eq!(atn.decisions[0].kind, DecisionKind::PlusLoop);
+        // The loop-back decision has two alternatives: repeat and exit.
+        assert_eq!(atn.states[atn.decisions[0].state].edges.len(), 2);
+    }
+
+    #[test]
+    fn rule_edges_record_follow_states() {
+        let g = parse_grammar("grammar G; s : x B ; x : A ; A:'a'; B:'b';").unwrap();
+        let atn = Atn::from_grammar(&g);
+        let x = g.rule_id("x").unwrap();
+        let mut found = false;
+        for st in &atn.states {
+            for (edge, target) in &st.edges {
+                if let AtnEdge::Rule { rule, follow } = edge {
+                    assert_eq!(*rule, x);
+                    assert_eq!(*target, atn.rule_entry[x.index()]);
+                    assert!(atn.rule_followers[x.index()].contains(follow));
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "expected a Rule edge for x");
+    }
+
+    #[test]
+    fn predicates_and_actions_become_edges() {
+        let g = parse_grammar(
+            "grammar G; s : {p}? A {act()} | (B)=> B ; A:'a'; B:'b';",
+        )
+        .unwrap();
+        let atn = Atn::from_grammar(&g);
+        let mut saw = (false, false, false);
+        for st in &atn.states {
+            for (edge, _) in &st.edges {
+                match edge {
+                    AtnEdge::Pred(_) => saw.0 = true,
+                    AtnEdge::Action(_, false) => saw.1 = true,
+                    AtnEdge::SynPred(_) => saw.2 = true,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(saw, (true, true, true), "pred/action/synpred edges present");
+        // The synpred fragment has its own submachine.
+        assert_eq!(atn.synpred_entry.len(), 1);
+        assert_eq!(atn.synpred_stop.len(), 1);
+    }
+
+    #[test]
+    fn dot_rendering_mentions_tokens() {
+        let g = parse_grammar("grammar G; s : A | B ; A:'a'; B:'b';").unwrap();
+        let atn = Atn::from_grammar(&g);
+        let dot = atn.to_dot(&g);
+        assert!(dot.contains("digraph atn"));
+        assert!(dot.contains("label=\"A\""), "{dot}");
+    }
+
+    #[test]
+    fn alt_count_matches_grammar() {
+        let g = parse_grammar("grammar G; s : A | B | C ; A:'a'; B:'b'; C:'c';").unwrap();
+        let atn = Atn::from_grammar(&g);
+        assert_eq!(atn.alt_count(atn.decisions[0].id), 3);
+    }
+}

@@ -1,0 +1,567 @@
+//! Lookahead DFA (Definition 4): DFA augmented with predicate transitions
+//! and accept states that yield predicted production numbers.
+
+use crate::atn::DecisionId;
+use crate::config::PredSource;
+use llstar_grammar::Grammar;
+use llstar_lexer::TokenType;
+use std::fmt::Write as _;
+
+/// Index of a DFA state within [`LookaheadDfa::states`].
+pub type DfaStateId = usize;
+
+/// One lookahead-DFA state.
+#[derive(Debug, Clone, Default)]
+pub struct DfaState {
+    /// Terminal transitions `(token, target)`. At most one per token.
+    pub edges: Vec<(TokenType, DfaStateId)>,
+    /// Predicate transitions to accept decisions, in evaluation order:
+    /// `(predicate, predicted alternative)`.
+    pub preds: Vec<(PredSource, u16)>,
+    /// The alternative predicted when no predicate transition fires
+    /// (PEG-mode "else" branch).
+    pub default_alt: Option<u16>,
+    /// If `Some(i)`, this is the accept state *f_i*: predict alternative
+    /// `i` unconditionally.
+    pub accept: Option<u16>,
+}
+
+impl DfaState {
+    /// Whether the state terminates prediction (accept, predicates, or a
+    /// default alternative).
+    pub fn is_terminal(&self) -> bool {
+        self.accept.is_some() || !self.preds.is_empty() || self.default_alt.is_some()
+    }
+
+    /// The target for `token`, if a transition exists.
+    pub fn target(&self, token: TokenType) -> Option<DfaStateId> {
+        self.edges.iter().find(|&&(t, _)| t == token).map(|&(_, s)| s)
+    }
+}
+
+/// How a decision's DFA resolves it, for the evaluation's Table 1
+/// classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecisionClass {
+    /// Acyclic DFA without syntactic-predicate edges: a fixed LL(k)
+    /// decision with the given k.
+    Fixed {
+        /// The maximum lookahead depth.
+        k: u32,
+    },
+    /// Cyclic DFA without syntactic-predicate edges: arbitrary regular
+    /// lookahead.
+    Cyclic,
+    /// The DFA contains syntactic-predicate edges: the decision may
+    /// backtrack at parse time.
+    Backtrack,
+}
+
+/// A lookahead DFA for one parsing decision.
+#[derive(Debug, Clone)]
+pub struct LookaheadDfa {
+    /// The decision this DFA predicts.
+    pub decision: DecisionId,
+    /// States; index 0 is the start state *D₀*.
+    pub states: Vec<DfaState>,
+}
+
+impl LookaheadDfa {
+    /// Creates a DFA with a single (start) state.
+    pub fn new(decision: DecisionId) -> Self {
+        LookaheadDfa { decision, states: vec![DfaState::default()] }
+    }
+
+    /// Whether the DFA's transition graph has a cycle (ignoring predicate
+    /// edges, which never form cycles).
+    pub fn is_cyclic(&self) -> bool {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut marks = vec![Mark::White; self.states.len()];
+        // Iterative DFS with a grey set.
+        fn dfs(dfa: &LookaheadDfa, v: DfaStateId, marks: &mut [Mark]) -> bool {
+            marks[v] = Mark::Grey;
+            for &(_, t) in &dfa.states[v].edges {
+                match marks[t] {
+                    Mark::Grey => return true,
+                    Mark::White => {
+                        if dfs(dfa, t, marks) {
+                            return true;
+                        }
+                    }
+                    Mark::Black => {}
+                }
+            }
+            marks[v] = Mark::Black;
+            false
+        }
+        dfs(self, 0, &mut marks)
+    }
+
+    /// Whether any predicate edge launches a speculative parse.
+    pub fn uses_backtrack(&self) -> bool {
+        self.states
+            .iter()
+            .flat_map(|s| &s.preds)
+            .any(|(p, _)| matches!(p, PredSource::Syn(_) | PredSource::NotSyn(_)))
+    }
+
+    /// Whether any predicate edge is a semantic predicate.
+    pub fn uses_sempreds(&self) -> bool {
+        self.states
+            .iter()
+            .flat_map(|s| &s.preds)
+            .any(|(p, _)| matches!(p, PredSource::Sem(_)))
+    }
+
+    /// Maximum lookahead depth: the longest token-edge path from the start
+    /// state to a terminal state. `None` when the DFA is cyclic
+    /// (unbounded lookahead).
+    pub fn max_lookahead(&self) -> Option<u32> {
+        if self.is_cyclic() {
+            return None;
+        }
+        // Longest path in a DAG by memoized DFS. Depth of a terminal-only
+        // state is 0; each token edge adds 1.
+        fn depth(dfa: &LookaheadDfa, v: DfaStateId, memo: &mut [Option<u32>]) -> u32 {
+            if let Some(d) = memo[v] {
+                return d;
+            }
+            let mut best = 0;
+            for &(_, t) in &dfa.states[v].edges {
+                best = best.max(1 + depth(dfa, t, memo));
+            }
+            memo[v] = Some(best);
+            best
+        }
+        let mut memo = vec![None; self.states.len()];
+        Some(depth(self, 0, &mut memo))
+    }
+
+    /// Table 1 classification of this decision.
+    pub fn classify(&self) -> DecisionClass {
+        if self.uses_backtrack() {
+            DecisionClass::Backtrack
+        } else {
+            match self.max_lookahead() {
+                Some(k) => DecisionClass::Fixed { k: k.max(1) },
+                None => DecisionClass::Cyclic,
+            }
+        }
+    }
+
+    /// The set of alternatives some state of the DFA can predict.
+    pub fn predictable_alts(&self) -> Vec<u16> {
+        let mut alts: Vec<u16> = self
+            .states
+            .iter()
+            .flat_map(|s| {
+                s.accept
+                    .into_iter()
+                    .chain(s.preds.iter().map(|&(_, a)| a))
+                    .chain(s.default_alt)
+            })
+            .collect();
+        alts.sort_unstable();
+        alts.dedup();
+        alts
+    }
+
+    /// Renders the DFA as readable text using grammar token names, in the
+    /// style of the paper's figures (`s1 -ID-> s2`, `s2 => 3`).
+    pub fn to_pretty(&self, grammar: &Grammar) -> String {
+        let mut out = String::new();
+        for (i, st) in self.states.iter().enumerate() {
+            if let Some(alt) = st.accept {
+                let _ = writeln!(out, "s{i} => predict alt {alt}");
+                continue;
+            }
+            for &(tok, target) in &st.edges {
+                let _ =
+                    writeln!(out, "s{i} -{}-> s{target}", grammar.vocab.display_name(tok));
+            }
+            for &(pred, alt) in &st.preds {
+                let label = match pred {
+                    PredSource::Sem(p) => format!("{{{}}}?", grammar.sempred_text(p)),
+                    PredSource::Syn(sp) => format!("synpred{}", sp.0),
+                    PredSource::NotSyn(sp) => format!("!synpred{}", sp.0),
+                };
+                let _ = writeln!(out, "s{i} -{label}-> predict alt {alt}");
+            }
+            if let Some(alt) = st.default_alt {
+                let _ = writeln!(out, "s{i} -else-> predict alt {alt}");
+            }
+        }
+        out
+    }
+
+    /// Renders the DFA in Graphviz dot format.
+    pub fn to_dot(&self, grammar: &Grammar) -> String {
+        let mut out = String::from("digraph dfa {\n  rankdir=LR;\n");
+        for (i, st) in self.states.iter().enumerate() {
+            match st.accept {
+                Some(alt) => {
+                    let _ = writeln!(
+                        out,
+                        "  s{i} [shape=doublecircle,label=\"s{i}\\n=>{alt}\"];"
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "  s{i} [shape=circle,label=\"s{i}\"];");
+                }
+            }
+            for &(tok, target) in &st.edges {
+                let _ = writeln!(
+                    out,
+                    "  s{i} -> s{target} [label=\"{}\"];",
+                    grammar.vocab.display_name(tok)
+                );
+            }
+            for (j, &(pred, alt)) in st.preds.iter().enumerate() {
+                let label = match pred {
+                    PredSource::Sem(p) => format!("{{{}}}?", grammar.sempred_text(p)),
+                    PredSource::Syn(sp) => format!("synpred{}", sp.0),
+                    PredSource::NotSyn(sp) => format!("!synpred{}", sp.0),
+                };
+                let _ = writeln!(out, "  f{i}_{j} [shape=doublecircle,label=\"=>{alt}\"];");
+                let _ = writeln!(out, "  s{i} -> f{i}_{j} [label=\"{label}\",style=dashed];");
+            }
+            if let Some(alt) = st.default_alt {
+                let _ = writeln!(out, "  fd{i} [shape=doublecircle,label=\"=>{alt}\"];");
+                let _ = writeln!(out, "  s{i} -> fd{i} [label=\"else\",style=dashed];");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llstar_grammar::parse_grammar;
+
+    fn accept(alt: u16) -> DfaState {
+        DfaState { accept: Some(alt), ..Default::default() }
+    }
+
+    fn chain_dfa() -> LookaheadDfa {
+        // s0 -t1-> s1 -t2-> accept(1); s0 -t3-> accept(2)
+        let mut dfa = LookaheadDfa::new(DecisionId(0));
+        dfa.states[0].edges.push((TokenType(1), 1));
+        dfa.states[0].edges.push((TokenType(3), 2));
+        dfa.states.push(DfaState { edges: vec![(TokenType(2), 3)], ..Default::default() });
+        dfa.states.push(accept(2));
+        dfa.states.push(accept(1));
+        dfa
+    }
+
+    #[test]
+    fn acyclic_classification_and_depth() {
+        let dfa = chain_dfa();
+        assert!(!dfa.is_cyclic());
+        assert_eq!(dfa.max_lookahead(), Some(2));
+        assert_eq!(dfa.classify(), DecisionClass::Fixed { k: 2 });
+        assert_eq!(dfa.predictable_alts(), vec![1, 2]);
+    }
+
+    #[test]
+    fn cyclic_detection() {
+        let mut dfa = chain_dfa();
+        // Add a back edge s1 -> s0.
+        dfa.states[1].edges.push((TokenType(9), 0));
+        assert!(dfa.is_cyclic());
+        assert_eq!(dfa.max_lookahead(), None);
+        assert_eq!(dfa.classify(), DecisionClass::Cyclic);
+    }
+
+    #[test]
+    fn backtrack_classification() {
+        let mut dfa = chain_dfa();
+        dfa.states[1].preds.push((PredSource::Syn(llstar_grammar::SynPredId(0)), 1));
+        assert!(dfa.uses_backtrack());
+        assert_eq!(dfa.classify(), DecisionClass::Backtrack);
+    }
+
+    #[test]
+    fn sempred_stays_fixed_class() {
+        let mut dfa = chain_dfa();
+        dfa.states[1].preds.push((PredSource::Sem(llstar_grammar::PredId(0)), 1));
+        assert!(dfa.uses_sempreds());
+        assert!(!dfa.uses_backtrack());
+        assert_eq!(dfa.classify(), DecisionClass::Fixed { k: 2 });
+    }
+
+    #[test]
+    fn terminal_states() {
+        assert!(accept(1).is_terminal());
+        assert!(!DfaState::default().is_terminal());
+        let with_default = DfaState { default_alt: Some(2), ..Default::default() };
+        assert!(with_default.is_terminal());
+    }
+
+    #[test]
+    fn target_lookup() {
+        let dfa = chain_dfa();
+        assert_eq!(dfa.states[0].target(TokenType(1)), Some(1));
+        assert_eq!(dfa.states[0].target(TokenType(3)), Some(2));
+        assert_eq!(dfa.states[0].target(TokenType(8)), None);
+    }
+
+    #[test]
+    fn pretty_and_dot_render() {
+        let g = parse_grammar("grammar G; s : A | B ; A:'a'; B:'b';").unwrap();
+        let dfa = chain_dfa();
+        let pretty = dfa.to_pretty(&g);
+        assert!(pretty.contains("=> predict alt 2"), "{pretty}");
+        let dot = dfa.to_dot(&g);
+        assert!(dot.contains("doublecircle"), "{dot}");
+    }
+
+    #[test]
+    fn single_state_dfa_has_depth_zero() {
+        let mut dfa = LookaheadDfa::new(DecisionId(1));
+        dfa.states[0].accept = Some(1);
+        assert_eq!(dfa.max_lookahead(), Some(0));
+        assert_eq!(dfa.classify(), DecisionClass::Fixed { k: 1 });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimization
+// ---------------------------------------------------------------------------
+
+impl LookaheadDfa {
+    /// Returns an equivalent DFA with states merged by Moore partition
+    /// refinement (the paper cites Charles's minimal-DFA representation
+    /// of lookahead as prior art; ANTLR minimizes its decision DFAs the
+    /// same way).
+    ///
+    /// Predictions are preserved exactly: accept alternatives, predicate
+    /// transition lists (order included), and default alternatives all
+    /// participate in the initial partition.
+    pub fn minimized(&self) -> LookaheadDfa {
+        use std::collections::BTreeMap;
+        let n = self.states.len();
+        if n <= 1 {
+            return self.clone();
+        }
+        // Initial partition: by terminal behaviour.
+        type TerminalSig = (Option<u16>, Vec<(PredSource, u16)>, Option<u16>);
+        let signature =
+            |s: &DfaState| -> TerminalSig { (s.accept, s.preds.clone(), s.default_alt) };
+        let mut class_of: Vec<usize> = Vec::with_capacity(n);
+        {
+            let mut sig_to_class: BTreeMap<TerminalSig, usize> = BTreeMap::new();
+            for st in &self.states {
+                let next_class = sig_to_class.len();
+                let class = *sig_to_class.entry(signature(st)).or_insert(next_class);
+                class_of.push(class);
+            }
+        }
+        // Refine until stable: two states stay together only if they
+        // agree, per token, on the class of the target (or both lack the
+        // edge).
+        loop {
+            let mut sig_to_class: BTreeMap<(usize, Vec<(u32, usize)>), usize> = BTreeMap::new();
+            let mut next: Vec<usize> = Vec::with_capacity(n);
+            for (i, st) in self.states.iter().enumerate() {
+                let mut moves: Vec<(u32, usize)> =
+                    st.edges.iter().map(|&(t, target)| (t.0, class_of[target])).collect();
+                moves.sort_unstable();
+                let key = (class_of[i], moves);
+                let fresh = sig_to_class.len();
+                next.push(*sig_to_class.entry(key).or_insert(fresh));
+            }
+            if next == class_of {
+                break;
+            }
+            class_of = next;
+        }
+        // Build the quotient, renumbering so the start state is 0.
+        let class_count = class_of.iter().max().copied().unwrap_or(0) + 1;
+        let mut order: Vec<usize> = vec![usize::MAX; class_count];
+        let mut new_states: Vec<DfaState> = Vec::new();
+        // BFS from the start to keep only reachable classes.
+        let mut queue = vec![0usize];
+        order[class_of[0]] = 0;
+        new_states.push(DfaState::default());
+        let mut head = 0;
+        while head < queue.len() {
+            let rep = queue[head];
+            head += 1;
+            let new_id = order[class_of[rep]];
+            let st = &self.states[rep];
+            let mut edges: Vec<(TokenType, DfaStateId)> = Vec::new();
+            for &(t, target) in &st.edges {
+                let tc = class_of[target];
+                let nid = if order[tc] == usize::MAX {
+                    let nid = new_states.len();
+                    order[tc] = nid;
+                    new_states.push(DfaState::default());
+                    queue.push(target);
+                    nid
+                } else {
+                    order[tc]
+                };
+                edges.push((t, nid));
+            }
+            new_states[new_id] = DfaState {
+                edges,
+                preds: st.preds.clone(),
+                default_alt: st.default_alt,
+                accept: st.accept,
+            };
+        }
+        LookaheadDfa { decision: self.decision, states: new_states }
+    }
+}
+
+#[cfg(test)]
+mod minimize_tests {
+    use super::*;
+    use llstar_grammar::SynPredId;
+
+    fn accept(alt: u16) -> DfaState {
+        DfaState { accept: Some(alt), ..Default::default() }
+    }
+
+    #[test]
+    fn merges_equivalent_states() {
+        // s0 -a-> s1 -c-> f1 ; s0 -b-> s2 -c-> f1  with s1 ≡ s2.
+        let mut dfa = LookaheadDfa::new(DecisionId(0));
+        dfa.states[0].edges = vec![(TokenType(1), 1), (TokenType(2), 2)];
+        dfa.states.push(DfaState { edges: vec![(TokenType(3), 3)], ..Default::default() });
+        dfa.states.push(DfaState { edges: vec![(TokenType(3), 3)], ..Default::default() });
+        dfa.states.push(accept(1));
+        let min = dfa.minimized();
+        assert_eq!(min.states.len(), 3, "s1 and s2 merge: {min:?}");
+        // Behaviour preserved.
+        let s = min.states[0].target(TokenType(1)).unwrap();
+        let f = min.states[s].target(TokenType(3)).unwrap();
+        assert_eq!(min.states[f].accept, Some(1));
+        assert_eq!(min.states[0].target(TokenType(1)), min.states[0].target(TokenType(2)));
+    }
+
+    #[test]
+    fn distinct_accepts_stay_separate() {
+        let mut dfa = LookaheadDfa::new(DecisionId(0));
+        dfa.states[0].edges = vec![(TokenType(1), 1), (TokenType(2), 2)];
+        dfa.states.push(accept(1));
+        dfa.states.push(accept(2));
+        let min = dfa.minimized();
+        assert_eq!(min.states.len(), 3);
+    }
+
+    #[test]
+    fn predicate_states_compare_by_pred_list() {
+        let mut dfa = LookaheadDfa::new(DecisionId(0));
+        dfa.states[0].edges = vec![(TokenType(1), 1), (TokenType(2), 2)];
+        let p1 = DfaState {
+            preds: vec![(PredSource::Syn(SynPredId(0)), 1)],
+            default_alt: Some(2),
+            ..Default::default()
+        };
+        let p2 = DfaState {
+            preds: vec![(PredSource::Syn(SynPredId(1)), 1)],
+            default_alt: Some(2),
+            ..Default::default()
+        };
+        dfa.states.push(p1.clone());
+        dfa.states.push(p2);
+        let min = dfa.minimized();
+        assert_eq!(min.states.len(), 3, "different predicates must not merge");
+        // And identical pred states do merge:
+        let mut dfa2 = LookaheadDfa::new(DecisionId(0));
+        dfa2.states[0].edges = vec![(TokenType(1), 1), (TokenType(2), 2)];
+        dfa2.states.push(p1.clone());
+        dfa2.states.push(p1);
+        assert_eq!(dfa2.minimized().states.len(), 2);
+    }
+
+    #[test]
+    fn unreachable_states_are_dropped() {
+        let mut dfa = LookaheadDfa::new(DecisionId(0));
+        dfa.states[0].edges = vec![(TokenType(1), 1)];
+        dfa.states.push(accept(1));
+        dfa.states.push(accept(2)); // unreachable
+        let min = dfa.minimized();
+        assert_eq!(min.states.len(), 2);
+    }
+
+    /// Random DFAs: the minimized machine must agree with the original
+    /// on every input walk (predict the same alternative or fail at the
+    /// same depth).
+    #[test]
+    fn random_dfas_minimize_equivalently() {
+        let mut seed = 0xabcdu64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        for _case in 0..200 {
+            // Build a random DFA over 3 tokens with up to 8 states.
+            let n = 2 + next() % 7;
+            let mut dfa = LookaheadDfa::new(DecisionId(0));
+            dfa.states.resize_with(n, DfaState::default);
+            for i in 0..n {
+                if next() % 3 == 0 {
+                    dfa.states[i].accept = Some((next() % 3 + 1) as u16);
+                    continue;
+                }
+                for t in 1..=3u32 {
+                    if next() % 2 == 0 {
+                        let target = next() % n;
+                        dfa.states[i].edges.push((TokenType(t), target));
+                    }
+                }
+                if dfa.states[i].edges.is_empty() {
+                    dfa.states[i].accept = Some((next() % 3 + 1) as u16);
+                }
+            }
+            let min = dfa.minimized();
+            assert!(min.states.len() <= dfa.states.len());
+            // Compare behaviour on random token walks.
+            for _walk in 0..50 {
+                let tokens: Vec<TokenType> =
+                    (0..8).map(|_| TokenType((next() % 3 + 1) as u32)).collect();
+                let run = |d: &LookaheadDfa| -> (Option<u16>, usize) {
+                    let mut s = 0usize;
+                    for (i, &t) in tokens.iter().enumerate() {
+                        if let Some(alt) = d.states[s].accept {
+                            return (Some(alt), i);
+                        }
+                        match d.states[s].target(t) {
+                            Some(nxt) => s = nxt,
+                            None => return (None, i),
+                        }
+                    }
+                    (d.states[s].accept, tokens.len())
+                };
+                assert_eq!(run(&dfa), run(&min), "walk diverged: {dfa:?} vs {min:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_dfa_minimizes_and_keeps_cycle() {
+        // Figure-1-like: two states looping on 'unsigned' that are
+        // behaviourally identical collapse into one self-loop.
+        let mut dfa = LookaheadDfa::new(DecisionId(0));
+        let u = TokenType(5);
+        let i = TokenType(6);
+        dfa.states[0].edges = vec![(u, 1)];
+        dfa.states.push(DfaState { edges: vec![(u, 2), (i, 3)], ..Default::default() });
+        dfa.states.push(DfaState { edges: vec![(u, 1), (i, 3)], ..Default::default() });
+        dfa.states.push(accept(3));
+        let min = dfa.minimized();
+        assert!(min.is_cyclic());
+        assert!(min.states.len() < dfa.states.len(), "{min:?}");
+        let s = min.states[0].target(u).unwrap();
+        assert_eq!(min.states[s].target(u), Some(s), "self-loop after merging");
+    }
+}

@@ -1,0 +1,132 @@
+//! Pretty-printing of grammars back to (approximately) the meta-language
+//! surface syntax, used for debugging, `--dump` style tooling, and golden
+//! tests.
+
+use crate::ast::{Alt, Element, Grammar};
+use std::fmt::Write as _;
+
+/// Renders `alt` of `grammar` as meta-language text.
+pub fn alt_to_string(grammar: &Grammar, alt: &Alt) -> String {
+    let mut out = String::new();
+    write_alt(grammar, alt, &mut out);
+    out
+}
+
+fn write_alt(grammar: &Grammar, alt: &Alt, out: &mut String) {
+    if alt.elements.is_empty() {
+        out.push_str("/* epsilon */");
+        return;
+    }
+    for (i, e) in alt.elements.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        write_element(grammar, e, out);
+    }
+}
+
+fn write_element(grammar: &Grammar, elem: &Element, out: &mut String) {
+    match elem {
+        Element::Token(t) => out.push_str(&grammar.vocab.display_name(*t)),
+        Element::Rule(r) => out.push_str(&grammar.rule(*r).name),
+        Element::Block(b) => {
+            out.push('(');
+            for (i, alt) in b.alts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                write_alt(grammar, alt, out);
+            }
+            out.push(')');
+            out.push_str(b.ebnf.suffix());
+        }
+        Element::SemPred(p) => {
+            let _ = write!(out, "{{{}}}?", grammar.sempred_text(*p));
+        }
+        Element::SynPred(sp) => {
+            out.push('(');
+            write_alt(grammar, grammar.synpred(*sp), out);
+            out.push_str(")=>");
+        }
+        Element::NotSynPred(sp) => {
+            out.push_str("!(");
+            write_alt(grammar, grammar.synpred(*sp), out);
+            out.push_str(")=>");
+        }
+        Element::Action { id, always } => {
+            if *always {
+                let _ = write!(out, "{{{{{}}}}}", grammar.action_text(*id));
+            } else {
+                let _ = write!(out, "{{{}}}", grammar.action_text(*id));
+            }
+        }
+    }
+}
+
+/// Renders the whole grammar as meta-language text (parser rules only;
+/// lexer rules are shown as name stubs since patterns round-trip through
+/// [`llstar_lexer::Rx`] display instead).
+pub fn grammar_to_string(grammar: &Grammar) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "grammar {};", grammar.name);
+    for rule in &grammar.rules {
+        let _ = write!(out, "{} :", rule.name);
+        for (i, alt) in rule.alts.iter().enumerate() {
+            if i > 0 {
+                out.push_str("\n  |");
+            }
+            out.push(' ');
+            write_alt(grammar, alt, &mut out);
+        }
+        out.push_str(" ;\n");
+    }
+    for lr in grammar.lexer.rules() {
+        let _ = writeln!(out, "{} : {} ;{}", lr.name, lr.rx, if lr.skip { " // skip" } else { "" });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::parse_grammar;
+
+    #[test]
+    fn round_trip_is_reparseable_shape() {
+        let g = parse_grammar(
+            r#"
+            grammar R;
+            s : ID | ID '=' e | ('-')* ID ;
+            e : INT ;
+            ID : [a-z]+ ;
+            INT : [0-9]+ ;
+            "#,
+        )
+        .unwrap();
+        let text = grammar_to_string(&g);
+        assert!(text.contains("grammar R;"), "{text}");
+        assert!(text.contains("s : ID"), "{text}");
+        assert!(text.contains("('-')*"), "{text}");
+        assert!(text.contains("'='"), "{text}");
+    }
+
+    #[test]
+    fn predicates_render() {
+        let g = parse_grammar(
+            "grammar P; s : {p}? A | (A B)=> A B {act} {{aa}} ; A:'a'; B:'b';",
+        )
+        .unwrap();
+        let text = grammar_to_string(&g);
+        assert!(text.contains("{p}?"), "{text}");
+        assert!(text.contains("(A B)=>"), "{text}");
+        assert!(text.contains("{act}"), "{text}");
+        assert!(text.contains("{{aa}}"), "{text}");
+    }
+
+    #[test]
+    fn epsilon_alt_renders() {
+        let g = parse_grammar("grammar E; s : A | ; A:'a';").unwrap();
+        let text = grammar_to_string(&g);
+        assert!(text.contains("epsilon"), "{text}");
+    }
+}

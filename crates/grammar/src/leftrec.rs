@@ -1,0 +1,300 @@
+//! Rewriting of immediately left-recursive rules (Section 1.1).
+//!
+//! The paper's prototype replaces left recursion "with a predicated loop
+//! that compares the precedence of the previous and the next operator",
+//! supporting suffix, prefix, binary and ternary operators with precedence
+//! following alternative order (highest to lowest). We implement the
+//! *static stratification* of that same scheme: one synthesized rule per
+//! precedence level, with binary levels expressed as the predicated loop's
+//! unrolled equivalent `eᵢ : eᵢ₊₁ (op eᵢ₊₁)*`. The recognized language,
+//! precedence, and (left) associativity are identical to the paper's
+//! parameterized-loop formulation; only the derivation tree gains one
+//! bookkeeping level per precedence tier.
+//!
+//! ```
+//! use llstar_grammar::{parse_grammar, rewrite_left_recursion, validate};
+//! let g = parse_grammar("grammar E; e : e '*' e | e '+' e | INT ; INT : [0-9]+ ;")?;
+//! let g = rewrite_left_recursion(g)?;
+//! assert!(validate(&g).iter().all(|i| !i.is_error()));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::ast::{Alt, Block, Ebnf, Element, Grammar, RuleId};
+use std::fmt;
+
+/// Error from [`rewrite_left_recursion`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeftRecError {
+    /// An alternative is just a bare self-reference (`e : e | …`), which
+    /// no precedence scheme can give meaning to.
+    BareSelfReference {
+        /// The offending rule.
+        rule: String,
+    },
+    /// The rule has no non-recursive (primary) alternative, so recursion
+    /// can never bottom out.
+    NoPrimaryAlternative {
+        /// The offending rule.
+        rule: String,
+    },
+}
+
+impl fmt::Display for LeftRecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeftRecError::BareSelfReference { rule } => {
+                write!(f, "rule {rule} has a bare self-referential alternative")
+            }
+            LeftRecError::NoPrimaryAlternative { rule } => {
+                write!(f, "rule {rule} has no non-left-recursive alternative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LeftRecError {}
+
+#[derive(Debug)]
+enum OpKind {
+    /// `e op… e` — left-associative binary/ternary operator tier.
+    Binary(Vec<Element>),
+    /// `e op…` — postfix operator tier.
+    Suffix(Vec<Element>),
+    /// `op… e` — prefix operator tier (right-recursive as written).
+    Prefix(Vec<Element>),
+    /// No self reference at either edge: a primary alternative.
+    Primary(Alt),
+}
+
+fn classify(rule: RuleId, alt: &Alt) -> Result<OpKind, ()> {
+    let starts = matches!(alt.elements.first(), Some(Element::Rule(r)) if *r == rule);
+    let ends = matches!(alt.elements.last(), Some(Element::Rule(r)) if *r == rule)
+        && alt.elements.len() > 1;
+    Ok(if starts && alt.elements.len() == 1 {
+        return Err(());
+    } else if starts && ends {
+        OpKind::Binary(alt.elements[1..alt.elements.len() - 1].to_vec())
+    } else if starts {
+        OpKind::Suffix(alt.elements[1..].to_vec())
+    } else if ends {
+        OpKind::Prefix(alt.elements[..alt.elements.len() - 1].to_vec())
+    } else {
+        OpKind::Primary(alt.clone())
+    })
+}
+
+/// Rewrites every immediately left-recursive rule of `grammar` into an
+/// equivalent stratified precedence ladder.
+///
+/// Rules that are not immediately left-recursive are untouched (indirect
+/// left recursion is out of scope here and still reported by
+/// [`crate::validate::validate`]).
+///
+/// # Errors
+/// Returns [`LeftRecError`] for degenerate shapes (`e : e`, or a rule with
+/// no primary alternative).
+pub fn rewrite_left_recursion(mut grammar: Grammar) -> Result<Grammar, LeftRecError> {
+    let targets: Vec<RuleId> = grammar
+        .rules
+        .iter()
+        .filter(|r| {
+            r.alts
+                .iter()
+                .any(|a| matches!(a.elements.first(), Some(Element::Rule(id)) if *id == r.id))
+        })
+        .map(|r| r.id)
+        .collect();
+    for rule in targets {
+        rewrite_rule(&mut grammar, rule)?;
+    }
+    Ok(grammar)
+}
+
+fn rewrite_rule(grammar: &mut Grammar, rule: RuleId) -> Result<(), LeftRecError> {
+    let name = grammar.rule(rule).name.clone();
+    let alts = grammar.rule(rule).alts.clone();
+
+    let mut tiers: Vec<OpKind> = Vec::new();
+    let mut primaries: Vec<Alt> = Vec::new();
+    for alt in &alts {
+        match classify(rule, alt) {
+            Ok(OpKind::Primary(p)) => primaries.push(p),
+            Ok(op) => tiers.push(op),
+            Err(()) => return Err(LeftRecError::BareSelfReference { rule: name }),
+        }
+    }
+    if primaries.is_empty() {
+        return Err(LeftRecError::NoPrimaryAlternative { rule: name });
+    }
+
+    // Synthesize one rule per operator tier, ordered lowest precedence
+    // (first loop level) to highest; alternatives were listed highest
+    // first, so iterate tiers in reverse.
+    //
+    //   e        : e__p0 ;
+    //   e__p0    : e__p1 ( op_lowest e__p1 )* ;        (binary)
+    //   …
+    //   e__pK    : primaries ;
+    let mut level_ids: Vec<RuleId> = Vec::new();
+    let levels = tiers.len();
+    for i in 0..=levels {
+        level_ids.push(grammar.add_rule(&format!("{name}__p{i}")));
+    }
+    // Entry rule simply delegates to the lowest-precedence level.
+    grammar.rules[rule.index()].alts =
+        vec![Alt::new(vec![Element::Rule(level_ids[0])])];
+
+    // Self references *inside* operator sequences (the ternary middle)
+    // restart at the lowest precedence level.
+    let entry = level_ids[0];
+    let remap = |elements: Vec<Element>| -> Vec<Element> {
+        elements
+            .into_iter()
+            .map(|e| match e {
+                Element::Rule(r) if r == rule => Element::Rule(entry),
+                other => other,
+            })
+            .collect()
+    };
+
+    for (i, tier) in tiers.into_iter().rev().enumerate() {
+        let this = level_ids[i];
+        let next = level_ids[i + 1];
+        let alt = match tier {
+            OpKind::Binary(mid) => {
+                let mut loop_body = remap(mid);
+                loop_body.push(Element::Rule(next));
+                Alt::new(vec![
+                    Element::Rule(next),
+                    Element::Block(Block {
+                        alts: vec![Alt::new(loop_body)],
+                        ebnf: Ebnf::Star,
+                    }),
+                ])
+            }
+            OpKind::Suffix(ops) => Alt::new(vec![
+                Element::Rule(next),
+                Element::Block(Block {
+                    alts: vec![Alt::new(remap(ops))],
+                    ebnf: Ebnf::Star,
+                }),
+            ]),
+            OpKind::Prefix(ops) => {
+                // eᵢ : op eᵢ | eᵢ₊₁  — prefix binds at its own level.
+                let mut body = remap(ops);
+                body.push(Element::Rule(this));
+                grammar.add_alt(this, Alt::new(body));
+                Alt::new(vec![Element::Rule(next)])
+            }
+            OpKind::Primary(_) => unreachable!("primaries filtered out above"),
+        };
+        grammar.add_alt(this, alt);
+    }
+
+    // Innermost level carries the primary alternatives, with self
+    // references (e.g. `'(' e ')'`) pointing back at the original rule.
+    let innermost = level_ids[levels];
+    for p in primaries {
+        grammar.add_alt(innermost, p);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::parse_grammar;
+    use crate::validate::{validate, GrammarIssue};
+
+    fn no_left_recursion(g: &Grammar) -> bool {
+        !validate(g).iter().any(|i| matches!(i, GrammarIssue::LeftRecursion { .. }))
+    }
+
+    #[test]
+    fn paper_expression_rule() {
+        let g = parse_grammar("grammar E; e : e '*' e | e '+' e | INT ; INT:[0-9]+;").unwrap();
+        assert!(!no_left_recursion(&g));
+        let g = rewrite_left_recursion(g).unwrap();
+        assert!(no_left_recursion(&g), "{}", crate::display::grammar_to_string(&g));
+        // e : e__p0 ; e__p0 : e__p1 ('+' e__p1)* ; e__p1 : e__p2 ('*' e__p2)* ; e__p2 : INT ;
+        assert_eq!(g.rules.len(), 4);
+        let text = crate::display::grammar_to_string(&g);
+        assert!(text.contains("e__p0 : e__p1 ('+' e__p1)*"), "{text}");
+        assert!(text.contains("e__p1 : e__p2 ('*' e__p2)*"), "{text}");
+    }
+
+    #[test]
+    fn prefix_and_suffix_operators() {
+        let g = parse_grammar(
+            "grammar E; e : e '!' | '-' e | e '+' e | INT ; INT:[0-9]+;",
+        )
+        .unwrap();
+        let g = rewrite_left_recursion(g).unwrap();
+        assert!(no_left_recursion(&g), "{}", crate::display::grammar_to_string(&g));
+        let text = crate::display::grammar_to_string(&g);
+        // suffix '!' is highest precedence (first alternative).
+        assert!(text.contains("('!')*"), "{text}");
+        assert!(text.contains("'-' e__p1"), "{text}");
+    }
+
+    #[test]
+    fn ternary_operator() {
+        let g = parse_grammar(
+            "grammar E; e : e '?' e ':' e | e '+' e | INT ; INT:[0-9]+;",
+        )
+        .unwrap();
+        let g = rewrite_left_recursion(g).unwrap();
+        assert!(no_left_recursion(&g));
+        let text = crate::display::grammar_to_string(&g);
+        // The ternary middle restarts at the lowest level.
+        assert!(text.contains("'?' e__p0 ':'"), "{text}");
+    }
+
+    #[test]
+    fn parenthesized_primary_points_back_at_entry() {
+        let g = parse_grammar(
+            "grammar E; e : e '+' e | '(' e ')' | INT ; INT:[0-9]+;",
+        )
+        .unwrap();
+        let g = rewrite_left_recursion(g).unwrap();
+        assert!(no_left_recursion(&g));
+        let text = crate::display::grammar_to_string(&g);
+        assert!(text.contains("'(' e ')'"), "{text}");
+    }
+
+    #[test]
+    fn non_recursive_rules_untouched() {
+        let g = parse_grammar("grammar E; s : A s | A ; A:'a';").unwrap();
+        let before = g.rules.len();
+        let g = rewrite_left_recursion(g).unwrap();
+        assert_eq!(g.rules.len(), before);
+    }
+
+    #[test]
+    fn bare_self_reference_is_error() {
+        let g = parse_grammar("grammar E; e : e | INT ; INT:[0-9]+;").unwrap();
+        assert!(matches!(
+            rewrite_left_recursion(g),
+            Err(LeftRecError::BareSelfReference { .. })
+        ));
+    }
+
+    #[test]
+    fn no_primary_is_error() {
+        let g = parse_grammar("grammar E; e : e '+' e ; INT:[0-9]+;").unwrap();
+        assert!(matches!(
+            rewrite_left_recursion(g),
+            Err(LeftRecError::NoPrimaryAlternative { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(LeftRecError::BareSelfReference { rule: "e".into() }
+            .to_string()
+            .contains("bare self-referential"));
+        assert!(LeftRecError::NoPrimaryAlternative { rule: "e".into() }
+            .to_string()
+            .contains("no non-left-recursive"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Predicated-grammar representation and meta-language front end for the
+//! `llstar` LL(*) parser generator.
+//!
+//! This crate implements the grammar side of Parr & Fisher's LL(*) paper
+//! (PLDI 2011): predicated grammars *G = (N, T, P, S, Π, M)* with semantic
+//! predicates, syntactic predicates and embedded actions (Section 3), an
+//! ANTLR-flavoured meta-language parser, validation (left-recursion and
+//! reachability checks), PEG mode (`backtrack=true` auto-predication,
+//! Section 2), and the immediate-left-recursion rewrite sketched in
+//! Section 1.1.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use llstar_grammar::{parse_grammar, validate};
+//!
+//! let g = parse_grammar(r#"
+//!     grammar Demo;
+//!     s : ID | ID '=' expr ;
+//!     expr : INT ;
+//!     ID : [a-zA-Z_] [a-zA-Z0-9_]* ;
+//!     INT : [0-9]+ ;
+//!     WS : [ \t\r\n]+ -> skip ;
+//! "#)?;
+//! assert_eq!(g.rules.len(), 2);
+//! assert!(validate(&g).is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod display;
+pub mod leftrec;
+pub mod meta;
+pub mod pegmode;
+pub mod validate;
+pub mod vocab;
+
+pub use ast::{
+    ActionId, Alt, Block, Ebnf, Element, Grammar, GrammarOptions, PredId, Rule, RuleId,
+    SynPredId,
+};
+pub use display::{alt_to_string, grammar_to_string};
+pub use leftrec::{rewrite_left_recursion, LeftRecError};
+pub use meta::{parse_grammar, MetaError};
+pub use pegmode::apply_peg_mode;
+pub use validate::{is_well_formed, nullable_rules, validate, GrammarIssue};
+pub use vocab::TokenVocab;

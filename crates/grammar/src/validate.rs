@@ -1,0 +1,338 @@
+//! Grammar validation: the static well-formedness checks ANTLR performs
+//! before analysis.
+//!
+//! LL(*) requires non-left-recursive grammars (Section 3.2), so left
+//! recursion — immediate or indirect, including recursion through nullable
+//! prefixes and nullable block alternatives — is reported as an error.
+//! Unreachable rules are reported as warnings.
+
+use crate::ast::{Alt, Element, Grammar, RuleId};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A validation problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrammarIssue {
+    /// The rule can derive a sentential form beginning with itself.
+    LeftRecursion {
+        /// The cycle of rule names, starting and ending at the same rule.
+        cycle: Vec<String>,
+    },
+    /// The rule is not reachable from the start rule.
+    UnreachableRule {
+        /// The unreachable rule's name.
+        rule: String,
+    },
+    /// A rule has no alternatives at all (empty body).
+    EmptyRule {
+        /// The offending rule's name.
+        rule: String,
+    },
+}
+
+impl GrammarIssue {
+    /// Whether this issue prevents LL(*) analysis (vs. a warning).
+    pub fn is_error(&self) -> bool {
+        matches!(self, GrammarIssue::LeftRecursion { .. } | GrammarIssue::EmptyRule { .. })
+    }
+}
+
+impl fmt::Display for GrammarIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrammarIssue::LeftRecursion { cycle } => {
+                write!(f, "left recursion: {}", cycle.join(" -> "))
+            }
+            GrammarIssue::UnreachableRule { rule } => {
+                write!(f, "rule {rule} is unreachable from the start rule")
+            }
+            GrammarIssue::EmptyRule { rule } => write!(f, "rule {rule} has no alternatives"),
+        }
+    }
+}
+
+/// Runs all validations, returning every issue found (errors and warnings).
+pub fn validate(grammar: &Grammar) -> Vec<GrammarIssue> {
+    let mut issues = Vec::new();
+    for rule in &grammar.rules {
+        if rule.alts.is_empty() {
+            issues.push(GrammarIssue::EmptyRule { rule: rule.name.clone() });
+        }
+    }
+    issues.extend(find_left_recursion(grammar));
+    issues.extend(find_unreachable(grammar));
+    issues
+}
+
+/// Returns `true` if the grammar has no *errors* (warnings allowed).
+pub fn is_well_formed(grammar: &Grammar) -> bool {
+    validate(grammar).iter().all(|i| !i.is_error())
+}
+
+// ---------------------------------------------------------------------------
+// Nullability
+// ---------------------------------------------------------------------------
+
+/// Computes which rules can derive ε (needed for left-recursion detection
+/// through nullable prefixes).
+pub fn nullable_rules(grammar: &Grammar) -> Vec<bool> {
+    let n = grammar.rules.len();
+    let mut nullable = vec![false; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (i, rule) in grammar.rules.iter().enumerate() {
+            if nullable[i] {
+                continue;
+            }
+            if rule.alts.iter().any(|a| alt_nullable(a, &nullable)) {
+                nullable[i] = true;
+                changed = true;
+            }
+        }
+    }
+    nullable
+}
+
+fn alt_nullable(alt: &Alt, nullable: &[bool]) -> bool {
+    alt.elements.iter().all(|e| elem_nullable(e, nullable))
+}
+
+fn elem_nullable(elem: &Element, nullable: &[bool]) -> bool {
+    match elem {
+        Element::Token(_) => false,
+        Element::Rule(r) => nullable[r.index()],
+        Element::Block(b) => match b.ebnf {
+            crate::ast::Ebnf::Star | crate::ast::Ebnf::Optional => true,
+            crate::ast::Ebnf::None | crate::ast::Ebnf::Plus => {
+                b.alts.iter().any(|a| alt_nullable(a, nullable))
+            }
+        },
+        // Predicates and actions consume no input.
+        Element::SemPred(_)
+        | Element::SynPred(_)
+        | Element::NotSynPred(_)
+        | Element::Action { .. } => true,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Left recursion
+// ---------------------------------------------------------------------------
+
+/// The "directly-left-reachable" relation: rules that can appear leftmost
+/// in a derivation step from `rule` (through nullable prefixes).
+fn left_edges(grammar: &Grammar, rule: RuleId, nullable: &[bool]) -> Vec<RuleId> {
+    let mut out = Vec::new();
+    for alt in &grammar.rules[rule.index()].alts {
+        collect_left_rules(&alt.elements, nullable, &mut out);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn collect_left_rules(elements: &[Element], nullable: &[bool], out: &mut Vec<RuleId>) {
+    for elem in elements {
+        match elem {
+            Element::Token(_) => return,
+            Element::Rule(r) => {
+                out.push(*r);
+                if !nullable[r.index()] {
+                    return;
+                }
+            }
+            Element::Block(b) => {
+                for alt in &b.alts {
+                    collect_left_rules(&alt.elements, nullable, out);
+                }
+                if !elem_nullable(elem, nullable) {
+                    return;
+                }
+            }
+            Element::SemPred(_)
+            | Element::SynPred(_)
+            | Element::NotSynPred(_)
+            | Element::Action { .. } => {}
+        }
+    }
+}
+
+fn find_left_recursion(grammar: &Grammar) -> Vec<GrammarIssue> {
+    let nullable = nullable_rules(grammar);
+    let n = grammar.rules.len();
+    let mut issues = Vec::new();
+    // DFS from each rule over the left-edge relation, looking for a cycle
+    // back to the origin. Reporting one cycle per origin rule keeps the
+    // output readable.
+    for origin in 0..n {
+        let origin_id = RuleId(origin as u32);
+        let mut stack = vec![(origin_id, vec![origin_id])];
+        let mut visited: HashSet<RuleId> = HashSet::new();
+        while let Some((rule, path)) = stack.pop() {
+            for next in left_edges(grammar, rule, &nullable) {
+                if next == origin_id {
+                    let mut cycle: Vec<String> =
+                        path.iter().map(|r| grammar.rule(*r).name.clone()).collect();
+                    cycle.push(grammar.rule(origin_id).name.clone());
+                    issues.push(GrammarIssue::LeftRecursion { cycle });
+                    stack.clear();
+                    break;
+                }
+                if visited.insert(next) {
+                    let mut p = path.clone();
+                    p.push(next);
+                    stack.push((next, p));
+                }
+            }
+        }
+    }
+    issues
+}
+
+// ---------------------------------------------------------------------------
+// Reachability
+// ---------------------------------------------------------------------------
+
+fn rule_refs(elements: &[Element], out: &mut Vec<RuleId>) {
+    for elem in elements {
+        match elem {
+            Element::Rule(r) => out.push(*r),
+            Element::Block(b) => {
+                for alt in &b.alts {
+                    rule_refs(&alt.elements, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn find_unreachable(grammar: &Grammar) -> Vec<GrammarIssue> {
+    if grammar.rules.is_empty() {
+        return Vec::new();
+    }
+    let mut reachable = vec![false; grammar.rules.len()];
+    let mut stack = vec![RuleId(0)];
+    reachable[0] = true;
+    // Syntactic predicate fragments keep their referenced rules live.
+    let mut synpred_refs = Vec::new();
+    for frag in &grammar.synpreds {
+        rule_refs(&frag.elements, &mut synpred_refs);
+    }
+    while let Some(rule) = stack.pop() {
+        let mut refs = Vec::new();
+        for alt in &grammar.rules[rule.index()].alts {
+            rule_refs(&alt.elements, &mut refs);
+        }
+        refs.extend(synpred_refs.iter().copied());
+        for r in refs {
+            if !reachable[r.index()] {
+                reachable[r.index()] = true;
+                stack.push(r);
+            }
+        }
+    }
+    grammar
+        .rules
+        .iter()
+        .zip(&reachable)
+        .filter(|(_, &ok)| !ok)
+        .map(|(rule, _)| GrammarIssue::UnreachableRule { rule: rule.name.clone() })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::parse_grammar;
+
+    #[test]
+    fn clean_grammar_validates() {
+        let g = parse_grammar("grammar G; s : A s | B ; A:'a'; B:'b';").unwrap();
+        assert!(validate(&g).is_empty());
+        assert!(is_well_formed(&g));
+    }
+
+    #[test]
+    fn immediate_left_recursion_detected() {
+        let g = parse_grammar("grammar G; e : e '+' INT | INT ; INT:[0-9]+;").unwrap();
+        let issues = validate(&g);
+        assert!(matches!(&issues[..], [GrammarIssue::LeftRecursion { cycle }] if cycle == &vec!["e".to_string(), "e".to_string()]));
+        assert!(!is_well_formed(&g));
+    }
+
+    #[test]
+    fn indirect_left_recursion_detected() {
+        let g = parse_grammar("grammar G; a : b X | X ; b : a Y | Y ; X:'x'; Y:'y';").unwrap();
+        let issues: Vec<_> =
+            validate(&g).into_iter().filter(GrammarIssue::is_error).collect();
+        assert_eq!(issues.len(), 2, "both a and b are left-recursive: {issues:?}");
+    }
+
+    #[test]
+    fn left_recursion_through_nullable_prefix() {
+        // n is nullable, so `a : n a X` is left-recursive.
+        let g = parse_grammar("grammar G; a : n a X | X ; n : Y | ; X:'x'; Y:'y';").unwrap();
+        assert!(
+            validate(&g).iter().any(|i| matches!(i, GrammarIssue::LeftRecursion { .. })),
+            "{:?}",
+            validate(&g)
+        );
+    }
+
+    #[test]
+    fn left_recursion_through_optional_block() {
+        let g = parse_grammar("grammar G; a : (Y)? a X | X ; X:'x'; Y:'y';").unwrap();
+        assert!(validate(&g).iter().any(|i| matches!(i, GrammarIssue::LeftRecursion { .. })));
+    }
+
+    #[test]
+    fn right_recursion_is_fine() {
+        let g = parse_grammar("grammar G; e : INT '+' e | INT ; INT:[0-9]+;").unwrap();
+        assert!(validate(&g).is_empty());
+    }
+
+    #[test]
+    fn unreachable_rule_is_warning_not_error() {
+        let g = parse_grammar("grammar G; s : A ; orphan : B ; A:'a'; B:'b';").unwrap();
+        let issues = validate(&g);
+        assert!(matches!(
+            &issues[..],
+            [GrammarIssue::UnreachableRule { rule }] if rule == "orphan"
+        ));
+        assert!(is_well_formed(&g), "unreachable rules are only warnings");
+    }
+
+    #[test]
+    fn nullability_computation() {
+        let g = parse_grammar(
+            "grammar G; a : b c ; b : X | ; c : b b ; d : X ; X:'x';",
+        )
+        .unwrap();
+        let nullable = nullable_rules(&g);
+        let by_name = |name: &str| nullable[g.rule_id(name).unwrap().index()];
+        assert!(by_name("a"), "a -> b c, both nullable");
+        assert!(by_name("b"));
+        assert!(by_name("c"));
+        assert!(!by_name("d"));
+    }
+
+    #[test]
+    fn predicates_and_actions_are_transparent_for_left_recursion() {
+        let g = parse_grammar(
+            "grammar G; a : {p}? {act()} a X | X ; X:'x';",
+        )
+        .unwrap();
+        assert!(validate(&g).iter().any(|i| matches!(i, GrammarIssue::LeftRecursion { .. })));
+    }
+
+    #[test]
+    fn issue_display() {
+        let i = GrammarIssue::LeftRecursion { cycle: vec!["a".into(), "b".into(), "a".into()] };
+        assert_eq!(i.to_string(), "left recursion: a -> b -> a");
+        assert!(GrammarIssue::UnreachableRule { rule: "x".into() }
+            .to_string()
+            .contains("unreachable"));
+    }
+}

@@ -1,0 +1,211 @@
+//! The token vocabulary: a bijection between terminal names/literals and
+//! dense [`TokenType`] numbers.
+//!
+//! Type `0` is always EOF. Named tokens come from lexer rules (`ID`,
+//! `INT`, …); literal tokens come from quoted strings used in parser rules
+//! (`'if'`, `'+'`, …) and are displayed with their quotes.
+
+use llstar_lexer::TokenType;
+use std::collections::HashMap;
+use std::fmt;
+
+/// How a token type came to exist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TokenOrigin {
+    Eof,
+    Named(String),
+    Literal(String),
+}
+
+/// A dense terminal vocabulary.
+///
+/// ```
+/// use llstar_grammar::TokenVocab;
+/// let mut v = TokenVocab::new();
+/// let id = v.define_token("ID");
+/// let kw = v.define_literal("if");
+/// assert_eq!(v.display_name(id), "ID");
+/// assert_eq!(v.display_name(kw), "'if'");
+/// assert_eq!(v.by_name("ID"), Some(id));
+/// assert_eq!(v.by_literal("if"), Some(kw));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenVocab {
+    origins: Vec<TokenOrigin>,
+    by_name: HashMap<String, TokenType>,
+    by_literal: HashMap<String, TokenType>,
+}
+
+impl TokenVocab {
+    /// A vocabulary containing only EOF.
+    pub fn new() -> Self {
+        TokenVocab {
+            origins: vec![TokenOrigin::Eof],
+            by_name: HashMap::new(),
+            by_literal: HashMap::new(),
+        }
+    }
+
+    /// Defines (or returns the existing) named token type.
+    pub fn define_token(&mut self, name: &str) -> TokenType {
+        if let Some(&t) = self.by_name.get(name) {
+            return t;
+        }
+        let t = TokenType(self.origins.len() as u32);
+        self.origins.push(TokenOrigin::Named(name.to_string()));
+        self.by_name.insert(name.to_string(), t);
+        t
+    }
+
+    /// Defines (or returns the existing) literal token type for the
+    /// unquoted text `text`.
+    pub fn define_literal(&mut self, text: &str) -> TokenType {
+        if let Some(&t) = self.by_literal.get(text) {
+            return t;
+        }
+        let t = TokenType(self.origins.len() as u32);
+        self.origins.push(TokenOrigin::Literal(text.to_string()));
+        self.by_literal.insert(text.to_string(), t);
+        t
+    }
+
+    /// Looks up a named token.
+    pub fn by_name(&self, name: &str) -> Option<TokenType> {
+        if name == "EOF" {
+            return Some(TokenType::EOF);
+        }
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks up a literal token by its unquoted text.
+    pub fn by_literal(&self, text: &str) -> Option<TokenType> {
+        self.by_literal.get(text).copied()
+    }
+
+    /// Human-readable name for error messages and DFA dumps.
+    pub fn display_name(&self, t: TokenType) -> String {
+        match self.origins.get(t.index()) {
+            Some(TokenOrigin::Eof) => "EOF".to_string(),
+            Some(TokenOrigin::Named(n)) => n.clone(),
+            Some(TokenOrigin::Literal(l)) => format!("'{l}'"),
+            None => format!("<unknown:{}>", t.0),
+        }
+    }
+
+    /// Number of token types, including EOF.
+    pub fn len(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// Whether only EOF is defined.
+    pub fn is_empty(&self) -> bool {
+        self.origins.len() == 1
+    }
+
+    /// Iterates over all non-EOF token types.
+    pub fn token_types(&self) -> impl Iterator<Item = TokenType> + '_ {
+        (1..self.origins.len()).map(|i| TokenType(i as u32))
+    }
+
+    /// Iterates over `(type, unquoted literal text)` for all literals.
+    pub fn literals(&self) -> impl Iterator<Item = (TokenType, &str)> + '_ {
+        self.origins.iter().enumerate().filter_map(|(i, o)| match o {
+            TokenOrigin::Literal(l) => Some((TokenType(i as u32), l.as_str())),
+            _ => None,
+        })
+    }
+
+    /// Iterates over `(type, name)` for all named tokens.
+    pub fn named_tokens(&self) -> impl Iterator<Item = (TokenType, &str)> + '_ {
+        self.origins.iter().enumerate().filter_map(|(i, o)| match o {
+            TokenOrigin::Named(n) => Some((TokenType(i as u32), n.as_str())),
+            _ => None,
+        })
+    }
+}
+
+impl Default for TokenVocab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for TokenVocab {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, _) in self.origins.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}={}", i, self.display_name(TokenType(i as u32)))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eof_is_predefined() {
+        let v = TokenVocab::new();
+        assert_eq!(v.len(), 1);
+        assert!(v.is_empty());
+        assert_eq!(v.display_name(TokenType::EOF), "EOF");
+        assert_eq!(v.by_name("EOF"), Some(TokenType::EOF));
+    }
+
+    #[test]
+    fn dense_assignment() {
+        let mut v = TokenVocab::new();
+        let a = v.define_token("A");
+        let b = v.define_literal("+");
+        let c = v.define_token("C");
+        assert_eq!((a, b, c), (TokenType(1), TokenType(2), TokenType(3)));
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn idempotent_definitions() {
+        let mut v = TokenVocab::new();
+        let a1 = v.define_token("A");
+        let a2 = v.define_token("A");
+        assert_eq!(a1, a2);
+        let l1 = v.define_literal("if");
+        let l2 = v.define_literal("if");
+        assert_eq!(l1, l2);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn literal_and_name_namespaces_are_separate() {
+        let mut v = TokenVocab::new();
+        let named = v.define_token("if");
+        let lit = v.define_literal("if");
+        assert_ne!(named, lit);
+        assert_eq!(v.by_name("if"), Some(named));
+        assert_eq!(v.by_literal("if"), Some(lit));
+    }
+
+    #[test]
+    fn iteration() {
+        let mut v = TokenVocab::new();
+        v.define_token("ID");
+        v.define_literal("while");
+        let named: Vec<_> = v.named_tokens().map(|(_, n)| n.to_string()).collect();
+        let lits: Vec<_> = v.literals().map(|(_, l)| l.to_string()).collect();
+        assert_eq!(named, vec!["ID"]);
+        assert_eq!(lits, vec!["while"]);
+        assert_eq!(v.token_types().count(), 2);
+    }
+
+    #[test]
+    fn display() {
+        let mut v = TokenVocab::new();
+        v.define_token("ID");
+        let d = v.to_string();
+        assert!(d.contains("0=EOF") && d.contains("1=ID"), "{d}");
+    }
+}

@@ -1,0 +1,379 @@
+//! Character sets represented as sorted, disjoint, non-adjacent ranges of
+//! Unicode scalar values.
+//!
+//! [`CharSet`] is the alphabet abstraction used by lexer-rule regular
+//! expressions and by the scanner NFA/DFA: edges are labelled with sets
+//! rather than single characters so that `[a-zA-Z_]`-style classes stay
+//! compact.
+
+use std::fmt;
+
+/// Maximum Unicode scalar value.
+const MAX_CHAR: u32 = char::MAX as u32;
+
+/// An immutable set of characters stored as sorted disjoint inclusive
+/// ranges.
+///
+/// Invariants (maintained by all constructors):
+/// * ranges are sorted by start,
+/// * ranges do not overlap and are not adjacent (`hi + 1 < next.lo`),
+/// * every bound is a valid scalar-value ordinal (surrogates may appear in
+///   bounds arithmetic internally but never match a Rust `char`).
+///
+/// ```
+/// use llstar_lexer::CharSet;
+/// let ident = CharSet::range('a', 'z').union(&CharSet::range('A', 'Z')).union(&CharSet::single('_'));
+/// assert!(ident.contains('q'));
+/// assert!(ident.contains('_'));
+/// assert!(!ident.contains('1'));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct CharSet {
+    /// Inclusive `(lo, hi)` ordinal ranges.
+    ranges: Vec<(u32, u32)>,
+}
+
+impl CharSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        CharSet { ranges: Vec::new() }
+    }
+
+    /// The set of every Unicode scalar value.
+    pub fn any() -> Self {
+        CharSet { ranges: vec![(0, MAX_CHAR)] }
+    }
+
+    /// A single-character set.
+    pub fn single(c: char) -> Self {
+        CharSet { ranges: vec![(c as u32, c as u32)] }
+    }
+
+    /// The inclusive range `lo..=hi`.
+    ///
+    /// # Panics
+    /// Panics if `hi < lo`.
+    pub fn range(lo: char, hi: char) -> Self {
+        assert!(hi >= lo, "char range {hi:?} precedes {lo:?}");
+        CharSet { ranges: vec![(lo as u32, hi as u32)] }
+    }
+
+    /// Builds a set from arbitrary (possibly overlapping, unsorted)
+    /// inclusive ordinal ranges.
+    pub fn from_ranges<I: IntoIterator<Item = (u32, u32)>>(iter: I) -> Self {
+        let mut v: Vec<(u32, u32)> = iter.into_iter().filter(|(lo, hi)| lo <= hi).collect();
+        v.sort_unstable();
+        let mut out: Vec<(u32, u32)> = Vec::with_capacity(v.len());
+        for (lo, hi) in v {
+            match out.last_mut() {
+                Some((_, phi)) if lo <= phi.saturating_add(1) => *phi = (*phi).max(hi),
+                _ => out.push((lo, hi)),
+            }
+        }
+        CharSet { ranges: out }
+    }
+
+    /// Whether the set contains `c`.
+    pub fn contains(&self, c: char) -> bool {
+        let x = c as u32;
+        self.ranges
+            .binary_search_by(|&(lo, hi)| {
+                if x < lo {
+                    std::cmp::Ordering::Greater
+                } else if x > hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of characters in the set (as ordinals; counts surrogate
+    /// ordinals in wide ranges, which never match real input).
+    pub fn len(&self) -> u64 {
+        self.ranges.iter().map(|&(lo, hi)| (hi - lo + 1) as u64).sum()
+    }
+
+    /// The sorted disjoint inclusive ranges backing the set.
+    pub fn ranges(&self) -> &[(u32, u32)] {
+        &self.ranges
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &CharSet) -> CharSet {
+        CharSet::from_ranges(self.ranges.iter().chain(other.ranges.iter()).copied())
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &CharSet) -> CharSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ranges.len() && j < other.ranges.len() {
+            let (alo, ahi) = self.ranges[i];
+            let (blo, bhi) = other.ranges[j];
+            let lo = alo.max(blo);
+            let hi = ahi.min(bhi);
+            if lo <= hi {
+                out.push((lo, hi));
+            }
+            if ahi < bhi {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        CharSet { ranges: out }
+    }
+
+    /// Set complement with respect to all scalar values.
+    pub fn complement(&self) -> CharSet {
+        let mut out = Vec::new();
+        let mut next = 0u32;
+        for &(lo, hi) in &self.ranges {
+            if lo > next {
+                out.push((next, lo - 1));
+            }
+            next = match hi.checked_add(1) {
+                Some(n) => n,
+                None => return CharSet { ranges: out },
+            };
+        }
+        if next <= MAX_CHAR {
+            out.push((next, MAX_CHAR));
+        }
+        CharSet { ranges: out }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn subtract(&self, other: &CharSet) -> CharSet {
+        self.intersect(&other.complement())
+    }
+
+    /// Whether the two sets share any character.
+    pub fn intersects(&self, other: &CharSet) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// An arbitrary representative character, if the set is non-empty.
+    ///
+    /// Skips the surrogate gap so that the result is always a valid `char`.
+    pub fn example(&self) -> Option<char> {
+        for &(lo, hi) in &self.ranges {
+            for x in lo..=hi {
+                if let Some(c) = char::from_u32(x) {
+                    return Some(c);
+                }
+            }
+        }
+        None
+    }
+
+    /// Iterates over the characters of the set (skipping surrogate
+    /// ordinals). Intended for small sets; enormous sets iterate lazily.
+    pub fn chars(&self) -> impl Iterator<Item = char> + '_ {
+        self.ranges.iter().flat_map(|&(lo, hi)| (lo..=hi).filter_map(char::from_u32))
+    }
+}
+
+impl FromIterator<char> for CharSet {
+    fn from_iter<I: IntoIterator<Item = char>>(iter: I) -> Self {
+        CharSet::from_ranges(iter.into_iter().map(|c| (c as u32, c as u32)))
+    }
+}
+
+impl fmt::Display for CharSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for &(lo, hi) in &self.ranges {
+            let show = |f: &mut fmt::Formatter<'_>, x: u32| -> fmt::Result {
+                match char::from_u32(x) {
+                    Some(c) if !c.is_control() && c != '\\' && c != ']' && c != '-' => {
+                        write!(f, "{c}")
+                    }
+                    _ => write!(f, "\\u{{{x:x}}}"),
+                }
+            };
+            show(f, lo)?;
+            if hi != lo {
+                write!(f, "-")?;
+                show(f, hi)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// Partitions a collection of character sets into the coarsest collection of
+/// disjoint sets such that every input set is a union of partition blocks.
+///
+/// This is the standard alphabet-compression step before DFA subset
+/// construction: each block can be treated as a single input symbol.
+pub fn disjoint_partition(sets: &[CharSet]) -> Vec<CharSet> {
+    let mut blocks: Vec<CharSet> = Vec::new();
+    for s in sets {
+        if s.is_empty() {
+            continue;
+        }
+        let mut rest = s.clone();
+        let mut next_blocks = Vec::with_capacity(blocks.len() + 1);
+        for b in blocks.drain(..) {
+            let inter = b.intersect(&rest);
+            if inter.is_empty() {
+                next_blocks.push(b);
+                continue;
+            }
+            let b_only = b.subtract(&inter);
+            if !b_only.is_empty() {
+                next_blocks.push(b_only);
+            }
+            next_blocks.push(inter.clone());
+            rest = rest.subtract(&inter);
+        }
+        if !rest.is_empty() {
+            next_blocks.push(rest);
+        }
+        blocks = next_blocks;
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basics() {
+        let s = CharSet::range('a', 'f');
+        assert!(s.contains('a'));
+        assert!(s.contains('f'));
+        assert!(!s.contains('g'));
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.example(), Some('a'));
+    }
+
+    #[test]
+    fn union_merges_adjacent() {
+        let s = CharSet::range('a', 'c').union(&CharSet::range('d', 'f'));
+        assert_eq!(s.ranges().len(), 1, "adjacent ranges must coalesce");
+        assert_eq!(s, CharSet::range('a', 'f'));
+    }
+
+    #[test]
+    fn complement_round_trip() {
+        let s = CharSet::range('0', '9');
+        let c = s.complement();
+        assert!(!c.contains('5'));
+        assert!(c.contains('a'));
+        assert_eq!(c.complement(), s);
+    }
+
+    #[test]
+    fn empty_and_any() {
+        assert!(CharSet::empty().is_empty());
+        assert!(CharSet::any().contains('\u{10FFFF}'));
+        assert_eq!(CharSet::any().complement(), CharSet::empty());
+        assert_eq!(CharSet::empty().complement(), CharSet::any());
+    }
+
+    #[test]
+    fn intersect_and_subtract() {
+        let a = CharSet::range('a', 'm');
+        let b = CharSet::range('g', 'z');
+        let i = a.intersect(&b);
+        assert_eq!(i, CharSet::range('g', 'm'));
+        assert_eq!(a.subtract(&b), CharSet::range('a', 'f'));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&CharSet::single('z')));
+    }
+
+    #[test]
+    fn from_iter_chars() {
+        let s: CharSet = "cab".chars().collect();
+        assert_eq!(s, CharSet::range('a', 'c'));
+    }
+
+    #[test]
+    fn partition_produces_disjoint_cover() {
+        let sets = vec![
+            CharSet::range('a', 'm'),
+            CharSet::range('g', 'z'),
+            CharSet::single('q'),
+        ];
+        let blocks = disjoint_partition(&sets);
+        // Blocks must be pairwise disjoint.
+        for i in 0..blocks.len() {
+            for j in (i + 1)..blocks.len() {
+                assert!(!blocks[i].intersects(&blocks[j]), "{} vs {}", blocks[i], blocks[j]);
+            }
+        }
+        // Every input set must be exactly a union of blocks.
+        for s in &sets {
+            let mut covered = CharSet::empty();
+            for b in &blocks {
+                let i = s.intersect(b);
+                if !i.is_empty() {
+                    assert_eq!(&i, b, "block must be wholly inside or outside each set");
+                    covered = covered.union(b);
+                }
+            }
+            assert_eq!(&covered, s);
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = CharSet::range('a', 'z').union(&CharSet::single('_'));
+        let d = s.to_string();
+        assert!(d.contains("a-z"), "{d}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_union_contains_both(a in any::<Vec<char>>(), b in any::<Vec<char>>()) {
+            let sa: CharSet = a.iter().copied().collect();
+            let sb: CharSet = b.iter().copied().collect();
+            let u = sa.union(&sb);
+            for &c in a.iter().chain(b.iter()) {
+                prop_assert!(u.contains(c));
+            }
+        }
+
+        #[test]
+        fn prop_complement_excludes(a in any::<Vec<char>>(), probe in any::<char>()) {
+            let s: CharSet = a.iter().copied().collect();
+            prop_assert_eq!(s.complement().contains(probe), !s.contains(probe));
+        }
+
+        #[test]
+        fn prop_intersect_is_and(a in any::<Vec<char>>(), b in any::<Vec<char>>(), probe in any::<char>()) {
+            let sa: CharSet = a.iter().copied().collect();
+            let sb: CharSet = b.iter().copied().collect();
+            prop_assert_eq!(
+                sa.intersect(&sb).contains(probe),
+                sa.contains(probe) && sb.contains(probe)
+            );
+        }
+
+        #[test]
+        fn prop_partition_blocks_disjoint(raw in proptest::collection::vec(
+            proptest::collection::vec((0u32..300, 0u32..300), 0..4), 0..5)) {
+            let sets: Vec<CharSet> = raw
+                .into_iter()
+                .map(|rs| CharSet::from_ranges(rs.into_iter().map(|(a, b)| (a.min(b), a.max(b)))))
+                .collect();
+            let blocks = disjoint_partition(&sets);
+            for i in 0..blocks.len() {
+                for j in (i + 1)..blocks.len() {
+                    prop_assert!(!blocks[i].intersects(&blocks[j]));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Subset construction from the scanner NFA to a deterministic scanner DFA,
+//! with alphabet compression.
+//!
+//! The classic algorithm (Aho/Sethi/Ullman) — the same algorithm the paper's
+//! grammar analysis *modifies* for ATN configurations — here in its
+//! unmodified character-level form for the lexer substrate.
+
+use crate::charclass::{disjoint_partition, CharSet};
+use crate::nfa::{Nfa, NfaStateId};
+use std::collections::HashMap;
+
+/// Identifier of a DFA state (index into [`ScannerDfa::states`]).
+pub type DfaStateId = usize;
+
+/// One deterministic scanner state.
+#[derive(Debug, Clone)]
+pub struct ScannerDfaState {
+    /// Outgoing transitions `(symbol-class index, target)`.
+    pub transitions: Vec<(usize, DfaStateId)>,
+    /// Lowest-priority-number lexer rule accepted here, if any.
+    pub accept: Option<usize>,
+}
+
+/// A deterministic scanner automaton produced by [`ScannerDfa::from_nfa`].
+///
+/// The input alphabet is compressed into disjoint character classes
+/// (`classes`); `transitions` are indexed by class id.
+#[derive(Debug, Clone)]
+pub struct ScannerDfa {
+    /// Disjoint character classes forming the compressed alphabet.
+    pub classes: Vec<CharSet>,
+    /// All DFA states; state `0` is the start state.
+    pub states: Vec<ScannerDfaState>,
+}
+
+impl ScannerDfa {
+    /// Builds the DFA equivalent of `nfa` via subset construction.
+    pub fn from_nfa(nfa: &Nfa) -> Self {
+        let classes = disjoint_partition(&nfa.edge_sets());
+        let start = nfa.eps_closure(&[nfa.start]);
+        let mut states: Vec<ScannerDfaState> = Vec::new();
+        let mut index: HashMap<Vec<NfaStateId>, DfaStateId> = HashMap::new();
+        let mut work: Vec<Vec<NfaStateId>> = Vec::new();
+
+        let intern = |set: Vec<NfaStateId>,
+                          states: &mut Vec<ScannerDfaState>,
+                          index: &mut HashMap<Vec<NfaStateId>, DfaStateId>,
+                          work: &mut Vec<Vec<NfaStateId>>|
+         -> DfaStateId {
+            if let Some(&id) = index.get(&set) {
+                return id;
+            }
+            let accept = set.iter().filter_map(|&s| nfa.states[s].accept).min();
+            let id = states.len();
+            states.push(ScannerDfaState { transitions: Vec::new(), accept });
+            index.insert(set.clone(), id);
+            work.push(set);
+            id
+        };
+
+        intern(start, &mut states, &mut index, &mut work);
+        let mut cursor = 0;
+        while cursor < work.len() {
+            let current = work[cursor].clone();
+            let from = index[&current];
+            for (class_id, class) in classes.iter().enumerate() {
+                let mut moved: Vec<NfaStateId> = Vec::new();
+                for &s in &current {
+                    if let Some((set, t)) = &nfa.states[s].edge {
+                        // Classes are blocks of the partition of all edge
+                        // sets, so a class is wholly inside or outside.
+                        if set.intersects(class) {
+                            moved.push(*t);
+                        }
+                    }
+                }
+                if moved.is_empty() {
+                    continue;
+                }
+                let target_set = nfa.eps_closure(&moved);
+                let to = intern(target_set, &mut states, &mut index, &mut work);
+                states[from].transitions.push((class_id, to));
+            }
+            cursor += 1;
+        }
+        ScannerDfa { classes, states }
+    }
+
+    /// The class id matching character `c`, if any.
+    pub fn class_of(&self, c: char) -> Option<usize> {
+        self.classes.iter().position(|set| set.contains(c))
+    }
+
+    /// Follows one transition.
+    pub fn step(&self, state: DfaStateId, c: char) -> Option<DfaStateId> {
+        let class = self.class_of(c)?;
+        self.states[state]
+            .transitions
+            .iter()
+            .find(|&&(cl, _)| cl == class)
+            .map(|&(_, t)| t)
+    }
+
+    /// Longest-match simulation: returns `(byte length, rule)` of the
+    /// longest non-empty prefix of `input` accepted by any rule.
+    pub fn longest_match(&self, input: &str) -> Option<(usize, usize)> {
+        let mut state = 0;
+        let mut best: Option<(usize, usize)> = None;
+        let mut consumed = 0;
+        for c in input.chars() {
+            match self.step(state, c) {
+                Some(next) => {
+                    state = next;
+                    consumed += c.len_utf8();
+                    if let Some(rule) = self.states[state].accept {
+                        best = Some((consumed, rule));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Number of DFA states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Rx;
+    use proptest::prelude::*;
+
+    fn build(patterns: &[&str]) -> (Nfa, ScannerDfa) {
+        let mut nfa = Nfa::new();
+        for (i, p) in patterns.iter().enumerate() {
+            nfa.add_rule(i, &Rx::parse(p).unwrap());
+        }
+        let dfa = ScannerDfa::from_nfa(&nfa);
+        (nfa, dfa)
+    }
+
+    #[test]
+    fn matches_like_nfa_on_keywords_vs_ident() {
+        let (nfa, dfa) = build(&["'if'", "'int'", "[a-z]+"]);
+        for input in ["if", "int", "i", "inx", "ifelse", "zebra", "9"] {
+            assert_eq!(dfa.longest_match(input), nfa.longest_match(input), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn number_pattern() {
+        let (_, dfa) = build(&["[0-9]+ ('.' [0-9]+)?"]);
+        assert_eq!(dfa.longest_match("3.14x"), Some((4, 0)));
+        assert_eq!(dfa.longest_match("3."), Some((1, 0)), "dangling dot is not consumed");
+    }
+
+    #[test]
+    fn dfa_is_deterministic() {
+        let (_, dfa) = build(&["[ab]+", "'ab'"]);
+        for st in &dfa.states {
+            let mut seen = std::collections::HashSet::new();
+            for &(class, _) in &st.transitions {
+                assert!(seen.insert(class), "duplicate transition on class {class}");
+            }
+        }
+    }
+
+    #[test]
+    fn string_literal_rule() {
+        let (_, dfa) = build(&[r#"'"' (~["\\] | '\\' .)* '"'"#]);
+        assert_eq!(dfa.longest_match(r#""hi there" rest"#), Some((10, 0)));
+        assert_eq!(dfa.longest_match(r#""esc\"aped" rest"#), Some((11, 0)));
+        assert_eq!(dfa.longest_match(r#""unterminated"#), None);
+    }
+
+    proptest! {
+        /// The DFA must agree with the NFA reference simulation on random
+        /// inputs for a representative rule set.
+        #[test]
+        fn prop_dfa_equals_nfa(input in "[a-c0-2.]{0,12}") {
+            let (nfa, dfa) = build(&["'a'", "[a-c]+", "[0-2]+ ('.' [0-2]+)?", "'.'"]);
+            prop_assert_eq!(dfa.longest_match(&input), nfa.longest_match(&input));
+        }
+
+        /// Random pattern fuzz: any parseable pattern must yield agreeing
+        /// NFA/DFA behaviour.
+        #[test]
+        fn prop_random_patterns(seed_pat in "[abc|()*+?]{1,10}", input in "[abc]{0,8}") {
+            if let Ok(raw) = Rx::parse(&seed_pat) {
+                // Bare letters parse as fragment references; resolve each
+                // one-letter fragment to the corresponding literal.
+                let rx = raw
+                    .resolve_fragments(&|name| Some(Rx::literal(name)))
+                    .expect("every name resolves to its literal");
+                if !rx.is_nullable() {
+                    let mut nfa = Nfa::new();
+                    nfa.add_rule(0, &rx);
+                    let dfa = ScannerDfa::from_nfa(&nfa);
+                    prop_assert_eq!(dfa.longest_match(&input), nfa.longest_match(&input));
+                }
+            }
+        }
+    }
+}

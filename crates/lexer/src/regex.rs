@@ -1,0 +1,583 @@
+//! A small regular-expression AST for lexer rules, with an ANTLR-flavoured
+//! surface syntax.
+//!
+//! Lexer rules in a grammar file use patterns such as
+//! `[a-zA-Z_] [a-zA-Z0-9_]*`, `'if'`, `'"' (~["\\] | '\\' .)* '"'`. This
+//! module defines the AST ([`Rx`]) and a standalone parser ([`Rx::parse`])
+//! for that syntax, used both directly and by the grammar meta-parser.
+
+use crate::charclass::CharSet;
+use std::fmt;
+
+/// A regular expression over characters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rx {
+    /// Matches the empty string.
+    Empty,
+    /// Matches one character drawn from a set.
+    Set(CharSet),
+    /// Matches a sequence of sub-expressions in order.
+    Seq(Vec<Rx>),
+    /// Matches any one of the sub-expressions (ordered only for display;
+    /// semantics are unordered union).
+    Alt(Vec<Rx>),
+    /// Kleene star: zero or more repetitions.
+    Star(Box<Rx>),
+    /// One or more repetitions.
+    Plus(Box<Rx>),
+    /// Zero or one occurrence.
+    Opt(Box<Rx>),
+    /// Reference to a named fragment rule, resolved before NFA construction.
+    Fragment(String),
+}
+
+impl Rx {
+    /// A literal string, matched character by character.
+    pub fn literal(s: &str) -> Rx {
+        let items: Vec<Rx> = s.chars().map(|c| Rx::Set(CharSet::single(c))).collect();
+        match items.len() {
+            0 => Rx::Empty,
+            1 => items.into_iter().next().expect("len checked"),
+            _ => Rx::Seq(items),
+        }
+    }
+
+    /// Matches any single character.
+    pub fn any() -> Rx {
+        Rx::Set(CharSet::any())
+    }
+
+    /// Whether this expression can match the empty string (conservative,
+    /// assuming fragments are non-nullable until resolved).
+    pub fn is_nullable(&self) -> bool {
+        match self {
+            Rx::Empty => true,
+            Rx::Set(_) | Rx::Fragment(_) | Rx::Plus(_) => false,
+            Rx::Seq(items) => items.iter().all(Rx::is_nullable),
+            Rx::Alt(items) => items.iter().any(Rx::is_nullable),
+            Rx::Star(_) | Rx::Opt(_) => true,
+        }
+    }
+
+    /// Replaces every [`Rx::Fragment`] reference using `resolve`.
+    ///
+    /// # Errors
+    /// Returns the unresolved name if `resolve` yields `None` for it.
+    pub fn resolve_fragments(
+        &self,
+        resolve: &dyn Fn(&str) -> Option<Rx>,
+    ) -> Result<Rx, String> {
+        Ok(match self {
+            Rx::Empty => Rx::Empty,
+            Rx::Set(s) => Rx::Set(s.clone()),
+            Rx::Seq(items) => Rx::Seq(
+                items.iter().map(|r| r.resolve_fragments(resolve)).collect::<Result<_, _>>()?,
+            ),
+            Rx::Alt(items) => Rx::Alt(
+                items.iter().map(|r| r.resolve_fragments(resolve)).collect::<Result<_, _>>()?,
+            ),
+            Rx::Star(r) => Rx::Star(Box::new(r.resolve_fragments(resolve)?)),
+            Rx::Plus(r) => Rx::Plus(Box::new(r.resolve_fragments(resolve)?)),
+            Rx::Opt(r) => Rx::Opt(Box::new(r.resolve_fragments(resolve)?)),
+            Rx::Fragment(name) => {
+                let body = resolve(name).ok_or_else(|| name.clone())?;
+                body.resolve_fragments(resolve)?
+            }
+        })
+    }
+
+    /// Parses the ANTLR-flavoured pattern syntax.
+    ///
+    /// Supported forms: `'literal'` (with `\n \r \t \\ \' \u{..}` escapes),
+    /// `[a-z0-9_]` classes (with the same escapes and leading `^` negation),
+    /// `.` (any character), `~X` (complement of a single-char set or class),
+    /// grouping `( … )`, postfix `* + ?`, alternation `|`, juxtaposition for
+    /// sequencing, and `FragmentName` references.
+    ///
+    /// # Errors
+    /// Returns a [`RxParseError`] describing the first syntax error.
+    pub fn parse(pattern: &str) -> Result<Rx, RxParseError> {
+        let mut p = RxParser { chars: pattern.chars().collect(), pos: 0 };
+        let rx = p.alternation()?;
+        p.skip_ws();
+        if p.pos != p.chars.len() {
+            return Err(p.err("trailing input after pattern"));
+        }
+        Ok(rx)
+    }
+}
+
+impl fmt::Display for Rx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rx::Empty => write!(f, "ε"),
+            Rx::Set(s) => write!(f, "{s}"),
+            Rx::Seq(items) => {
+                for (i, r) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                Ok(())
+            }
+            Rx::Alt(items) => {
+                write!(f, "(")?;
+                for (i, r) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                write!(f, ")")
+            }
+            Rx::Star(r) => write!(f, "({r})*"),
+            Rx::Plus(r) => write!(f, "({r})+"),
+            Rx::Opt(r) => write!(f, "({r})?"),
+            Rx::Fragment(name) => write!(f, "{name}"),
+        }
+    }
+}
+
+/// Error produced by [`Rx::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RxParseError {
+    /// Character offset of the error within the pattern.
+    pub pos: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for RxParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex syntax error at offset {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for RxParseError {}
+
+struct RxParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl RxParser {
+    fn err(&self, msg: &str) -> RxParseError {
+        RxParseError { pos: self.pos, message: msg.to_string() }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn alternation(&mut self) -> Result<Rx, RxParseError> {
+        let mut alts = vec![self.sequence()?];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('|') {
+                self.bump();
+                alts.push(self.sequence()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if alts.len() == 1 { alts.pop().expect("len checked") } else { Rx::Alt(alts) })
+    }
+
+    fn sequence(&mut self) -> Result<Rx, RxParseError> {
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None | Some('|') | Some(')') => break,
+                _ => items.push(self.postfix()?),
+            }
+        }
+        Ok(match items.len() {
+            0 => Rx::Empty,
+            1 => items.pop().expect("len checked"),
+            _ => Rx::Seq(items),
+        })
+    }
+
+    fn postfix(&mut self) -> Result<Rx, RxParseError> {
+        let mut base = self.primary()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    base = Rx::Star(Box::new(base));
+                }
+                Some('+') => {
+                    self.bump();
+                    base = Rx::Plus(Box::new(base));
+                }
+                Some('?') => {
+                    self.bump();
+                    base = Rx::Opt(Box::new(base));
+                }
+                _ => return Ok(base),
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Rx, RxParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let inner = self.alternation()?;
+                self.skip_ws();
+                if self.bump() != Some(')') {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(inner)
+            }
+            Some('\'') => {
+                let s = self.quoted_literal()?;
+                Ok(Rx::literal(&s))
+            }
+            Some('[') => Ok(Rx::Set(self.char_class()?)),
+            Some('.') => {
+                self.bump();
+                Ok(Rx::any())
+            }
+            Some('~') => {
+                self.bump();
+                self.skip_ws();
+                let set = match self.peek() {
+                    Some('[') => self.char_class()?,
+                    Some('\'') => {
+                        let s = self.quoted_literal()?;
+                        s.chars().collect()
+                    }
+                    _ => return Err(self.err("'~' must be followed by a class or literal")),
+                };
+                Ok(Rx::Set(set.complement()))
+            }
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                let mut name = String::new();
+                while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+                    name.push(self.bump().expect("peeked"));
+                }
+                Ok(Rx::Fragment(name))
+            }
+            Some(c) => Err(self.err(&format!("unexpected character {c:?}"))),
+            None => Err(self.err("unexpected end of pattern")),
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, RxParseError> {
+        match self.bump() {
+            Some('n') => Ok('\n'),
+            Some('r') => Ok('\r'),
+            Some('t') => Ok('\t'),
+            Some('0') => Ok('\0'),
+            Some('u') => {
+                if self.bump() != Some('{') {
+                    return Err(self.err("expected '{' after \\u"));
+                }
+                let mut hex = String::new();
+                while let Some(c) = self.peek() {
+                    if c == '}' {
+                        break;
+                    }
+                    hex.push(c);
+                    self.bump();
+                }
+                if self.bump() != Some('}') {
+                    return Err(self.err("unterminated \\u{…} escape"));
+                }
+                let v = u32::from_str_radix(&hex, 16)
+                    .map_err(|_| self.err("invalid hex in \\u{…}"))?;
+                char::from_u32(v).ok_or_else(|| self.err("escape is not a scalar value"))
+            }
+            Some(c) => Ok(c), // \\  \'  \]  \-  etc.: the character itself
+            None => Err(self.err("dangling backslash")),
+        }
+    }
+
+    fn quoted_literal(&mut self) -> Result<String, RxParseError> {
+        debug_assert_eq!(self.peek(), Some('\''));
+        self.bump();
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('\'') => return Ok(out),
+                Some('\\') => out.push(self.escape()?),
+                Some(c) => out.push(c),
+                None => return Err(self.err("unterminated literal")),
+            }
+        }
+    }
+
+    fn char_class(&mut self) -> Result<CharSet, RxParseError> {
+        debug_assert_eq!(self.peek(), Some('['));
+        self.bump();
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut set = CharSet::empty();
+        loop {
+            let lo = match self.bump() {
+                Some(']') => {
+                    return Ok(if negated { set.complement() } else { set });
+                }
+                Some('\\') => self.escape()?,
+                Some(c) => c,
+                None => return Err(self.err("unterminated character class")),
+            };
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump();
+                let hi = match self.bump() {
+                    Some('\\') => self.escape()?,
+                    Some(c) => c,
+                    None => return Err(self.err("unterminated range in class")),
+                };
+                if hi < lo {
+                    return Err(self.err("reversed range in character class"));
+                }
+                set = set.union(&CharSet::range(lo, hi));
+            } else {
+                set = set.union(&CharSet::single(lo));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(s: &str) -> CharSet {
+        s.chars().collect()
+    }
+
+    #[test]
+    fn parse_literal() {
+        assert_eq!(Rx::parse("'if'").unwrap(), Rx::literal("if"));
+        assert_eq!(Rx::parse("'a'").unwrap(), Rx::Set(CharSet::single('a')));
+        assert_eq!(Rx::parse("''").unwrap(), Rx::Empty);
+    }
+
+    #[test]
+    fn parse_class_and_ranges() {
+        let rx = Rx::parse("[a-cx]").unwrap();
+        assert_eq!(rx, Rx::Set(set("abcx")));
+        let rx = Rx::parse("[^a-c]").unwrap();
+        assert_eq!(rx, Rx::Set(set("abc").complement()));
+    }
+
+    #[test]
+    fn parse_escapes() {
+        let rx = Rx::parse(r"[ \t\r\n]").unwrap();
+        assert_eq!(rx, Rx::Set(set(" \t\r\n")));
+        assert_eq!(Rx::parse(r"'\u{41}'").unwrap(), Rx::Set(CharSet::single('A')));
+        assert_eq!(Rx::parse(r"'\\'").unwrap(), Rx::Set(CharSet::single('\\')));
+    }
+
+    #[test]
+    fn parse_operators() {
+        let rx = Rx::parse("[0-9]+ ('.' [0-9]*)?").unwrap();
+        match rx {
+            Rx::Seq(items) => {
+                assert!(matches!(items[0], Rx::Plus(_)));
+                assert!(matches!(items[1], Rx::Opt(_)));
+            }
+            other => panic!("expected Seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_alternation_and_groups() {
+        let rx = Rx::parse("'a' | 'b' 'c'").unwrap();
+        match rx {
+            Rx::Alt(alts) => assert_eq!(alts.len(), 2),
+            other => panic!("expected Alt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_negation_and_any() {
+        let rx = Rx::parse(r#"(~['\\] | '\\' .)*"#).unwrap();
+        assert!(matches!(rx, Rx::Star(_)));
+        assert_eq!(Rx::parse(".").unwrap(), Rx::any());
+    }
+
+    #[test]
+    fn parse_fragment_reference() {
+        assert_eq!(Rx::parse("Digit").unwrap(), Rx::Fragment("Digit".into()));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Rx::parse("'abc").is_err());
+        assert!(Rx::parse("[a-").is_err());
+        assert!(Rx::parse("[z-a]").is_err());
+        assert!(Rx::parse("(a").is_err());
+        assert!(Rx::parse("a)").is_err());
+        assert!(Rx::parse("~x").is_err());
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(Rx::parse("'a'?").unwrap().is_nullable());
+        assert!(Rx::parse("'a'*").unwrap().is_nullable());
+        assert!(!Rx::parse("'a'+").unwrap().is_nullable());
+        assert!(!Rx::parse("'a' 'b'?").unwrap().is_nullable());
+        assert!(Rx::parse("'a'? 'b'?").unwrap().is_nullable());
+    }
+
+    #[test]
+    fn resolve_fragments_substitutes() {
+        let rx = Rx::parse("Digit+").unwrap();
+        let resolved = rx
+            .resolve_fragments(&|name| {
+                (name == "Digit").then(|| Rx::Set(set("0123456789")))
+            })
+            .unwrap();
+        assert_eq!(resolved, Rx::Plus(Box::new(Rx::Set(set("0123456789")))));
+        let err = rx.resolve_fragments(&|_| None).unwrap_err();
+        assert_eq!(err, "Digit");
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let rx = Rx::parse("[0-9]+ ('.' [0-9]+)? ('e' [+\\-]? [0-9]+)?").unwrap();
+        let shown = rx.to_string();
+        assert!(shown.contains("0-9"), "{shown}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sampling
+// ---------------------------------------------------------------------------
+
+impl Rx {
+    /// Generates a random string matched by this expression, driving all
+    /// choices from the `seed` (a simple in-place LCG, so callers need no
+    /// RNG dependency). Returns `None` for unresolved fragments.
+    ///
+    /// Repetitions are kept short (0–2 extra iterations) so samples stay
+    /// small.
+    pub fn sample(&self, seed: &mut u64) -> Option<String> {
+        fn next(seed: &mut u64) -> u32 {
+            // Numerical Recipes LCG; plenty for test-input generation.
+            *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (*seed >> 33) as u32
+        }
+        match self {
+            Rx::Empty => Some(String::new()),
+            Rx::Set(set) => {
+                if set.is_empty() {
+                    return None;
+                }
+                // Pick a random range, then a random char within it,
+                // skipping surrogate ordinals.
+                let ranges = set.ranges();
+                for _ in 0..8 {
+                    let (lo, hi) = ranges[next(seed) as usize % ranges.len()];
+                    let x = lo + (next(seed) % (hi - lo + 1));
+                    if let Some(c) = char::from_u32(x) {
+                        return Some(c.to_string());
+                    }
+                }
+                set.example().map(|c| c.to_string())
+            }
+            Rx::Seq(items) => {
+                let mut out = String::new();
+                for item in items {
+                    out.push_str(&item.sample(seed)?);
+                }
+                Some(out)
+            }
+            Rx::Alt(items) => {
+                let pick = next(seed) as usize % items.len();
+                items[pick].sample(seed)
+            }
+            Rx::Star(inner) => {
+                let n = next(seed) % 3;
+                let mut out = String::new();
+                for _ in 0..n {
+                    out.push_str(&inner.sample(seed)?);
+                }
+                Some(out)
+            }
+            Rx::Plus(inner) => {
+                let n = 1 + next(seed) % 2;
+                let mut out = String::new();
+                for _ in 0..n {
+                    out.push_str(&inner.sample(seed)?);
+                }
+                Some(out)
+            }
+            Rx::Opt(inner) => {
+                if next(seed).is_multiple_of(2) {
+                    Some(String::new())
+                } else {
+                    inner.sample(seed)
+                }
+            }
+            Rx::Fragment(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod sample_tests {
+    use super::*;
+
+    /// Sampled strings must be matched by the expression they came from
+    /// (checked via NFA simulation).
+    #[test]
+    fn samples_match_their_pattern() {
+        use crate::nfa::Nfa;
+        for pat in ["[a-z]+", "'if' | 'else'", "[0-9]+ ('.' [0-9]+)?", "('a' | 'b')* 'c'"] {
+            let rx = Rx::parse(pat).unwrap();
+            let mut nfa = Nfa::new();
+            nfa.add_rule(0, &rx);
+            let mut seed = 12345u64;
+            for _ in 0..50 {
+                let s = rx.sample(&mut seed).unwrap();
+                if s.is_empty() {
+                    continue;
+                }
+                assert_eq!(
+                    nfa.longest_match(&s),
+                    Some((s.len(), 0)),
+                    "pattern {pat} produced non-matching sample {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let rx = Rx::parse("[a-z]+ [0-9]*").unwrap();
+        let (mut s1, mut s2) = (9u64, 9u64);
+        assert_eq!(rx.sample(&mut s1), rx.sample(&mut s2));
+    }
+
+    #[test]
+    fn unresolved_fragment_samples_none() {
+        assert_eq!(Rx::Fragment("X".into()).sample(&mut 1), None);
+    }
+}

@@ -1,0 +1,360 @@
+//! The scanner: a specification of lexer rules compiled to a DFA, plus the
+//! maximal-munch tokenizer that produces [`Token`] streams.
+
+use crate::charclass::CharSet;
+use crate::dfa::ScannerDfa;
+use crate::nfa::Nfa;
+use crate::regex::Rx;
+use crate::token::{Span, Token, TokenType};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One lexer rule in a [`LexerSpec`].
+#[derive(Debug, Clone)]
+pub struct LexRule {
+    /// Rule name (token name, e.g. `ID`), or a synthesized name for
+    /// literals (e.g. `'if'`).
+    pub name: String,
+    /// The pattern.
+    pub rx: Rx,
+    /// Token type emitted on a match (ignored when `skip`).
+    pub ttype: TokenType,
+    /// If `true`, matches are discarded (whitespace, comments).
+    pub skip: bool,
+}
+
+/// Error constructing a scanner from a [`LexerSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LexBuildError {
+    /// A rule referenced an unknown fragment.
+    UnknownFragment {
+        /// The referencing rule.
+        rule: String,
+        /// The missing fragment name.
+        fragment: String,
+    },
+    /// A rule (after fragment resolution) can match the empty string, which
+    /// would make the scanner loop forever.
+    NullableRule {
+        /// The offending rule.
+        rule: String,
+    },
+}
+
+impl fmt::Display for LexBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexBuildError::UnknownFragment { rule, fragment } => {
+                write!(f, "lexer rule {rule} references unknown fragment {fragment}")
+            }
+            LexBuildError::NullableRule { rule } => {
+                write!(f, "lexer rule {rule} can match the empty string")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LexBuildError {}
+
+/// A scanning error: no rule matched at an input position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// The character no rule could start with.
+    pub ch: char,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}:{}: no lexer rule matches {:?}", self.line, self.col, self.ch)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// An ordered set of lexer rules plus named fragments.
+///
+/// Rule order is priority order: when two rules match the same longest
+/// prefix, the earlier rule wins (so keyword literals should precede
+/// identifier rules, as the grammar builder arranges).
+///
+/// ```
+/// use llstar_lexer::{LexerSpec, Rx, TokenType};
+/// let mut spec = LexerSpec::new();
+/// spec.push_rule("IF", Rx::parse("'if'")?, TokenType(1), false);
+/// spec.push_rule("ID", Rx::parse("[a-z]+")?, TokenType(2), false);
+/// spec.push_rule("WS", Rx::parse("[ \\t\\r\\n]+")?, TokenType(3), true);
+/// let scanner = spec.build()?;
+/// let toks = scanner.tokenize("if x")?;
+/// let types: Vec<_> = toks.iter().map(|t| t.ttype).collect();
+/// assert_eq!(types, vec![TokenType(1), TokenType(2), TokenType::EOF]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LexerSpec {
+    rules: Vec<LexRule>,
+    fragments: HashMap<String, Rx>,
+}
+
+impl LexerSpec {
+    /// An empty specification.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a rule at the lowest priority so far.
+    pub fn push_rule(&mut self, name: &str, rx: Rx, ttype: TokenType, skip: bool) {
+        self.rules.push(LexRule { name: name.to_string(), rx, ttype, skip });
+    }
+
+    /// Inserts a rule at the *highest* priority (used for keyword literals).
+    pub fn push_rule_front(&mut self, name: &str, rx: Rx, ttype: TokenType, skip: bool) {
+        self.rules.insert(0, LexRule { name: name.to_string(), rx, ttype, skip });
+    }
+
+    /// Registers a named fragment usable from rule patterns.
+    pub fn add_fragment(&mut self, name: &str, rx: Rx) {
+        self.fragments.insert(name.to_string(), rx);
+    }
+
+    /// The rules in priority order.
+    pub fn rules(&self) -> &[LexRule] {
+        &self.rules
+    }
+
+    /// Compiles the specification into a [`Scanner`].
+    ///
+    /// # Errors
+    /// Fails on unknown fragment references or rules that match the empty
+    /// string.
+    pub fn build(&self) -> Result<Scanner, LexBuildError> {
+        let mut nfa = Nfa::new();
+        let mut resolved_rules = Vec::with_capacity(self.rules.len());
+        for (i, rule) in self.rules.iter().enumerate() {
+            let resolved = rule
+                .rx
+                .resolve_fragments(&|name| self.fragments.get(name).cloned())
+                .map_err(|fragment| LexBuildError::UnknownFragment {
+                    rule: rule.name.clone(),
+                    fragment,
+                })?;
+            if resolved.is_nullable() {
+                return Err(LexBuildError::NullableRule { rule: rule.name.clone() });
+            }
+            nfa.add_rule(i, &resolved);
+            resolved_rules.push(rule.clone());
+        }
+        let dfa = ScannerDfa::from_nfa(&nfa);
+        Ok(Scanner { dfa, rules: resolved_rules })
+    }
+}
+
+/// A compiled scanner ready to tokenize input.
+#[derive(Debug, Clone)]
+pub struct Scanner {
+    dfa: ScannerDfa,
+    rules: Vec<LexRule>,
+}
+
+impl Scanner {
+    /// Tokenizes `input` by repeated maximal-munch matching, appending a
+    /// final EOF token. `skip` rules produce no tokens.
+    ///
+    /// # Errors
+    /// Returns a [`LexError`] at the first position where no rule matches.
+    pub fn tokenize(&self, input: &str) -> Result<Vec<Token>, LexError> {
+        let mut tokens = Vec::new();
+        let mut offset = 0usize;
+        let mut line = 1u32;
+        let mut col = 1u32;
+        while offset < input.len() {
+            let rest = &input[offset..];
+            match self.dfa.longest_match(rest) {
+                Some((len, rule_idx)) => {
+                    debug_assert!(len > 0, "scanner rules are non-nullable");
+                    let rule = &self.rules[rule_idx];
+                    if !rule.skip {
+                        tokens.push(Token::new(
+                            rule.ttype,
+                            Span::new(offset, offset + len),
+                            line,
+                            col,
+                        ));
+                    }
+                    for c in rest[..len].chars() {
+                        if c == '\n' {
+                            line += 1;
+                            col = 1;
+                        } else {
+                            col += 1;
+                        }
+                    }
+                    offset += len;
+                }
+                None => {
+                    let ch = rest.chars().next().expect("offset < len");
+                    return Err(LexError { offset, line, col, ch });
+                }
+            }
+        }
+        tokens.push(Token::eof(offset, line, col));
+        Ok(tokens)
+    }
+
+    /// Number of states in the compiled scanner DFA.
+    pub fn dfa_state_count(&self) -> usize {
+        self.dfa.state_count()
+    }
+
+    /// The compiled scanner DFA (for code generators embedding it as
+    /// static tables).
+    pub fn dfa(&self) -> &ScannerDfa {
+        &self.dfa
+    }
+
+    /// The rules this scanner was compiled from, in priority order.
+    pub fn rules(&self) -> &[LexRule] {
+        &self.rules
+    }
+}
+
+/// Convenience: builds a spec from `(name, pattern, ttype, skip)` tuples.
+///
+/// # Errors
+/// Propagates pattern-parse and build errors as strings.
+pub fn scanner_from_patterns(
+    rules: &[(&str, &str, TokenType, bool)],
+) -> Result<Scanner, String> {
+    let mut spec = LexerSpec::new();
+    for (name, pat, ttype, skip) in rules {
+        let rx = Rx::parse(pat).map_err(|e| format!("{name}: {e}"))?;
+        spec.push_rule(name, rx, *ttype, *skip);
+    }
+    spec.build().map_err(|e| e.to_string())
+}
+
+/// A whitespace charset usable by callers assembling specs by hand.
+pub fn whitespace() -> CharSet {
+    " \t\r\n".chars().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_scanner() -> Scanner {
+        scanner_from_patterns(&[
+            ("IF", "'if'", TokenType(1), false),
+            ("ID", "[a-zA-Z_] [a-zA-Z0-9_]*", TokenType(2), false),
+            ("INT", "[0-9]+", TokenType(3), false),
+            ("EQ", "'='", TokenType(4), false),
+            ("WS", "[ \\t\\r\\n]+", TokenType(99), true),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn tokenizes_with_skip_and_eof() {
+        let sc = simple_scanner();
+        let src = "if x = 42";
+        let toks = sc.tokenize(src).unwrap();
+        let types: Vec<u32> = toks.iter().map(|t| t.ttype.0).collect();
+        assert_eq!(types, vec![1, 2, 4, 3, 0]);
+        assert_eq!(toks[1].text(src), "x");
+        assert_eq!(toks[3].text(src), "42");
+    }
+
+    #[test]
+    fn keyword_beats_identifier_by_priority() {
+        let sc = simple_scanner();
+        let toks = sc.tokenize("if iffy").unwrap();
+        assert_eq!(toks[0].ttype, TokenType(1), "exact 'if' is the keyword");
+        assert_eq!(toks[1].ttype, TokenType(2), "'iffy' is an identifier (maximal munch)");
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let sc = simple_scanner();
+        let toks = sc.tokenize("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn lex_error_position() {
+        let sc = simple_scanner();
+        let err = sc.tokenize("ok $bad").unwrap_err();
+        assert_eq!(err.ch, '$');
+        assert_eq!(err.line, 1);
+        assert_eq!(err.col, 4);
+        assert!(err.to_string().contains("no lexer rule matches"));
+    }
+
+    #[test]
+    fn empty_input_yields_only_eof() {
+        let sc = simple_scanner();
+        let toks = sc.tokenize("").unwrap();
+        assert_eq!(toks.len(), 1);
+        assert!(toks[0].ttype.is_eof());
+    }
+
+    #[test]
+    fn fragments_resolve() {
+        let mut spec = LexerSpec::new();
+        spec.add_fragment("Digit", Rx::parse("[0-9]").unwrap());
+        spec.add_fragment("Hex", Rx::parse("[0-9a-fA-F]").unwrap());
+        spec.push_rule("NUM", Rx::parse("Digit+ | '0x' Hex+").unwrap(), TokenType(1), false);
+        let sc = spec.build().unwrap();
+        let toks = sc.tokenize("0xFF").unwrap();
+        assert_eq!(toks[0].ttype, TokenType(1));
+        assert_eq!(toks[0].span.len(), 4);
+    }
+
+    #[test]
+    fn unknown_fragment_is_an_error() {
+        let mut spec = LexerSpec::new();
+        spec.push_rule("X", Rx::parse("Digit+").unwrap(), TokenType(1), false);
+        match spec.build() {
+            Err(LexBuildError::UnknownFragment { rule, fragment }) => {
+                assert_eq!(rule, "X");
+                assert_eq!(fragment, "Digit");
+            }
+            other => panic!("expected UnknownFragment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nullable_rule_is_an_error() {
+        let mut spec = LexerSpec::new();
+        spec.push_rule("BAD", Rx::parse("[a-z]*").unwrap(), TokenType(1), false);
+        assert!(matches!(spec.build(), Err(LexBuildError::NullableRule { .. })));
+    }
+
+    #[test]
+    fn push_rule_front_takes_priority() {
+        let mut spec = LexerSpec::new();
+        spec.push_rule("ID", Rx::parse("[a-z]+").unwrap(), TokenType(2), false);
+        spec.push_rule_front("KW", Rx::parse("'while'").unwrap(), TokenType(1), false);
+        let sc = spec.build().unwrap();
+        let toks = sc.tokenize("while").unwrap();
+        assert_eq!(toks[0].ttype, TokenType(1));
+    }
+
+    #[test]
+    fn comment_rule_skips_to_newline() {
+        let sc = scanner_from_patterns(&[
+            ("ID", "[a-z]+", TokenType(1), false),
+            ("COMMENT", "'//' (~[\\n])*'\\n'", TokenType(9), true),
+            ("WS", "[ \\t\\r\\n]+", TokenType(9), true),
+        ])
+        .unwrap();
+        let toks = sc.tokenize("ab // commentary\ncd").unwrap();
+        let types: Vec<u32> = toks.iter().map(|t| t.ttype.0).collect();
+        assert_eq!(types, vec![1, 1, 0]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Token types shared by the lexer, the grammar representation, and the
+//! parser runtime.
+//!
+//! A [`TokenType`] is a small integer assigned by the grammar's token
+//! vocabulary. Type `0` is reserved for end-of-file ([`TokenType::EOF`]).
+
+use std::fmt;
+
+/// A terminal symbol category, as assigned by a grammar's token vocabulary.
+///
+/// Token types are dense small integers so that lookahead-DFA edges and
+/// parser match sets can be indexed cheaply.
+///
+/// ```
+/// use llstar_lexer::TokenType;
+/// let t = TokenType(3);
+/// assert!(!t.is_eof());
+/// assert!(TokenType::EOF.is_eof());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TokenType(pub u32);
+
+impl TokenType {
+    /// The end-of-file sentinel token type (always type `0`).
+    pub const EOF: TokenType = TokenType(0);
+
+    /// Returns `true` for the EOF sentinel.
+    pub fn is_eof(self) -> bool {
+        self == Self::EOF
+    }
+
+    /// The raw index, usable for dense table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TokenType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_eof() {
+            write!(f, "<EOF>")
+        } else {
+            write!(f, "t{}", self.0)
+        }
+    }
+}
+
+/// A half-open byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `start..end`.
+    ///
+    /// # Panics
+    /// Panics if `end < start`.
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(end >= start, "span end {end} precedes start {start}");
+        Span { start, end }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// The source slice this span denotes.
+    pub fn slice(self, source: &str) -> &str {
+        &source[self.start..self.end]
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A lexed token: a token type plus its location in the source.
+///
+/// Tokens do not own their text; use [`Token::text`] with the original
+/// source to recover it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token {
+    /// The terminal category.
+    pub ttype: TokenType,
+    /// Where in the source the token appeared.
+    pub span: Span,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(ttype: TokenType, span: Span, line: u32, col: u32) -> Self {
+        Token { ttype, span, line, col }
+    }
+
+    /// Creates the EOF token positioned at `offset`.
+    pub fn eof(offset: usize, line: u32, col: u32) -> Self {
+        Token { ttype: TokenType::EOF, span: Span::new(offset, offset), line, col }
+    }
+
+    /// The token's text within `source`.
+    pub fn text(self, source: &str) -> &str {
+        self.span.slice(source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eof_is_type_zero() {
+        assert_eq!(TokenType::EOF, TokenType(0));
+        assert!(TokenType::EOF.is_eof());
+        assert!(!TokenType(1).is_eof());
+    }
+
+    #[test]
+    fn span_slicing() {
+        let s = "hello world";
+        let sp = Span::new(6, 11);
+        assert_eq!(sp.slice(s), "world");
+        assert_eq!(sp.len(), 5);
+        assert!(!sp.is_empty());
+        assert!(Span::new(3, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes")]
+    fn span_rejects_reversed() {
+        let _ = Span::new(5, 2);
+    }
+
+    #[test]
+    fn token_text() {
+        let src = "let x = 1;";
+        let tok = Token::new(TokenType(4), Span::new(4, 5), 1, 5);
+        assert_eq!(tok.text(src), "x");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TokenType::EOF.to_string(), "<EOF>");
+        assert_eq!(TokenType(7).to_string(), "t7");
+        assert_eq!(Span::new(1, 4).to_string(), "1..4");
+    }
+}

@@ -1,0 +1,477 @@
+//! A pure packrat/PEG baseline parser (Ford 2002), used by the evaluation
+//! as the always-speculating comparator for LL(*).
+//!
+//! This parser performs *no* static analysis: every multi-alternative
+//! decision is an ordered choice resolved by trying each alternative with
+//! full backtracking, memoizing `(rule, position)` outcomes so parsing
+//! stays linear (Section 6.2 of the LL(*) paper discusses exactly this
+//! trade-off). EBNF operators are greedy, PEG-style. Embedded actions are
+//! *not* executed (packrat parsers are perpetually speculating — the
+//! paper's point about nondeterministic strategies and side effects);
+//! semantic predicates are consulted via [`PackratHooks`], and syntactic
+//! predicates act as and-predicates.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use llstar_grammar::parse_grammar;
+//! use llstar_packrat::PackratParser;
+//!
+//! let g = parse_grammar(r#"
+//!     grammar Demo;
+//!     s : ID '=' INT ';' ;
+//!     ID : [a-z]+ ;
+//!     INT : [0-9]+ ;
+//!     WS : [ ]+ -> skip ;
+//! "#)?;
+//! let scanner = g.lexer.build()?;
+//! let tokens = scanner.tokenize("x = 1 ;")?;
+//! let mut p = PackratParser::new(&g, tokens);
+//! assert!(p.recognize("s").is_ok());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+use llstar_grammar::{Alt, Block, Ebnf, Element, Grammar, RuleId};
+use llstar_lexer::{Token, TokenType};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A packrat parse failure at the deepest token reached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackratError {
+    /// The deepest token index reached by any failed attempt.
+    pub token_index: usize,
+    /// The token there.
+    pub token: Token,
+}
+
+impl fmt::Display for PackratError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "packrat parse failed; deepest failure at line {}:{}",
+            self.token.line, self.token.col
+        )
+    }
+}
+
+impl std::error::Error for PackratError {}
+
+/// Counters describing the packrat parser's speculation behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PackratStats {
+    /// Rule invocations attempted (including memoized replays).
+    pub rule_attempts: u64,
+    /// Memoization hits.
+    pub memo_hits: u64,
+    /// Memoization entries written.
+    pub memo_entries: u64,
+    /// Alternatives that failed and were rolled back.
+    pub backtracked_alts: u64,
+    /// Tokens speculatively consumed then rolled back.
+    pub wasted_tokens: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Memo {
+    Success(usize),
+    Failure,
+}
+
+/// Semantic-predicate oracle for the packrat baseline.
+pub trait PackratHooks {
+    /// Evaluates semantic predicate `text`; defaults to `true`.
+    fn sempred(&mut self, text: &str, at_index: usize) -> bool {
+        let _ = (text, at_index);
+        true
+    }
+}
+
+/// Hooks that accept every predicate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllTrue;
+
+impl PackratHooks for AllTrue {}
+
+/// A memoizing PEG interpreter over an `llstar` grammar.
+pub struct PackratParser<'g, H: PackratHooks = AllTrue> {
+    grammar: &'g Grammar,
+    tokens: Vec<Token>,
+    pos: usize,
+    memo: HashMap<(RuleId, usize), Memo>,
+    memoize: bool,
+    stats: PackratStats,
+    deepest: usize,
+    hooks: H,
+    /// Fuel cap so pathological grammars without memoization terminate in
+    /// tests/benches instead of running for hours (the paper notes RatsC
+    /// "appears not to terminate" without memoization).
+    fuel: u64,
+}
+
+impl<'g> PackratParser<'g, AllTrue> {
+    /// Creates a parser with default (all-true) predicate hooks.
+    ///
+    /// # Panics
+    /// Panics if `tokens` does not end with EOF.
+    pub fn new(grammar: &'g Grammar, tokens: Vec<Token>) -> Self {
+        Self::with_hooks(grammar, tokens, AllTrue)
+    }
+}
+
+impl<'g, H: PackratHooks> PackratParser<'g, H> {
+    /// Creates a parser with explicit hooks.
+    ///
+    /// # Panics
+    /// Panics if `tokens` does not end with EOF.
+    pub fn with_hooks(grammar: &'g Grammar, tokens: Vec<Token>, hooks: H) -> Self {
+        assert!(
+            tokens.last().is_some_and(|t| t.ttype.is_eof()),
+            "token stream must end with EOF"
+        );
+        PackratParser {
+            grammar,
+            tokens,
+            pos: 0,
+            memo: HashMap::new(),
+            memoize: true,
+            stats: PackratStats::default(),
+            deepest: 0,
+            hooks,
+            fuel: u64::MAX,
+        }
+    }
+
+    /// Enables or disables memoization (the packrat-vs-plain-backtracking
+    /// ablation).
+    pub fn set_memoize(&mut self, memoize: bool) {
+        self.memoize = memoize;
+    }
+
+    /// Caps the number of parsing steps; exceeding it aborts with an
+    /// error. Used to demonstrate exponential blow-up safely.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Statistics from the last parse.
+    pub fn stats(&self) -> PackratStats {
+        self.stats
+    }
+
+    /// Recognizes `rule_name` followed by EOF.
+    ///
+    /// # Errors
+    /// Returns a [`PackratError`] at the deepest failure point, or if the
+    /// fuel cap was exhausted.
+    ///
+    /// # Panics
+    /// Panics if `rule_name` is not a rule of the grammar.
+    pub fn recognize(&mut self, rule_name: &str) -> Result<(), PackratError> {
+        let rule = self
+            .grammar
+            .rule_id(rule_name)
+            .unwrap_or_else(|| panic!("unknown start rule {rule_name:?}"));
+        self.pos = 0;
+        self.memo.clear();
+        self.stats = PackratStats::default();
+        self.deepest = 0;
+        if self.parse_rule(rule) && self.la().is_eof() {
+            Ok(())
+        } else {
+            Err(self.error())
+        }
+    }
+
+    fn error(&self) -> PackratError {
+        let idx = self.deepest.min(self.tokens.len() - 1);
+        PackratError { token_index: idx, token: self.tokens[idx] }
+    }
+
+    fn la(&self) -> TokenType {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].ttype
+    }
+
+    fn burn_fuel(&mut self) -> bool {
+        if self.fuel == 0 {
+            return false;
+        }
+        self.fuel -= 1;
+        true
+    }
+
+    fn parse_rule(&mut self, rule: RuleId) -> bool {
+        self.stats.rule_attempts += 1;
+        if !self.burn_fuel() {
+            return false;
+        }
+        let key = (rule, self.pos);
+        if self.memoize {
+            if let Some(m) = self.memo.get(&key) {
+                self.stats.memo_hits += 1;
+                return match m {
+                    Memo::Success(stop) => {
+                        self.pos = *stop;
+                        true
+                    }
+                    Memo::Failure => false,
+                };
+            }
+        }
+        let alts = self.grammar.rule(rule).alts.clone();
+        let ok = self.ordered_choice(&alts);
+        if self.memoize {
+            self.stats.memo_entries += 1;
+            let entry = if ok { Memo::Success(self.pos) } else { Memo::Failure };
+            self.memo.insert(key, entry);
+        }
+        ok
+    }
+
+    /// PEG ordered choice: the first matching alternative wins.
+    fn ordered_choice(&mut self, alts: &[Alt]) -> bool {
+        let start = self.pos;
+        for alt in alts {
+            if self.parse_seq(&alt.elements) {
+                return true;
+            }
+            self.stats.backtracked_alts += 1;
+            self.stats.wasted_tokens += (self.pos - start) as u64;
+            self.pos = start;
+        }
+        false
+    }
+
+    fn parse_seq(&mut self, elements: &[Element]) -> bool {
+        for e in elements {
+            if !self.parse_element(e) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn parse_element(&mut self, e: &Element) -> bool {
+        if !self.burn_fuel() {
+            return false;
+        }
+        match e {
+            Element::Token(t) => {
+                if self.la() == *t {
+                    self.pos = (self.pos + 1).min(self.tokens.len() - 1);
+                    self.deepest = self.deepest.max(self.pos);
+                    true
+                } else {
+                    false
+                }
+            }
+            Element::Rule(r) => self.parse_rule(*r),
+            Element::Block(b) => self.parse_block(b),
+            Element::SemPred(p) => {
+                let text = self.grammar.sempred_text(*p).to_string();
+                self.hooks.sempred(&text, self.pos)
+            }
+            Element::SynPred(sp) => {
+                // PEG and-predicate: must match, consumes nothing.
+                let start = self.pos;
+                let frag = self.grammar.synpred(*sp).clone();
+                let ok = self.parse_seq(&frag.elements);
+                self.stats.wasted_tokens += (self.pos - start) as u64;
+                self.pos = start;
+                ok
+            }
+            Element::NotSynPred(sp) => {
+                // PEG not-predicate: must NOT match, consumes nothing.
+                let start = self.pos;
+                let frag = self.grammar.synpred(*sp).clone();
+                let ok = self.parse_seq(&frag.elements);
+                self.stats.wasted_tokens += (self.pos - start) as u64;
+                self.pos = start;
+                !ok
+            }
+            // Packrat parsers cannot run side-effecting actions safely;
+            // they are skipped entirely.
+            Element::Action { .. } => true,
+        }
+    }
+
+    fn parse_block(&mut self, b: &Block) -> bool {
+        match b.ebnf {
+            Ebnf::None => self.ordered_choice(&b.alts),
+            Ebnf::Optional => {
+                let start = self.pos;
+                if !self.ordered_choice(&b.alts) {
+                    self.pos = start;
+                }
+                true
+            }
+            Ebnf::Star => {
+                loop {
+                    let start = self.pos;
+                    if !self.burn_fuel() {
+                        return false;
+                    }
+                    if !self.ordered_choice(&b.alts) {
+                        self.pos = start;
+                        return true;
+                    }
+                    if self.pos == start {
+                        // ε-matching body: stop to guarantee termination.
+                        return true;
+                    }
+                }
+            }
+            Ebnf::Plus => {
+                if !self.ordered_choice(&b.alts) {
+                    return false;
+                }
+                self.parse_block(&Block { alts: b.alts.clone(), ebnf: Ebnf::Star })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llstar_grammar::parse_grammar;
+
+    fn tokens(g: &Grammar, input: &str) -> Vec<Token> {
+        g.lexer.build().unwrap().tokenize(input).unwrap()
+    }
+
+    fn recognizes(src: &str, input: &str, rule: &str) -> Result<PackratStats, PackratError> {
+        let g = parse_grammar(src).unwrap();
+        let toks = tokens(&g, input);
+        let mut p = PackratParser::new(&g, toks);
+        p.recognize(rule)?;
+        Ok(p.stats())
+    }
+
+    const EXPR: &str = r#"
+        grammar E;
+        s : e EOF ;
+        e : t '+' e | t ;
+        t : f '*' t | f ;
+        f : INT | '(' e ')' ;
+        INT : [0-9]+ ;
+        WS : [ ]+ -> skip ;
+    "#;
+
+    #[test]
+    fn parses_expressions() {
+        assert!(recognizes(EXPR, "1 + 2 * 3", "s").is_ok());
+        assert!(recognizes(EXPR, "( 1 + 2 ) * 3", "s").is_ok());
+        assert!(recognizes(EXPR, "1 +", "s").is_err());
+    }
+
+    #[test]
+    fn ordered_choice_prefers_first() {
+        // The PEG hazard from the paper's introduction: A → a | ab never
+        // matches the second alternative on input "a b".
+        let src = "grammar P; s : A | A B ; A:'a'; B:'b'; WS:[ ]+ -> skip;";
+        let err = recognizes(src, "a b", "s").unwrap_err();
+        // Alternative 1 matches just 'a'; the EOF requirement then fails.
+        assert!(err.token_index >= 1, "{err:?}");
+    }
+
+    #[test]
+    fn backtracking_is_counted() {
+        let stats = recognizes(EXPR, "1 * 2 * 3 + 4", "s").unwrap();
+        assert!(stats.backtracked_alts > 0, "{stats:?}");
+        assert!(stats.rule_attempts > 3);
+    }
+
+    #[test]
+    fn memoization_reduces_rule_attempts() {
+        let src = r#"
+            grammar M;
+            s : e ';' EOF | e '!' EOF | e '?' EOF ;
+            e : '(' e ')' | INT ;
+            INT : [0-9]+ ;
+            WS : [ ]+ -> skip ;
+        "#;
+        let g = parse_grammar(src).unwrap();
+        let input = "( ( ( ( 1 ) ) ) ) ?";
+        let toks = tokens(&g, input);
+        let mut with = PackratParser::new(&g, toks.clone());
+        with.recognize("s").unwrap();
+        let mut without = PackratParser::new(&g, toks);
+        without.set_memoize(false);
+        without.recognize("s").unwrap();
+        assert!(
+            with.stats().memo_hits > 0,
+            "memoized run should hit the cache: {:?}",
+            with.stats()
+        );
+        assert!(
+            without.stats().rule_attempts > with.stats().rule_attempts,
+            "memoization must reduce rule attempts: {:?} vs {:?}",
+            without.stats(),
+            with.stats()
+        );
+    }
+
+    #[test]
+    fn ebnf_operators() {
+        let src = "grammar B; s : A? B* C+ EOF ; A:'a'; B:'b'; C:'c'; WS:[ ]+ -> skip;";
+        assert!(recognizes(src, "a b b c", "s").is_ok());
+        assert!(recognizes(src, "c c", "s").is_ok());
+        assert!(recognizes(src, "a b", "s").is_err());
+    }
+
+    #[test]
+    fn epsilon_star_terminates() {
+        let src = "grammar Z; s : (A?)* B EOF ; A:'a'; B:'b'; WS:[ ]+ -> skip;";
+        assert!(recognizes(src, "a a b", "s").is_ok());
+        assert!(recognizes(src, "b", "s").is_ok());
+    }
+
+    #[test]
+    fn synpred_is_and_predicate() {
+        let src =
+            "grammar Y; s : (A B)=> A B EOF | A C EOF ; A:'a'; B:'b'; C:'c'; WS:[ ]+ -> skip;";
+        assert!(recognizes(src, "a b", "s").is_ok());
+        assert!(recognizes(src, "a c", "s").is_ok());
+    }
+
+    #[test]
+    fn sempred_hooks_gate_alternatives() {
+        struct No;
+        impl PackratHooks for No {
+            fn sempred(&mut self, _: &str, _: usize) -> bool {
+                false
+            }
+        }
+        let src = "grammar H; s : {p}? A EOF | B EOF ; A:'a'; B:'b'; WS:[ ]+ -> skip;";
+        let g = parse_grammar(src).unwrap();
+        let toks = tokens(&g, "a");
+        let mut p = PackratParser::with_hooks(&g, toks, No);
+        assert!(p.recognize("s").is_err(), "alt 1 gated off, alt 2 wants 'b'");
+    }
+
+    #[test]
+    fn fuel_cap_aborts() {
+        let g = parse_grammar(EXPR).unwrap();
+        let toks = tokens(&g, "1 + 2 + 3 + 4 + 5");
+        let mut p = PackratParser::new(&g, toks);
+        p.set_memoize(false);
+        p.set_fuel(10);
+        assert!(p.recognize("s").is_err());
+    }
+
+    #[test]
+    fn deepest_failure_reported() {
+        let src = "grammar D; s : A B C EOF ; A:'a'; B:'b'; C:'c'; WS:[ ]+ -> skip;";
+        let e = recognizes(src, "a b b", "s").unwrap_err();
+        assert_eq!(e.token_index, 2, "failure at the second b");
+    }
+
+    #[test]
+    fn actions_are_skipped() {
+        let src = "grammar A; s : {boom()} A EOF ; A:'a'; WS:[ ]+ -> skip;";
+        assert!(recognizes(src, "a", "s").is_ok());
+    }
+}

@@ -1,0 +1,128 @@
+//! Parse errors with the paper's deepest-token reporting discipline
+//! (Section 4.4): errors point at the specific token that killed the
+//! prediction or match, not at the decision start.
+
+use llstar_lexer::{Token, TokenType};
+use std::fmt;
+
+/// Why a parse failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// A terminal did not match.
+    Mismatch {
+        /// What the parser required.
+        expected: TokenType,
+        /// A display name for the expected token.
+        expected_name: String,
+        /// What it found.
+        found: TokenType,
+    },
+    /// No alternative of a decision was viable at the offending token.
+    NoViableAlternative {
+        /// The rule containing the decision.
+        rule: String,
+    },
+    /// A gated semantic predicate evaluated to false.
+    PredicateFailed {
+        /// The predicate's source text.
+        predicate: String,
+    },
+    /// The parser stopped making progress (a loop matched ε forever).
+    InfiniteLoop {
+        /// The rule being parsed.
+        rule: String,
+    },
+}
+
+/// A parse error at a specific token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+    /// The offending token.
+    pub token: Token,
+    /// Index of the offending token in the stream — the "deepest symbol
+    /// reached" measure used to pick the best error across speculative
+    /// attempts.
+    pub token_index: usize,
+}
+
+impl ParseError {
+    /// Keeps the error whose offending token is deeper in the input
+    /// (Section 4.4: report errors at the deepest symbol reached by a
+    /// failed speculative parse).
+    pub fn deepest(self, other: ParseError) -> ParseError {
+        if other.token_index > self.token_index {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}:{}: ", self.token.line, self.token.col)?;
+        match &self.kind {
+            ParseErrorKind::Mismatch { expected_name, found, .. } => {
+                write!(f, "expected {expected_name}, found {found}")
+            }
+            ParseErrorKind::NoViableAlternative { rule } => {
+                write!(f, "no viable alternative for rule {rule}")
+            }
+            ParseErrorKind::PredicateFailed { predicate } => {
+                write!(f, "semantic predicate {{{predicate}}}? failed")
+            }
+            ParseErrorKind::InfiniteLoop { rule } => {
+                write!(f, "rule {rule} loops without consuming input")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llstar_lexer::Span;
+
+    fn err_at(index: usize) -> ParseError {
+        ParseError {
+            kind: ParseErrorKind::NoViableAlternative { rule: "s".into() },
+            token: Token::new(TokenType(1), Span::new(index, index + 1), 1, index as u32 + 1),
+            token_index: index,
+        }
+    }
+
+    #[test]
+    fn deepest_picks_later_token() {
+        let shallow = err_at(2);
+        let deep = err_at(7);
+        assert_eq!(shallow.clone().deepest(deep.clone()), deep);
+        assert_eq!(deep.clone().deepest(shallow.clone()), deep);
+        // Ties keep the receiver.
+        assert_eq!(shallow.clone().deepest(shallow.clone()), shallow);
+    }
+
+    #[test]
+    fn display_includes_position_and_kind() {
+        let e = ParseError {
+            kind: ParseErrorKind::Mismatch {
+                expected: TokenType(2),
+                expected_name: "';'".into(),
+                found: TokenType(3),
+            },
+            token: Token::new(TokenType(3), Span::new(10, 11), 4, 2),
+            token_index: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 4:2"), "{s}");
+        assert!(s.contains("expected ';'"), "{s}");
+        let e2 = ParseError {
+            kind: ParseErrorKind::PredicateFailed { predicate: "isType".into() },
+            ..e.clone()
+        };
+        assert!(e2.to_string().contains("isType"));
+    }
+}

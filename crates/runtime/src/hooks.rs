@@ -1,0 +1,150 @@
+//! Host-language hooks: semantic predicates and embedded actions.
+//!
+//! The paper's grammars embed predicates and actions written in the host
+//! language; here the "host language" surface is a trait the embedding
+//! program implements. Predicates must be side-effect free (Section 3);
+//! actions may mutate arbitrary state but are suppressed during
+//! speculation unless marked always-run (`{{…}}`, Section 4.3).
+
+use llstar_lexer::Token;
+use std::collections::HashMap;
+
+/// Context passed to predicate and action hooks.
+#[derive(Debug, Clone, Copy)]
+pub struct HookContext {
+    /// Index of the current token in the stream.
+    pub token_index: usize,
+    /// The current (next unconsumed) token.
+    pub next_token: Token,
+    /// Whether the parser is speculating (inside a syntactic-predicate
+    /// evaluation). Actions only see `true` here when marked `{{…}}`.
+    pub speculating: bool,
+}
+
+/// Callbacks supplied by the embedding program.
+pub trait Hooks {
+    /// Evaluates semantic predicate `text`. Defaults to `true` (predicates
+    /// an embedder does not implement are treated as passing).
+    fn sempred(&mut self, text: &str, ctx: &HookContext) -> bool {
+        let _ = (text, ctx);
+        true
+    }
+
+    /// Runs embedded action `text`.
+    fn action(&mut self, text: &str, ctx: &HookContext) {
+        let _ = (text, ctx);
+    }
+}
+
+/// A registered predicate implementation.
+type PredFn = Box<dyn FnMut(&HookContext) -> bool>;
+/// A registered action implementation.
+type ActionFn = Box<dyn FnMut(&HookContext)>;
+
+/// Hooks that do nothing: every predicate passes, actions are ignored.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NopHooks;
+
+impl Hooks for NopHooks {}
+
+/// Table-driven hooks: predicate and action texts map to closures.
+///
+/// ```
+/// use llstar_runtime::{Hooks, HookContext, MapHooks};
+/// use llstar_lexer::Token;
+/// let mut hooks = MapHooks::new();
+/// hooks.on_pred("isTypeName", |_ctx| false);
+/// let ctx = HookContext { token_index: 0, next_token: Token::eof(0, 1, 1), speculating: false };
+/// assert!(!hooks.sempred("isTypeName", &ctx));
+/// assert!(hooks.sempred("unknownPred", &ctx), "unknown predicates default to true");
+/// ```
+#[derive(Default)]
+pub struct MapHooks {
+    preds: HashMap<String, PredFn>,
+    actions: HashMap<String, ActionFn>,
+    /// Count of action invocations, for testing speculation gating.
+    pub action_log: Vec<String>,
+}
+
+impl MapHooks {
+    /// Empty hook table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a predicate implementation.
+    pub fn on_pred(
+        &mut self,
+        text: &str,
+        f: impl FnMut(&HookContext) -> bool + 'static,
+    ) -> &mut Self {
+        self.preds.insert(text.to_string(), Box::new(f));
+        self
+    }
+
+    /// Registers an action implementation.
+    pub fn on_action(&mut self, text: &str, f: impl FnMut(&HookContext) + 'static) -> &mut Self {
+        self.actions.insert(text.to_string(), Box::new(f));
+        self
+    }
+}
+
+impl Hooks for MapHooks {
+    fn sempred(&mut self, text: &str, ctx: &HookContext) -> bool {
+        match self.preds.get_mut(text) {
+            Some(f) => f(ctx),
+            None => true,
+        }
+    }
+
+    fn action(&mut self, text: &str, ctx: &HookContext) {
+        self.action_log.push(text.to_string());
+        if let Some(f) = self.actions.get_mut(text) {
+            f(ctx);
+        }
+    }
+}
+
+impl std::fmt::Debug for MapHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MapHooks")
+            .field("preds", &self.preds.keys().collect::<Vec<_>>())
+            .field("actions", &self.actions.keys().collect::<Vec<_>>())
+            .field("action_log", &self.action_log)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> HookContext {
+        HookContext { token_index: 3, next_token: Token::eof(0, 1, 1), speculating: false }
+    }
+
+    #[test]
+    fn nop_hooks_pass_everything() {
+        let mut h = NopHooks;
+        assert!(h.sempred("anything", &ctx()));
+        h.action("ignored", &ctx());
+    }
+
+    #[test]
+    fn map_hooks_dispatch() {
+        let mut h = MapHooks::new();
+        h.on_pred("no", |_| false);
+        h.on_pred("by_index", |c| c.token_index > 1);
+        assert!(!h.sempred("no", &ctx()));
+        assert!(h.sempred("by_index", &ctx()));
+        assert!(h.sempred("unregistered", &ctx()));
+    }
+
+    #[test]
+    fn action_log_records_invocations() {
+        let mut h = MapHooks::new();
+        h.action("a1", &ctx());
+        h.action("a2", &ctx());
+        assert_eq!(h.action_log, vec!["a1", "a2"]);
+    }
+}

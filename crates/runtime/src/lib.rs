@@ -1,0 +1,44 @@
+//! LL(*) parse-time engine: DFA-driven prediction, backtracking via
+//! syntactic predicates with packrat memoization, semantic-predicate and
+//! action hooks, parse trees, and the runtime instrumentation behind the
+//! paper's Tables 3–4.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use llstar_grammar::parse_grammar;
+//! use llstar_core::analyze;
+//! use llstar_runtime::{parse_text, NopHooks};
+//!
+//! let g = parse_grammar(r#"
+//!     grammar Demo;
+//!     s : ID '=' expr ';' ;
+//!     expr : ID | INT ;
+//!     ID : [a-z]+ ;
+//!     INT : [0-9]+ ;
+//!     WS : [ ]+ -> skip ;
+//! "#)?;
+//! let analysis = analyze(&g);
+//! let (tree, stats) = parse_text(&g, &analysis, "x = 42 ;", "s", NopHooks)?;
+//! assert_eq!(tree.to_sexpr(&g, "x = 42 ;"), r#"(s "x" "=" (expr "42") ";")"#);
+//! assert!(stats.avg_lookahead() >= 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod hooks;
+pub mod parser;
+pub mod stats;
+pub mod stream;
+pub mod tree;
+pub mod visit;
+
+pub use error::{ParseError, ParseErrorKind};
+pub use hooks::{HookContext, Hooks, MapHooks, NopHooks};
+pub use parser::{parse_text, Parser};
+pub use stats::{DecisionStats, ParseStats};
+pub use stream::TokenStream;
+pub use tree::ParseTree;
+pub use visit::{covered_text, find_rule_nodes, walk, TreeListener};

@@ -1,0 +1,209 @@
+//! Runtime instrumentation backing the paper's Tables 3 and 4: per
+//! decision, how deep lookahead went and how often backtracking fired.
+
+use llstar_core::DecisionId;
+
+/// Counters for one decision.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionStats {
+    /// Number of prediction events at this decision.
+    pub events: u64,
+    /// Sum of lookahead depths over all events.
+    pub lookahead_sum: u64,
+    /// Deepest lookahead used by any event.
+    pub max_lookahead: u64,
+    /// Events that launched at least one speculative parse.
+    pub backtrack_events: u64,
+    /// Sum of speculation depths (tokens scanned while backtracking).
+    pub backtrack_depth_sum: u64,
+    /// Deepest speculation.
+    pub backtrack_depth_max: u64,
+}
+
+/// Whole-parse statistics, indexed by decision.
+#[derive(Debug, Clone, Default)]
+pub struct ParseStats {
+    per_decision: Vec<DecisionStats>,
+    /// Memoization cache hits during speculation.
+    pub memo_hits: u64,
+    /// Memoization cache entries written.
+    pub memo_entries: u64,
+}
+
+impl ParseStats {
+    /// Stats sized for `decision_count` decisions.
+    pub fn new(decision_count: usize) -> Self {
+        ParseStats {
+            per_decision: vec![DecisionStats::default(); decision_count],
+            memo_hits: 0,
+            memo_entries: 0,
+        }
+    }
+
+    /// Records one prediction event.
+    pub fn record_event(&mut self, decision: DecisionId, lookahead: u64) {
+        let d = &mut self.per_decision[decision.index()];
+        d.events += 1;
+        d.lookahead_sum += lookahead;
+        d.max_lookahead = d.max_lookahead.max(lookahead);
+    }
+
+    /// Records that the most recent event at `decision` backtracked,
+    /// scanning `depth` tokens speculatively.
+    pub fn record_backtrack(&mut self, decision: DecisionId, depth: u64) {
+        let d = &mut self.per_decision[decision.index()];
+        d.backtrack_events += 1;
+        d.backtrack_depth_sum += depth;
+        d.backtrack_depth_max = d.backtrack_depth_max.max(depth);
+    }
+
+    /// Counters for one decision.
+    pub fn decision(&self, decision: DecisionId) -> &DecisionStats {
+        &self.per_decision[decision.index()]
+    }
+
+    /// Iterates `(decision index, stats)` for decisions with ≥1 event.
+    pub fn covered(&self) -> impl Iterator<Item = (usize, &DecisionStats)> + '_ {
+        self.per_decision.iter().enumerate().filter(|(_, d)| d.events > 0)
+    }
+
+    /// Number of distinct decisions exercised (Table 3's *n*).
+    pub fn decisions_covered(&self) -> usize {
+        self.covered().count()
+    }
+
+    /// Total prediction events across all decisions.
+    pub fn total_events(&self) -> u64 {
+        self.per_decision.iter().map(|d| d.events).sum()
+    }
+
+    /// Average lookahead depth per event (Table 3's *avg k*).
+    pub fn avg_lookahead(&self) -> f64 {
+        let events = self.total_events();
+        if events == 0 {
+            return 0.0;
+        }
+        self.per_decision.iter().map(|d| d.lookahead_sum).sum::<u64>() as f64 / events as f64
+    }
+
+    /// Average speculation depth over backtracking events only (Table 3's
+    /// *back. k*).
+    pub fn avg_backtrack_depth(&self) -> f64 {
+        let n: u64 = self.per_decision.iter().map(|d| d.backtrack_events).sum();
+        if n == 0 {
+            return 0.0;
+        }
+        self.per_decision.iter().map(|d| d.backtrack_depth_sum).sum::<u64>() as f64 / n as f64
+    }
+
+    /// Deepest lookahead of the whole parse (Table 3's *max k*),
+    /// including speculation depths.
+    pub fn max_lookahead(&self) -> u64 {
+        self.per_decision
+            .iter()
+            .map(|d| d.max_lookahead.max(d.backtrack_depth_max))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total events that backtracked.
+    pub fn total_backtrack_events(&self) -> u64 {
+        self.per_decision.iter().map(|d| d.backtrack_events).sum()
+    }
+
+    /// Number of distinct decisions that backtracked at least once
+    /// (Table 4's *Did back.*).
+    pub fn decisions_that_backtracked(&self) -> usize {
+        self.per_decision.iter().filter(|d| d.backtrack_events > 0).count()
+    }
+
+    /// Percentage of all decision events that backtracked (Table 4's
+    /// *Backtrack* column).
+    pub fn backtrack_event_rate(&self) -> f64 {
+        let events = self.total_events();
+        if events == 0 {
+            return 0.0;
+        }
+        100.0 * self.total_backtrack_events() as f64 / events as f64
+    }
+
+    /// Given the set of decisions that *can* backtrack (from static
+    /// analysis), the likelihood that an event at such a decision actually
+    /// backtracks (Table 4's *Back. rate*).
+    pub fn backtrack_trigger_rate(&self, can_backtrack: &[bool]) -> f64 {
+        let mut events_at_pbd = 0u64;
+        let mut backtracked = 0u64;
+        for (i, d) in self.per_decision.iter().enumerate() {
+            if can_backtrack.get(i).copied().unwrap_or(false) {
+                events_at_pbd += d.events;
+                backtracked += d.backtrack_events;
+            }
+        }
+        if events_at_pbd == 0 {
+            return 0.0;
+        }
+        100.0 * backtracked as f64 / events_at_pbd as f64
+    }
+
+    /// Resets all counters (between parses).
+    pub fn reset(&mut self) {
+        for d in &mut self.per_decision {
+            *d = DecisionStats::default();
+        }
+        self.memo_hits = 0;
+        self.memo_entries = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let mut s = ParseStats::new(3);
+        s.record_event(DecisionId(0), 1);
+        s.record_event(DecisionId(0), 3);
+        s.record_event(DecisionId(2), 2);
+        s.record_backtrack(DecisionId(2), 10);
+        assert_eq!(s.decisions_covered(), 2);
+        assert_eq!(s.total_events(), 3);
+        assert!((s.avg_lookahead() - 2.0).abs() < 1e-9);
+        assert_eq!(s.max_lookahead(), 10);
+        assert!((s.avg_backtrack_depth() - 10.0).abs() < 1e-9);
+        assert_eq!(s.decisions_that_backtracked(), 1);
+        assert!((s.backtrack_event_rate() - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trigger_rate_uses_only_pbd_events() {
+        let mut s = ParseStats::new(2);
+        // Decision 0 cannot backtrack; decision 1 can.
+        s.record_event(DecisionId(0), 1);
+        s.record_event(DecisionId(1), 1);
+        s.record_event(DecisionId(1), 1);
+        s.record_backtrack(DecisionId(1), 4);
+        let rate = s.backtrack_trigger_rate(&[false, true]);
+        assert!((rate - 50.0).abs() < 1e-9, "{rate}");
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = ParseStats::new(4);
+        assert_eq!(s.avg_lookahead(), 0.0);
+        assert_eq!(s.avg_backtrack_depth(), 0.0);
+        assert_eq!(s.max_lookahead(), 0);
+        assert_eq!(s.backtrack_event_rate(), 0.0);
+        assert_eq!(s.backtrack_trigger_rate(&[true, true, true, true]), 0.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = ParseStats::new(1);
+        s.record_event(DecisionId(0), 5);
+        s.memo_hits = 3;
+        s.reset();
+        assert_eq!(s.total_events(), 0);
+        assert_eq!(s.memo_hits, 0);
+    }
+}

@@ -1,0 +1,333 @@
+//! Token streams with mark/rewind support for arbitrary lookahead and
+//! backtracking.
+//!
+//! Unlike the two-pass LL-regular parsers of Nijholt and Poplawski —
+//! which must read the input right-to-left first and therefore "cannot
+//! parse infinite streams such as socket protocols and interactive
+//! interpreters" (Section 4) — LL(*) is one-pass left-to-right, so a
+//! [`TokenStream`] can be fed **lazily** from a live source
+//! ([`TokenStream::from_source`]): tokens are pulled only as far as the
+//! current lookahead or speculation actually needs.
+
+use llstar_lexer::{Token, TokenType};
+
+/// Where tokens come from.
+enum Source {
+    /// Fully lexed up front.
+    Complete,
+    /// Pulled on demand; `None` means the source is exhausted (an EOF
+    /// token is synthesized if the source never produced one).
+    Lazy(Box<dyn FnMut() -> Option<Token>>),
+}
+
+impl std::fmt::Debug for Source {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Source::Complete => write!(f, "Complete"),
+            Source::Lazy(_) => write!(f, "Lazy(..)"),
+        }
+    }
+}
+
+/// A random-access token stream over a (possibly still growing) buffer.
+///
+/// The final token is always EOF: either present in the eager buffer (as
+/// produced by [`llstar_lexer::Scanner::tokenize`]) or synthesized when a
+/// lazy source runs dry. Lookahead past the end saturates at EOF.
+///
+/// ```
+/// use llstar_lexer::{Span, Token, TokenType};
+/// use llstar_runtime::TokenStream;
+/// let toks = vec![
+///     Token::new(TokenType(1), Span::new(0, 1), 1, 1),
+///     Token::eof(1, 1, 2),
+/// ];
+/// let mut ts = TokenStream::new(toks);
+/// assert_eq!(ts.la(1), TokenType(1));
+/// assert_eq!(ts.la(2), TokenType::EOF);
+/// ts.consume();
+/// assert_eq!(ts.la(1), TokenType::EOF);
+/// ```
+#[derive(Debug)]
+pub struct TokenStream {
+    tokens: Vec<Token>,
+    index: usize,
+    source: Source,
+    /// Set once EOF is in `tokens` (always true for complete streams).
+    finished: bool,
+}
+
+impl Clone for TokenStream {
+    /// Cloning is only supported for fully-buffered streams (a lazy
+    /// source cannot be duplicated).
+    ///
+    /// # Panics
+    /// Panics if the stream has a lazy source that has not yet finished.
+    fn clone(&self) -> Self {
+        assert!(
+            self.finished,
+            "cannot clone a token stream whose lazy source is still live"
+        );
+        TokenStream {
+            tokens: self.tokens.clone(),
+            index: self.index,
+            source: Source::Complete,
+            finished: true,
+        }
+    }
+}
+
+impl TokenStream {
+    /// Wraps a fully lexed token buffer.
+    ///
+    /// # Panics
+    /// Panics if `tokens` is empty or does not end with EOF.
+    pub fn new(tokens: Vec<Token>) -> Self {
+        assert!(
+            tokens.last().is_some_and(|t| t.ttype.is_eof()),
+            "token stream must end with EOF"
+        );
+        TokenStream { tokens, index: 0, source: Source::Complete, finished: true }
+    }
+
+    /// Wraps a live token source (socket, interactive interpreter, …).
+    /// Tokens are pulled only when lookahead or consumption requires
+    /// them; when the source returns `None`, an EOF token is synthesized
+    /// (unless the source already produced one).
+    pub fn from_source(source: impl FnMut() -> Option<Token> + 'static) -> Self {
+        TokenStream {
+            tokens: Vec::new(),
+            index: 0,
+            source: Source::Lazy(Box::new(source)),
+            finished: false,
+        }
+    }
+
+    /// Ensures at least `n` tokens are buffered (or the stream has
+    /// finished with EOF).
+    fn fill_to(&mut self, n: usize) {
+        while !self.finished && self.tokens.len() < n {
+            let Source::Lazy(pull) = &mut self.source else {
+                unreachable!("unfinished streams are lazy")
+            };
+            match pull() {
+                Some(tok) => {
+                    let eof = tok.ttype.is_eof();
+                    self.tokens.push(tok);
+                    if eof {
+                        self.finished = true;
+                    }
+                }
+                None => {
+                    let offset = self.tokens.last().map_or(0, |t| t.span.end);
+                    let line = self.tokens.last().map_or(1, |t| t.line);
+                    self.tokens.push(Token::eof(offset, line, 1));
+                    self.finished = true;
+                }
+            }
+        }
+    }
+
+    /// The token type `i` tokens ahead (1-based: `la(1)` is the current
+    /// token). Saturates at EOF.
+    pub fn la(&mut self, i: usize) -> TokenType {
+        self.lt(i).ttype
+    }
+
+    /// The token `i` ahead (1-based), saturating at EOF.
+    pub fn lt(&mut self, i: usize) -> Token {
+        debug_assert!(i >= 1, "lookahead is 1-based");
+        self.fill_to(self.index + i);
+        let pos = (self.index + i - 1).min(self.tokens.len() - 1);
+        self.tokens[pos]
+    }
+
+    /// Consumes the current token (does not move past EOF).
+    pub fn consume(&mut self) -> Token {
+        self.fill_to(self.index + 2);
+        let t = self.tokens[self.index];
+        if self.index + 1 < self.tokens.len() {
+            self.index += 1;
+        }
+        t
+    }
+
+    /// The current position (for mark/rewind and memoization keys).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Rewinds (or fast-forwards) to a previously observed position.
+    ///
+    /// # Panics
+    /// Panics if `index` points past the buffered region.
+    pub fn seek(&mut self, index: usize) {
+        assert!(index < self.tokens.len().max(1), "seek out of bounds");
+        self.index = index;
+    }
+
+    /// Number of tokens buffered so far, including EOF once seen. For
+    /// complete streams this is the total token count; for lazy streams
+    /// it measures how far the parser actually had to read.
+    pub fn buffered_len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Total number of tokens, including EOF.
+    ///
+    /// # Panics
+    /// Panics for a lazy stream that has not reached EOF yet.
+    pub fn len(&self) -> usize {
+        assert!(self.finished, "length of a live stream is unknown");
+        self.tokens.len()
+    }
+
+    /// Whether the (finished) stream holds only EOF.
+    pub fn is_empty(&self) -> bool {
+        self.finished && self.tokens.len() == 1
+    }
+
+    /// Whether the cursor sits at EOF.
+    pub fn at_eof(&mut self) -> bool {
+        self.la(1).is_eof()
+    }
+
+    /// All tokens buffered so far (for diagnostics).
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llstar_lexer::Span;
+
+    fn toks(n: usize) -> Vec<Token> {
+        let mut v: Vec<Token> = (0..n)
+            .map(|i| Token::new(TokenType(i as u32 + 1), Span::new(i, i + 1), 1, i as u32 + 1))
+            .collect();
+        v.push(Token::eof(n, 1, n as u32 + 1));
+        v
+    }
+
+    #[test]
+    fn lookahead_and_consume() {
+        let mut ts = TokenStream::new(toks(3));
+        assert_eq!(ts.la(1), TokenType(1));
+        assert_eq!(ts.la(3), TokenType(3));
+        assert_eq!(ts.la(4), TokenType::EOF);
+        assert_eq!(ts.la(99), TokenType::EOF);
+        let t = ts.consume();
+        assert_eq!(t.ttype, TokenType(1));
+        assert_eq!(ts.la(1), TokenType(2));
+    }
+
+    #[test]
+    fn consume_saturates_at_eof() {
+        let mut ts = TokenStream::new(toks(1));
+        ts.consume();
+        assert!(ts.at_eof());
+        ts.consume();
+        ts.consume();
+        assert!(ts.at_eof());
+        assert_eq!(ts.index(), 1);
+    }
+
+    #[test]
+    fn mark_and_rewind() {
+        let mut ts = TokenStream::new(toks(4));
+        ts.consume();
+        ts.consume();
+        let mark = ts.index();
+        ts.consume();
+        assert_eq!(ts.la(1), TokenType(4));
+        ts.seek(mark);
+        assert_eq!(ts.la(1), TokenType(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "must end with EOF")]
+    fn rejects_missing_eof() {
+        let mut v = toks(2);
+        v.pop();
+        let _ = TokenStream::new(v);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn seek_bounds_checked() {
+        let mut ts = TokenStream::new(toks(1));
+        ts.seek(7);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let mut ts = TokenStream::new(toks(0));
+        assert!(ts.is_empty());
+        assert!(ts.at_eof());
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn lazy_source_pulls_on_demand() {
+        let buffer = toks(10);
+        let mut i = 0;
+        let mut ts = TokenStream::from_source(move || {
+            let t = buffer.get(i).copied();
+            i += 1;
+            t
+        });
+        assert_eq!(ts.buffered_len(), 0, "nothing pulled before first use");
+        assert_eq!(ts.la(1), TokenType(1));
+        assert_eq!(ts.buffered_len(), 1);
+        assert_eq!(ts.la(3), TokenType(3));
+        assert_eq!(ts.buffered_len(), 3, "pulls exactly as far as lookahead");
+        ts.consume();
+        // consume pre-fills one ahead.
+        assert!(ts.buffered_len() <= 4);
+    }
+
+    #[test]
+    fn lazy_source_synthesizes_eof() {
+        let mut ts = TokenStream::from_source({
+            let mut given = false;
+            move || {
+                if given {
+                    None
+                } else {
+                    given = true;
+                    Some(Token::new(TokenType(5), Span::new(0, 1), 1, 1))
+                }
+            }
+        });
+        assert_eq!(ts.la(1), TokenType(5));
+        ts.consume();
+        assert!(ts.at_eof());
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn lazy_rewind_within_buffer() {
+        let buffer = toks(6);
+        let mut i = 0;
+        let mut ts = TokenStream::from_source(move || {
+            let t = buffer.get(i).copied();
+            i += 1;
+            t
+        });
+        let mark = ts.index();
+        for _ in 0..4 {
+            ts.consume();
+        }
+        ts.seek(mark);
+        assert_eq!(ts.la(1), TokenType(1), "rewound lazily-pulled tokens stay buffered");
+    }
+
+    #[test]
+    #[should_panic(expected = "still live")]
+    fn cloning_live_lazy_stream_panics() {
+        let ts = TokenStream::from_source(|| None);
+        let _ = ts.clone();
+    }
+}

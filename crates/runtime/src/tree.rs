@@ -1,0 +1,156 @@
+//! Parse trees produced by the LL(*) interpreter.
+
+use llstar_grammar::{Grammar, RuleId};
+use llstar_lexer::Token;
+use std::fmt::Write as _;
+
+/// A parse tree: interior nodes are rule applications, leaves are tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTree {
+    /// A rule application with its children in match order.
+    Rule {
+        /// The rule that matched.
+        rule: RuleId,
+        /// Which alternative matched (1-based), when the rule had a
+        /// decision; `0` for single-alternative rules.
+        alt: u16,
+        /// Matched children.
+        children: Vec<ParseTree>,
+    },
+    /// A matched token.
+    Token(Token),
+}
+
+impl ParseTree {
+    /// Creates an empty rule node.
+    pub fn rule(rule: RuleId) -> ParseTree {
+        ParseTree::Rule { rule, alt: 0, children: Vec::new() }
+    }
+
+    /// Number of token leaves in the tree.
+    pub fn token_count(&self) -> usize {
+        match self {
+            ParseTree::Token(_) => 1,
+            ParseTree::Rule { children, .. } => {
+                children.iter().map(ParseTree::token_count).sum()
+            }
+        }
+    }
+
+    /// Number of rule nodes in the tree.
+    pub fn rule_count(&self) -> usize {
+        match self {
+            ParseTree::Token(_) => 0,
+            ParseTree::Rule { children, .. } => {
+                1 + children.iter().map(ParseTree::rule_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Depth of the tree (a single token has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            ParseTree::Token(_) => 1,
+            ParseTree::Rule { children, .. } => {
+                1 + children.iter().map(ParseTree::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// The leaf tokens in order.
+    pub fn leaves(&self) -> Vec<Token> {
+        let mut out = Vec::new();
+        fn walk(t: &ParseTree, out: &mut Vec<Token>) {
+            match t {
+                ParseTree::Token(tok) => out.push(*tok),
+                ParseTree::Rule { children, .. } => {
+                    for c in children {
+                        walk(c, out);
+                    }
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Renders the tree as an s-expression using rule names and token
+    /// text, e.g. `(s (expr "1" "+" "2"))`.
+    pub fn to_sexpr(&self, grammar: &Grammar, source: &str) -> String {
+        let mut out = String::new();
+        self.write_sexpr(grammar, source, &mut out);
+        out
+    }
+
+    fn write_sexpr(&self, grammar: &Grammar, source: &str, out: &mut String) {
+        match self {
+            ParseTree::Token(tok) => {
+                let _ = write!(out, "{:?}", tok.text(source));
+            }
+            ParseTree::Rule { rule, children, .. } => {
+                let _ = write!(out, "({}", grammar.rule(*rule).name);
+                for c in children {
+                    out.push(' ');
+                    c.write_sexpr(grammar, source, out);
+                }
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llstar_grammar::parse_grammar;
+    use llstar_lexer::{Span, TokenType};
+
+    fn leaf(start: usize, end: usize) -> ParseTree {
+        ParseTree::Token(Token::new(TokenType(1), Span::new(start, end), 1, 1))
+    }
+
+    #[test]
+    fn counting_and_depth() {
+        let t = ParseTree::Rule {
+            rule: RuleId(0),
+            alt: 1,
+            children: vec![
+                leaf(0, 1),
+                ParseTree::Rule { rule: RuleId(1), alt: 0, children: vec![leaf(1, 2)] },
+            ],
+        };
+        assert_eq!(t.token_count(), 2);
+        assert_eq!(t.rule_count(), 2);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.leaves().len(), 2);
+    }
+
+    #[test]
+    fn sexpr_rendering() {
+        let g = parse_grammar("grammar T; s : x ; x : A ; A:'a';").unwrap();
+        let src = "a";
+        let t = ParseTree::Rule {
+            rule: g.rule_id("s").unwrap(),
+            alt: 0,
+            children: vec![ParseTree::Rule {
+                rule: g.rule_id("x").unwrap(),
+                alt: 0,
+                children: vec![ParseTree::Token(Token::new(
+                    TokenType(1),
+                    Span::new(0, 1),
+                    1,
+                    1,
+                ))],
+            }],
+        };
+        assert_eq!(t.to_sexpr(&g, src), "(s (x \"a\"))");
+    }
+
+    #[test]
+    fn empty_rule_node() {
+        let t = ParseTree::rule(RuleId(3));
+        assert_eq!(t.token_count(), 0);
+        assert_eq!(t.rule_count(), 1);
+        assert_eq!(t.depth(), 1);
+    }
+}

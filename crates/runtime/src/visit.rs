@@ -1,0 +1,137 @@
+//! Parse-tree walking: a listener-style walker (like ANTLR's tree
+//! listeners) plus small query helpers, so embedders do not hand-roll
+//! recursion for every analysis over a [`ParseTree`].
+
+use crate::tree::ParseTree;
+use llstar_grammar::RuleId;
+use llstar_lexer::Token;
+
+/// Callbacks fired by [`walk`] in depth-first order.
+pub trait TreeListener {
+    /// Called before a rule node's children.
+    fn enter_rule(&mut self, rule: RuleId, alt: u16) {
+        let _ = (rule, alt);
+    }
+    /// Called after a rule node's children.
+    fn exit_rule(&mut self, rule: RuleId, alt: u16) {
+        let _ = (rule, alt);
+    }
+    /// Called for each token leaf.
+    fn visit_token(&mut self, token: Token) {
+        let _ = token;
+    }
+}
+
+/// Walks `tree` depth-first, firing `listener` callbacks.
+pub fn walk<L: TreeListener>(tree: &ParseTree, listener: &mut L) {
+    match tree {
+        ParseTree::Token(tok) => listener.visit_token(*tok),
+        ParseTree::Rule { rule, alt, children } => {
+            listener.enter_rule(*rule, *alt);
+            for child in children {
+                walk(child, listener);
+            }
+            listener.exit_rule(*rule, *alt);
+        }
+    }
+}
+
+/// Collects references to every node for rule `rule`, in document order.
+pub fn find_rule_nodes(tree: &ParseTree, rule: RuleId) -> Vec<&ParseTree> {
+    let mut out = Vec::new();
+    fn go<'t>(t: &'t ParseTree, rule: RuleId, out: &mut Vec<&'t ParseTree>) {
+        if let ParseTree::Rule { rule: r, children, .. } = t {
+            if *r == rule {
+                out.push(t);
+            }
+            for c in children {
+                go(c, rule, out);
+            }
+        }
+    }
+    go(tree, rule, &mut out);
+    out
+}
+
+/// The source text covered by the tree: the concatenated token slices
+/// separated by single spaces (token spans are exact; whitespace between
+/// them is normalized).
+pub fn covered_text(tree: &ParseTree, source: &str) -> String {
+    tree.leaves()
+        .into_iter()
+        .map(|t| t.text(source))
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NopHooks;
+    use crate::parser::parse_text;
+    use llstar_core::analyze;
+    use llstar_grammar::parse_grammar;
+
+    const SRC: &str = r#"
+        grammar W;
+        stat : ID '=' expr ';' ;
+        expr : term ('+' term)* ;
+        term : ID | INT ;
+        ID : [a-z]+ ;
+        INT : [0-9]+ ;
+        WS : [ ]+ -> skip ;
+    "#;
+
+    fn tree() -> (llstar_grammar::Grammar, ParseTree, &'static str) {
+        let g = parse_grammar(SRC).unwrap();
+        let a = analyze(&g);
+        let input = "x = y + 1 + z ;";
+        let (t, _) = parse_text(&g, &a, input, "stat", NopHooks).unwrap();
+        (g, t, input)
+    }
+
+    #[test]
+    fn walker_fires_in_document_order() {
+        #[derive(Default)]
+        struct Log(Vec<String>);
+        impl TreeListener for Log {
+            fn enter_rule(&mut self, rule: RuleId, _alt: u16) {
+                self.0.push(format!("enter {}", rule.0));
+            }
+            fn exit_rule(&mut self, rule: RuleId, _alt: u16) {
+                self.0.push(format!("exit {}", rule.0));
+            }
+            fn visit_token(&mut self, _t: Token) {
+                self.0.push("tok".into());
+            }
+        }
+        let (_, t, _) = tree();
+        let mut log = Log::default();
+        walk(&t, &mut log);
+        assert_eq!(log.0.first().map(String::as_str), Some("enter 0"));
+        assert_eq!(log.0.last().map(String::as_str), Some("exit 0"));
+        let tokens = log.0.iter().filter(|s| s.as_str() == "tok").count();
+        assert_eq!(tokens, 8, "{:?}", log.0);
+        // Balanced enter/exit.
+        let enters = log.0.iter().filter(|s| s.starts_with("enter")).count();
+        let exits = log.0.iter().filter(|s| s.starts_with("exit")).count();
+        assert_eq!(enters, exits);
+    }
+
+    #[test]
+    fn find_rule_nodes_returns_document_order() {
+        let (g, t, src) = tree();
+        let term = g.rule_id("term").unwrap();
+        let terms = find_rule_nodes(&t, term);
+        assert_eq!(terms.len(), 3);
+        let texts: Vec<String> = terms.iter().map(|n| covered_text(n, src)).collect();
+        assert_eq!(texts, vec!["y", "1", "z"]);
+    }
+
+    #[test]
+    fn covered_text_reconstructs_tokens() {
+        let (_, t, src) = tree();
+        assert_eq!(covered_text(&t, src), "x = y + 1 + z ;");
+    }
+}

@@ -1,0 +1,300 @@
+//! The C-like benchmark grammar (the paper's `RatsC` analog: a PEG-style
+//! grammar run in PEG mode) and its program generator.
+//!
+//! Deliberately mirrors the properties the paper attributes to RatsC:
+//! * the `externalDecl` decision distinguishes declarations from function
+//!   *definitions* only at the body's `{`, so its syntactic predicate
+//!   speculates across entire declarators (the paper's "backtracks across
+//!   an entire function" pathology);
+//! * `{isTypeName}? ID` gates typedef'd names (the paper's single C
+//!   predicate, Section 4.2);
+//! * nested backtracking makes memoization load-bearing (Section 6.2
+//!   notes RatsC "appears not to terminate" without it).
+
+use crate::common::CodeGen;
+
+/// The grammar source (PEG mode).
+pub const GRAMMAR: &str = r#"
+grammar C;
+options { backtrack = true; memoize = true; }
+
+translationUnit : externalDecl* EOF ;
+externalDecl : functionDef | declaration ;
+functionDef : declSpecifier+ declarator compoundStatement ;
+declaration
+    : 'typedef' declSpecifier+ declarator ';'
+    | declSpecifier+ initDeclarator (',' initDeclarator)* ';'
+    ;
+initDeclarator : declarator ('=' initializer)? ;
+initializer : assignExpr | '{' initializer (',' initializer)* '}' ;
+declSpecifier : storageClass | typeQualifier | typeSpecifier ;
+storageClass : 'static' | 'extern' | 'auto' | 'register' ;
+typeQualifier : 'const' | 'volatile' ;
+typeSpecifier
+    : 'void' | 'char' | 'short' | 'int' | 'long' | 'float' | 'double'
+    | 'signed' | 'unsigned'
+    | structSpecifier
+    | {isTypeName}? ID
+    ;
+structSpecifier
+    : ('struct' | 'union') (ID ('{' structDeclaration+ '}')? | '{' structDeclaration+ '}') ;
+structDeclaration : declSpecifier+ declarator (',' declarator)* ';' ;
+declarator : ('*' typeQualifier*)* directDeclarator ;
+directDeclarator : (ID | '(' declarator ')') declaratorSuffix* ;
+declaratorSuffix : '[' condExpr? ']' | '(' paramList? ')' ;
+paramList : paramDecl (',' paramDecl)* ;
+paramDecl : declSpecifier+ declarator? ;
+
+compoundStatement : '{' blockItem* '}' ;
+blockItem : declaration | statement ;
+statement
+    : compoundStatement
+    | 'if' '(' expr ')' statement ('else' statement)?
+    | 'while' '(' expr ')' statement
+    | 'do' statement 'while' '(' expr ')' ';'
+    | 'for' '(' expr? ';' expr? ';' expr? ')' statement
+    | 'return' expr? ';'
+    | 'break' ';'
+    | 'continue' ';'
+    | expr ';'
+    | ';'
+    ;
+
+expr : assignExpr (',' assignExpr)* ;
+assignExpr : unaryExpr assignOp assignExpr | condExpr ;
+assignOp : '=' | '+=' | '-=' | '*=' | '/=' ;
+condExpr : logicalOr ('?' expr ':' condExpr)? ;
+logicalOr : logicalAnd ('||' logicalAnd)* ;
+logicalAnd : bitOr ('&&' bitOr)* ;
+bitOr : bitAnd ('|' bitAnd)* ;
+bitAnd : equality ('&' equality)* ;
+equality : relational (('==' | '!=') relational)* ;
+relational : shift (('<' | '>' | '<=' | '>=') shift)* ;
+shift : additive (('<<' | '>>') additive)* ;
+additive : multiplicative (('+' | '-') multiplicative)* ;
+multiplicative : castExpr (('*' | '/' | '%') castExpr)* ;
+castExpr : '(' typeName ')' castExpr | unaryExpr ;
+typeName : declSpecifier+ ('*' typeQualifier*)* ;
+unaryExpr
+    : ('++' | '--' | '&' | '*' | '+' | '-' | '!' | '~') castExpr
+    | 'sizeof' unaryExpr
+    | postfixExpr
+    ;
+postfixExpr : primaryExpr postfixOp* ;
+postfixOp
+    : '[' expr ']'
+    | '(' argList? ')'
+    | '.' ID
+    | '->' ID
+    | '++'
+    | '--'
+    ;
+argList : assignExpr (',' assignExpr)* ;
+primaryExpr : ID | INT | FLOAT | STRING | CHARLIT | '(' expr ')' ;
+
+ID : [a-zA-Z_] [a-zA-Z0-9_]* ;
+FLOAT : [0-9]+ '.' [0-9]+ ;
+INT : [0-9]+ ;
+STRING : '"' (~["\\\n] | '\\' .)* '"' ;
+CHARLIT : '\'' (~['\\\n] | '\\' .) '\'' ;
+WS : [ \t\r\n]+ -> skip ;
+LINE_COMMENT : '//' (~[\n])* -> skip ;
+COMMENT : '/*' ((~[*])* '*'+ ~[*/])* (~[*])* '*'+ '/' -> skip ;
+"#;
+
+/// The start rule.
+pub const START_RULE: &str = "translationUnit";
+
+/// The identifier prefix the generator uses for typedef names; the
+/// benchmark's `isTypeName` hook recognizes exactly these.
+pub const TYPEDEF_PREFIX: &str = "t_";
+
+/// Generates a C-like program of roughly `target_lines` lines.
+pub fn generate(target_lines: usize, seed: u64) -> String {
+    let mut g = CodeGen::new(seed);
+    g.line("/* generated C-like benchmark input */");
+    g.line("typedef unsigned long t_size;");
+    g.line("typedef struct Node { int value; struct Node * next; } t_node;");
+    g.line("extern int printf();");
+    g.line("static t_size global_counter = 0;");
+    g.line("");
+    let mut fn_no = 0;
+    while g.lines_emitted() < target_lines {
+        fn_no += 1;
+        // Mix prototypes (declarations) with definitions so the
+        // externalDecl decision keeps having to look past declarators.
+        if g.chance(0.25) {
+            emit_prototype(&mut g, fn_no);
+        } else {
+            emit_function(&mut g, fn_no);
+        }
+        g.line("");
+    }
+    g.finish()
+}
+
+fn c_type(g: &mut CodeGen) -> String {
+    g.pick(&[
+        "int",
+        "unsigned int",
+        "long",
+        "double",
+        "char",
+        "t_size",
+        "t_node",
+        "int *",
+        "const char *",
+    ])
+    .to_string()
+}
+
+fn emit_prototype(g: &mut CodeGen, n: usize) {
+    let ret = c_type(g);
+    let nparams = g.below(3);
+    let params: Vec<String> =
+        (0..nparams).map(|_| format!("{} {}", c_type(g), g.ident())).collect();
+    g.line(&format!("static {ret} helper{n}({});", params.join(", ")));
+}
+
+fn emit_function(g: &mut CodeGen, n: usize) {
+    let ret = c_type(g);
+    let nparams = g.below(3);
+    let params: Vec<String> =
+        (0..nparams).map(|_| format!("{} {}", c_type(g), g.ident())).collect();
+    g.line(&format!("{ret} func{n}({}) {{", params.join(", ")));
+    g.indented(|g| {
+        let decls = 1 + g.below(3);
+        for _ in 0..decls {
+            let ty = c_type(g);
+            let name = g.fresh("local");
+            let init = expression(g, 2);
+            g.line(&format!("{ty} {name} = {init};"));
+        }
+        let stmts = 2 + g.below(6);
+        for _ in 0..stmts {
+            emit_statement(g, 2);
+        }
+        let e = expression(g, 1);
+        g.line(&format!("return {e};"));
+    });
+    g.line("}");
+}
+
+fn emit_statement(g: &mut CodeGen, depth: usize) {
+    if depth == 0 {
+        let e = expression(g, 1);
+        g.line(&format!("{e};"));
+        return;
+    }
+    match g.below(7) {
+        0 => {
+            let c = expression(g, 1);
+            g.line(&format!("if ({c}) {{"));
+            g.indented(|g| emit_statement(g, depth - 1));
+            if g.chance(0.4) {
+                g.line("} else {");
+                g.indented(|g| emit_statement(g, depth - 1));
+            }
+            g.line("}");
+        }
+        1 => {
+            let c = expression(g, 1);
+            g.line(&format!("while ({c}) {{"));
+            g.indented(|g| {
+                emit_statement(g, depth - 1);
+                g.line("break;");
+            });
+            g.line("}");
+        }
+        2 => {
+            let i = g.fresh("i");
+            let bound = g.int_lit();
+            g.line(&format!("for ({i} = 0; {i} < {bound}; {i}++) {{"));
+            g.indented(|g| emit_statement(g, depth - 1));
+            g.line("}");
+        }
+        3 => {
+            let lhs = g.ident();
+            let rhs = expression(g, depth - 1);
+            g.line(&format!("{lhs} = {rhs};"));
+        }
+        4 => {
+            let ty = c_type(g);
+            let name = g.fresh("d");
+            let e = expression(g, depth - 1);
+            g.line(&format!("{ty} {name} = {e};"));
+        }
+        5 => {
+            let f = g.ident();
+            let e = expression(g, depth - 1);
+            g.line(&format!("{f}({e});"));
+        }
+        _ => {
+            let p = g.ident();
+            let e = expression(g, depth - 1);
+            g.line(&format!("{p}->next = {e};"));
+        }
+    }
+}
+
+fn expression(g: &mut CodeGen, depth: usize) -> String {
+    if depth == 0 {
+        return primary(g);
+    }
+    match g.below(7) {
+        0 => format!("{} + {}", expression(g, depth - 1), primary(g)),
+        1 => format!("{} * {}", primary(g), expression(g, depth - 1)),
+        2 => format!("{} < {}", primary(g), primary(g)),
+        3 => format!("({})", expression(g, depth - 1)),
+        4 => format!("{}({})", g.ident(), expression(g, depth - 1)),
+        5 => format!("& {}", primary(g)),
+        _ => format!("sizeof {}", primary(g)),
+    }
+}
+
+fn primary(g: &mut CodeGen) -> String {
+    match g.below(5) {
+        0 => g.int_lit(),
+        1 => g.ident(),
+        2 => g.str_lit(),
+        3 => format!("{}.value", g.ident()),
+        _ => "global_counter".to_string(),
+    }
+}
+
+/// Whether `name` is one of the generator's typedef names (the benchmark
+/// `isTypeName` oracle).
+pub fn is_typedef_name(name: &str) -> bool {
+    name.starts_with(TYPEDEF_PREFIX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_loads_and_validates() {
+        let g = llstar_grammar::parse_grammar(GRAMMAR).unwrap();
+        assert!(g.options.backtrack);
+        assert_eq!(g.sempreds.len(), 1, "exactly one predicate, like the paper's C grammar");
+        let errors: Vec<_> = llstar_grammar::validate(&g)
+            .into_iter()
+            .filter(llstar_grammar::GrammarIssue::is_error)
+            .collect();
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn generated_program_lexes() {
+        let g = llstar_grammar::parse_grammar(GRAMMAR).unwrap();
+        let scanner = g.lexer.build().unwrap();
+        let src = generate(80, 2);
+        assert!(scanner.tokenize(&src).is_ok());
+    }
+
+    #[test]
+    fn typedef_oracle() {
+        assert!(is_typedef_name("t_size"));
+        assert!(!is_typedef_name("size"));
+    }
+}

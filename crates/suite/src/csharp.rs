@@ -1,0 +1,275 @@
+//! The C#-like benchmark grammar (the paper's `C#` analog: a commercial
+//! grammar with manual syntactic predicates on the few genuinely
+//! ambiguous-prefix decisions) and its program generator.
+//!
+//! The characteristic decision: class members share the prefix
+//! `modifier* type ID`, and only the *next* token distinguishes fields
+//! (`= ;`), methods (`(`), and properties (`{`) — across arbitrarily long
+//! qualified types, which is exactly the shape that needs cyclic lookahead
+//! or a predicate.
+
+use crate::common::CodeGen;
+
+/// The grammar source (manual predicates, no PEG mode).
+pub const GRAMMAR: &str = r#"
+grammar CSharp;
+
+compilationUnit : usingDirective* namespaceDecl* EOF ;
+usingDirective : 'using' qualifiedName ';' ;
+namespaceDecl : 'namespace' qualifiedName '{' typeDecl* '}' ;
+typeDecl : classDecl | structDecl | enumDecl ;
+classDecl : modifier* 'class' ID (':' qualifiedName (',' qualifiedName)*)? '{' member* '}' ;
+structDecl : modifier* 'struct' ID '{' member* '}' ;
+enumDecl : modifier* 'enum' ID '{' ID (',' ID)* '}' ;
+modifier
+    : 'public' | 'private' | 'protected' | 'internal' | 'static'
+    | 'sealed' | 'override' | 'virtual' | 'readonly'
+    ;
+member
+    : (modifier* typ ID '{')=> propertyDecl
+    | (modifier* ('void' | typ) ID '(')=> methodDecl
+    | fieldDecl
+    | classDecl
+    ;
+propertyDecl : modifier* typ ID '{' accessor+ '}' ;
+accessor : ('get' | 'set') (block | ';') ;
+methodDecl : modifier* ('void' | typ) ID '(' params? ')' (block | ';') ;
+fieldDecl : modifier* typ ID ('=' expression)? ';' ;
+params : param (',' param)* ;
+param : ('ref' | 'out')? typ ID ;
+qualifiedName : ID ('.' ID)* ;
+typ : (qualifiedName | builtinType) ('[' ']')* ('?')? ;
+builtinType : 'int' | 'bool' | 'string' | 'double' | 'char' | 'long' | 'object' ;
+
+block : '{' statement* '}' ;
+statement
+    : block
+    | 'if' '(' expression ')' statement ('else' statement)?
+    | 'while' '(' expression ')' statement
+    | 'for' '(' forInit? ';' expression? ';' expression? ')' statement
+    | 'foreach' '(' typ ID 'in' expression ')' statement
+    | 'return' expression? ';'
+    | 'throw' expression ';'
+    | 'break' ';'
+    | 'continue' ';'
+    | (typ ID)=> localVarDecl ';'
+    | expression ';'
+    | ';'
+    ;
+forInit : (typ ID)=> localVarDecl | expressionList ;
+localVarDecl : typ ID ('=' expression)? (',' ID ('=' expression)?)* ;
+expressionList : expression (',' expression)* ;
+
+expression : conditional (assignOp expression)? ;
+assignOp : '=' | '+=' | '-=' | '*=' ;
+conditional : nullCoalesce ('?' expression ':' conditional)? ;
+nullCoalesce : logicalOr ('??' logicalOr)* ;
+logicalOr : logicalAnd ('||' logicalAnd)* ;
+logicalAnd : equality ('&&' equality)* ;
+equality : relational (('==' | '!=') relational)* ;
+relational : additive (('<' | '>' | '<=' | '>=' | 'is' | 'as') additive)* ;
+additive : multiplicative (('+' | '-') multiplicative)* ;
+multiplicative : unary (('*' | '/' | '%') unary)* ;
+unary : ('!' | '-' | '++' | '--') unary | postfix ;
+postfix : primary postfixOp* ;
+postfixOp : '.' ID arguments? | '[' expression ']' | arguments | '++' | '--' ;
+arguments : '(' argument (',' argument)* ')' | '(' ')' ;
+argument : ('ref' | 'out')? expression ;
+primary
+    : '(' expression ')'
+    | literal
+    | 'new' creator
+    | 'typeof' '(' typ ')'
+    | ID
+    ;
+creator : qualifiedName arguments | qualifiedName '[' expression ']' ;
+literal : INT | FLOAT | STRING | CHARLIT | 'true' | 'false' | 'null' | 'this' | 'base' ;
+
+ID : [a-zA-Z_] [a-zA-Z0-9_]* ;
+FLOAT : [0-9]+ '.' [0-9]+ ;
+INT : [0-9]+ ;
+STRING : '"' (~["\\\n] | '\\' .)* '"' ;
+CHARLIT : '\'' (~['\\\n] | '\\' .) '\'' ;
+WS : [ \t\r\n]+ -> skip ;
+LINE_COMMENT : '//' (~[\n])* -> skip ;
+COMMENT : '/*' ((~[*])* '*'+ ~[*/])* (~[*])* '*'+ '/' -> skip ;
+"#;
+
+/// The start rule.
+pub const START_RULE: &str = "compilationUnit";
+
+/// Generates a C#-like program of roughly `target_lines` lines.
+pub fn generate(target_lines: usize, seed: u64) -> String {
+    let mut g = CodeGen::new(seed);
+    g.line("using System;");
+    g.line("using System.Collections.Generic;");
+    g.line("");
+    g.line("namespace Generated.Bench {");
+    let mut class_no = 0;
+    g.indented(|g| {
+        while g.lines_emitted() < target_lines.saturating_sub(1) {
+            class_no += 1;
+            emit_class(g, class_no);
+            g.line("");
+        }
+    });
+    g.line("}");
+    g.finish()
+}
+
+fn cs_type(g: &mut CodeGen) -> String {
+    g.pick(&["int", "bool", "string", "double", "System.Object", "Widget1", "long"]).to_string()
+}
+
+fn emit_class(g: &mut CodeGen, n: usize) {
+    g.line(&format!("public sealed class Widget{n} {{"));
+    g.indented(|g| {
+        for _ in 0..1 + g.below(3) {
+            let ty = cs_type(g);
+            let name = g.ident();
+            let e = expression(g, 1);
+            g.line(&format!("private {ty} {name} = {e};"));
+        }
+        // Properties — the construct that motivates the member synpreds.
+        for _ in 0..1 + g.below(2) {
+            let ty = cs_type(g);
+            let name = g.fresh("Prop");
+            g.line(&format!("public {ty} {name} {{ get; set; }}"));
+        }
+        for i in 0..2 + g.below(3) {
+            emit_method(g, i);
+        }
+    });
+    g.line("}");
+}
+
+fn emit_method(g: &mut CodeGen, i: usize) {
+    let ret = if g.chance(0.4) { "void".to_string() } else { cs_type(g) };
+    let nparams = g.below(3);
+    let params: Vec<String> =
+        (0..nparams).map(|_| format!("{} {}", cs_type(g), g.ident())).collect();
+    g.line(&format!("public {ret} Method{i}({}) {{", params.join(", ")));
+    g.indented(|g| {
+        for _ in 0..2 + g.below(5) {
+            emit_statement(g, 2);
+        }
+        if ret != "void" {
+            let e = expression(g, 1);
+            g.line(&format!("return {e};"));
+        }
+    });
+    g.line("}");
+}
+
+fn emit_statement(g: &mut CodeGen, depth: usize) {
+    if depth == 0 {
+        let e = expression(g, 1);
+        g.line(&format!("{e};"));
+        return;
+    }
+    match g.below(8) {
+        0 => {
+            let ty = cs_type(g);
+            let name = g.fresh("local");
+            let e = expression(g, depth - 1);
+            g.line(&format!("{ty} {name} = {e};"));
+        }
+        1 => {
+            let c = expression(g, 1);
+            g.line(&format!("if ({c}) {{"));
+            g.indented(|g| emit_statement(g, depth - 1));
+            if g.chance(0.4) {
+                g.line("} else {");
+                g.indented(|g| emit_statement(g, depth - 1));
+            }
+            g.line("}");
+        }
+        2 => {
+            let c = expression(g, 1);
+            g.line(&format!("while ({c}) {{"));
+            g.indented(|g| {
+                emit_statement(g, depth - 1);
+                g.line("break;");
+            });
+            g.line("}");
+        }
+        3 => {
+            let item = g.fresh("item");
+            let coll = g.ident();
+            g.line(&format!("foreach (int {item} in {coll}) {{"));
+            g.indented(|g| emit_statement(g, depth - 1));
+            g.line("}");
+        }
+        4 => {
+            let lhs = g.ident();
+            let rhs = expression(g, depth - 1);
+            g.line(&format!("{lhs} = {rhs};"));
+        }
+        5 => {
+            let recv = g.ident();
+            let arg = expression(g, depth - 1);
+            g.line(&format!("{recv}.Update({arg});"));
+        }
+        6 => {
+            let e = expression(g, depth - 1);
+            g.line(&format!("throw {e};"));
+        }
+        _ => {
+            let e = expression(g, depth - 1);
+            g.line(&format!("{e};"));
+        }
+    }
+}
+
+fn expression(g: &mut CodeGen, depth: usize) -> String {
+    if depth == 0 {
+        return primary(g);
+    }
+    match g.below(9) {
+        0 => format!("{} + {}", expression(g, depth - 1), primary(g)),
+        1 => format!("{} * {}", primary(g), expression(g, depth - 1)),
+        2 => format!("{} == {}", primary(g), primary(g)),
+        3 => format!("{} && {}", expression(g, depth - 1), expression(g, depth - 1)),
+        4 => format!("({})", expression(g, depth - 1)),
+        5 => format!("{} ?? {}", primary(g), primary(g)),
+        6 => format!("{} is Widget1", primary(g)),
+        7 => "typeof(System.Object)".to_string(),
+        _ => format!("{}.Compute({})", g.ident(), primary(g)),
+    }
+}
+
+fn primary(g: &mut CodeGen) -> String {
+    match g.below(6) {
+        0 => g.int_lit(),
+        1 => g.ident(),
+        2 => g.str_lit(),
+        3 => "true".to_string(),
+        4 => format!("new Widget1({})", g.int_lit()),
+        _ => format!("{}.{}", g.ident(), g.ident()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_loads_and_validates() {
+        let g = llstar_grammar::parse_grammar(GRAMMAR).unwrap();
+        assert!(!g.options.backtrack);
+        assert!(g.synpreds.len() >= 3, "manual member/decl predicates present");
+        let errors: Vec<_> = llstar_grammar::validate(&g)
+            .into_iter()
+            .filter(llstar_grammar::GrammarIssue::is_error)
+            .collect();
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn generated_program_lexes() {
+        let g = llstar_grammar::parse_grammar(GRAMMAR).unwrap();
+        let scanner = g.lexer.build().unwrap();
+        let src = generate(60, 17);
+        assert!(scanner.tokenize(&src).is_ok());
+    }
+}

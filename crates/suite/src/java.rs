@@ -1,0 +1,320 @@
+//! The Java-like benchmark grammar (the paper's `Java1.5` analog: a
+//! native grammar run in PEG mode) and its program generator.
+
+use crate::common::CodeGen;
+
+/// The grammar source. PEG mode (`backtrack = true; memoize = true;`),
+/// matching how the paper's Java 1.5 grammar is configured (Figure 12).
+pub const GRAMMAR: &str = r#"
+grammar Java;
+options { backtrack = true; memoize = true; }
+
+compilationUnit : packageDecl? importDecl* typeDecl* EOF ;
+packageDecl : 'package' qualifiedName ';' ;
+importDecl : 'import' qualifiedName ('.' '*')? ';' ;
+typeDecl : classDecl | interfaceDecl ;
+classDecl
+    : modifier* 'class' ID ('extends' qualifiedName)?
+      ('implements' qualifiedName (',' qualifiedName)*)? classBody ;
+interfaceDecl : modifier* 'interface' ID classBody ;
+classBody : '{' member* '}' ;
+member : fieldDecl | methodDecl | classDecl ;
+fieldDecl : modifier* typ varDeclarator (',' varDeclarator)* ';' ;
+varDeclarator : ID ('=' expression)? ;
+methodDecl
+    : modifier* ('void' | typ) ID '(' params? ')' (block | ';') ;
+params : param (',' param)* ;
+param : typ ID ;
+modifier : 'public' | 'private' | 'protected' | 'static' | 'final' | 'abstract' ;
+qualifiedName : ID ('.' ID)* ;
+typ : (qualifiedName | primitiveType) ('[' ']')* ;
+primitiveType : 'int' | 'boolean' | 'char' | 'long' | 'double' ;
+
+block : '{' statement* '}' ;
+statement
+    : block
+    | 'if' parExpression statement ('else' statement)?
+    | 'while' parExpression statement
+    | 'for' '(' forInit? ';' expression? ';' expression? ')' statement
+    | 'do' statement 'while' parExpression ';'
+    | 'switch' parExpression '{' switchCase* '}'
+    | 'return' expression? ';'
+    | 'throw' expression ';'
+    | 'break' ';'
+    | 'continue' ';'
+    | localVarDecl ';'
+    | expression ';'
+    | ';'
+    ;
+switchCase : ('case' expression | 'default') ':' statement* ;
+forInit : localVarDecl | expressionList ;
+localVarDecl : 'final'? typ varDeclarator (',' varDeclarator)* ;
+parExpression : '(' expression ')' ;
+expressionList : expression (',' expression)* ;
+
+expression : conditional (assignOp expression)? ;
+assignOp : '=' | '+=' | '-=' | '*=' ;
+conditional : logicalOr ('?' expression ':' conditional)? ;
+logicalOr : logicalAnd ('||' logicalAnd)* ;
+logicalAnd : equality ('&&' equality)* ;
+equality : relational (('==' | '!=') relational)* ;
+relational : additive (('<' | '>' | '<=' | '>=') additive | 'instanceof' typ)* ;
+additive : multiplicative (('+' | '-') multiplicative)* ;
+multiplicative : unary (('*' | '/' | '%') unary)* ;
+unary : ('!' | '-' | '++' | '--') unary | ('(' primitiveType ')')=> '(' primitiveType ')' unary | postfix ;
+postfix : primary postfixOp* ;
+postfixOp : '.' ID arguments? | '[' expression ']' | arguments | '++' | '--' ;
+arguments : '(' expressionList? ')' ;
+primary
+    : parExpression
+    | literal
+    | 'new' creator
+    | ID
+    ;
+creator : qualifiedName arguments | qualifiedName '[' expression ']' ;
+literal : INT | FLOAT | STRING | CHARLIT | 'true' | 'false' | 'null' | 'this' ;
+
+ID : [a-zA-Z_$] [a-zA-Z0-9_$]* ;
+FLOAT : [0-9]+ '.' [0-9]+ ;
+INT : [0-9]+ ;
+STRING : '"' (~["\\\n] | '\\' .)* '"' ;
+CHARLIT : '\'' (~['\\\n] | '\\' .) '\'' ;
+WS : [ \t\r\n]+ -> skip ;
+LINE_COMMENT : '//' (~[\n])* -> skip ;
+COMMENT : '/*' ((~[*])* '*'+ ~[*/])* (~[*])* '*'+ '/' -> skip ;
+"#;
+
+/// The start rule.
+pub const START_RULE: &str = "compilationUnit";
+
+/// Generates a Java-like program of roughly `target_lines` lines.
+pub fn generate(target_lines: usize, seed: u64) -> String {
+    let mut g = CodeGen::new(seed);
+    g.line("package com.example.generated;");
+    g.line("import java.util.List;");
+    g.line("import java.io.*;");
+    g.line("");
+    let mut class_no = 0;
+    while g.lines_emitted() < target_lines {
+        class_no += 1;
+        emit_class(&mut g, class_no);
+        g.line("");
+    }
+    g.finish()
+}
+
+fn emit_class(g: &mut CodeGen, n: usize) {
+    let name = format!("Widget{n}");
+    let extends = if g.chance(0.3) { " extends base.Object" } else { "" };
+    g.line(&format!("public class {name}{extends} {{"));
+    g.indented(|g| {
+        let fields = 2 + g.below(3);
+        for _ in 0..fields {
+            emit_field(g);
+        }
+        let methods = 2 + g.below(4);
+        for i in 0..methods {
+            emit_method(g, i);
+        }
+    });
+    g.line("}");
+}
+
+fn type_name(g: &mut CodeGen) -> String {
+    let base = g
+        .pick(&["int", "boolean", "double", "String", "java.util.List", "Widget1", "char"])
+        .to_string();
+    if g.chance(0.15) {
+        format!("{base}[]")
+    } else {
+        base
+    }
+}
+
+fn emit_field(g: &mut CodeGen) {
+    let modifier = g.pick(&["private", "public", "protected", "private static", "public final"]);
+    let ty = type_name(g);
+    let name = g.ident();
+    if g.chance(0.6) {
+        let init = expression(g, 2);
+        g.line(&format!("{modifier} {ty} {name} = {init};"));
+    } else {
+        g.line(&format!("{modifier} {ty} {name};"));
+    }
+}
+
+fn emit_method(g: &mut CodeGen, i: usize) {
+    let modifier = g.pick(&["public", "private", "public static", "protected final"]);
+    let ret = if g.chance(0.4) { "void".to_string() } else { type_name(g) };
+    let name = format!("method{i}");
+    let nparams = g.below(3);
+    let params: Vec<String> =
+        (0..nparams).map(|_| format!("{} {}", type_name(g), g.ident())).collect();
+    g.line(&format!("{modifier} {ret} {name}({}) {{", params.join(", ")));
+    g.indented(|g| {
+        let stmts = 2 + g.below(6);
+        for _ in 0..stmts {
+            emit_statement(g, 2);
+        }
+        if ret != "void" {
+            let e = expression(g, 2);
+            g.line(&format!("return {e};"));
+        }
+    });
+    g.line("}");
+}
+
+fn emit_statement(g: &mut CodeGen, depth: usize) {
+    if depth == 0 {
+        let e = expression(g, 1);
+        g.line(&format!("{e};"));
+        return;
+    }
+    match g.below(10) {
+        0 => {
+            // Local declaration — the construct that stresses the
+            // decl-vs-expression decision.
+            let ty = type_name(g);
+            let name = g.fresh("local");
+            let init = expression(g, depth - 1);
+            g.line(&format!("{ty} {name} = {init};"));
+        }
+        1 => {
+            let c = expression(g, 1);
+            g.line(&format!("if ({c}) {{"));
+            g.indented(|g| emit_statement(g, depth - 1));
+            if g.chance(0.4) {
+                g.line("} else {");
+                g.indented(|g| emit_statement(g, depth - 1));
+            }
+            g.line("}");
+        }
+        2 => {
+            let c = expression(g, 1);
+            g.line(&format!("while ({c}) {{"));
+            g.indented(|g| {
+                emit_statement(g, depth - 1);
+                if g.chance(0.5) {
+                    g.line("break;");
+                }
+            });
+            g.line("}");
+        }
+        3 => {
+            let i = g.fresh("i");
+            let bound = g.int_lit();
+            g.line(&format!("for (int {i} = 0; {i} < {bound}; {i}++) {{"));
+            g.indented(|g| emit_statement(g, depth - 1));
+            g.line("}");
+        }
+        4 => {
+            let lhs = g.ident();
+            let rhs = expression(g, depth - 1);
+            g.line(&format!("{lhs} = {rhs};"));
+        }
+        5 => {
+            let recv = g.ident();
+            let arg = expression(g, depth - 1);
+            g.line(&format!("{recv}.update({arg});"));
+        }
+        7 => {
+            let scrutinee = g.ident();
+            g.line(&format!("switch ({scrutinee}) {{"));
+            g.indented(|g| {
+                let a = g.int_lit();
+                g.line(&format!("case {a}:"));
+                g.indented(|g| {
+                    emit_statement(g, depth - 1);
+                    g.line("break;");
+                });
+                g.line("default:");
+                g.indented(|g| emit_statement(g, depth - 1));
+            });
+            g.line("}");
+        }
+        8 => {
+            let c = expression(g, 1);
+            g.line("do {");
+            g.indented(|g| emit_statement(g, depth - 1));
+            g.line(&format!("}} while ({c});"));
+        }
+        6 => {
+            let ty = type_name(g);
+            let a = g.fresh("a");
+            let b = g.fresh("b");
+            let (x, y) = (g.int_lit(), g.int_lit());
+            g.line(&format!("{ty} {a} = {x}, {b} = {y};"));
+        }
+        _ => {
+            let e = expression(g, depth - 1);
+            g.line(&format!("{e};"));
+        }
+    }
+}
+
+fn expression(g: &mut CodeGen, depth: usize) -> String {
+    if depth == 0 {
+        return primary(g);
+    }
+    match g.below(9) {
+        0 => format!("{} + {}", expression(g, depth - 1), expression(g, depth - 1)),
+        7 => format!("({} instanceof Widget1)", primary(g)),
+        8 => format!("(int) {}", primary(g)),
+        1 => format!("{} * {}", primary(g), expression(g, depth - 1)),
+        2 => format!("{} == {}", expression(g, depth - 1), primary(g)),
+        3 => format!("{} && {}", expression(g, depth - 1), expression(g, depth - 1)),
+        4 => format!("({})", expression(g, depth - 1)),
+        5 => {
+            let callee = g.ident();
+            let arg = expression(g, depth - 1);
+            format!("{callee}.compute({arg})")
+        }
+        _ => primary(g),
+    }
+}
+
+fn primary(g: &mut CodeGen) -> String {
+    match g.below(6) {
+        0 => g.int_lit(),
+        1 => g.ident(),
+        2 => g.str_lit(),
+        3 => "true".to_string(),
+        4 => format!("new Widget1({})", g.int_lit()),
+        _ => format!("{}.{}", g.ident(), g.ident()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic_and_sized() {
+        let a = generate(120, 42);
+        let b = generate(120, 42);
+        assert_eq!(a, b);
+        assert!(a.lines().count() >= 120, "{} lines", a.lines().count());
+    }
+
+    #[test]
+    fn grammar_parses() {
+        let g = llstar_grammar::parse_grammar(GRAMMAR).unwrap();
+        assert_eq!(g.name, "Java");
+        assert!(g.options.backtrack);
+        assert!(g.rule_by_name(START_RULE).is_some());
+        let issues: Vec<_> = llstar_grammar::validate(&g)
+            .into_iter()
+            .filter(llstar_grammar::GrammarIssue::is_error)
+            .collect();
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn generated_program_lexes() {
+        let g = llstar_grammar::parse_grammar(GRAMMAR).unwrap();
+        let scanner = g.lexer.build().unwrap();
+        let src = generate(80, 1);
+        let toks = scanner.tokenize(&src).unwrap();
+        assert!(toks.len() > 200, "{} tokens", toks.len());
+    }
+}

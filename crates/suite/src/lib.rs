@@ -1,0 +1,153 @@
+//! The evaluation grammar suite: six substantial grammars standing in for
+//! the paper's benchmark grammars (Figure 12), plus deterministic input
+//! generators standing in for its sample inputs (Figure 13).
+//!
+//! | Paper grammar | Suite analog | Mode |
+//! |---|---|---|
+//! | Java1.5 | [`java`] | PEG mode |
+//! | RatsC | [`c`] | PEG mode |
+//! | RatsJava | [`ratsjava`] | PEG mode |
+//! | VB.NET | [`vb`] | manual predicates |
+//! | TSQL | [`sql`] | manual predicates |
+//! | C# | [`csharp`] | manual predicates |
+
+#![warn(missing_docs)]
+
+pub mod c;
+pub mod common;
+pub mod derivation;
+pub mod csharp;
+pub mod java;
+pub mod ratsjava;
+pub mod sql;
+pub mod vb;
+
+use llstar_grammar::{apply_peg_mode, parse_grammar, Grammar};
+
+pub use derivation::sample_sentence;
+
+/// One benchmark grammar with its generator.
+#[derive(Clone, Copy)]
+pub struct SuiteEntry {
+    /// Short name used in tables (matches the paper's Figure 12 role).
+    pub name: &'static str,
+    /// The grammar source text.
+    pub source: &'static str,
+    /// The rule parsing starts from.
+    pub start_rule: &'static str,
+    /// Generates an input program of roughly this many lines.
+    pub generate: fn(usize, u64) -> String,
+}
+
+impl SuiteEntry {
+    /// Parses and prepares the grammar (PEG mode applied when the grammar
+    /// requests it).
+    ///
+    /// # Panics
+    /// Panics if the bundled grammar fails to parse (a bug in this crate).
+    pub fn load(&self) -> Grammar {
+        let g = parse_grammar(self.source)
+            .unwrap_or_else(|e| panic!("bundled grammar {} is invalid: {e}", self.name));
+        apply_peg_mode(g)
+    }
+
+    /// Number of non-empty lines in the grammar source (the paper's
+    /// Table 1 "Lines" column).
+    pub fn grammar_lines(&self) -> usize {
+        self.source.lines().filter(|l| !l.trim().is_empty()).count()
+    }
+}
+
+impl std::fmt::Debug for SuiteEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuiteEntry").field("name", &self.name).finish()
+    }
+}
+
+/// All six benchmark grammars, in the paper's Table 1 order.
+pub fn all() -> Vec<SuiteEntry> {
+    vec![
+        SuiteEntry {
+            name: "Java",
+            source: java::GRAMMAR,
+            start_rule: java::START_RULE,
+            generate: java::generate,
+        },
+        SuiteEntry {
+            name: "RatsC",
+            source: c::GRAMMAR,
+            start_rule: c::START_RULE,
+            generate: c::generate,
+        },
+        SuiteEntry {
+            name: "RatsJava",
+            source: ratsjava::GRAMMAR,
+            start_rule: ratsjava::START_RULE,
+            generate: ratsjava::generate,
+        },
+        SuiteEntry {
+            name: "VB",
+            source: vb::GRAMMAR,
+            start_rule: vb::START_RULE,
+            generate: vb::generate,
+        },
+        SuiteEntry {
+            name: "SQL",
+            source: sql::GRAMMAR,
+            start_rule: sql::START_RULE,
+            generate: sql::generate,
+        },
+        SuiteEntry {
+            name: "CSharp",
+            source: csharp::GRAMMAR,
+            start_rule: csharp::START_RULE,
+            generate: csharp::generate,
+        },
+    ]
+}
+
+/// Looks a suite grammar up by name.
+pub fn by_name(name: &str) -> Option<SuiteEntry> {
+    all().into_iter().find(|e| e.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_six_load_and_validate() {
+        let entries = all();
+        assert_eq!(entries.len(), 6);
+        for e in entries {
+            let g = e.load();
+            assert!(g.rule_by_name(e.start_rule).is_some(), "{}: start rule", e.name);
+            let errors: Vec<_> = llstar_grammar::validate(&g)
+                .into_iter()
+                .filter(llstar_grammar::GrammarIssue::is_error)
+                .collect();
+            assert!(errors.is_empty(), "{}: {errors:?}", e.name);
+            assert!(e.grammar_lines() > 20, "{}: suspiciously small", e.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("Java").is_some());
+        assert!(by_name("SQL").is_some());
+        assert!(by_name("Cobol").is_none());
+    }
+
+    #[test]
+    fn generators_emit_requested_size() {
+        for e in all() {
+            let src = (e.generate)(60, 3);
+            assert!(
+                src.lines().count() >= 50,
+                "{}: only {} lines",
+                e.name,
+                src.lines().count()
+            );
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The second Java benchmark grammar (the paper's `RatsJava` analog): the
+//! same language as [`crate::java`], but formulated PEG-style — flat
+//! ordered choices with shared prefixes that *rely* on backtracking
+//! rather than left-factoring, the way grammars written for Rats! look
+//! after mechanical conversion (Figure 12).
+//!
+//! Uses the same program generator as the Java grammar, since both accept
+//! the same language.
+
+/// The grammar source (PEG mode, deliberately backtracking-heavy).
+pub const GRAMMAR: &str = r#"
+grammar RatsJava;
+options { backtrack = true; memoize = true; }
+
+compilationUnit : packageDecl? importDecl* typeDecl* EOF ;
+packageDecl : 'package' qualifiedName ';' ;
+importDecl : 'import' qualifiedName '.' '*' ';' | 'import' qualifiedName ';' ;
+typeDecl : classDecl | interfaceDecl ;
+classDecl
+    : modifier* 'class' ID 'extends' qualifiedName implementsClause? classBody
+    | modifier* 'class' ID implementsClause? classBody
+    ;
+implementsClause : 'implements' qualifiedName (',' qualifiedName)* ;
+interfaceDecl : modifier* 'interface' ID classBody ;
+classBody : '{' member* '}' ;
+
+member
+    : methodDecl
+    | fieldDecl
+    | classDecl
+    ;
+fieldDecl : modifier* typ varDeclarator (',' varDeclarator)* ';' ;
+varDeclarator : ID '=' expression | ID ;
+methodDecl
+    : modifier* 'void' ID '(' params? ')' methodRest
+    | modifier* typ ID '(' params? ')' methodRest
+    ;
+methodRest : block | ';' ;
+params : param (',' param)* ;
+param : typ ID ;
+modifier : 'public' | 'private' | 'protected' | 'static' | 'final' | 'abstract' ;
+qualifiedName : ID ('.' ID)* ;
+typ : qualifiedName ('[' ']')* | primitiveType ('[' ']')* ;
+primitiveType : 'int' | 'boolean' | 'char' | 'long' | 'double' ;
+
+block : '{' statement* '}' ;
+statement
+    : block
+    | 'if' parExpression statement 'else' statement
+    | 'if' parExpression statement
+    | 'while' parExpression statement
+    | 'for' '(' forInit? ';' expression? ';' expression? ')' statement
+    | 'do' statement 'while' parExpression ';'
+    | 'switch' parExpression '{' switchCase* '}'
+    | 'return' expression ';'
+    | 'return' ';'
+    | 'throw' expression ';'
+    | 'break' ';'
+    | 'continue' ';'
+    | localVarDecl ';'
+    | expression ';'
+    | ';'
+    ;
+switchCase : 'case' expression ':' statement* | 'default' ':' statement* ;
+forInit : localVarDecl | expressionList ;
+localVarDecl : 'final'? typ varDeclarator (',' varDeclarator)* ;
+parExpression : '(' expression ')' ;
+expressionList : expression (',' expression)* ;
+
+expression : assignment | conditional ;
+assignment : postfix assignOp expression ;
+assignOp : '=' | '+=' | '-=' | '*=' ;
+conditional : logicalOr '?' expression ':' conditional | logicalOr ;
+logicalOr : logicalAnd ('||' logicalAnd)* ;
+logicalAnd : equality ('&&' equality)* ;
+equality : relational (('==' | '!=') relational)* ;
+relational : additive (('<' | '>' | '<=' | '>=') additive | 'instanceof' typ)* ;
+additive : multiplicative (('+' | '-') multiplicative)* ;
+multiplicative : unary (('*' | '/' | '%') unary)* ;
+unary : ('!' | '-' | '++' | '--') unary | '(' primitiveType ')' unary | postfix ;
+postfix : primary postfixOp* ;
+postfixOp : '.' ID arguments | '.' ID | '[' expression ']' | arguments | '++' | '--' ;
+arguments : '(' expressionList? ')' ;
+primary
+    : parExpression
+    | 'new' creator
+    | literal
+    | ID
+    ;
+creator : qualifiedName arguments | qualifiedName '[' expression ']' ;
+literal : INT | FLOAT | STRING | CHARLIT | 'true' | 'false' | 'null' | 'this' ;
+
+ID : [a-zA-Z_$] [a-zA-Z0-9_$]* ;
+FLOAT : [0-9]+ '.' [0-9]+ ;
+INT : [0-9]+ ;
+STRING : '"' (~["\\\n] | '\\' .)* '"' ;
+CHARLIT : '\'' (~['\\\n] | '\\' .) '\'' ;
+WS : [ \t\r\n]+ -> skip ;
+LINE_COMMENT : '//' (~[\n])* -> skip ;
+COMMENT : '/*' ((~[*])* '*'+ ~[*/])* (~[*])* '*'+ '/' -> skip ;
+"#;
+
+/// The start rule.
+pub const START_RULE: &str = "compilationUnit";
+
+/// Generates input (shared with the Java grammar — same language).
+pub fn generate(target_lines: usize, seed: u64) -> String {
+    crate::java::generate(target_lines, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_loads_and_validates() {
+        let g = llstar_grammar::parse_grammar(GRAMMAR).unwrap();
+        assert!(g.options.backtrack);
+        let errors: Vec<_> = llstar_grammar::validate(&g)
+            .into_iter()
+            .filter(llstar_grammar::GrammarIssue::is_error)
+            .collect();
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn generated_program_lexes() {
+        let g = llstar_grammar::parse_grammar(GRAMMAR).unwrap();
+        let scanner = g.lexer.build().unwrap();
+        let src = generate(60, 5);
+        assert!(scanner.tokenize(&src).is_ok());
+    }
+}

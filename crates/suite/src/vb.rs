@@ -1,0 +1,247 @@
+//! The VB-like benchmark grammar (the paper's `VB.NET` analog: a
+//! commercial grammar whose decisions are almost entirely keyword-driven
+//! LL(1), with a couple of manual predicates) and its program generator.
+
+use crate::common::CodeGen;
+
+/// The grammar source.
+pub const GRAMMAR: &str = r#"
+grammar Vb;
+
+program : moduleDecl* EOF ;
+moduleDecl : 'module' ID memberDecl* 'end' 'module' ;
+memberDecl
+    : fieldDecl
+    | subDecl
+    | functionDecl
+    ;
+fieldDecl : visibility? 'dim' ID 'as' typeName ('=' expr)? ;
+visibility : 'public' | 'private' | 'friend' ;
+subDecl : visibility? 'sub' ID '(' paramList? ')' statement* 'end' 'sub' ;
+functionDecl
+    : visibility? 'function' ID '(' paramList? ')' 'as' typeName
+      statement* 'end' 'function' ;
+paramList : param (',' param)* ;
+param : ('byval' | 'byref')? ID 'as' typeName ;
+typeName : 'integer' | 'long' | 'double' | 'string' | 'boolean' | 'object' | ID ;
+
+statement
+    : 'dim' ID 'as' typeName ('=' expr)?
+    | 'if' expr 'then' statement* elseIfClause* elseClause? 'end' 'if'
+    | 'while' expr statement* 'end' 'while'
+    | 'for' ID '=' expr 'to' expr ('step' expr)? statement* 'next'
+    | 'do' statement* 'loop' ('while' | 'until') expr
+    | 'select' 'case' expr caseClause* 'end' 'select'
+    | 'call' ID '(' argList? ')'
+    | 'return' expr?
+    | 'exit' ('sub' | 'function' | 'while' | 'for')
+    | assignment
+    ;
+elseIfClause : 'elseif' expr 'then' statement* ;
+elseClause : 'else' statement* ;
+caseClause : 'case' ('else' | expr (',' expr)*) statement* ;
+assignment : lvalue '=' expr ;
+lvalue : ID ('.' ID | '(' argList? ')')* ;
+argList : expr (',' expr)* ;
+
+expr : orExpr ;
+orExpr : andExpr (('or' | 'orelse') andExpr)* ;
+andExpr : notExpr (('and' | 'andalso') notExpr)* ;
+notExpr : 'not' notExpr | relExpr ;
+relExpr : concatExpr (('=' | '<>' | '<' | '>' | '<=' | '>=') concatExpr)? ;
+concatExpr : addExpr ('&' addExpr)* ;
+addExpr : mulExpr (('+' | '-') mulExpr)* ;
+mulExpr : unaryExpr (('*' | '/' | '\\' | 'mod') unaryExpr)* ;
+unaryExpr : '-' unaryExpr | postfixExpr ;
+postfixExpr : primary ('.' ID ('(' argList? ')')? | '(' argList? ')')* ;
+primary
+    : INT | FLOAT | STRING
+    | 'true' | 'false' | 'nothing' | 'me'
+    | 'new' ID '(' argList? ')'
+    | ID
+    | '(' expr ')'
+    ;
+
+ID : [a-zA-Z_] [a-zA-Z0-9_]* ;
+FLOAT : [0-9]+ '.' [0-9]+ ;
+INT : [0-9]+ ;
+STRING : '"' (~["\n])* '"' ;
+WS : [ \t\r\n]+ -> skip ;
+COMMENT : '\u{27}' (~[\n])* -> skip ;
+"#;
+
+/// The start rule.
+pub const START_RULE: &str = "program";
+
+/// Generates a VB-like program of roughly `target_lines` lines.
+pub fn generate(target_lines: usize, seed: u64) -> String {
+    let mut g = CodeGen::new(seed);
+    let mut module_no = 0;
+    while g.lines_emitted() < target_lines {
+        module_no += 1;
+        g.line(&format!("module Mod{module_no}"));
+        g.indented(|g| {
+            let fields = 1 + g.below(3);
+            for _ in 0..fields {
+                let name = g.ident();
+                let ty = vb_type(g);
+                let e = expr(g, 1);
+                g.line(&format!("private dim {name} as {ty} = {e}"));
+            }
+            let subs = 2 + g.below(3);
+            for i in 0..subs {
+                emit_sub(g, i);
+            }
+        });
+        g.line("end module");
+        g.line("");
+    }
+    g.finish()
+}
+
+fn vb_type(g: &mut CodeGen) -> String {
+    g.pick(&["integer", "long", "double", "string", "boolean"]).to_string()
+}
+
+fn emit_sub(g: &mut CodeGen, i: usize) {
+    let is_function = g.chance(0.5);
+    let name = format!("proc{i}");
+    let nparams = g.below(3);
+    let params: Vec<String> =
+        (0..nparams).map(|_| format!("byval {} as {}", g.ident(), vb_type(g))).collect();
+    if is_function {
+        let ret = vb_type(g);
+        g.line(&format!("public function {name}({}) as {ret}", params.join(", ")));
+    } else {
+        g.line(&format!("public sub {name}({})", params.join(", ")));
+    }
+    g.indented(|g| {
+        let stmts = 2 + g.below(6);
+        for _ in 0..stmts {
+            emit_statement(g, 2);
+        }
+        if is_function {
+            let e = expr(g, 1);
+            g.line(&format!("return {e}"));
+        }
+    });
+    g.line(if is_function { "end function" } else { "end sub" });
+}
+
+fn emit_statement(g: &mut CodeGen, depth: usize) {
+    if depth == 0 {
+        let lhs = g.ident();
+        let rhs = expr(g, 1);
+        g.line(&format!("{lhs} = {rhs}"));
+        return;
+    }
+    match g.below(8) {
+        0 => {
+            let name = g.fresh("v");
+            let ty = vb_type(g);
+            let e = expr(g, depth - 1);
+            g.line(&format!("dim {name} as {ty} = {e}"));
+        }
+        1 => {
+            let c = expr(g, 1);
+            g.line(&format!("if {c} then"));
+            g.indented(|g| emit_statement(g, depth - 1));
+            if g.chance(0.5) {
+                g.line("else");
+                g.indented(|g| emit_statement(g, depth - 1));
+            }
+            g.line("end if");
+        }
+        2 => {
+            let c = expr(g, 1);
+            g.line(&format!("while {c}"));
+            g.indented(|g| {
+                emit_statement(g, depth - 1);
+                g.line("exit while");
+            });
+            g.line("end while");
+        }
+        3 => {
+            let i = g.fresh("i");
+            let bound = g.int_lit();
+            g.line(&format!("for {i} = 1 to {bound}"));
+            g.indented(|g| emit_statement(g, depth - 1));
+            g.line("next");
+        }
+        4 => {
+            let f = g.ident();
+            let a = expr(g, depth - 1);
+            g.line(&format!("call {f}({a})"));
+        }
+        6 => {
+            let c = expr(g, 1);
+            g.line("do");
+            g.indented(|g| emit_statement(g, depth - 1));
+            g.line(&format!("loop until {c}"));
+        }
+        5 => {
+            let e = expr(g, 1);
+            g.line(&format!("select case {e}"));
+            g.indented(|g| {
+                let label = g.int_lit();
+                g.line(&format!("case {label}"));
+                g.indented(|g| emit_statement(g, depth - 1));
+                g.line("case else");
+                g.indented(|g| emit_statement(g, depth - 1));
+            });
+            g.line("end select");
+        }
+        _ => {
+            let lhs = g.ident();
+            let rhs = expr(g, depth - 1);
+            g.line(&format!("{lhs} = {rhs}"));
+        }
+    }
+}
+
+fn expr(g: &mut CodeGen, depth: usize) -> String {
+    if depth == 0 {
+        return atom(g);
+    }
+    match g.below(6) {
+        0 => format!("{} + {}", expr(g, depth - 1), atom(g)),
+        1 => format!("{} * {}", atom(g), expr(g, depth - 1)),
+        2 => format!("{} < {}", atom(g), atom(g)),
+        3 => format!("{} andalso {}", expr(g, depth - 1), expr(g, depth - 1)),
+        4 => format!("({})", expr(g, depth - 1)),
+        _ => format!("{} & {}", atom(g), atom(g)),
+    }
+}
+
+fn atom(g: &mut CodeGen) -> String {
+    match g.below(5) {
+        0 => g.int_lit(),
+        1 => g.ident(),
+        2 => g.str_lit(),
+        3 => "true".to_string(),
+        _ => format!("{}.{}", g.ident(), g.ident()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_loads_and_validates() {
+        let g = llstar_grammar::parse_grammar(GRAMMAR).unwrap();
+        let errors: Vec<_> = llstar_grammar::validate(&g)
+            .into_iter()
+            .filter(llstar_grammar::GrammarIssue::is_error)
+            .collect();
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn generated_program_lexes() {
+        let g = llstar_grammar::parse_grammar(GRAMMAR).unwrap();
+        let scanner = g.lexer.build().unwrap();
+        let src = generate(60, 11);
+        assert!(scanner.tokenize(&src).is_ok());
+    }
+}

@@ -1,0 +1,106 @@
+//! A calculator built from a *left-recursive* expression grammar.
+//!
+//! The paper (Section 1.1) sketches how the next ANTLR release rewrites
+//! immediately left-recursive rules into predicated loops with precedence
+//! following alternative order. `rewrite_left_recursion` performs the
+//! equivalent stratification; this example parses and evaluates
+//! arithmetic with correct precedence and associativity.
+//!
+//! Run with: `cargo run --example calculator -- "1 + 2 * 3 - (4 - 5)"`
+
+use llstar::core::analyze;
+use llstar::grammar::{parse_grammar, rewrite_left_recursion, Grammar};
+use llstar::runtime::{parse_text, NopHooks, ParseTree};
+
+fn build_grammar() -> Result<Grammar, Box<dyn std::error::Error>> {
+    // Written naturally with left recursion, like the paper's
+    //   e : e '*' e | e '+' e | INT ;
+    let grammar = parse_grammar(
+        r#"
+        grammar Calc;
+        e : e ('*' | '/') e
+          | e ('+' | '-') e
+          | '(' e ')'
+          | '-' e
+          | INT
+          ;
+        INT : [0-9]+ ;
+        WS : [ \t]+ -> skip ;
+        "#,
+    )?;
+    // LL(*) forbids left recursion; the rewrite produces an equivalent
+    // precedence ladder (highest-precedence alternative binds tightest).
+    Ok(rewrite_left_recursion(grammar)?)
+}
+
+/// Evaluates the parse tree by structural recursion. The stratified
+/// grammar makes precedence explicit in the tree shape.
+fn eval(tree: &ParseTree, src: &str) -> f64 {
+    match tree {
+        ParseTree::Token(tok) => tok.text(src).parse().unwrap_or(f64::NAN),
+        ParseTree::Rule { children, .. } => {
+            // Filter to operand/operator positions: rules and tokens
+            // alternate as `operand (op operand)*` at binary levels.
+            let mut acc: Option<f64> = None;
+            let mut pending_op: Option<char> = None;
+            let mut unary_minus = false;
+            for child in children {
+                match child {
+                    ParseTree::Token(tok) => {
+                        let text = tok.text(src);
+                        match text {
+                            "(" | ")" => {}
+                            "-" if acc.is_none() && pending_op.is_none() => {
+                                unary_minus = !unary_minus;
+                            }
+                            "+" | "-" | "*" | "/" => {
+                                pending_op = text.chars().next();
+                            }
+                            _ => {
+                                // INT leaf at the innermost level.
+                                let v = apply_sign(text.parse().unwrap_or(f64::NAN), &mut unary_minus);
+                                acc = Some(combine(acc, pending_op.take(), v));
+                            }
+                        }
+                    }
+                    sub => {
+                        let v = apply_sign(eval(sub, src), &mut unary_minus);
+                        acc = Some(combine(acc, pending_op.take(), v));
+                    }
+                }
+            }
+            acc.unwrap_or(f64::NAN)
+        }
+    }
+}
+
+fn apply_sign(v: f64, unary_minus: &mut bool) -> f64 {
+    if std::mem::take(unary_minus) {
+        -v
+    } else {
+        v
+    }
+}
+
+fn combine(acc: Option<f64>, op: Option<char>, v: f64) -> f64 {
+    match (acc, op) {
+        (None, _) => v,
+        (Some(a), Some('+')) => a + v,
+        (Some(a), Some('-')) => a - v,
+        (Some(a), Some('*')) => a * v,
+        (Some(a), Some('/')) => a / v,
+        (Some(_), _) => v,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let input = std::env::args().nth(1).unwrap_or_else(|| "1 + 2 * 3 - (4 - 5)".to_string());
+    let grammar = build_grammar()?;
+    let analysis = analyze(&grammar);
+    let (tree, stats) = parse_text(&grammar, &analysis, &input, "e", NopHooks)?;
+    println!("input : {input}");
+    println!("tree  : {}", tree.to_sexpr(&grammar, &input));
+    println!("value : {}", eval(&tree, &input));
+    println!("avg lookahead: {:.2} tokens", stats.avg_lookahead());
+    Ok(())
+}

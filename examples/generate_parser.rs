@@ -1,0 +1,58 @@
+//! The parser-generator experience: turn a grammar into a standalone
+//! Rust source file (like running the `antlr` tool).
+//!
+//! Run with: `cargo run --example generate_parser [path/to/grammar.g]`
+//! Prints the generated parser to stdout; compile it with
+//! `rustc --edition 2021 --crate-type lib generated.rs`.
+
+use llstar::codegen::generate;
+use llstar::core::analyze;
+use llstar::grammar::{apply_peg_mode, parse_grammar, validate};
+
+const DEFAULT_GRAMMAR: &str = r#"
+grammar Config;
+file : entry* EOF ;
+entry : section | assignment ;
+section : '[' ID ']' ;
+assignment : ID '=' value ';' ;
+value : ID | NUMBER | STRING | 'true' | 'false' | list ;
+list : '(' value (',' value)* ')' ;
+ID : [a-zA-Z_] [a-zA-Z0-9_.]* ;
+NUMBER : '-'? [0-9]+ ('.' [0-9]+)? ;
+STRING : '"' (~["\\] | '\\' .)* '"' ;
+WS : [ \t\r\n]+ -> skip ;
+COMMENT : '#' (~[\n])* -> skip ;
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(path)?,
+        None => DEFAULT_GRAMMAR.to_string(),
+    };
+
+    let grammar = apply_peg_mode(parse_grammar(&source)?);
+    for issue in validate(&grammar) {
+        eprintln!("warning: {issue}");
+        if issue.is_error() {
+            return Err(issue.to_string().into());
+        }
+    }
+
+    let analysis = analyze(&grammar);
+    eprintln!(
+        "analyzed grammar `{}`: {} rules, {} decisions, {:?}",
+        grammar.name,
+        grammar.rules.len(),
+        analysis.decisions.len(),
+        analysis.elapsed
+    );
+    for d in &analysis.decisions {
+        for w in &analysis.decision(d.decision).warnings {
+            eprintln!("warning: decision {}: {w:?}", d.decision.0);
+        }
+    }
+
+    let code = generate(&grammar, &analysis)?;
+    println!("{code}");
+    Ok(())
+}

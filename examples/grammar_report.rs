@@ -1,0 +1,99 @@
+//! Grammar analysis report: the diagnostics a grammar author sees —
+//! per-decision classification, warnings (ambiguities, dead productions,
+//! LL(1) fallbacks), and the DFA for any decision of interest.
+//!
+//! Run with:
+//!   `cargo run --example grammar_report`              (built-in demo)
+//!   `cargo run --example grammar_report -- file.g`    (your grammar)
+
+use llstar::core::{analyze, DecisionClass};
+use llstar::grammar::{apply_peg_mode, parse_grammar, validate};
+
+const DEMO: &str = r#"
+grammar Demo;
+options { backtrack = true; }
+s : ID | ID '=' expr | 'unsigned'* 'int' ID | 'unsigned'* ID ID ;
+t : '-'* ID | expr ;
+amb : (A | A) B ;          // statically detectable ambiguity
+dead : A | A ;             // second production is dead
+expr : INT | '-' expr ;
+A : 'a' ;
+B : 'b' ;
+ID : [a-zA-Z_] [a-zA-Z0-9_]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(path)?,
+        None => DEMO.to_string(),
+    };
+    let grammar = apply_peg_mode(parse_grammar(&source)?);
+
+    println!("grammar {} — {} rules", grammar.name, grammar.rules.len());
+    for issue in validate(&grammar) {
+        println!("  {}: {issue}", if issue.is_error() { "error" } else { "warning" });
+    }
+
+    let analysis = analyze(&grammar);
+    println!("\nanalysis took {:?}; {} decisions:", analysis.elapsed, analysis.decisions.len());
+    let mut fixed = 0;
+    let mut cyclic = 0;
+    let mut backtrack = 0;
+    for d in &analysis.atn.decisions {
+        if !d.is_grammar_decision() {
+            continue;
+        }
+        let da = analysis.decision(d.id);
+        let class = match da.dfa.classify() {
+            DecisionClass::Fixed { k } => {
+                fixed += 1;
+                format!("LL({k})")
+            }
+            DecisionClass::Cyclic => {
+                cyclic += 1;
+                "cyclic".to_string()
+            }
+            DecisionClass::Backtrack => {
+                backtrack += 1;
+                "backtrack".to_string()
+            }
+        };
+        println!(
+            "  d{} in rule {:<8} {:?}: {class}, {} DFA states",
+            d.id.0,
+            grammar.rule(d.rule).name,
+            d.kind,
+            da.dfa.states.len()
+        );
+        for w in &da.warnings {
+            println!("      warning: {w:?}");
+        }
+    }
+    println!("\nsummary: {fixed} fixed, {cyclic} cyclic, {backtrack} backtracking");
+
+    // Show one interesting DFA in full (the first cyclic or backtracking
+    // one, else the first).
+    if let Some(d) = analysis
+        .atn
+        .decisions
+        .iter()
+        .find(|d| {
+            d.is_grammar_decision()
+                && !matches!(
+                    analysis.decision(d.id).dfa.classify(),
+                    DecisionClass::Fixed { .. }
+                )
+        })
+        .or_else(|| analysis.atn.decisions.first())
+    {
+        println!(
+            "\nlookahead DFA for decision d{} (rule {}):",
+            d.id.0,
+            grammar.rule(d.rule).name
+        );
+        print!("{}", analysis.decision(d.id).dfa.to_pretty(&grammar));
+    }
+    Ok(())
+}

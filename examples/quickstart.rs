@@ -1,0 +1,56 @@
+//! Quickstart: define a grammar, run LL(*) analysis, inspect the
+//! lookahead DFA it built, and parse some input.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use llstar::core::{analyze, DecisionClass};
+use llstar::grammar::parse_grammar;
+use llstar::runtime::{parse_text, NopHooks};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Section 2 example: four alternatives needing k=1, k=2,
+    // and arbitrary lookahead, all in one decision.
+    let grammar = parse_grammar(
+        r#"
+        grammar Quickstart;
+        s : ID
+          | ID '=' expr
+          | 'unsigned'* 'int' ID
+          | 'unsigned'* ID ID
+          ;
+        expr : INT ;
+        ID : [a-zA-Z_] [a-zA-Z0-9_]* ;
+        INT : [0-9]+ ;
+        WS : [ \t\r\n]+ -> skip ;
+        "#,
+    )?;
+
+    // Static analysis: one lookahead DFA per decision.
+    let analysis = analyze(&grammar);
+    println!("analyzed {} decisions in {:?}", analysis.decisions.len(), analysis.elapsed);
+    for d in &analysis.decisions {
+        let class = match d.dfa.classify() {
+            DecisionClass::Fixed { k } => format!("fixed LL({k})"),
+            DecisionClass::Cyclic => "cyclic (arbitrary lookahead)".to_string(),
+            DecisionClass::Backtrack => "backtracking".to_string(),
+        };
+        println!("  decision {}: {class}", d.decision.0);
+    }
+
+    // The DFA for rule s — compare with the paper's Figure 1.
+    println!("\nlookahead DFA for rule s:");
+    print!("{}", analysis.decisions[0].dfa.to_pretty(&grammar));
+
+    // Parse each kind of input; the DFA picks the production using the
+    // minimum lookahead that particular input needs.
+    for input in ["x", "x = 42", "unsigned unsigned int n", "unsigned T name", "int n"] {
+        let (tree, stats) = parse_text(&grammar, &analysis, input, "s", NopHooks)
+            .map_err(|e| format!("{input}: {e}"))?;
+        println!(
+            "\n{input:?} parsed with max lookahead {}:\n  {}",
+            stats.max_lookahead(),
+            tree.to_sexpr(&grammar, input)
+        );
+    }
+    Ok(())
+}

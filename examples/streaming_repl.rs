@@ -1,0 +1,153 @@
+//! A statement-at-a-time interpreter over a *live* token stream — the
+//! paper's Section 4 point that LL(*) parses one-pass, left-to-right,
+//! unlike earlier LL-regular parsers that "cannot parse infinite streams
+//! such as socket protocols and interactive interpreters".
+//!
+//! Statements are parsed and evaluated as soon as enough tokens have
+//! arrived; the stream is never read further than the current decision's
+//! lookahead needs.
+//!
+//! Run with: `echo "x = 2 ; y = x + 3 ; print y ;" | cargo run --example streaming_repl`
+//! or interactively: `cargo run --example streaming_repl` then type
+//! statements followed by Enter (Ctrl-D to quit).
+
+use llstar::core::analyze;
+use llstar::grammar::parse_grammar;
+use llstar::runtime::{NopHooks, Parser, ParseTree, TokenStream};
+use llstar_lexer::Token;
+use std::collections::HashMap;
+use std::io::BufRead;
+
+const GRAMMAR: &str = r#"
+grammar Repl;
+stat : ID '=' expr ';' | 'print' expr ';' ;
+expr : term (('+' | '-') term)* ;
+term : ID | INT ;
+ID : [a-z]+ ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grammar = parse_grammar(GRAMMAR)?;
+    let analysis = analyze(&grammar);
+    let scanner = grammar.lexer.build()?;
+
+    // A lazy token source: lex stdin line by line, handing tokens out
+    // only as the parser pulls them. We keep the accumulated source text
+    // so token spans can be resolved for evaluation.
+    let source_text = std::rc::Rc::new(std::cell::RefCell::new(String::new()));
+    let source_for_pull = source_text.clone();
+    let mut pending: Vec<Token> = Vec::new();
+    let mut stdin = std::io::stdin().lock();
+    let pull = move || -> Option<Token> {
+        loop {
+            if let Some(tok) = pending.first().copied() {
+                pending.remove(0);
+                return Some(tok);
+            }
+            let mut line = String::new();
+            if stdin.read_line(&mut line).ok()? == 0 {
+                return None; // EOF on stdin
+            }
+            let offset = source_for_pull.borrow().len();
+            source_for_pull.borrow_mut().push_str(&line);
+            // Lex just this line; shift spans to global offsets and drop
+            // the per-line EOF.
+            match scanner.tokenize(&line) {
+                Ok(mut toks) => {
+                    toks.pop();
+                    for t in &mut toks {
+                        t.span.start += offset;
+                        t.span.end += offset;
+                    }
+                    pending.extend(toks);
+                }
+                Err(e) => eprintln!("lex error: {e}"),
+            }
+        }
+    };
+
+    let mut parser = Parser::new(&grammar, &analysis, TokenStream::from_source(pull), NopHooks);
+    let mut env: HashMap<String, i64> = HashMap::new();
+
+    eprintln!("streaming LL(*) interpreter — statements like `x = 1 + 2 ;` or `print x ;`");
+    loop {
+        match parser.parse("stat") {
+            Ok(tree) => {
+                let src = source_text.borrow();
+                execute(&grammar, &tree, &src, &mut env);
+            }
+            Err(e) => {
+                // EOF (or an error at it) ends the session.
+                if e.token.ttype.is_eof() {
+                    break;
+                }
+                eprintln!("parse error: {e}");
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn execute(
+    grammar: &llstar::grammar::Grammar,
+    tree: &ParseTree,
+    src: &str,
+    env: &mut HashMap<String, i64>,
+) {
+    let ParseTree::Rule { alt, children, .. } = tree else { return };
+    match alt {
+        1 => {
+            // ID '=' expr ';'
+            let name = leaf_text(&children[0], src).to_string();
+            let value = eval(grammar, &children[2], src, env);
+            env.insert(name.clone(), value);
+            eprintln!("  {name} = {value}");
+        }
+        2 => {
+            // 'print' expr ';'
+            let value = eval(grammar, &children[1], src, env);
+            println!("{value}");
+        }
+        _ => {}
+    }
+}
+
+fn eval(
+    grammar: &llstar::grammar::Grammar,
+    tree: &ParseTree,
+    src: &str,
+    env: &HashMap<String, i64>,
+) -> i64 {
+    match tree {
+        ParseTree::Token(t) => {
+            let text = t.text(src);
+            text.parse().unwrap_or_else(|_| env.get(text).copied().unwrap_or(0))
+        }
+        ParseTree::Rule { children, .. } => {
+            let mut acc = 0i64;
+            let mut op = '+';
+            for c in children {
+                match c {
+                    ParseTree::Token(t) if matches!(t.text(src), "+" | "-") => {
+                        op = t.text(src).chars().next().unwrap_or('+');
+                    }
+                    sub => {
+                        let v = eval(grammar, sub, src, env);
+                        acc = if op == '+' { acc + v } else { acc - v };
+                    }
+                }
+            }
+            acc
+        }
+    }
+}
+
+fn leaf_text<'s>(tree: &ParseTree, src: &'s str) -> &'s str {
+    match tree {
+        ParseTree::Token(t) => t.text(src),
+        _ => "",
+    }
+}

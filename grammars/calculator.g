@@ -1,0 +1,9 @@
+// Arithmetic expressions with precedence ladder.
+// Try: cargo run --bin llstar -- parse grammars/calculator.g expr input.txt
+grammar Calculator;
+expr : term (('+' | '-') term)* ;
+term : factor (('*' | '/') factor)* ;
+factor : INT | FLOAT | '(' expr ')' | '-' factor ;
+FLOAT : [0-9]+ '.' [0-9]+ ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

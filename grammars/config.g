@@ -1,0 +1,14 @@
+// A small INI-like configuration language (PEG mode demo).
+grammar Config;
+options { backtrack = true; }
+file : entry* EOF ;
+entry : section | assignment ;
+section : '[' ID ']' ;
+assignment : ID '=' value ';' ;
+value : ID | NUMBER | STRING | 'true' | 'false' | list ;
+list : '(' value (',' value)* ')' ;
+ID : [a-zA-Z_] [a-zA-Z0-9_.]* ;
+NUMBER : '-'? [0-9]+ ('.' [0-9]+)? ;
+STRING : '"' (~["\\] | '\\' .)* '"' ;
+WS : [ \t\r\n]+ -> skip ;
+COMMENT : '#' (~[\n])* -> skip ;

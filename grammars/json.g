@@ -1,0 +1,9 @@
+// JSON (LL(1) throughout).
+grammar Json;
+value : object | array | STRING | NUMBER | 'true' | 'false' | 'null' ;
+object : '{' (pair (',' pair)*)? '}' ;
+pair : STRING ':' value ;
+array : '[' (value (',' value)*)? ']' ;
+STRING : '"' (~["\\] | '\\' .)* '"' ;
+NUMBER : '-'? [0-9]+ ('.' [0-9]+)? ([eE] [+\-]? [0-9]+)? ;
+WS : [ \t\r\n]+ -> skip ;

@@ -1,0 +1,10 @@
+// The grammar of the paper's Section 2 / Figure 1: one decision that
+// needs k=1, k=2, and arbitrary lookahead. Run
+//   cargo run --bin llstar -- dfa grammars/paper_section2.g s
+// to see the Figure 1 DFA.
+grammar PaperSection2;
+s : ID | ID '=' expr | 'unsigned'* 'int' ID | 'unsigned'* ID ID ;
+expr : INT ;
+ID : [a-zA-Z_] [a-zA-Z0-9_]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

@@ -1,0 +1,179 @@
+//! The `llstar` command-line tool — the ANTLR-tool experience:
+//!
+//! ```text
+//! llstar check <grammar.g>                 validate + analyze, print report
+//! llstar dfa <grammar.g> [rule]            print lookahead DFAs
+//! llstar atn <grammar.g>                   print the ATN in Graphviz dot
+//! llstar generate <grammar.g> [out.rs]     emit a standalone Rust parser
+//! llstar parse <grammar.g> <rule> <file>   parse a file, print the tree
+//! ```
+
+use llstar::codegen::generate;
+use llstar::core::{
+    analyze, deserialize_analysis, serialize_analysis, Atn, DecisionClass, GrammarAnalysis,
+};
+use llstar::grammar::{apply_peg_mode, parse_grammar, validate, Grammar};
+use llstar::runtime::{parse_text, NopHooks};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("check") => with_grammar(&args, 2, |g, a| {
+            report(g, a);
+            Ok(())
+        }),
+        Some("dfa") => with_grammar(&args, 2, |g, a| {
+            dump_dfas(g, a, args.get(2).map(String::as_str));
+            Ok(())
+        }),
+        Some("atn") => with_grammar(&args, 2, |g, _| {
+            println!("{}", Atn::from_grammar(g).to_dot(g));
+            Ok(())
+        }),
+        Some("generate") => with_grammar(&args, 2, |g, a| {
+            let code = generate(g, a)?;
+            match args.get(2) {
+                Some(path) => {
+                    std::fs::write(path, code).map_err(|e| e.to_string())?;
+                    eprintln!("wrote {path}");
+                }
+                None => print!("{code}"),
+            }
+            Ok(())
+        }),
+        Some("compile") => with_grammar(&args, 3, |g, a| {
+            let out = &args[2];
+            std::fs::write(out, serialize_analysis(g, a)).map_err(|e| e.to_string())?;
+            eprintln!("wrote serialized lookahead DFAs to {out}");
+            Ok(())
+        }),
+        Some("parse") => with_grammar(&args, 4, |g, a| {
+            let rule = &args[2];
+            // Optional: --dfa <file> loads pre-compiled DFAs instead of
+            // the freshly computed analysis.
+            let loaded;
+            let a = if let Some(pos) = args.iter().position(|x| x == "--dfa") {
+                let path = args.get(pos + 1).ok_or("--dfa needs a file")?;
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                loaded = deserialize_analysis(g, &text).map_err(|e| e.to_string())?;
+                &loaded
+            } else {
+                a
+            };
+            let input =
+                std::fs::read_to_string(&args[3]).map_err(|e| format!("{}: {e}", args[3]))?;
+            let (tree, stats) = parse_text(g, a, &input, rule, NopHooks)?;
+            println!("{}", tree.to_sexpr(g, &input));
+            eprintln!(
+                "ok: {} tokens, {} decision events, avg lookahead {:.2}, {} backtracks",
+                tree.token_count(),
+                stats.total_events(),
+                stats.avg_lookahead(),
+                stats.total_backtrack_events()
+            );
+            Ok(())
+        }),
+        _ => {
+            eprintln!(
+                "usage: llstar <check|dfa|atn|generate|parse> <grammar.g> …\n\
+                 \n\
+                 llstar check    <grammar.g>                validate + analysis report\n\
+                 llstar dfa      <grammar.g> [rule]         print lookahead DFAs\n\
+                 llstar atn      <grammar.g>                ATN as Graphviz dot\n\
+                 llstar generate <grammar.g> [out.rs]       emit a Rust parser\n\
+                 llstar compile  <grammar.g> <out.dfa>      serialize lookahead DFAs\n\
+                 llstar parse    <grammar.g> <rule> <file> [--dfa f]  parse a file"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn with_grammar(
+    args: &[String],
+    min_args: usize,
+    f: impl FnOnce(&Grammar, &GrammarAnalysis) -> Result<(), String>,
+) -> Result<(), String> {
+    if args.len() < min_args {
+        return Err("missing arguments (run with no arguments for usage)".into());
+    }
+    let path = &args[1];
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let grammar = apply_peg_mode(parse_grammar(&source).map_err(|e| e.to_string())?);
+    let mut fatal = false;
+    for issue in validate(&grammar) {
+        if issue.is_error() {
+            eprintln!("error: {issue}");
+            fatal = true;
+        } else {
+            eprintln!("warning: {issue}");
+        }
+    }
+    if fatal {
+        return Err("grammar has errors".into());
+    }
+    let analysis = analyze(&grammar);
+    f(&grammar, &analysis)
+}
+
+fn report(grammar: &Grammar, analysis: &GrammarAnalysis) {
+    println!(
+        "grammar {}: {} rules, {} tokens, {} decisions, analyzed in {:?}",
+        grammar.name,
+        grammar.rules.len(),
+        grammar.vocab.len(),
+        analysis.atn.decisions.iter().filter(|d| d.is_grammar_decision()).count(),
+        analysis.elapsed
+    );
+    let (mut fixed, mut cyclic, mut backtrack) = (0, 0, 0);
+    for d in &analysis.atn.decisions {
+        if !d.is_grammar_decision() {
+            continue;
+        }
+        let da = analysis.decision(d.id);
+        match da.dfa.classify() {
+            DecisionClass::Fixed { .. } => fixed += 1,
+            DecisionClass::Cyclic => cyclic += 1,
+            DecisionClass::Backtrack => backtrack += 1,
+        }
+        for warning in &da.warnings {
+            println!(
+                "warning: rule {}, decision d{}: {warning:?}",
+                grammar.rule(d.rule).name,
+                d.id.0
+            );
+        }
+    }
+    println!("decision classes: {fixed} fixed LL(k), {cyclic} cyclic, {backtrack} backtracking");
+}
+
+fn dump_dfas(grammar: &Grammar, analysis: &GrammarAnalysis, rule_filter: Option<&str>) {
+    for d in &analysis.atn.decisions {
+        if !d.is_grammar_decision() {
+            continue;
+        }
+        let rule_name = &grammar.rule(d.rule).name;
+        if let Some(filter) = rule_filter {
+            if rule_name != filter {
+                continue;
+            }
+        }
+        let da = analysis.decision(d.id);
+        println!(
+            "== decision d{} in rule {rule_name} ({:?}, {:?})",
+            d.id.0,
+            d.kind,
+            da.dfa.classify()
+        );
+        print!("{}", da.dfa.to_pretty(grammar));
+    }
+}

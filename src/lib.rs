@@ -1,0 +1,10 @@
+//! LL(*) parser generator — umbrella crate re-exporting the workspace.
+#![warn(missing_docs)]
+
+pub use llstar_codegen as codegen;
+pub use llstar_core as core;
+pub use llstar_grammar as grammar;
+pub use llstar_lexer as lexer;
+pub use llstar_packrat as packrat;
+pub use llstar_runtime as runtime;
+pub use llstar_suite as suite;

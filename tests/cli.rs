@@ -1,0 +1,132 @@
+//! End-to-end tests of the `llstar` command-line tool (the ANTLR-tool
+//! experience): check, dfa, atn, generate, compile, and parse, including
+//! the compile-once/parse-with-precomputed-DFAs workflow.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const GRAMMAR: &str = r#"
+grammar CliDemo;
+s : ID | ID '=' expr | 'unsigned'* 'int' ID | 'unsigned'* ID ID ;
+expr : INT ;
+ID : [a-zA-Z_] [a-zA-Z0-9_]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;
+"#;
+
+fn workdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("llstar_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn llstar(args: &[&str]) -> (bool, String, String) {
+    let exe = env!("CARGO_BIN_EXE_llstar");
+    let out = Command::new(exe).args(args).output().expect("llstar runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+fn grammar_path() -> String {
+    let path = workdir().join("demo.g");
+    std::fs::write(&path, GRAMMAR).expect("write grammar");
+    path.to_string_lossy().to_string()
+}
+
+#[test]
+fn check_reports_decision_classes() {
+    let g = grammar_path();
+    let (ok, stdout, _) = llstar(&["check", &g]);
+    assert!(ok);
+    assert!(stdout.contains("grammar CliDemo"), "{stdout}");
+    assert!(stdout.contains("cyclic"), "{stdout}");
+}
+
+#[test]
+fn dfa_dumps_rule_machines() {
+    let g = grammar_path();
+    let (ok, stdout, _) = llstar(&["dfa", &g, "s"]);
+    assert!(ok);
+    assert!(stdout.contains("-'unsigned'->"), "{stdout}");
+    assert!(stdout.contains("predict alt 3"), "{stdout}");
+}
+
+#[test]
+fn atn_emits_dot() {
+    let g = grammar_path();
+    let (ok, stdout, _) = llstar(&["atn", &g]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph atn"), "{stdout}");
+}
+
+#[test]
+fn generate_emits_rust() {
+    let g = grammar_path();
+    let (ok, stdout, _) = llstar(&["generate", &g]);
+    assert!(ok);
+    assert!(stdout.contains("pub fn parse_s"), "{stdout}");
+}
+
+#[test]
+fn compile_then_parse_with_dfa_file() {
+    let g = grammar_path();
+    let dfa = workdir().join("demo.dfa").to_string_lossy().to_string();
+    let (ok, _, stderr) = llstar(&["compile", &g, &dfa]);
+    assert!(ok, "{stderr}");
+    assert!(std::fs::read_to_string(&dfa).unwrap().starts_with("llstar-analysis v1"));
+
+    let input = workdir().join("input.txt");
+    std::fs::write(&input, "unsigned unsigned int counter").unwrap();
+    let input = input.to_string_lossy().to_string();
+
+    let (ok, plain, _) = llstar(&["parse", &g, "s", &input]);
+    assert!(ok);
+    let (ok, with_dfa, _) = llstar(&["parse", &g, "s", &input, "--dfa", &dfa]);
+    assert!(ok);
+    assert_eq!(plain, with_dfa, "precompiled DFAs must parse identically");
+    assert!(plain.contains("\"counter\""), "{plain}");
+}
+
+#[test]
+fn parse_failure_exits_nonzero_with_position() {
+    let g = grammar_path();
+    let input = workdir().join("bad.txt");
+    std::fs::write(&input, "unsigned unsigned = ").unwrap();
+    let (ok, _, stderr) = llstar(&["parse", &g, "s", &input.to_string_lossy()]);
+    assert!(!ok);
+    assert!(stderr.contains("error: line 1:"), "{stderr}");
+}
+
+#[test]
+fn left_recursive_grammar_is_rejected_with_diagnostics() {
+    let path = workdir().join("leftrec.g");
+    std::fs::write(&path, "grammar L; e : e '+' INT | INT ; INT : [0-9]+ ;").unwrap();
+    let (ok, _, stderr) = llstar(&["check", &path.to_string_lossy()]);
+    assert!(!ok);
+    assert!(stderr.contains("left recursion: e -> e"), "{stderr}");
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    let (ok, _, stderr) = llstar(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn shipped_grammar_files_check_clean() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    for name in ["calculator.g", "json.g", "paper_section2.g", "config.g"] {
+        let path = format!("{root}/grammars/{name}");
+        let (ok, stdout, stderr) = llstar(&["check", &path]);
+        assert!(ok, "{name}: {stderr}");
+        assert!(stdout.contains("decision classes"), "{name}: {stdout}");
+        assert!(
+            !stdout.contains("DeadAlternative") && !stdout.contains("Ambiguity"),
+            "{name} has warnings: {stdout}"
+        );
+    }
+}

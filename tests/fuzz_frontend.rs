@@ -1,0 +1,73 @@
+//! Robustness fuzzing: the grammar and pattern front ends must reject
+//! arbitrary garbage with errors, never panic, and valid inputs must
+//! round-trip through display/reparse cycles.
+
+use llstar::grammar::{grammar_to_string, parse_grammar};
+use llstar_lexer::Rx;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary text must never panic the meta-parser.
+    #[test]
+    fn meta_parser_never_panics(input in ".{0,200}") {
+        let _ = parse_grammar(&input);
+    }
+
+    /// Arbitrary meta-language-shaped text must never panic either.
+    #[test]
+    fn meta_parser_never_panics_on_grammar_shaped_input(
+        body in r#"[a-zA-Z0-9_:;|'"(){}\[\]*+?~=> \n-]{0,300}"#
+    ) {
+        let _ = parse_grammar(&format!("grammar F; {body}"));
+    }
+
+    /// Arbitrary pattern text must never panic the regex parser.
+    #[test]
+    fn rx_parser_never_panics(input in ".{0,100}") {
+        let _ = Rx::parse(&input);
+    }
+
+    /// Valid grammars render to text that mentions every rule.
+    #[test]
+    fn display_mentions_every_rule(n_rules in 1usize..6) {
+        let mut src = String::from("grammar G; ");
+        for i in 0..n_rules {
+            let target = if i + 1 < n_rules { format!("r{}", i + 1) } else { "A".to_string() };
+            src.push_str(&format!("r{i} : {target} | A ; "));
+        }
+        src.push_str("A : 'a' ;");
+        let g = parse_grammar(&src).unwrap();
+        let text = grammar_to_string(&g);
+        for i in 0..n_rules {
+            prop_assert!(text.contains(&format!("r{i} :")), "{text}");
+        }
+    }
+}
+
+#[test]
+fn deeply_nested_blocks_parse_or_error_cleanly() {
+    // Deep nesting must not blow the stack at meta-parse time for
+    // reasonable depths.
+    let depth = 200;
+    let mut body = String::from("A");
+    for _ in 0..depth {
+        body = format!("({body})");
+    }
+    let src = format!("grammar D; s : {body} ; A : 'a' ;");
+    let g = parse_grammar(&src).expect("nested blocks parse");
+    assert_eq!(g.rules.len(), 1);
+}
+
+#[test]
+fn pathological_action_braces() {
+    for src in [
+        "grammar A; s : {unclosed A ; A:'a';",
+        "grammar A; s : {{half}} } A ; A:'a';",
+        "grammar A; s : {\"}\"} A ; A:'a';",
+        "grammar A; s : {'}'} A ; A:'a';",
+    ] {
+        let _ = parse_grammar(src); // must not panic
+    }
+}

@@ -1,0 +1,78 @@
+//! DFA minimization ablation: minimized DFAs must predict identically to
+//! the raw subset-construction output, while never being larger.
+
+use llstar::core::{analyze_with, AnalysisOptions};
+use llstar::runtime::{parse_text, NopHooks};
+use llstar_suite as suite;
+
+#[test]
+fn minimization_never_grows_and_usually_shrinks() {
+    let mut total_raw = 0usize;
+    let mut total_min = 0usize;
+    for entry in suite::all() {
+        let g = entry.load();
+        let raw = analyze_with(&g, &AnalysisOptions { minimize: false, ..Default::default() });
+        let min = analyze_with(&g, &AnalysisOptions { minimize: true, ..Default::default() });
+        for (r, m) in raw.decisions.iter().zip(&min.decisions) {
+            assert!(
+                m.dfa.states.len() <= r.dfa.states.len(),
+                "{}: decision {:?} grew",
+                entry.name,
+                r.decision
+            );
+            assert_eq!(
+                r.dfa.classify(),
+                m.dfa.classify(),
+                "{}: classification must be invariant",
+                entry.name
+            );
+        }
+        total_raw += raw.decisions.iter().map(|d| d.dfa.states.len()).sum::<usize>();
+        total_min += min.decisions.iter().map(|d| d.dfa.states.len()).sum::<usize>();
+    }
+    assert!(total_min < total_raw, "minimization should save states: {total_min} vs {total_raw}");
+}
+
+#[test]
+fn minimized_and_raw_dfas_parse_identically() {
+    for entry in [suite::by_name("Java").unwrap(), suite::by_name("SQL").unwrap()] {
+        let g = entry.load();
+        let raw = analyze_with(&g, &AnalysisOptions { minimize: false, ..Default::default() });
+        let min = analyze_with(&g, &AnalysisOptions { minimize: true, ..Default::default() });
+        for seed in 0..8u64 {
+            let input = (entry.generate)(30, seed);
+            let a = parse_text(&g, &raw, &input, entry.start_rule, NopHooks);
+            let b = parse_text(&g, &min, &input, entry.start_rule, NopHooks);
+            match (a, b) {
+                (Ok((ta, _)), Ok((tb, _))) => assert_eq!(ta, tb, "{}: trees differ", entry.name),
+                (ra, rb) => panic!(
+                    "{}: outcomes differ: {:?} vs {:?}",
+                    entry.name,
+                    ra.map(|_| ()),
+                    rb.map(|_| ())
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn serialized_analysis_parses_identically() {
+    use llstar::core::{deserialize_analysis, serialize_analysis};
+    for name in ["Java", "SQL"] {
+        let entry = suite::by_name(name).unwrap();
+        let g = entry.load();
+        let original = llstar::core::analyze(&g);
+        let text = serialize_analysis(&g, &original);
+        let loaded = deserialize_analysis(&g, &text).unwrap();
+        for seed in 0..4u64 {
+            let input = (entry.generate)(30, seed);
+            let a = parse_text(&g, &original, &input, entry.start_rule, NopHooks);
+            let b = parse_text(&g, &loaded, &input, entry.start_rule, NopHooks);
+            match (a, b) {
+                (Ok((ta, _)), Ok((tb, _))) => assert_eq!(ta, tb, "{name}: trees differ"),
+                (ra, rb) => panic!("{name}: {:?} vs {:?}", ra.map(|_| ()), rb.map(|_| ())),
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! The one-pass claim (Section 4): unlike Nijholt/Poplawski's two-pass
+//! LL-regular parsers, LL(*) parses left-to-right in a single pass and
+//! can therefore run over live streams, pulling tokens only as far as
+//! lookahead and speculation actually need.
+
+use llstar::core::analyze;
+use llstar::grammar::{apply_peg_mode, parse_grammar};
+use llstar::runtime::{NopHooks, Parser, TokenStream};
+use llstar_lexer::Token;
+use std::cell::Cell;
+use std::rc::Rc;
+
+const GRAMMAR: &str = r#"
+grammar Repl;
+stat : ID '=' expr ';' | 'print' expr ';' ;
+expr : term ('+' term)* ;
+term : ID | INT ;
+ID : [a-z]+ ;
+INT : [0-9]+ ;
+WS : [ ]+ -> skip ;
+"#;
+
+/// A counting lazy source over pre-lexed tokens, emulating an interactive
+/// session that only produces tokens when the parser demands them.
+fn counting_source(tokens: Vec<Token>) -> (impl FnMut() -> Option<Token>, Rc<Cell<usize>>) {
+    let pulled = Rc::new(Cell::new(0usize));
+    let p = pulled.clone();
+    let mut i = 0;
+    let source = move || {
+        let t = tokens.get(i).copied();
+        if t.is_some() {
+            i += 1;
+            p.set(p.get().max(i));
+        }
+        t
+    };
+    (source, pulled)
+}
+
+#[test]
+fn parses_one_statement_without_reading_the_rest_of_the_stream() {
+    let g = apply_peg_mode(parse_grammar(GRAMMAR).unwrap());
+    let a = analyze(&g);
+    let scanner = g.lexer.build().unwrap();
+    // A long interactive session; the parser is asked for ONE statement.
+    let session = "x = 1 + 2 ; print x ; y = 3 ; print y ; z = x + y ;";
+    let tokens = scanner.tokenize(session).unwrap();
+    let total = tokens.len();
+    let (source, pulled) = counting_source(tokens);
+    let mut parser = Parser::new(&g, &a, TokenStream::from_source(source), NopHooks);
+
+    let tree = parser.parse("stat").expect("first statement parses");
+    assert_eq!(tree.token_count(), 6, "x = 1 + 2 ;");
+    assert!(
+        pulled.get() < total / 2,
+        "one-pass parsing must not read the whole stream: pulled {} of {total}",
+        pulled.get()
+    );
+    // The stream is still usable for the next statement.
+    let tree = parser.parse("stat").expect("second statement parses");
+    assert_eq!(tree.token_count(), 3, "print x ;");
+}
+
+#[test]
+fn lookahead_pulls_exactly_as_far_as_the_dfa_walks() {
+    // A decision needing k=2 must pull 2 tokens before consuming any.
+    let g = apply_peg_mode(parse_grammar(GRAMMAR).unwrap());
+    let a = analyze(&g);
+    let scanner = g.lexer.build().unwrap();
+    let tokens = scanner.tokenize("a = b ;").unwrap();
+    let (source, pulled) = counting_source(tokens);
+    let mut parser = Parser::new(&g, &a, TokenStream::from_source(source), NopHooks);
+    parser.parse("stat").unwrap();
+    // The statement has 4 tokens + EOF; the decision needed k<=2 and
+    // matching consumed all 4 with one token of pre-fill.
+    assert!(pulled.get() <= 5, "pulled {}", pulled.get());
+}
+
+#[test]
+fn speculation_over_streams_rewinds_within_the_buffer() {
+    // PEG-mode decision speculates; the lazy stream must buffer and
+    // rewind transparently.
+    let src = r#"
+        grammar S;
+        options { backtrack = true; }
+        s : e '!' | e '?' ;
+        e : '(' e ')' | ID ;
+        ID : [a-z]+ ;
+        WS : [ ]+ -> skip ;
+    "#;
+    let g = apply_peg_mode(parse_grammar(src).unwrap());
+    let a = analyze(&g);
+    let scanner = g.lexer.build().unwrap();
+    let tokens = scanner.tokenize("( ( ( x ) ) ) ?").unwrap();
+    let (source, _) = counting_source(tokens);
+    let mut parser = Parser::new(&g, &a, TokenStream::from_source(source), NopHooks);
+    let tree = parser.parse_to_eof("s").expect("parses after speculation");
+    assert_eq!(tree.token_count(), 8);
+    assert!(parser.stats().total_backtrack_events() > 0, "the decision speculated");
+}

@@ -1,0 +1,80 @@
+//! End-to-end integration: every suite grammar analyzes without errors
+//! and parses its generated inputs with the LL(*) engine.
+
+use llstar::core::analyze;
+use llstar::runtime::{MapHooks, Parser, TokenStream};
+use llstar_suite as suite;
+
+/// Builds the hook table a suite grammar needs (currently only the C
+/// grammar's `isTypeName` oracle).
+fn hooks_for(entry: &suite::SuiteEntry, source: &str) -> MapHooks {
+    let mut hooks = MapHooks::new();
+    if entry.name == "RatsC" {
+        let src = source.to_string();
+        hooks.on_pred("isTypeName", move |ctx| {
+            suite::c::is_typedef_name(ctx.next_token.text(&src))
+        });
+    }
+    hooks
+}
+
+fn end_to_end(name: &str, lines: usize, seed: u64) {
+    let entry = suite::by_name(name).unwrap();
+    let grammar = entry.load();
+    let analysis = analyze(&grammar);
+    let input = (entry.generate)(lines, seed);
+    let scanner = grammar.lexer.build().unwrap_or_else(|e| panic!("{name}: {e}"));
+    let tokens = scanner.tokenize(&input).unwrap_or_else(|e| panic!("{name}: {e}\n{input}"));
+    let n_tokens = tokens.len();
+    let hooks = hooks_for(&entry, &input);
+    let mut parser = Parser::new(&grammar, &analysis, TokenStream::new(tokens), hooks);
+    let tree = parser
+        .parse_to_eof(entry.start_rule)
+        .unwrap_or_else(|e| panic!("{name}: parse failed: {e}\n----\n{input}"));
+    // Grammars ending in an explicit EOF element include the EOF leaf.
+    let covered = tree.token_count();
+    assert!(
+        covered == n_tokens - 1 || covered == n_tokens,
+        "{name}: tree covers {covered} of {n_tokens} tokens"
+    );
+    let stats = parser.stats();
+    assert!(stats.total_events() > 0, "{name}: decisions were exercised");
+}
+
+#[test]
+fn java_end_to_end() {
+    end_to_end("Java", 120, 101);
+}
+
+#[test]
+fn ratsc_end_to_end() {
+    end_to_end("RatsC", 120, 102);
+}
+
+#[test]
+fn ratsjava_end_to_end() {
+    end_to_end("RatsJava", 120, 103);
+}
+
+#[test]
+fn vb_end_to_end() {
+    end_to_end("VB", 120, 104);
+}
+
+#[test]
+fn sql_end_to_end() {
+    end_to_end("SQL", 120, 105);
+}
+
+#[test]
+fn csharp_end_to_end() {
+    end_to_end("CSharp", 120, 106);
+}
+
+#[test]
+fn multiple_seeds_parse() {
+    for seed in 1..=5 {
+        end_to_end("Java", 40, seed);
+        end_to_end("SQL", 40, seed);
+    }
+}
