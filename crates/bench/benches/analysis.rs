@@ -1,25 +1,20 @@
 //! Table 1's "Runtime" column: static grammar analysis speed per suite
 //! grammar (grammar parse + ATN + all lookahead DFAs).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use llstar_bench::BenchGroup;
 use llstar_core::analyze;
 use std::hint::black_box;
 use std::time::Duration;
 
-fn bench_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis");
+fn main() {
+    let mut group = BenchGroup::new("analysis");
     group.sample_size(10).measurement_time(Duration::from_secs(2));
     for entry in llstar_suite::all() {
-        group.bench_function(entry.name, |b| {
-            b.iter(|| {
-                let grammar = entry.load();
-                let analysis = analyze(black_box(&grammar));
-                black_box(analysis.decisions.len())
-            });
+        group.bench_function(entry.name, || {
+            let grammar = entry.load();
+            let analysis = analyze(black_box(&grammar));
+            black_box(analysis.decisions.len())
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_analysis);
-criterion_main!(benches);

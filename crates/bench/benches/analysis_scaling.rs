@@ -1,0 +1,34 @@
+//! Analysis scaling across worker threads: per-decision DFA construction
+//! is embarrassingly parallel (each decision's subset construction is
+//! independent), so wall-clock analysis time over the suite grammars
+//! should drop as `AnalysisOptions::threads` grows — while producing
+//! byte-identical results (see `tests/analysis_determinism.rs`).
+
+use llstar_bench::BenchGroup;
+use llstar_core::{analyze_with, AnalysisOptions};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn main() {
+    let max = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut thread_counts = vec![1usize, 2, 4, 8];
+    thread_counts.retain(|&n| n <= max.max(2));
+    if !thread_counts.contains(&max) {
+        thread_counts.push(max);
+    }
+
+    let mut group = BenchGroup::new("analysis_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for entry in llstar_suite::all() {
+        let grammar = entry.load();
+        let base = AnalysisOptions::from_grammar(&grammar);
+        for &threads in &thread_counts {
+            let options = AnalysisOptions { threads, ..base.clone() };
+            group.bench_function(format!("{}/threads_{threads}", entry.name), || {
+                let analysis = analyze_with(black_box(&grammar), &options);
+                black_box(analysis.decisions.len())
+            });
+        }
+    }
+    group.finish();
+}

@@ -3,37 +3,28 @@
 //! to resolve the decision (dead alternative, like LPG's conflict at
 //! k = 10000), while unbounded LL(*) builds a tiny cyclic DFA.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use llstar_bench::figures::CYCLIC_GRAMMAR;
+use llstar_bench::BenchGroup;
 use llstar_core::{analyze_with, AnalysisOptions};
 use llstar_grammar::parse_grammar;
 use std::hint::black_box;
 use std::time::Duration;
 
-fn bench_llk_blowup(c: &mut Criterion) {
+fn main() {
     let grammar = parse_grammar(CYCLIC_GRAMMAR).expect("cyclic grammar");
-    let mut group = c.benchmark_group("llk_blowup");
+    let mut group = BenchGroup::new("llk_blowup");
     group.sample_size(10).measurement_time(Duration::from_secs(1));
     for k in [1u32, 2, 4, 8, 16, 32] {
-        group.bench_function(format!("fixed_k_{k}"), |b| {
-            let options = AnalysisOptions { max_k: Some(k), ..Default::default() };
-            b.iter(|| {
-                let analysis = analyze_with(black_box(&grammar), &options);
-                black_box(
-                    analysis.decisions.iter().map(|d| d.dfa.states.len()).sum::<usize>(),
-                )
-            });
-        });
-    }
-    group.bench_function("llstar_cyclic", |b| {
-        let options = AnalysisOptions::default();
-        b.iter(|| {
+        let options = AnalysisOptions { max_k: Some(k), ..Default::default() };
+        group.bench_function(format!("fixed_k_{k}"), || {
             let analysis = analyze_with(black_box(&grammar), &options);
             black_box(analysis.decisions.iter().map(|d| d.dfa.states.len()).sum::<usize>())
         });
+    }
+    let options = AnalysisOptions::default();
+    group.bench_function("llstar_cyclic", || {
+        let analysis = analyze_with(black_box(&grammar), &options);
+        black_box(analysis.decisions.iter().map(|d| d.dfa.states.len()).sum::<usize>())
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_llk_blowup);
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! The paper reports ANTLR v3's LL(*) at ~2.5× v2's backtracking parser;
 //! here the same grammar is run through both engines.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use llstar_bench::BenchGroup;
 use llstar_core::analyze;
 use llstar_packrat::PackratParser;
 use llstar_runtime::{NopHooks, Parser, TokenStream};
@@ -12,8 +12,8 @@ use std::time::Duration;
 
 const LINES: usize = 300;
 
-fn bench_vs_packrat(c: &mut Criterion) {
-    let mut group = c.benchmark_group("llstar_vs_packrat");
+fn main() {
+    let mut group = BenchGroup::new("llstar_vs_packrat");
     group.sample_size(10).measurement_time(Duration::from_secs(2));
 
     // Java (PEG-mode) exercises both engines on identical input; the
@@ -26,23 +26,16 @@ fn bench_vs_packrat(c: &mut Criterion) {
     let scanner = grammar.lexer.build().expect("lexer builds");
     let tokens = scanner.tokenize(&input).expect("input lexes");
 
-    group.bench_function("llstar", |b| {
-        b.iter(|| {
-            let mut parser =
-                Parser::new(&grammar, &analysis, TokenStream::new(tokens.clone()), NopHooks);
-            let tree = parser.parse_to_eof(entry.start_rule).expect("parses");
-            black_box(tree.token_count())
-        });
+    group.bench_function("llstar", || {
+        let mut parser =
+            Parser::new(&grammar, &analysis, TokenStream::new(tokens.clone()), NopHooks);
+        let tree = parser.parse_to_eof(entry.start_rule).expect("parses");
+        black_box(tree.token_count())
     });
-    group.bench_function("packrat", |b| {
-        b.iter(|| {
-            let mut parser = PackratParser::new(&grammar, tokens.clone());
-            parser.recognize(entry.start_rule).expect("recognizes");
-            black_box(parser.stats().rule_attempts)
-        });
+    group.bench_function("packrat", || {
+        let mut parser = PackratParser::new(&grammar, tokens.clone());
+        parser.recognize(entry.start_rule).expect("recognizes");
+        black_box(parser.stats().rule_attempts)
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_vs_packrat);
-criterion_main!(benches);

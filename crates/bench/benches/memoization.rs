@@ -2,8 +2,7 @@
 //! terminate if we turn off ANTLR memoization support. In contrast, the
 //! VB.NET and C# parsers are fine without it."
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use llstar_bench::hooks_for;
+use llstar_bench::{hooks_for, BenchGroup};
 use llstar_core::analyze;
 use llstar_runtime::{Parser, TokenStream};
 use std::hint::black_box;
@@ -12,8 +11,8 @@ use std::time::Duration;
 /// Small enough that the memo-off RatsC configuration still finishes.
 const LINES: usize = 60;
 
-fn bench_memoization(c: &mut Criterion) {
-    let mut group = c.benchmark_group("memoization");
+fn main() {
+    let mut group = BenchGroup::new("memoization");
     group.sample_size(10).measurement_time(Duration::from_secs(2));
     for name in ["RatsC", "CSharp"] {
         let entry = llstar_suite::by_name(name).expect("suite grammar");
@@ -24,24 +23,15 @@ fn bench_memoization(c: &mut Criterion) {
         let tokens = scanner.tokenize(&input).expect("input lexes");
         for memo in [true, false] {
             let label = format!("{name}/memo_{}", if memo { "on" } else { "off" });
-            group.bench_function(&label, |b| {
-                b.iter(|| {
-                    let hooks = hooks_for(&entry, &input);
-                    let mut parser = Parser::new(
-                        &grammar,
-                        &analysis,
-                        TokenStream::new(tokens.clone()),
-                        hooks,
-                    );
-                    parser.set_memoize(memo);
-                    let tree = parser.parse_to_eof(entry.start_rule).expect("parses");
-                    black_box(tree.token_count())
-                });
+            group.bench_function(&label, || {
+                let hooks = hooks_for(&entry, &input);
+                let mut parser =
+                    Parser::new(&grammar, &analysis, TokenStream::new(tokens.clone()), hooks);
+                parser.set_memoize(memo);
+                let tree = parser.parse_to_eof(entry.start_rule).expect("parses");
+                black_box(tree.token_count())
             });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_memoization);
-criterion_main!(benches);

@@ -1,8 +1,7 @@
 //! Table 3's parse-time column: LL(*) parsing speed (lines/second) on the
 //! generated inputs, per suite grammar.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use llstar_bench::hooks_for;
+use llstar_bench::{hooks_for, BenchGroup};
 use llstar_core::analyze;
 use llstar_runtime::{Parser, TokenStream};
 use std::hint::black_box;
@@ -10,8 +9,8 @@ use std::time::Duration;
 
 const LINES: usize = 300;
 
-fn bench_parse(c: &mut Criterion) {
-    let mut group = c.benchmark_group("parse");
+fn main() {
+    let mut group = BenchGroup::new("parse");
     group.sample_size(10).measurement_time(Duration::from_secs(2));
     for entry in llstar_suite::all() {
         let grammar = entry.load();
@@ -19,23 +18,14 @@ fn bench_parse(c: &mut Criterion) {
         let input = (entry.generate)(LINES, 42);
         let scanner = grammar.lexer.build().expect("suite lexer builds");
         let tokens = scanner.tokenize(&input).expect("suite input lexes");
-        group.throughput(Throughput::Elements(input.lines().count() as u64));
-        group.bench_function(entry.name, |b| {
-            b.iter(|| {
-                let hooks = hooks_for(&entry, &input);
-                let mut parser = Parser::new(
-                    &grammar,
-                    &analysis,
-                    TokenStream::new(tokens.clone()),
-                    hooks,
-                );
-                let tree = parser.parse_to_eof(entry.start_rule).expect("input parses");
-                black_box(tree.token_count())
-            });
+        group.throughput_elements(input.lines().count() as u64);
+        group.bench_function(entry.name, || {
+            let hooks = hooks_for(&entry, &input);
+            let mut parser =
+                Parser::new(&grammar, &analysis, TokenStream::new(tokens.clone()), hooks);
+            let tree = parser.parse_to_eof(entry.start_rule).expect("input parses");
+            black_box(tree.token_count())
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_parse);
-criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! A minimal timing harness for the `benches/` targets.
+//!
+//! The build environment is fully offline, so Criterion cannot be
+//! fetched; this module supplies the thin slice of its surface the
+//! benches use (groups, sample counts, measurement budgets, element
+//! throughput) over `std::time` only. Results print one line per
+//! benchmark: mean, min, max, and optional throughput.
+
+use std::time::{Duration, Instant};
+
+/// A named collection of benchmarks sharing sampling settings.
+pub struct BenchGroup {
+    name: String,
+    sample_size: usize,
+    measurement: Duration,
+    throughput: Option<u64>,
+}
+
+impl BenchGroup {
+    /// A group with default settings (10 samples, 2 s budget).
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget per benchmark; sampling stops early once spent.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Report `n` elements processed per iteration (prints elem/s).
+    pub fn throughput_elements(&mut self, n: u64) -> &mut Self {
+        self.throughput = Some(n);
+        self
+    }
+
+    /// Times `f`, printing a one-line summary.
+    pub fn bench_function<R>(
+        &mut self,
+        label: impl AsRef<str>,
+        mut f: impl FnMut() -> R,
+    ) -> &mut Self {
+        // One untimed warm-up iteration.
+        std::hint::black_box(f());
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + self.measurement;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            samples.push(t.elapsed());
+            if Instant::now() >= deadline && samples.len() >= 3 {
+                break;
+            }
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let mut line = format!(
+            "{}/{:<28} time: [{} {} {}] ({} samples)",
+            self.name,
+            label.as_ref(),
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max),
+            samples.len()
+        );
+        if let Some(elems) = self.throughput {
+            let secs = mean.as_secs_f64();
+            if secs > 0.0 {
+                line.push_str(&format!("  thrpt: {:.0} elem/s", elems as f64 / secs));
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (parity with Criterion's API; prints a separator).
+    pub fn finish(&self) {
+        println!();
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_respects_sample_size() {
+        let mut calls = 0u32;
+        BenchGroup::new("test")
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .bench_function("counter", || calls += 1);
+        // 1 warm-up + up to 3 samples.
+        assert!((2..=4).contains(&calls), "{calls}");
+    }
+
+    #[test]
+    fn durations_format_readably() {
+        assert_eq!(fmt_duration(Duration::from_nanos(10)), "10 ns");
+        assert!(fmt_duration(Duration::from_micros(15)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(15)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

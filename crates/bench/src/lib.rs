@@ -1,17 +1,20 @@
 //! Benchmark harness regenerating the paper's evaluation (Section 6):
 //! Tables 1–4 via [`report`], Figures 1/2/6 and the cyclic-DFA example
 //! via [`figures`]. The `report_tables` binary prints everything; the
-//! Criterion benches under `benches/` measure analysis and parse speed,
-//! LL(*) vs packrat, memoization, and the fixed-k ablation.
+//! benches under `benches/` (driven by the dependency-free [`harness`])
+//! measure analysis and parse speed, LL(*) vs packrat, memoization,
+//! analysis scaling across threads, and the fixed-k ablation.
 
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod harness;
 pub mod report;
 
 pub use figures::{cyclic_figure, figure1, figure2, figure6, Figure};
+pub use harness::BenchGroup;
 pub use report::{
     can_backtrack_by_id, decision_classes, format_table1, format_table2, format_table3,
-    format_table4, hooks_for, run_all, run_grammar, GrammarRun, Table1Row, Table2Row,
-    Table3Row, Table4Row,
+    format_table4, hooks_for, run_all, run_grammar, GrammarRun, Table1Row, Table2Row, Table3Row,
+    Table4Row,
 };

@@ -104,9 +104,8 @@ pub fn hooks_for(entry: &SuiteEntry, source: &str) -> MapHooks {
     let mut hooks = MapHooks::new();
     if entry.name == "RatsC" {
         let src = source.to_string();
-        hooks.on_pred("isTypeName", move |ctx| {
-            suite::c::is_typedef_name(ctx.next_token.text(&src))
-        });
+        hooks
+            .on_pred("isTypeName", move |ctx| suite::c::is_typedef_name(ctx.next_token.text(&src)));
     }
     hooks
 }
@@ -171,10 +170,7 @@ impl GrammarRun {
             decisions: classes.len(),
             fixed: classes.iter().filter(|c| matches!(c, DecisionClass::Fixed { .. })).count(),
             cyclic: classes.iter().filter(|c| matches!(c, DecisionClass::Cyclic)).count(),
-            backtrack: classes
-                .iter()
-                .filter(|c| matches!(c, DecisionClass::Backtrack))
-                .count(),
+            backtrack: classes.iter().filter(|c| matches!(c, DecisionClass::Backtrack)).count(),
             analysis_time: self.analysis.elapsed,
         }
     }
@@ -349,10 +345,7 @@ mod tests {
         // fixed; a small fraction backtracks (11.8% in the paper).
         assert!(row.decisions > 30, "{row:?}");
         assert!(row.fixed > row.backtrack, "{row:?}");
-        assert!(
-            row.fixed as f64 / row.decisions as f64 > 0.6,
-            "most decisions fixed: {row:?}"
-        );
+        assert!(row.fixed as f64 / row.decisions as f64 > 0.6, "most decisions fixed: {row:?}");
         let bt_pct = row.backtrack as f64 / row.decisions as f64;
         assert!(bt_pct < 0.4, "backtracking is the minority: {row:?}");
     }
@@ -403,7 +396,7 @@ mod tests {
     }
 
     #[test]
-    fn ratsc_backtracks_most(){
+    fn ratsc_backtracks_most() {
         // Paper: RatsC has the highest backtrack ratio (22.4%) and the
         // deepest speculation (max k = 7968 — whole functions).
         let c = small_run("RatsC").table1_row();
@@ -430,12 +423,8 @@ mod tests {
         let t2: Vec<_> = runs.iter().map(GrammarRun::table2_row).collect();
         let t3: Vec<_> = runs.iter().map(GrammarRun::table3_row).collect();
         let t4: Vec<_> = runs.iter().map(GrammarRun::table4_row).collect();
-        for text in [
-            format_table1(&t1),
-            format_table2(&t2),
-            format_table3(&t3),
-            format_table4(&t4),
-        ] {
+        for text in [format_table1(&t1), format_table2(&t2), format_table3(&t3), format_table4(&t4)]
+        {
             assert!(text.contains("Java"), "{text}");
             assert!(text.contains("SQL"), "{text}");
         }

@@ -39,11 +39,8 @@ pub fn emit_lexer(w: &mut CodeWriter, grammar: &Grammar) -> Result<(), String> {
     w.line(&edges);
 
     // Accepting lexer rule per state (-1 = none).
-    let accepts: Vec<String> = dfa
-        .states
-        .iter()
-        .map(|s| s.accept.map_or("-1".to_string(), |r| r.to_string()))
-        .collect();
+    let accepts: Vec<String> =
+        dfa.states.iter().map(|s| s.accept.map_or("-1".to_string(), |r| r.to_string())).collect();
     w.line(&format!("static LEX_ACCEPT: &[i32] = &[{}];", accepts.join(", ")));
 
     // Per lexer rule: skip flag and emitted token type.

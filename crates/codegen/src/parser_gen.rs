@@ -4,9 +4,7 @@
 //! shape of ANTLR's generated parsers.
 
 use crate::writer::CodeWriter;
-use llstar_core::{
-    DecisionKind, DfaState, GrammarAnalysis, LookaheadDfa, PredSource,
-};
+use llstar_core::{DecisionKind, DfaState, GrammarAnalysis, LookaheadDfa, PredSource};
 use llstar_grammar::{Alt, Block, Ebnf, Element, Grammar};
 
 /// Walks grammar constructs in the exact order the ATN builder numbered
@@ -116,7 +114,12 @@ impl<'a> ParserGen<'a> {
         format!("parse_{}", self.grammar.rules[idx].name)
     }
 
-    fn emit_rule(&mut self, w: &mut CodeWriter, rule: &llstar_grammar::Rule, cursor: &mut DecisionCursor<'_>) {
+    fn emit_rule(
+        &mut self,
+        w: &mut CodeWriter,
+        rule: &llstar_grammar::Rule,
+        cursor: &mut DecisionCursor<'_>,
+    ) {
         let name = self.rule_fn_name(rule.id.index());
         let rid = rule.id.index();
         w.blank();
@@ -166,7 +169,13 @@ impl<'a> ParserGen<'a> {
         w.close("}");
     }
 
-    fn emit_synpred(&mut self, w: &mut CodeWriter, idx: usize, frag: &Alt, cursor: &mut DecisionCursor<'_>) {
+    fn emit_synpred(
+        &mut self,
+        w: &mut CodeWriter,
+        idx: usize,
+        frag: &Alt,
+        cursor: &mut DecisionCursor<'_>,
+    ) {
         let memo_key = self.grammar.rules.len() + idx;
         w.blank();
         w.line(&format!("/// Syntactic predicate {idx}: speculative match, rewinds."));
@@ -214,23 +223,14 @@ impl<'a> ParserGen<'a> {
         match e {
             Element::Token(t) => {
                 let name = self.grammar.vocab.display_name(*t);
-                w.line(&format!(
-                    "children.push(Tree::Leaf(self.expect({}, {:?})?));",
-                    t.0, name
-                ));
+                w.line(&format!("children.push(Tree::Leaf(self.expect({}, {:?})?));", t.0, name));
             }
             Element::Rule(r) => {
-                w.line(&format!(
-                    "children.push(self.{}()?);",
-                    self.rule_fn_name(r.index())
-                ));
+                w.line(&format!("children.push(self.{}()?);", self.rule_fn_name(r.index())));
             }
             Element::SemPred(p) => {
                 let text = self.grammar.sempred_text(*p);
-                w.open(&format!(
-                    "if !self.hooks.sempred({}, {:?}, self.pos) {{",
-                    p.0, text
-                ));
+                w.open(&format!("if !self.hooks.sempred({}, {:?}, self.pos) {{", p.0, text));
                 w.line(&format!(
                     "return Err(self.err_at(0, format!(\"predicate {{}} failed\", {:?})));",
                     text
@@ -255,11 +255,8 @@ impl<'a> ParserGen<'a> {
             }
             Element::Action { id, always } => {
                 let text = self.grammar.action_text(*id);
-                let guard = if *always {
-                    "".to_string()
-                } else {
-                    "if self.speculating == 0 ".to_string()
-                };
+                let guard =
+                    if *always { "".to_string() } else { "if self.speculating == 0 ".to_string() };
                 w.open(&format!("{guard}{{"));
                 w.line(&format!("self.hooks.action({}, {:?}, self.pos);", id.0, text));
                 w.close("}");
@@ -363,9 +360,7 @@ impl<'a> ParserGen<'a> {
         let rule = self.analysis.atn.decisions[decision].rule;
         let rule_name = &self.grammar.rule(rule).name;
         w.blank();
-        w.line(&format!(
-            "/// Lookahead DFA for decision {decision} (rule `{rule_name}`)."
-        ));
+        w.line(&format!("/// Lookahead DFA for decision {decision} (rule `{rule_name}`)."));
         w.open(&format!("fn predict_{decision}(&mut self) -> Result<u16, Error> {{"));
         w.line("let mut s = 0usize;");
         w.line("let mut i = 0usize;");
@@ -422,16 +417,10 @@ impl<'a> ParserGen<'a> {
                     ));
                 }
                 PredSource::Syn(sp) => {
-                    w.line(&format!(
-                        "if self.synpred_{}() {{ return Ok({alt}); }}",
-                        sp.0
-                    ));
+                    w.line(&format!("if self.synpred_{}() {{ return Ok({alt}); }}", sp.0));
                 }
                 PredSource::NotSyn(sp) => {
-                    w.line(&format!(
-                        "if !self.synpred_{}() {{ return Ok({alt}); }}",
-                        sp.0
-                    ));
+                    w.line(&format!("if !self.synpred_{}() {{ return Ok({alt}); }}", sp.0));
                 }
             }
         }

@@ -16,7 +16,20 @@ use crate::dfa::{DfaState, DfaStateId, LookaheadDfa};
 use llstar_grammar::Grammar;
 use llstar_lexer::TokenType;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+/// Process-wide count of DFA subset constructions ([`DfaBuilder::build`]
+/// runs). Cache tests use the delta across an operation to prove the
+/// cache-hit path skips construction entirely.
+static DFA_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Total lookahead-DFA constructions performed by this process so far
+/// (including LL(1) fallback rebuilds). Monotonic; compare before/after
+/// deltas rather than absolute values.
+pub fn dfa_builds() -> u64 {
+    DFA_BUILDS.load(Ordering::Relaxed)
+}
 
 /// Warnings produced while analyzing a decision.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +70,9 @@ pub struct DecisionAnalysis {
     pub dfa: LookaheadDfa,
     /// Warnings encountered.
     pub warnings: Vec<AnalysisWarning>,
+    /// Wall-clock time spent on this decision's subset construction
+    /// (zero when the analysis was loaded from a cache).
+    pub elapsed: Duration,
 }
 
 /// Whole-grammar analysis output.
@@ -66,8 +82,12 @@ pub struct GrammarAnalysis {
     pub atn: Atn,
     /// Per-decision results, indexed by [`DecisionId`].
     pub decisions: Vec<DecisionAnalysis>,
-    /// Wall-clock time spent analyzing (grammar → DFAs).
+    /// Wall-clock time spent analyzing (grammar → DFAs). For cache loads
+    /// this is the deserialization time, not a subset-construction time.
     pub elapsed: Duration,
+    /// Whether this analysis was deserialized (cache/`--dfa` load) rather
+    /// than computed by subset construction.
+    pub from_cache: bool,
 }
 
 impl GrammarAnalysis {
@@ -91,11 +111,22 @@ pub struct AnalysisOptions {
     /// Minimize each lookahead DFA after construction (Moore partition
     /// refinement; behaviour-preserving).
     pub minimize: bool,
+    /// Worker threads for per-decision DFA construction: `0` uses the
+    /// machine's available parallelism, `1` is the sequential path.
+    /// Results are assembled in [`DecisionId`] order, so every thread
+    /// count produces identical output (see `tests/analysis_determinism`).
+    pub threads: usize,
 }
 
 impl Default for AnalysisOptions {
     fn default() -> Self {
-        AnalysisOptions { rec_depth_m: 1, max_k: None, max_dfa_states: 4096, minimize: true }
+        AnalysisOptions {
+            rec_depth_m: 1,
+            max_k: None,
+            max_dfa_states: 4096,
+            minimize: true,
+            threads: 0,
+        }
     }
 }
 
@@ -119,11 +150,65 @@ pub fn analyze(grammar: &Grammar) -> GrammarAnalysis {
 pub fn analyze_with(grammar: &Grammar, options: &AnalysisOptions) -> GrammarAnalysis {
     let start = Instant::now();
     let atn = Atn::from_grammar(grammar);
-    let mut decisions = Vec::with_capacity(atn.decisions.len());
-    for d in &atn.decisions {
-        decisions.push(analyze_decision(grammar, &atn, d, options));
-    }
-    GrammarAnalysis { atn, decisions, elapsed: start.elapsed() }
+    let threads = effective_threads(options.threads, atn.decisions.len());
+    let decisions = if threads <= 1 {
+        atn.decisions.iter().map(|d| analyze_decision(grammar, &atn, d, options)).collect()
+    } else {
+        analyze_decisions_parallel(grammar, &atn, options, threads)
+    };
+    GrammarAnalysis { atn, decisions, elapsed: start.elapsed(), from_cache: false }
+}
+
+/// Resolves the `threads` knob: `0` = available parallelism, and never
+/// more workers than decisions.
+fn effective_threads(requested: usize, decisions: usize) -> usize {
+    let requested = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    };
+    requested.min(decisions.max(1))
+}
+
+/// Fans the per-decision subset constructions out over `threads` scoped
+/// workers. Decisions are claimed from a shared atomic cursor (cheap
+/// dynamic load balancing: decision costs vary wildly), and every result
+/// is written back into its [`DecisionId`] slot, so the assembled vector
+/// — and therefore `serialize_analysis` output and warning order — is
+/// byte-identical to the sequential path.
+fn analyze_decisions_parallel(
+    grammar: &Grammar,
+    atn: &Atn,
+    options: &AnalysisOptions,
+    threads: usize,
+) -> Vec<DecisionAnalysis> {
+    let n = atn.decisions.len();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, DecisionAnalysis)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let d = &atn.decisions[i];
+                        local.push((i, analyze_decision(grammar, atn, d, options)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut slots: Vec<Option<DecisionAnalysis>> = (0..n).map(|_| None).collect();
+        for worker in workers {
+            for (i, analysis) in worker.join().expect("analysis worker panicked") {
+                slots[i] = Some(analysis);
+            }
+        }
+        slots.into_iter().map(|s| s.expect("every decision is claimed exactly once")).collect()
+    })
 }
 
 /// Analyzes a single decision, falling back to LL(1) on a
@@ -134,23 +219,21 @@ pub fn analyze_decision(
     decision: &Decision,
     options: &AnalysisOptions,
 ) -> DecisionAnalysis {
+    let start = Instant::now();
     let mut builder = DfaBuilder::new(grammar, atn, decision, options, true);
     match builder.build() {
         Ok(dfa) => {
             let dfa = if options.minimize { dfa.minimized() } else { dfa };
             let mut warnings = builder.warnings;
             note_dead_alternatives(atn, decision, &dfa, &mut warnings);
-            DecisionAnalysis { decision: decision.id, dfa, warnings }
+            DecisionAnalysis { decision: decision.id, dfa, warnings, elapsed: start.elapsed() }
         }
         Err(abort) => {
             // Fall back: LL(1) DFA with overflow-style resolution instead
             // of aborting.
-            let ll1_options =
-                AnalysisOptions { max_k: Some(1), ..options.clone() };
+            let ll1_options = AnalysisOptions { max_k: Some(1), ..options.clone() };
             let mut fb = DfaBuilder::new(grammar, atn, decision, &ll1_options, false);
-            let dfa = fb
-                .build()
-                .expect("LL(1) fallback cannot abort: aborts are disabled");
+            let dfa = fb.build().expect("LL(1) fallback cannot abort: aborts are disabled");
             let dfa = if options.minimize { dfa.minimized() } else { dfa };
             let mut warnings = vec![match abort {
                 Abort::NonLlRegular => AnalysisWarning::NonLlRegularFallback,
@@ -158,7 +241,7 @@ pub fn analyze_decision(
             }];
             warnings.extend(fb.warnings);
             note_dead_alternatives(atn, decision, &dfa, &mut warnings);
-            DecisionAnalysis { decision: decision.id, dfa, warnings }
+            DecisionAnalysis { decision: decision.id, dfa, warnings, elapsed: start.elapsed() }
         }
     }
 }
@@ -209,10 +292,7 @@ enum Resolution {
     Accept(u16),
     /// The state becomes terminal with predicate transitions (and an
     /// optional default alternative).
-    Predicated {
-        preds: Vec<(PredSource, u16)>,
-        default_alt: Option<u16>,
-    },
+    Predicated { preds: Vec<(PredSource, u16)>, default_alt: Option<u16> },
 }
 
 struct DfaBuilder<'a> {
@@ -266,6 +346,7 @@ impl<'a> DfaBuilder<'a> {
 
     /// Algorithm 8, `createDFA`.
     fn build(&mut self) -> Result<LookaheadDfa, Abort> {
+        DFA_BUILDS.fetch_add(1, Ordering::Relaxed);
         // D0: closure over one configuration per alternative, seeded from
         // the decision state's ordered ε edges.
         let mut ctx = StateCtx { capture_preds: true, ..Default::default() };
@@ -314,10 +395,7 @@ impl<'a> DfaBuilder<'a> {
                 for c in &configs {
                     for (edge, target) in &self.atn.states[c.state].edges {
                         if matches!(edge, AtnEdge::Token(t) if *t == token) {
-                            self.closure(
-                                &mut ctx,
-                                Config { state: *target, ..*c },
-                            )?;
+                            self.closure(&mut ctx, Config { state: *target, ..*c })?;
                         }
                     }
                 }
@@ -343,8 +421,7 @@ impl<'a> DfaBuilder<'a> {
                         if let Some(alt) = single_alt(&ctx.configs) {
                             self.accept_state(alt)
                         } else {
-                            let canonical: Vec<Config> =
-                                ctx.configs.iter().copied().collect();
+                            let canonical: Vec<Config> = ctx.configs.iter().copied().collect();
                             let key = (canonical, self.intern_depth(depth));
                             if let Some(&existing) = self.interned.get(&key) {
                                 existing
@@ -372,11 +449,7 @@ impl<'a> DfaBuilder<'a> {
         }
     }
 
-    fn push_state(
-        &mut self,
-        key: (Vec<Config>, u32),
-        depth: u32,
-    ) -> Result<DfaStateId, Abort> {
+    fn push_state(&mut self, key: (Vec<Config>, u32), depth: u32) -> Result<DfaStateId, Abort> {
         if self.dfa.states.len() >= self.max_states {
             return Err(Abort::StateLimit);
         }
@@ -432,12 +505,7 @@ impl<'a> DfaBuilder<'a> {
                 for follow in followers {
                     self.closure(
                         ctx,
-                        Config {
-                            state: follow,
-                            stack: StackId::EMPTY,
-                            followed: true,
-                            ..c
-                        },
+                        Config { state: follow, stack: StackId::EMPTY, followed: true, ..c },
                     )?;
                 }
             }
@@ -554,22 +622,15 @@ impl<'a> DfaBuilder<'a> {
             all_alts.iter().copied().filter(|a| !pred_for.contains_key(a)).collect();
         if unpredicated.len() <= 1 && !pred_for.is_empty() {
             if ctx.overflowed {
-                self.warnings
-                    .push(AnalysisWarning::RecursionOverflow { alts: to_vec(&all_alts) });
+                self.warnings.push(AnalysisWarning::RecursionOverflow { alts: to_vec(&all_alts) });
             }
             let preds: Vec<(PredSource, u16)> = all_alts
                 .iter()
                 .flat_map(|a| {
-                    pred_for
-                        .get(a)
-                        .into_iter()
-                        .flat_map(|set| set.iter().map(|p| (*p, *a)))
+                    pred_for.get(a).into_iter().flat_map(|set| set.iter().map(|p| (*p, *a)))
                 })
                 .collect();
-            return Resolution::Predicated {
-                preds,
-                default_alt: unpredicated.first().copied(),
-            };
+            return Resolution::Predicated { preds, default_alt: unpredicated.first().copied() };
         }
 
         if force {
@@ -577,13 +638,10 @@ impl<'a> DfaBuilder<'a> {
             // the lowest-numbered alternative.
             let min = *all_alts.iter().next().expect("non-empty");
             if ctx.overflowed {
-                self.warnings
-                    .push(AnalysisWarning::RecursionOverflow { alts: to_vec(&all_alts) });
+                self.warnings.push(AnalysisWarning::RecursionOverflow { alts: to_vec(&all_alts) });
             } else {
-                self.warnings.push(AnalysisWarning::Ambiguity {
-                    alts: to_vec(&all_alts),
-                    resolved_to: min,
-                });
+                self.warnings
+                    .push(AnalysisWarning::Ambiguity { alts: to_vec(&all_alts), resolved_to: min });
             }
             return Resolution::Accept(min);
         }
@@ -591,10 +649,8 @@ impl<'a> DfaBuilder<'a> {
         // Static ambiguity resolution: drop configurations belonging to
         // the higher-numbered conflicting alternatives and continue.
         let min = conflicts[0];
-        self.warnings.push(AnalysisWarning::Ambiguity {
-            alts: conflicts.clone(),
-            resolved_to: min,
-        });
+        self.warnings
+            .push(AnalysisWarning::Ambiguity { alts: conflicts.clone(), resolved_to: min });
         let losers: BTreeSet<u16> = conflicts.iter().copied().filter(|&a| a != min).collect();
         ctx.configs.retain(|c| !losers.contains(&c.alt));
         Resolution::Continue
@@ -647,11 +703,7 @@ mod tests {
         (g, a)
     }
 
-    fn rule_decision<'a>(
-        g: &Grammar,
-        a: &'a GrammarAnalysis,
-        rule: &str,
-    ) -> &'a DecisionAnalysis {
+    fn rule_decision<'a>(g: &Grammar, a: &'a GrammarAnalysis, rule: &str) -> &'a DecisionAnalysis {
         let rid = g.rule_id(rule).unwrap();
         let d = a
             .atn
@@ -755,19 +807,15 @@ mod tests {
         assert!(matches!(s2st.preds[0].0, PredSource::Syn(_)));
         assert_eq!(s2st.preds[0].1, 1);
         assert_eq!(s2st.default_alt, Some(2));
-        assert!(d
-            .warnings
-            .iter()
-            .any(|w| matches!(w, AnalysisWarning::RecursionOverflow { .. })));
+        assert!(d.warnings.iter().any(|w| matches!(w, AnalysisWarning::RecursionOverflow { .. })));
     }
 
     /// Section 2's `a : b A+ X | c A+ Y` example: LL(*) but not LR(k);
     /// ANTLR builds a cyclic DFA quickly.
     #[test]
     fn cyclic_dfa_for_a_plus() {
-        let (g, a) = analyze_src(
-            "grammar C; a : b A+ X | c A+ Y ; b : ; c : ; A:'a'; X:'x'; Y:'y';",
-        );
+        let (g, a) =
+            analyze_src("grammar C; a : b A+ X | c A+ Y ; b : ; c : ; A:'a'; X:'x'; Y:'y';");
         let d = rule_decision(&g, &a, "a");
         let dfa = &d.dfa;
         assert!(d.warnings.is_empty(), "{:?}", d.warnings);
@@ -804,9 +852,7 @@ mod tests {
             d.warnings
         );
         assert!(
-            d.warnings
-                .iter()
-                .any(|w| matches!(w, AnalysisWarning::DeadAlternative { alt: 2 })),
+            d.warnings.iter().any(|w| matches!(w, AnalysisWarning::DeadAlternative { alt: 2 })),
             "{:?}",
             d.warnings
         );
@@ -836,17 +882,12 @@ mod tests {
     /// alternatives aborts the full construction and falls back to LL(1).
     #[test]
     fn non_ll_regular_falls_back_to_ll1() {
-        let g = parse_grammar(
-            "grammar N; s : a C | a D ; a : A a | B ; A:'a'; B:'b'; C:'c'; D:'d';",
-        )
-        .unwrap();
+        let g =
+            parse_grammar("grammar N; s : a C | a D ; a : A a | B ; A:'a'; B:'b'; C:'c'; D:'d';")
+                .unwrap();
         let a = analyze(&g);
         let d = rule_decision(&g, &a, "s");
-        assert!(
-            d.warnings.contains(&AnalysisWarning::NonLlRegularFallback),
-            "{:?}",
-            d.warnings
-        );
+        assert!(d.warnings.contains(&AnalysisWarning::NonLlRegularFallback), "{:?}", d.warnings);
         // The LL(1) fallback without predicates resolves to alt 1.
         assert_eq!(d.dfa.max_lookahead(), Some(1));
     }
@@ -873,9 +914,7 @@ mod tests {
     /// context-free.
     #[test]
     fn regular_approximation_of_recursive_rule() {
-        let (g, a) = analyze_src(
-            "grammar R; a : '[' a ']' | ID ; ID : [a-z]+ ;",
-        );
+        let (g, a) = analyze_src("grammar R; a : '[' a ']' | ID ; ID : [a-z]+ ;");
         let d = rule_decision(&g, &a, "a");
         assert_eq!(d.dfa.classify(), DecisionClass::Fixed { k: 1 }, "\n{}", d.dfa.to_pretty(&g));
         assert!(d.warnings.is_empty(), "{:?}", d.warnings);
@@ -884,18 +923,17 @@ mod tests {
     /// Fixed-k mode (`options { k = 1; }`) forces depth-1 resolution.
     #[test]
     fn fixed_k_caps_lookahead() {
-        let g = parse_grammar(
-            "grammar K; options { k = 1; } s : A X | A Y ; A:'a'; X:'x'; Y:'y';",
-        )
-        .unwrap();
+        let g = parse_grammar("grammar K; options { k = 1; } s : A X | A Y ; A:'a'; X:'x'; Y:'y';")
+            .unwrap();
         let a = analyze(&g);
         let d = rule_decision(&g, &a, "s");
         assert_eq!(d.dfa.max_lookahead(), Some(1));
         // Forced resolution produces an ambiguity warning and a dead alt.
-        assert!(d
-            .warnings
-            .iter()
-            .any(|w| matches!(w, AnalysisWarning::Ambiguity { .. })), "{:?}", d.warnings);
+        assert!(
+            d.warnings.iter().any(|w| matches!(w, AnalysisWarning::Ambiguity { .. })),
+            "{:?}",
+            d.warnings
+        );
     }
 
     /// EOF distinguishes "end of rule" from more input.
@@ -921,7 +959,6 @@ mod tests {
             assert_eq!(d.dfa.classify(), DecisionClass::Fixed { k: 1 });
         }
     }
-
 
     /// The `m` constant controls how far the DFA unwinds recursion
     /// before failing over to backtracking (Section 5.3): with m = 2 the
@@ -975,10 +1012,9 @@ mod tests {
     /// hoisted into the outer decision (limited predicate discovery).
     #[test]
     fn predicates_hoist_through_rule_references() {
-        let g = parse_grammar(
-            "grammar H; s : a | b ; a : {isA}? ID ; b : {isB}? ID ; ID : [a-z]+ ;",
-        )
-        .unwrap();
+        let g =
+            parse_grammar("grammar H; s : a | b ; a : {isA}? ID ; b : {isB}? ID ; ID : [a-z]+ ;")
+                .unwrap();
         let a = analyze(&g);
         let d = rule_decision(&g, &a, "s");
         assert!(d.warnings.is_empty(), "{:?}", d.warnings);
@@ -1003,10 +1039,8 @@ mod tests {
             let a = analyze_with(&g, &opts);
             let d = rule_decision(&g, &a, "a");
             assert!(
-                d.warnings
-                    .iter()
-                    .any(|w| matches!(w, AnalysisWarning::Ambiguity { .. })
-                        || matches!(w, AnalysisWarning::DeadAlternative { .. })),
+                d.warnings.iter().any(|w| matches!(w, AnalysisWarning::Ambiguity { .. })
+                    || matches!(w, AnalysisWarning::DeadAlternative { .. })),
                 "k={k}: fixed lookahead must fail to resolve: {:?}",
                 d.warnings
             );
@@ -1020,10 +1054,8 @@ mod tests {
     /// semantics: any passing predicate selects it.
     #[test]
     fn multiple_predicates_per_alternative_are_ored() {
-        let g = parse_grammar(
-            "grammar O; s : ({p1}? ID | {p2}? ID) | {p3}? ID ; ID : [a-z]+ ;",
-        )
-        .unwrap();
+        let g = parse_grammar("grammar O; s : ({p1}? ID | {p2}? ID) | {p3}? ID ; ID : [a-z]+ ;")
+            .unwrap();
         let a = analyze(&g);
         let d = rule_decision(&g, &a, "s");
         let id_t = g.vocab.by_name("ID").unwrap();

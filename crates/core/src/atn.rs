@@ -314,8 +314,7 @@ impl<'g> Builder<'g> {
         }
 
         // Collect Rule-edge followers per rule.
-        let mut rule_followers: Vec<Vec<AtnStateId>> =
-            vec![Vec::new(); self.grammar.rules.len()];
+        let mut rule_followers: Vec<Vec<AtnStateId>> = vec![Vec::new(); self.grammar.rules.len()];
         for st in &self.states {
             for (edge, _) in &st.edges {
                 if let AtnEdge::Rule { rule, follow } = edge {
@@ -503,10 +502,9 @@ mod tests {
     /// Figure 6: ATN for S → Ac | Ad, A → aA | b.
     #[test]
     fn figure6_structure() {
-        let g = parse_grammar(
-            "grammar F6; s : a C | a D ; a : A a | B ; A:'a'; B:'b'; C:'c'; D:'d';",
-        )
-        .unwrap();
+        let g =
+            parse_grammar("grammar F6; s : a C | a D ; a : A a | B ; A:'a'; B:'b'; C:'c'; D:'d';")
+                .unwrap();
         let atn = Atn::from_grammar(&g);
         // Two decisions: s (2 alts) and a (2 alts).
         let grammar_decisions: Vec<_> =
@@ -601,10 +599,7 @@ mod tests {
 
     #[test]
     fn predicates_and_actions_become_edges() {
-        let g = parse_grammar(
-            "grammar G; s : {p}? A {act()} | (B)=> B ; A:'a'; B:'b';",
-        )
-        .unwrap();
+        let g = parse_grammar("grammar G; s : {p}? A {act()} | (B)=> B ; A:'a'; B:'b';").unwrap();
         let atn = Atn::from_grammar(&g);
         let mut saw = (false, false, false);
         for st in &atn.states {

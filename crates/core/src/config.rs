@@ -153,7 +153,7 @@ impl Config {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use llstar_rng::Rng64;
 
     #[test]
     fn push_pop_round_trip() {
@@ -219,9 +219,16 @@ mod tests {
         assert_eq!(v, vec![c1, c2, c3]);
     }
 
-    proptest! {
-        #[test]
-        fn prop_to_vec_matches_pushes(states in proptest::collection::vec(0usize..50, 0..12)) {
+    fn random_vec(rng: &mut Rng64, bound: usize, min_len: usize, max_len: usize) -> Vec<usize> {
+        let len = rng.gen_range(min_len..=max_len);
+        (0..len).map(|_| rng.gen_range(0..bound)).collect()
+    }
+
+    #[test]
+    fn prop_to_vec_matches_pushes() {
+        let mut rng = Rng64::seed_from_u64(0xc0f1);
+        for _ in 0..256 {
+            let states = random_vec(&mut rng, 50, 0, 11);
             let mut a = StackArena::new();
             let mut id = StackId::EMPTY;
             for &s in &states {
@@ -229,35 +236,47 @@ mod tests {
             }
             let mut expect = states.clone();
             expect.reverse();
-            prop_assert_eq!(a.to_vec(id), expect);
+            assert_eq!(a.to_vec(id), expect);
         }
+    }
 
-        #[test]
-        fn prop_equivalence_is_symmetric(
-            xs in proptest::collection::vec(0usize..6, 0..6),
-            ys in proptest::collection::vec(0usize..6, 0..6),
-        ) {
+    #[test]
+    fn prop_equivalence_is_symmetric() {
+        let mut rng = Rng64::seed_from_u64(0xc0f2);
+        for _ in 0..256 {
+            let xs = random_vec(&mut rng, 6, 0, 5);
+            let ys = random_vec(&mut rng, 6, 0, 5);
             let mut a = StackArena::new();
             let mut sx = StackId::EMPTY;
-            for &s in &xs { sx = a.push(sx, s); }
+            for &s in &xs {
+                sx = a.push(sx, s);
+            }
             let mut sy = StackId::EMPTY;
-            for &s in &ys { sy = a.push(sy, s); }
-            prop_assert_eq!(a.equivalent(sx, sy), a.equivalent(sy, sx));
+            for &s in &ys {
+                sy = a.push(sy, s);
+            }
+            assert_eq!(a.equivalent(sx, sy), a.equivalent(sy, sx), "{xs:?} vs {ys:?}");
         }
+    }
 
-        #[test]
-        fn prop_suffix_equivalence(
-            base in proptest::collection::vec(0usize..6, 0..6),
-            ext in proptest::collection::vec(0usize..6, 1..4),
-        ) {
-            // Pushing more on top of a stack keeps it equivalent to the
-            // original (the original is a suffix).
+    #[test]
+    fn prop_suffix_equivalence() {
+        // Pushing more on top of a stack keeps it equivalent to the
+        // original (the original is a suffix).
+        let mut rng = Rng64::seed_from_u64(0xc0f3);
+        for _ in 0..256 {
+            let base = random_vec(&mut rng, 6, 0, 5);
+            let ext = random_vec(&mut rng, 6, 1, 3);
             let mut a = StackArena::new();
             let mut s = StackId::EMPTY;
-            for &x in &base { s = a.push(s, x); }
+            for &x in &base {
+                s = a.push(s, x);
+            }
             let orig = s;
-            for &x in &ext { s = a.push(s, x); }
-            prop_assert!(a.equivalent(orig, s));
+            for &x in &ext {
+                s = a.push(s, x);
+            }
+            assert!(a.equivalent(orig, s), "{base:?} + {ext:?}");
         }
     }
 }

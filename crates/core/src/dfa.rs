@@ -112,10 +112,7 @@ impl LookaheadDfa {
 
     /// Whether any predicate edge is a semantic predicate.
     pub fn uses_sempreds(&self) -> bool {
-        self.states
-            .iter()
-            .flat_map(|s| &s.preds)
-            .any(|(p, _)| matches!(p, PredSource::Sem(_)))
+        self.states.iter().flat_map(|s| &s.preds).any(|(p, _)| matches!(p, PredSource::Sem(_)))
     }
 
     /// Maximum lookahead depth: the longest token-edge path from the start
@@ -160,10 +157,7 @@ impl LookaheadDfa {
             .states
             .iter()
             .flat_map(|s| {
-                s.accept
-                    .into_iter()
-                    .chain(s.preds.iter().map(|&(_, a)| a))
-                    .chain(s.default_alt)
+                s.accept.into_iter().chain(s.preds.iter().map(|&(_, a)| a)).chain(s.default_alt)
             })
             .collect();
         alts.sort_unstable();
@@ -181,8 +175,7 @@ impl LookaheadDfa {
                 continue;
             }
             for &(tok, target) in &st.edges {
-                let _ =
-                    writeln!(out, "s{i} -{}-> s{target}", grammar.vocab.display_name(tok));
+                let _ = writeln!(out, "s{i} -{}-> s{target}", grammar.vocab.display_name(tok));
             }
             for &(pred, alt) in &st.preds {
                 let label = match pred {
@@ -205,10 +198,7 @@ impl LookaheadDfa {
         for (i, st) in self.states.iter().enumerate() {
             match st.accept {
                 Some(alt) => {
-                    let _ = writeln!(
-                        out,
-                        "  s{i} [shape=doublecircle,label=\"s{i}\\n=>{alt}\"];"
-                    );
+                    let _ = writeln!(out, "  s{i} [shape=doublecircle,label=\"s{i}\\n=>{alt}\"];");
                 }
                 None => {
                     let _ = writeln!(out, "  s{i} [shape=circle,label=\"s{i}\"];");

@@ -35,15 +35,20 @@
 
 pub mod analysis;
 pub mod atn;
+pub mod cache;
 pub mod config;
 pub mod dfa;
 pub mod serialize;
 
 pub use analysis::{
-    analyze, analyze_decision, analyze_with, AnalysisOptions, AnalysisWarning,
+    analyze, analyze_decision, analyze_with, dfa_builds, AnalysisOptions, AnalysisWarning,
     DecisionAnalysis, GrammarAnalysis,
 };
 pub use atn::{Atn, AtnEdge, AtnState, AtnStateId, Decision, DecisionId, DecisionKind, StateKind};
+pub use cache::{analyze_cached, analyze_cached_with, cache_path, CacheMiss, CacheStatus};
 pub use config::{Config, PredSource, StackArena, StackId};
 pub use dfa::{DecisionClass, DfaState, DfaStateId, LookaheadDfa};
-pub use serialize::{deserialize_analysis, grammar_fingerprint, serialize_analysis, SerializeError};
+pub use serialize::{
+    deserialize_analysis, grammar_fingerprint, serialize_analysis, serialized_fingerprint,
+    SerializeError,
+};

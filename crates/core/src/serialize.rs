@@ -22,7 +22,8 @@ use std::time::Duration;
 /// Error from [`deserialize_analysis`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SerializeError {
-    /// 1-based line of the problem (0 when structural).
+    /// 1-based line of the problem. Unexpected-EOF errors point one past
+    /// the last line, so this is always ≥ 1.
     pub line: usize,
     /// Description.
     pub message: String,
@@ -46,6 +47,19 @@ pub fn grammar_fingerprint(grammar: &Grammar) -> u64 {
         hash = hash.wrapping_mul(0x100000001b3);
     }
     hash
+}
+
+/// Extracts the grammar fingerprint recorded in serialized-analysis
+/// `text` without deserializing the rest. `None` when the header or
+/// fingerprint line is missing/malformed — the cache layer uses this to
+/// distinguish "stale: grammar changed" from "corrupt file".
+pub fn serialized_fingerprint(text: &str) -> Option<u64> {
+    let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+    if lines.next()? != "llstar-analysis v1" {
+        return None;
+    }
+    let fp = lines.next()?.strip_prefix("fingerprint ")?;
+    u64::from_str_radix(fp, 16).ok()
 }
 
 fn pred_to_text(p: PredSource) -> String {
@@ -149,11 +163,8 @@ pub fn serialize_analysis(grammar: &Grammar, analysis: &GrammarAnalysis) -> Stri
             let default = st.default_alt.map_or("-".to_string(), |a| a.to_string());
             let edges: Vec<String> =
                 st.edges.iter().map(|(t, target)| format!("{}:{target}", t.0)).collect();
-            let preds: Vec<String> = st
-                .preds
-                .iter()
-                .map(|(p, alt)| format!("{}:{alt}", pred_to_text(*p)))
-                .collect();
+            let preds: Vec<String> =
+                st.preds.iter().map(|(p, alt)| format!("{}:{alt}", pred_to_text(*p))).collect();
             let _ = writeln!(
                 out,
                 "state accept={accept} default={default} edges={} preds={}",
@@ -181,24 +192,30 @@ pub fn deserialize_analysis(
     text: &str,
 ) -> Result<GrammarAnalysis, SerializeError> {
     let err = |line: usize, m: String| SerializeError { line, message: m };
+    // Where unexpected-EOF errors point: one past the last line, so every
+    // diagnosis (including truncation) names a concrete 1-based line.
+    let eof = text.lines().count() + 1;
     let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
     let mut next_line =
         move || -> Option<(usize, &str)> { lines.by_ref().find(|(_, l)| !l.is_empty()) };
 
-    let (ln, header) = next_line().ok_or_else(|| err(0, "empty input".into()))?;
+    let (ln, header) = next_line().ok_or_else(|| err(eof, "empty input".into()))?;
     if header != "llstar-analysis v1" {
         return Err(err(ln, format!("unsupported header {header:?}")));
     }
-    let (ln, fp_line) = next_line().ok_or_else(|| err(0, "missing fingerprint".into()))?;
+    let (ln, fp_line) = next_line().ok_or_else(|| err(eof, "missing fingerprint".into()))?;
     let fp = fp_line
         .strip_prefix("fingerprint ")
         .and_then(|h| u64::from_str_radix(h, 16).ok())
         .ok_or_else(|| err(ln, "malformed fingerprint line".into()))?;
     if fp != grammar_fingerprint(grammar) {
-        return Err(err(ln, "fingerprint mismatch: serialized DFAs belong to a different grammar".into()));
+        return Err(err(
+            ln,
+            "fingerprint mismatch: serialized DFAs belong to a different grammar".into(),
+        ));
     }
 
-    let (ln, count_line) = next_line().ok_or_else(|| err(0, "missing decision count".into()))?;
+    let (ln, count_line) = next_line().ok_or_else(|| err(eof, "missing decision count".into()))?;
     let count: usize = count_line
         .strip_prefix("decisions ")
         .and_then(|n| n.parse().ok())
@@ -217,7 +234,7 @@ pub fn deserialize_analysis(
 
     let mut decisions: Vec<DecisionAnalysis> = Vec::with_capacity(count);
     for expected in 0..count {
-        let (ln, dline) = next_line().ok_or_else(|| err(0, "truncated file".into()))?;
+        let (ln, dline) = next_line().ok_or_else(|| err(eof, "truncated file".into()))?;
         let rest = dline
             .strip_prefix("decision ")
             .ok_or_else(|| err(ln, format!("expected 'decision', found {dline:?}")))?;
@@ -236,7 +253,7 @@ pub fn deserialize_analysis(
 
         let mut states = Vec::with_capacity(nstates);
         for _ in 0..nstates {
-            let (ln, sline) = next_line().ok_or_else(|| err(0, "truncated state list".into()))?;
+            let (ln, sline) = next_line().ok_or_else(|| err(eof, "truncated state list".into()))?;
             let rest = sline
                 .strip_prefix("state ")
                 .ok_or_else(|| err(ln, format!("expected 'state', found {sline:?}")))?;
@@ -248,16 +265,20 @@ pub fn deserialize_analysis(
                 match key {
                     "accept" => {
                         if value != "-" {
-                            st.accept = Some(value.parse().map_err(|_| {
-                                err(ln, format!("bad accept {value:?}"))
-                            })?);
+                            st.accept = Some(
+                                value
+                                    .parse()
+                                    .map_err(|_| err(ln, format!("bad accept {value:?}")))?,
+                            );
                         }
                     }
                     "default" => {
                         if value != "-" {
-                            st.default_alt = Some(value.parse().map_err(|_| {
-                                err(ln, format!("bad default {value:?}"))
-                            })?);
+                            st.default_alt = Some(
+                                value
+                                    .parse()
+                                    .map_err(|_| err(ln, format!("bad default {value:?}")))?,
+                            );
                         }
                     }
                     "edges" => {
@@ -266,12 +287,12 @@ pub fn deserialize_analysis(
                                 .split_once(':')
                                 .ok_or_else(|| err(ln, format!("bad edge {pair:?}")))?;
                             st.edges.push((
-                                TokenType(t.parse().map_err(|_| {
-                                    err(ln, format!("bad token {t:?}"))
-                                })?),
-                                target.parse().map_err(|_| {
-                                    err(ln, format!("bad target {target:?}"))
-                                })?,
+                                TokenType(
+                                    t.parse().map_err(|_| err(ln, format!("bad token {t:?}")))?,
+                                ),
+                                target
+                                    .parse()
+                                    .map_err(|_| err(ln, format!("bad target {target:?}")))?,
                             ));
                         }
                     }
@@ -282,9 +303,8 @@ pub fn deserialize_analysis(
                                 .ok_or_else(|| err(ln, format!("bad pred {pair:?}")))?;
                             st.preds.push((
                                 pred_from_text(p, ln)?,
-                                alt.parse().map_err(|_| {
-                                    err(ln, format!("bad pred alt {alt:?}"))
-                                })?,
+                                alt.parse()
+                                    .map_err(|_| err(ln, format!("bad pred alt {alt:?}")))?,
                             ));
                         }
                     }
@@ -306,7 +326,7 @@ pub fn deserialize_analysis(
         }
         let mut warnings = Vec::new();
         loop {
-            let (ln, wline) = next_line().ok_or_else(|| err(0, "truncated decision".into()))?;
+            let (ln, wline) = next_line().ok_or_else(|| err(eof, "truncated decision".into()))?;
             if wline == "end" {
                 break;
             }
@@ -319,9 +339,10 @@ pub fn deserialize_analysis(
             decision: DecisionId(id),
             dfa: LookaheadDfa { decision: DecisionId(id), states },
             warnings,
+            elapsed: Duration::ZERO,
         });
     }
-    Ok(GrammarAnalysis { atn, decisions, elapsed: Duration::ZERO })
+    Ok(GrammarAnalysis { atn, decisions, elapsed: Duration::ZERO, from_cache: true })
 }
 
 #[cfg(test)]
@@ -388,9 +409,8 @@ mod tests {
         let g = grammar();
         let a = analyze(&g);
         let text = serialize_analysis(&g, &a);
-        let other = apply_peg_mode(
-            parse_grammar("grammar O; s : A | B ; A : 'a' ; B : 'b' ;").unwrap(),
-        );
+        let other =
+            apply_peg_mode(parse_grammar("grammar O; s : A | B ; A : 'a' ; B : 'b' ;").unwrap());
         let e = deserialize_analysis(&other, &text).unwrap_err();
         assert!(e.message.contains("fingerprint mismatch"), "{e}");
     }
@@ -429,8 +449,7 @@ mod tests {
         let g1 = grammar();
         let g2 = grammar();
         assert_eq!(grammar_fingerprint(&g1), grammar_fingerprint(&g2));
-        let other =
-            parse_grammar("grammar S; s : A ; A : 'a' ;").unwrap();
+        let other = parse_grammar("grammar S; s : A ; A : 'a' ;").unwrap();
         assert_ne!(grammar_fingerprint(&g1), grammar_fingerprint(&other));
     }
 }

@@ -218,10 +218,7 @@ impl Grammar {
     /// # Panics
     /// Panics if a rule with this name already exists.
     pub fn add_rule(&mut self, name: &str) -> RuleId {
-        assert!(
-            !self.rule_map.contains_key(name),
-            "duplicate rule definition {name:?}"
-        );
+        assert!(!self.rule_map.contains_key(name), "duplicate rule definition {name:?}");
         let id = RuleId(self.rules.len() as u32);
         self.rules.push(Rule { name: name.to_string(), id, alts: Vec::new() });
         self.rule_map.insert(name.to_string(), id);

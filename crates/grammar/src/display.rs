@@ -112,10 +112,8 @@ mod tests {
 
     #[test]
     fn predicates_render() {
-        let g = parse_grammar(
-            "grammar P; s : {p}? A | (A B)=> A B {act} {{aa}} ; A:'a'; B:'b';",
-        )
-        .unwrap();
+        let g = parse_grammar("grammar P; s : {p}? A | (A B)=> A B {act} {{aa}} ; A:'a'; B:'b';")
+            .unwrap();
         let text = grammar_to_string(&g);
         assert!(text.contains("{p}?"), "{text}");
         assert!(text.contains("(A B)=>"), "{text}");

@@ -141,8 +141,7 @@ fn rewrite_rule(grammar: &mut Grammar, rule: RuleId) -> Result<(), LeftRecError>
         level_ids.push(grammar.add_rule(&format!("{name}__p{i}")));
     }
     // Entry rule simply delegates to the lowest-precedence level.
-    grammar.rules[rule.index()].alts =
-        vec![Alt::new(vec![Element::Rule(level_ids[0])])];
+    grammar.rules[rule.index()].alts = vec![Alt::new(vec![Element::Rule(level_ids[0])])];
 
     // Self references *inside* operator sequences (the ternary middle)
     // restart at the lowest precedence level.
@@ -166,18 +165,12 @@ fn rewrite_rule(grammar: &mut Grammar, rule: RuleId) -> Result<(), LeftRecError>
                 loop_body.push(Element::Rule(next));
                 Alt::new(vec![
                     Element::Rule(next),
-                    Element::Block(Block {
-                        alts: vec![Alt::new(loop_body)],
-                        ebnf: Ebnf::Star,
-                    }),
+                    Element::Block(Block { alts: vec![Alt::new(loop_body)], ebnf: Ebnf::Star }),
                 ])
             }
             OpKind::Suffix(ops) => Alt::new(vec![
                 Element::Rule(next),
-                Element::Block(Block {
-                    alts: vec![Alt::new(remap(ops))],
-                    ebnf: Ebnf::Star,
-                }),
+                Element::Block(Block { alts: vec![Alt::new(remap(ops))], ebnf: Ebnf::Star }),
             ]),
             OpKind::Prefix(ops) => {
                 // eᵢ : op eᵢ | eᵢ₊₁  — prefix binds at its own level.
@@ -225,10 +218,8 @@ mod tests {
 
     #[test]
     fn prefix_and_suffix_operators() {
-        let g = parse_grammar(
-            "grammar E; e : e '!' | '-' e | e '+' e | INT ; INT:[0-9]+;",
-        )
-        .unwrap();
+        let g =
+            parse_grammar("grammar E; e : e '!' | '-' e | e '+' e | INT ; INT:[0-9]+;").unwrap();
         let g = rewrite_left_recursion(g).unwrap();
         assert!(no_left_recursion(&g), "{}", crate::display::grammar_to_string(&g));
         let text = crate::display::grammar_to_string(&g);
@@ -239,10 +230,8 @@ mod tests {
 
     #[test]
     fn ternary_operator() {
-        let g = parse_grammar(
-            "grammar E; e : e '?' e ':' e | e '+' e | INT ; INT:[0-9]+;",
-        )
-        .unwrap();
+        let g =
+            parse_grammar("grammar E; e : e '?' e ':' e | e '+' e | INT ; INT:[0-9]+;").unwrap();
         let g = rewrite_left_recursion(g).unwrap();
         assert!(no_left_recursion(&g));
         let text = crate::display::grammar_to_string(&g);
@@ -252,10 +241,7 @@ mod tests {
 
     #[test]
     fn parenthesized_primary_points_back_at_entry() {
-        let g = parse_grammar(
-            "grammar E; e : e '+' e | '(' e ')' | INT ; INT:[0-9]+;",
-        )
-        .unwrap();
+        let g = parse_grammar("grammar E; e : e '+' e | '(' e ')' | INT ; INT:[0-9]+;").unwrap();
         let g = rewrite_left_recursion(g).unwrap();
         assert!(no_left_recursion(&g));
         let text = crate::display::grammar_to_string(&g);
@@ -273,10 +259,7 @@ mod tests {
     #[test]
     fn bare_self_reference_is_error() {
         let g = parse_grammar("grammar E; e : e | INT ; INT:[0-9]+;").unwrap();
-        assert!(matches!(
-            rewrite_left_recursion(g),
-            Err(LeftRecError::BareSelfReference { .. })
-        ));
+        assert!(matches!(rewrite_left_recursion(g), Err(LeftRecError::BareSelfReference { .. })));
     }
 
     #[test]

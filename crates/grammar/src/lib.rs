@@ -38,8 +38,7 @@ pub mod validate;
 pub mod vocab;
 
 pub use ast::{
-    ActionId, Alt, Block, Ebnf, Element, Grammar, GrammarOptions, PredId, Rule, RuleId,
-    SynPredId,
+    ActionId, Alt, Block, Ebnf, Element, Grammar, GrammarOptions, PredId, Rule, RuleId, SynPredId,
 };
 pub use display::{alt_to_string, grammar_to_string};
 pub use leftrec::{rewrite_left_recursion, LeftRecError};

@@ -278,8 +278,7 @@ impl<'a> Cursor<'a> {
                 Some('}') => {
                     depth -= 1;
                     if depth == 0 {
-                        let inner: String =
-                            self.chars[start..self.pos - 1].iter().collect();
+                        let inner: String = self.chars[start..self.pos - 1].iter().collect();
                         return Ok(inner);
                     }
                 }
@@ -322,9 +321,9 @@ impl<'a> Cursor<'a> {
                     self.bump();
                     let word = self.ident()?;
                     if word != "skip" {
-                        return Err(self.err(format!(
-                            "unsupported lexer command {word:?} (only 'skip')"
-                        )));
+                        return Err(
+                            self.err(format!("unsupported lexer command {word:?} (only 'skip')"))
+                        );
                     }
                     skip_marker = true;
                     self.eat(';')?;
@@ -471,9 +470,10 @@ fn parse_options(cur: &mut Cursor<'_>, options: &mut GrammarOptions) -> Result<(
                     .map_err(|_| cur.err(format!("option m expects an integer, got {value:?}")))?
             }
             "k" => {
-                options.max_k = Some(value.parse().map_err(|_| {
-                    cur.err(format!("option k expects an integer, got {value:?}"))
-                })?)
+                options.max_k =
+                    Some(value.parse().map_err(|_| {
+                        cur.err(format!("option k expects an integer, got {value:?}"))
+                    })?)
             }
             other => return Err(cur.err(format!("unknown option {other:?}"))),
         }
@@ -749,11 +749,7 @@ fn resolve_synpred_fragment(
     Ok(g.add_synpred(fragment))
 }
 
-fn resolve_element(
-    g: &mut Grammar,
-    raw: &RawElement,
-    at: &RawRule,
-) -> Result<Element, MetaError> {
+fn resolve_element(g: &mut Grammar, raw: &RawElement, at: &RawRule) -> Result<Element, MetaError> {
     Ok(match raw {
         RawElement::Term(t) => Element::Token(resolve_term(g, t, at)?),
         RawElement::Eof => Element::Token(TokenType::EOF),
@@ -766,11 +762,8 @@ fn resolve_element(
             Element::Rule(id)
         }
         RawElement::Wildcard => {
-            let alts: Vec<Alt> = g
-                .vocab
-                .token_types()
-                .map(|t| Alt::new(vec![Element::Token(t)]))
-                .collect();
+            let alts: Vec<Alt> =
+                g.vocab.token_types().map(|t| Alt::new(vec![Element::Token(t)])).collect();
             if alts.is_empty() {
                 return Err(MetaError {
                     line: at.line,
@@ -865,10 +858,7 @@ mod tests {
 
     #[test]
     fn literals_unify_with_exact_lexer_rules() {
-        let g = parse_grammar(
-            "grammar U; s : 'if' ID ; IF : 'if' ; ID : [a-z]+ ;",
-        )
-        .unwrap();
+        let g = parse_grammar("grammar U; s : 'if' ID ; IF : 'if' ; ID : [a-z]+ ;").unwrap();
         // 'if' in the parser should reuse the IF token type, not mint a new
         // one that shadows it.
         let if_type = g.vocab.by_name("IF").unwrap();
@@ -987,19 +977,15 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        let g = parse_grammar(
-            "grammar C; // line comment\n/* block\ncomment */ s : A ; A : 'a' ;",
-        )
-        .unwrap();
+        let g = parse_grammar("grammar C; // line comment\n/* block\ncomment */ s : A ; A : 'a' ;")
+            .unwrap();
         assert_eq!(g.rules.len(), 1);
     }
 
     #[test]
     fn fragments_flow_to_lexer_spec() {
-        let g = parse_grammar(
-            "grammar G; s : NUM ; fragment Digit : [0-9] ; NUM : Digit+ ;",
-        )
-        .unwrap();
+        let g =
+            parse_grammar("grammar G; s : NUM ; fragment Digit : [0-9] ; NUM : Digit+ ;").unwrap();
         let scanner = g.lexer.build().unwrap();
         let toks = scanner.tokenize("123").unwrap();
         assert_eq!(toks[0].ttype, g.vocab.by_name("NUM").unwrap());
@@ -1014,10 +1000,7 @@ mod tests {
 
     #[test]
     fn nested_action_braces() {
-        let g = parse_grammar(
-            "grammar N; s : {if x { y(\"}\"); }} A ; A : 'a' ;",
-        )
-        .unwrap();
+        let g = parse_grammar("grammar N; s : {if x { y(\"}\"); }} A ; A : 'a' ;").unwrap();
         assert_eq!(g.actions[0], "if x { y(\"}\"); }");
     }
 

@@ -59,11 +59,7 @@ fn strip_for_fragment(alt: &Alt) -> Alt {
             .filter_map(|e| match e {
                 Element::Action { .. } => None,
                 Element::Block(b) => Some(Element::Block(Block {
-                    alts: b
-                        .alts
-                        .iter()
-                        .map(|a| Alt::new(strip_elements(&a.elements)))
-                        .collect(),
+                    alts: b.alts.iter().map(|a| Alt::new(strip_elements(&a.elements))).collect(),
                     ebnf: b.ebnf,
                 })),
                 other => Some(other.clone()),
@@ -119,10 +115,8 @@ mod tests {
 
     #[test]
     fn single_alt_rules_untouched() {
-        let g = parse_grammar(
-            "grammar P; options { backtrack = true; } s : A B ; A:'a'; B:'b';",
-        )
-        .unwrap();
+        let g = parse_grammar("grammar P; options { backtrack = true; } s : A B ; A:'a'; B:'b';")
+            .unwrap();
         let g = apply_peg_mode(g);
         assert!(g.synpreds.is_empty());
     }

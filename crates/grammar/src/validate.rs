@@ -258,15 +258,16 @@ mod tests {
     fn immediate_left_recursion_detected() {
         let g = parse_grammar("grammar G; e : e '+' INT | INT ; INT:[0-9]+;").unwrap();
         let issues = validate(&g);
-        assert!(matches!(&issues[..], [GrammarIssue::LeftRecursion { cycle }] if cycle == &vec!["e".to_string(), "e".to_string()]));
+        assert!(
+            matches!(&issues[..], [GrammarIssue::LeftRecursion { cycle }] if cycle == &vec!["e".to_string(), "e".to_string()])
+        );
         assert!(!is_well_formed(&g));
     }
 
     #[test]
     fn indirect_left_recursion_detected() {
         let g = parse_grammar("grammar G; a : b X | X ; b : a Y | Y ; X:'x'; Y:'y';").unwrap();
-        let issues: Vec<_> =
-            validate(&g).into_iter().filter(GrammarIssue::is_error).collect();
+        let issues: Vec<_> = validate(&g).into_iter().filter(GrammarIssue::is_error).collect();
         assert_eq!(issues.len(), 2, "both a and b are left-recursive: {issues:?}");
     }
 
@@ -306,10 +307,7 @@ mod tests {
 
     #[test]
     fn nullability_computation() {
-        let g = parse_grammar(
-            "grammar G; a : b c ; b : X | ; c : b b ; d : X ; X:'x';",
-        )
-        .unwrap();
+        let g = parse_grammar("grammar G; a : b c ; b : X | ; c : b b ; d : X ; X:'x';").unwrap();
         let nullable = nullable_rules(&g);
         let by_name = |name: &str| nullable[g.rule_id(name).unwrap().index()];
         assert!(by_name("a"), "a -> b c, both nullable");
@@ -320,10 +318,7 @@ mod tests {
 
     #[test]
     fn predicates_and_actions_are_transparent_for_left_recursion() {
-        let g = parse_grammar(
-            "grammar G; a : {p}? {act()} a X | X ; X:'x';",
-        )
-        .unwrap();
+        let g = parse_grammar("grammar G; a : {p}? {act()} a X | X ; X:'x';").unwrap();
         assert!(validate(&g).iter().any(|i| matches!(i, GrammarIssue::LeftRecursion { .. })));
     }
 

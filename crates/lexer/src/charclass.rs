@@ -246,7 +246,7 @@ pub fn disjoint_partition(sets: &[CharSet]) -> Vec<CharSet> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use llstar_rng::Rng64;
 
     #[test]
     fn basics() {
@@ -301,11 +301,7 @@ mod tests {
 
     #[test]
     fn partition_produces_disjoint_cover() {
-        let sets = vec![
-            CharSet::range('a', 'm'),
-            CharSet::range('g', 'z'),
-            CharSet::single('q'),
-        ];
+        let sets = vec![CharSet::range('a', 'm'), CharSet::range('g', 'z'), CharSet::single('q')];
         let blocks = disjoint_partition(&sets);
         // Blocks must be pairwise disjoint.
         for i in 0..blocks.len() {
@@ -334,44 +330,64 @@ mod tests {
         assert!(d.contains("a-z"), "{d}");
     }
 
-    proptest! {
-        #[test]
-        fn prop_union_contains_both(a in any::<Vec<char>>(), b in any::<Vec<char>>()) {
+    #[test]
+    fn prop_union_contains_both() {
+        let mut rng = Rng64::seed_from_u64(0x9a01);
+        for _ in 0..256 {
+            let a = rng.gen_chars(24);
+            let b = rng.gen_chars(24);
             let sa: CharSet = a.iter().copied().collect();
             let sb: CharSet = b.iter().copied().collect();
             let u = sa.union(&sb);
             for &c in a.iter().chain(b.iter()) {
-                prop_assert!(u.contains(c));
+                assert!(u.contains(c));
             }
         }
+    }
 
-        #[test]
-        fn prop_complement_excludes(a in any::<Vec<char>>(), probe in any::<char>()) {
+    #[test]
+    fn prop_complement_excludes() {
+        let mut rng = Rng64::seed_from_u64(0x9a02);
+        for _ in 0..256 {
+            let a = rng.gen_chars(24);
+            let probe = rng.gen_char();
             let s: CharSet = a.iter().copied().collect();
-            prop_assert_eq!(s.complement().contains(probe), !s.contains(probe));
+            assert_eq!(s.complement().contains(probe), !s.contains(probe));
         }
+    }
 
-        #[test]
-        fn prop_intersect_is_and(a in any::<Vec<char>>(), b in any::<Vec<char>>(), probe in any::<char>()) {
+    #[test]
+    fn prop_intersect_is_and() {
+        let mut rng = Rng64::seed_from_u64(0x9a03);
+        for _ in 0..256 {
+            let a = rng.gen_chars(24);
+            let b = rng.gen_chars(24);
+            let probe = rng.gen_char();
             let sa: CharSet = a.iter().copied().collect();
             let sb: CharSet = b.iter().copied().collect();
-            prop_assert_eq!(
-                sa.intersect(&sb).contains(probe),
-                sa.contains(probe) && sb.contains(probe)
-            );
+            assert_eq!(sa.intersect(&sb).contains(probe), sa.contains(probe) && sb.contains(probe));
         }
+    }
 
-        #[test]
-        fn prop_partition_blocks_disjoint(raw in proptest::collection::vec(
-            proptest::collection::vec((0u32..300, 0u32..300), 0..4), 0..5)) {
-            let sets: Vec<CharSet> = raw
-                .into_iter()
-                .map(|rs| CharSet::from_ranges(rs.into_iter().map(|(a, b)| (a.min(b), a.max(b)))))
+    #[test]
+    fn prop_partition_blocks_disjoint() {
+        let mut rng = Rng64::seed_from_u64(0x9a04);
+        for _ in 0..256 {
+            let n_sets = rng.gen_range(0usize..5);
+            let sets: Vec<CharSet> = (0..n_sets)
+                .map(|_| {
+                    let n_ranges = rng.gen_range(0usize..4);
+                    CharSet::from_ranges((0..n_ranges).map(|_| {
+                        let a = rng.gen_range(0u32..300);
+                        let b = rng.gen_range(0u32..300);
+                        (a.min(b), a.max(b))
+                    }))
+                })
                 .collect();
             let blocks = disjoint_partition(&sets);
             for i in 0..blocks.len() {
                 for j in (i + 1)..blocks.len() {
-                    prop_assert!(!blocks[i].intersects(&blocks[j]));
+                    assert!(!blocks[i].intersects(&blocks[j]));
                 }
             }
         }

@@ -43,9 +43,9 @@ impl ScannerDfa {
         let mut work: Vec<Vec<NfaStateId>> = Vec::new();
 
         let intern = |set: Vec<NfaStateId>,
-                          states: &mut Vec<ScannerDfaState>,
-                          index: &mut HashMap<Vec<NfaStateId>, DfaStateId>,
-                          work: &mut Vec<Vec<NfaStateId>>|
+                      states: &mut Vec<ScannerDfaState>,
+                      index: &mut HashMap<Vec<NfaStateId>, DfaStateId>,
+                      work: &mut Vec<Vec<NfaStateId>>|
          -> DfaStateId {
             if let Some(&id) = index.get(&set) {
                 return id;
@@ -94,11 +94,7 @@ impl ScannerDfa {
     /// Follows one transition.
     pub fn step(&self, state: DfaStateId, c: char) -> Option<DfaStateId> {
         let class = self.class_of(c)?;
-        self.states[state]
-            .transitions
-            .iter()
-            .find(|&&(cl, _)| cl == class)
-            .map(|&(_, t)| t)
+        self.states[state].transitions.iter().find(|&&(cl, _)| cl == class).map(|&(_, t)| t)
     }
 
     /// Longest-match simulation: returns `(byte length, rule)` of the
@@ -132,7 +128,7 @@ impl ScannerDfa {
 mod tests {
     use super::*;
     use crate::regex::Rx;
-    use proptest::prelude::*;
+    use llstar_rng::Rng64;
 
     fn build(patterns: &[&str]) -> (Nfa, ScannerDfa) {
         let mut nfa = Nfa::new();
@@ -177,19 +173,30 @@ mod tests {
         assert_eq!(dfa.longest_match(r#""unterminated"#), None);
     }
 
-    proptest! {
-        /// The DFA must agree with the NFA reference simulation on random
-        /// inputs for a representative rule set.
-        #[test]
-        fn prop_dfa_equals_nfa(input in "[a-c0-2.]{0,12}") {
-            let (nfa, dfa) = build(&["'a'", "[a-c]+", "[0-2]+ ('.' [0-2]+)?", "'.'"]);
-            prop_assert_eq!(dfa.longest_match(&input), nfa.longest_match(&input));
+    /// The DFA must agree with the NFA reference simulation on random
+    /// inputs for a representative rule set.
+    #[test]
+    fn prop_dfa_equals_nfa() {
+        let (nfa, dfa) = build(&["'a'", "[a-c]+", "[0-2]+ ('.' [0-2]+)?", "'.'"]);
+        let mut rng = Rng64::seed_from_u64(0xd5a1);
+        for _ in 0..256 {
+            let input = rng.gen_string_from("abc012.", 12);
+            assert_eq!(dfa.longest_match(&input), nfa.longest_match(&input), "input {input:?}");
         }
+    }
 
-        /// Random pattern fuzz: any parseable pattern must yield agreeing
-        /// NFA/DFA behaviour.
-        #[test]
-        fn prop_random_patterns(seed_pat in "[abc|()*+?]{1,10}", input in "[abc]{0,8}") {
+    /// Random pattern fuzz: any parseable pattern must yield agreeing
+    /// NFA/DFA behaviour.
+    #[test]
+    fn prop_random_patterns() {
+        let mut rng = Rng64::seed_from_u64(0xd5a2);
+        for _ in 0..256 {
+            let len = rng.gen_range(1usize..=10);
+            let seed_pat = rng.gen_string_from("abc|()*+?", len);
+            if seed_pat.is_empty() {
+                continue;
+            }
+            let input = rng.gen_string_from("abc", 8);
             if let Ok(raw) = Rx::parse(&seed_pat) {
                 // Bare letters parse as fragment references; resolve each
                 // one-letter fragment to the corresponding literal.
@@ -200,7 +207,11 @@ mod tests {
                     let mut nfa = Nfa::new();
                     nfa.add_rule(0, &rx);
                     let dfa = ScannerDfa::from_nfa(&nfa);
-                    prop_assert_eq!(dfa.longest_match(&input), nfa.longest_match(&input));
+                    assert_eq!(
+                        dfa.longest_match(&input),
+                        nfa.longest_match(&input),
+                        "pattern {seed_pat:?}, input {input:?}"
+                    );
                 }
             }
         }

@@ -37,7 +37,5 @@ pub use charclass::{disjoint_partition, CharSet};
 pub use dfa::{DfaStateId, ScannerDfa, ScannerDfaState};
 pub use nfa::{Nfa, NfaState, NfaStateId};
 pub use regex::{Rx, RxParseError};
-pub use scanner::{
-    scanner_from_patterns, LexBuildError, LexError, LexRule, LexerSpec, Scanner,
-};
+pub use scanner::{scanner_from_patterns, LexBuildError, LexError, LexRule, LexerSpec, Scanner};
 pub use token::{Span, Token, TokenType};

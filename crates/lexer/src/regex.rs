@@ -63,10 +63,7 @@ impl Rx {
     ///
     /// # Errors
     /// Returns the unresolved name if `resolve` yields `None` for it.
-    pub fn resolve_fragments(
-        &self,
-        resolve: &dyn Fn(&str) -> Option<Rx>,
-    ) -> Result<Rx, String> {
+    pub fn resolve_fragments(&self, resolve: &dyn Fn(&str) -> Option<Rx>) -> Result<Rx, String> {
         Ok(match self {
             Rx::Empty => Rx::Empty,
             Rx::Set(s) => Rx::Set(s.clone()),
@@ -303,8 +300,8 @@ impl RxParser {
                 if self.bump() != Some('}') {
                     return Err(self.err("unterminated \\u{…} escape"));
                 }
-                let v = u32::from_str_radix(&hex, 16)
-                    .map_err(|_| self.err("invalid hex in \\u{…}"))?;
+                let v =
+                    u32::from_str_radix(&hex, 16).map_err(|_| self.err("invalid hex in \\u{…}"))?;
                 char::from_u32(v).ok_or_else(|| self.err("escape is not a scalar value"))
             }
             Some(c) => Ok(c), // \\  \'  \]  \-  etc.: the character itself
@@ -450,9 +447,7 @@ mod tests {
     fn resolve_fragments_substitutes() {
         let rx = Rx::parse("Digit+").unwrap();
         let resolved = rx
-            .resolve_fragments(&|name| {
-                (name == "Digit").then(|| Rx::Set(set("0123456789")))
-            })
+            .resolve_fragments(&|name| (name == "Digit").then(|| Rx::Set(set("0123456789"))))
             .unwrap();
         assert_eq!(resolved, Rx::Plus(Box::new(Rx::Set(set("0123456789")))));
         let err = rx.resolve_fragments(&|_| None).unwrap_err();

@@ -136,13 +136,10 @@ impl LexerSpec {
         let mut nfa = Nfa::new();
         let mut resolved_rules = Vec::with_capacity(self.rules.len());
         for (i, rule) in self.rules.iter().enumerate() {
-            let resolved = rule
-                .rx
-                .resolve_fragments(&|name| self.fragments.get(name).cloned())
-                .map_err(|fragment| LexBuildError::UnknownFragment {
-                    rule: rule.name.clone(),
-                    fragment,
-                })?;
+            let resolved =
+                rule.rx.resolve_fragments(&|name| self.fragments.get(name).cloned()).map_err(
+                    |fragment| LexBuildError::UnknownFragment { rule: rule.name.clone(), fragment },
+                )?;
             if resolved.is_nullable() {
                 return Err(LexBuildError::NullableRule { rule: rule.name.clone() });
             }
@@ -227,9 +224,7 @@ impl Scanner {
 ///
 /// # Errors
 /// Propagates pattern-parse and build errors as strings.
-pub fn scanner_from_patterns(
-    rules: &[(&str, &str, TokenType, bool)],
-) -> Result<Scanner, String> {
+pub fn scanner_from_patterns(rules: &[(&str, &str, TokenType, bool)]) -> Result<Scanner, String> {
     let mut spec = LexerSpec::new();
     for (name, pat, ttype, skip) in rules {
         let rx = Rx::parse(pat).map_err(|e| format!("{name}: {e}"))?;

@@ -127,10 +127,7 @@ impl<'g, H: PackratHooks> PackratParser<'g, H> {
     /// # Panics
     /// Panics if `tokens` does not end with EOF.
     pub fn with_hooks(grammar: &'g Grammar, tokens: Vec<Token>, hooks: H) -> Self {
-        assert!(
-            tokens.last().is_some_and(|t| t.ttype.is_eof()),
-            "token stream must end with EOF"
-        );
+        assert!(tokens.last().is_some_and(|t| t.ttype.is_eof()), "token stream must end with EOF");
         PackratParser {
             grammar,
             tokens,

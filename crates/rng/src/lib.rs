@@ -1,0 +1,205 @@
+//! A tiny, dependency-free deterministic random source.
+//!
+//! The build environment is fully offline, so external crates (`rand`,
+//! `proptest`) cannot be fetched. This crate supplies the small slice of
+//! their APIs the workspace actually uses: a seedable 64-bit generator
+//! (SplitMix64), uniform range sampling, Bernoulli draws, and the string
+//! generators the property-style tests sample inputs from. Everything is
+//! deterministic per seed, so test failures reproduce exactly.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seedable SplitMix64 generator. Same seed ⇒ same stream, on every
+/// platform — the property the derivation samplers and tests rely on.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// A generator seeded from `seed` (mirrors `SeedableRng::seed_from_u64`).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng64 { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample from a range (mirrors `Rng::gen_range`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// True with probability `p` (mirrors `Rng::gen_bool`).
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        // 53 uniform mantissa bits, the classic double-from-u64 recipe.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// A uniformly random Unicode scalar value (surrogates excluded).
+    pub fn gen_char(&mut self) -> char {
+        loop {
+            let v = (self.next_u64() % 0x11_0000) as u32;
+            if let Some(c) = char::from_u32(v) {
+                return c;
+            }
+        }
+    }
+
+    /// A random `char` vector of length `0..=max_len` over all scalar
+    /// values — the stand-in for proptest's `any::<Vec<char>>()`.
+    pub fn gen_chars(&mut self, max_len: usize) -> Vec<char> {
+        let len = self.gen_range(0..=max_len);
+        (0..len).map(|_| self.gen_char()).collect()
+    }
+
+    /// A random string of length `0..=max_len` drawn from `alphabet` —
+    /// the stand-in for proptest's `"[abc]{0,8}"`-style regex strategies.
+    ///
+    /// # Panics
+    /// Panics if `alphabet` is empty and `max_len > 0` forces a draw.
+    pub fn gen_string_from(&mut self, alphabet: &str, max_len: usize) -> String {
+        let chars: Vec<char> = alphabet.chars().collect();
+        let len = self.gen_range(0..=max_len);
+        (0..len).map(|_| chars[self.gen_range(0..chars.len())]).collect()
+    }
+
+    /// A random string of length `0..=max_len` over arbitrary scalar
+    /// values, biased towards ASCII so parsers see realistic text — the
+    /// stand-in for proptest's `".{0,200}"`.
+    pub fn gen_string(&mut self, max_len: usize) -> String {
+        let len = self.gen_range(0..=max_len);
+        (0..len)
+            .map(|_| {
+                if self.gen_bool(0.85) {
+                    // Printable ASCII.
+                    char::from_u32(self.gen_range(0x20u32..0x7f)).expect("printable ascii")
+                } else {
+                    self.gen_char()
+                }
+            })
+            .collect()
+    }
+
+    /// Picks one element of `items` uniformly.
+    ///
+    /// # Panics
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T: ?Sized>(&mut self, items: &'a [&'a T]) -> &'a T {
+        items[self.gen_range(0..items.len())]
+    }
+}
+
+/// Ranges [`Rng64::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut Rng64) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange for Range<$ty> {
+            type Output = $ty;
+            fn sample(self, rng: &mut Rng64) -> $ty {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $ty
+            }
+        }
+        impl SampleRange for RangeInclusive<$ty> {
+            type Output = $ty;
+            fn sample(self, rng: &mut Rng64) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end - start) as u64 + 1;
+                // span == 0 ⇒ the full u64 domain; the modulo is a no-op.
+                if span == 0 {
+                    return start + rng.next_u64() as $ty;
+                }
+                start + (rng.next_u64() % span) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32, u16, u8);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng64::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(0u32..=4);
+            assert!(w <= 4);
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = Rng64::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn bernoulli_is_roughly_fair() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4000..6000).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn chars_are_valid_scalars() {
+        let mut rng = Rng64::seed_from_u64(9);
+        for _ in 0..1000 {
+            let c = rng.gen_char();
+            assert!(char::from_u32(c as u32).is_some());
+        }
+    }
+
+    #[test]
+    fn alphabet_strings_use_only_the_alphabet() {
+        let mut rng = Rng64::seed_from_u64(11);
+        for _ in 0..200 {
+            let s = rng.gen_string_from("abc", 8);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| "abc".contains(c)), "{s:?}");
+        }
+    }
+}

@@ -14,9 +14,7 @@ use crate::hooks::{HookContext, Hooks};
 use crate::stats::ParseStats;
 use crate::stream::TokenStream;
 use crate::tree::ParseTree;
-use llstar_core::{
-    Atn, AtnEdge, DecisionId, GrammarAnalysis, PredSource, StateKind,
-};
+use llstar_core::{Atn, AtnEdge, DecisionId, GrammarAnalysis, PredSource, StateKind};
 use llstar_grammar::{Grammar, RuleId, SynPredId};
 use std::collections::HashMap;
 
@@ -142,11 +140,7 @@ impl<'g, H: Hooks> Parser<'g, H> {
     }
 
     fn error_here(&mut self, kind: ParseErrorKind) -> ParseError {
-        let err = ParseError {
-            kind,
-            token: self.tokens.lt(1),
-            token_index: self.tokens.index(),
-        };
+        let err = ParseError { kind, token: self.tokens.lt(1), token_index: self.tokens.index() };
         self.furthest_error = Some(match self.furthest_error.take() {
             Some(f) => f.deepest(err.clone()),
             None => err.clone(),
@@ -279,9 +273,7 @@ impl<'g, H: Hooks> Parser<'g, H> {
                         state = target;
                     } else {
                         let predicate = format!("synpred{}", sp.0);
-                        return Err(
-                            self.error_here(ParseErrorKind::PredicateFailed { predicate })
-                        );
+                        return Err(self.error_here(ParseErrorKind::PredicateFailed { predicate }));
                     }
                 }
                 AtnEdge::NotSynPred(sp) => {
@@ -290,9 +282,7 @@ impl<'g, H: Hooks> Parser<'g, H> {
                         state = target;
                     } else {
                         let predicate = format!("!synpred{}", sp.0);
-                        return Err(
-                            self.error_here(ParseErrorKind::PredicateFailed { predicate })
-                        );
+                        return Err(self.error_here(ParseErrorKind::PredicateFailed { predicate }));
                     }
                 }
                 AtnEdge::Action(a, always) => {
@@ -713,7 +703,6 @@ mod tests {
         let mut parser = Parser::new(&g, &a, TokenStream::new(toks), NopHooks);
         let _ = parser.parse("nope");
     }
-
 
     /// A star loop over a nullable body must terminate cleanly (either
     /// by exiting the loop or with an explicit error), never hang.

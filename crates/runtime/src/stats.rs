@@ -21,7 +21,7 @@ pub struct DecisionStats {
 }
 
 /// Whole-parse statistics, indexed by decision.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ParseStats {
     per_decision: Vec<DecisionStats>,
     /// Memoization cache hits during speculation.

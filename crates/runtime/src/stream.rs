@@ -64,10 +64,7 @@ impl Clone for TokenStream {
     /// # Panics
     /// Panics if the stream has a lazy source that has not yet finished.
     fn clone(&self) -> Self {
-        assert!(
-            self.finished,
-            "cannot clone a token stream whose lazy source is still live"
-        );
+        assert!(self.finished, "cannot clone a token stream whose lazy source is still live");
         TokenStream {
             tokens: self.tokens.clone(),
             index: self.index,
@@ -83,10 +80,7 @@ impl TokenStream {
     /// # Panics
     /// Panics if `tokens` is empty or does not end with EOF.
     pub fn new(tokens: Vec<Token>) -> Self {
-        assert!(
-            tokens.last().is_some_and(|t| t.ttype.is_eof()),
-            "token stream must end with EOF"
-        );
+        assert!(tokens.last().is_some_and(|t| t.ttype.is_eof()), "token stream must end with EOF");
         TokenStream { tokens, index: 0, source: Source::Complete, finished: true }
     }
 

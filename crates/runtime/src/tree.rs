@@ -31,9 +31,7 @@ impl ParseTree {
     pub fn token_count(&self) -> usize {
         match self {
             ParseTree::Token(_) => 1,
-            ParseTree::Rule { children, .. } => {
-                children.iter().map(ParseTree::token_count).sum()
-            }
+            ParseTree::Rule { children, .. } => children.iter().map(ParseTree::token_count).sum(),
         }
     }
 
@@ -135,12 +133,7 @@ mod tests {
             children: vec![ParseTree::Rule {
                 rule: g.rule_id("x").unwrap(),
                 alt: 0,
-                children: vec![ParseTree::Token(Token::new(
-                    TokenType(1),
-                    Span::new(0, 1),
-                    1,
-                    1,
-                ))],
+                children: vec![ParseTree::Token(Token::new(TokenType(1), Span::new(0, 1), 1, 1))],
             }],
         };
         assert_eq!(t.to_sexpr(&g, src), "(s (x \"a\"))");

@@ -5,12 +5,11 @@
 //! Microsoft sample code): they produce syntactically valid programs with
 //! the same kinds of constructs those inputs exercise.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use llstar_rng::Rng64;
 
 /// A seeded source-code emitter with indentation tracking.
 pub struct CodeGen {
-    rng: StdRng,
+    rng: Rng64,
     out: String,
     indent: usize,
     ident_counter: u64,
@@ -19,11 +18,11 @@ pub struct CodeGen {
 impl CodeGen {
     /// A generator with the given seed (same seed ⇒ same program).
     pub fn new(seed: u64) -> Self {
-        CodeGen { rng: StdRng::seed_from_u64(seed), out: String::new(), indent: 0, ident_counter: 0 }
+        CodeGen { rng: Rng64::seed_from_u64(seed), out: String::new(), indent: 0, ident_counter: 0 }
     }
 
     /// The random source.
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut Rng64 {
         &mut self.rng
     }
 
@@ -51,8 +50,8 @@ impl CodeGen {
     /// A plausible identifier (sometimes fresh, sometimes from a pool).
     pub fn ident(&mut self) -> String {
         const POOL: &[&str] = &[
-            "value", "count", "item", "result", "index", "name", "total", "node", "size",
-            "left", "right", "data", "key", "flag", "tmp",
+            "value", "count", "item", "result", "index", "name", "total", "node", "size", "left",
+            "right", "data", "key", "flag", "tmp",
         ];
         if self.chance(0.3) {
             self.fresh("v")

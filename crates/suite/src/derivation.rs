@@ -4,8 +4,7 @@
 
 use llstar_grammar::{Alt, Ebnf, Element, Grammar, RuleId};
 use llstar_lexer::{Scanner, TokenType};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use llstar_rng::Rng64;
 use std::collections::HashMap;
 
 /// Samples a sentence of `grammar` starting from `start_rule` by random
@@ -24,7 +23,7 @@ pub fn sample_sentence(
     let mut sampler = Sampler {
         grammar,
         scanner,
-        rng: StdRng::seed_from_u64(seed),
+        rng: Rng64::seed_from_u64(seed),
         min_depth,
         token_texts: HashMap::new(),
         lex_seed: seed ^ 0x9e37_79b9_7f4a_7c15,
@@ -44,12 +43,8 @@ fn min_depths(grammar: &Grammar) -> Vec<usize> {
     while changed {
         changed = false;
         for (i, rule) in grammar.rules.iter().enumerate() {
-            let best = rule
-                .alts
-                .iter()
-                .map(|a| alt_depth(&a.elements, &depth))
-                .min()
-                .unwrap_or(INF);
+            let best =
+                rule.alts.iter().map(|a| alt_depth(&a.elements, &depth)).min().unwrap_or(INF);
             let best = best.saturating_add(1);
             if best < depth[i] {
                 depth[i] = best;
@@ -85,7 +80,7 @@ fn alt_depth(elements: &[Element], depth: &[usize]) -> usize {
 struct Sampler<'g> {
     grammar: &'g Grammar,
     scanner: Scanner,
-    rng: StdRng,
+    rng: Rng64,
     min_depth: Vec<usize>,
     /// Verified sample texts per token type.
     token_texts: HashMap<TokenType, Vec<String>>,
@@ -97,13 +92,8 @@ impl<'g> Sampler<'g> {
         let alts: Vec<Alt> = self.grammar.rule(rule).alts.clone();
         // Under a tight budget, restrict to the shallowest alternatives.
         let viable: Vec<&Alt> = if budget <= self.min_depth[rule.index()] + 1 {
-            let best = alts
-                .iter()
-                .map(|a| alt_depth(&a.elements, &self.min_depth))
-                .min()?;
-            alts.iter()
-                .filter(|a| alt_depth(&a.elements, &self.min_depth) == best)
-                .collect()
+            let best = alts.iter().map(|a| alt_depth(&a.elements, &self.min_depth)).min()?;
+            alts.iter().filter(|a| alt_depth(&a.elements, &self.min_depth) == best).collect()
         } else {
             alts.iter().collect()
         };
@@ -142,31 +132,28 @@ impl<'g> Sampler<'g> {
                         if budget == 0 {
                             0
                         } else {
-                            self.rng.gen_range(0..=1)
+                            self.rng.gen_range(0..=1usize)
                         }
                     }
                     Ebnf::Star => {
                         if budget == 0 {
                             0
                         } else {
-                            self.rng.gen_range(0..=2)
+                            self.rng.gen_range(0..=2usize)
                         }
                     }
                     Ebnf::Plus => {
                         if budget == 0 {
                             1
                         } else {
-                            self.rng.gen_range(1..=2)
+                            self.rng.gen_range(1..=2usize)
                         }
                     }
                 };
                 for _ in 0..reps {
                     let shallow: Vec<&Alt> = if budget <= 1 {
-                        let best = b
-                            .alts
-                            .iter()
-                            .map(|a| alt_depth(&a.elements, &self.min_depth))
-                            .min()?;
+                        let best =
+                            b.alts.iter().map(|a| alt_depth(&a.elements, &self.min_depth)).min()?;
                         b.alts
                             .iter()
                             .filter(|a| alt_depth(&a.elements, &self.min_depth) == best)
@@ -263,10 +250,7 @@ mod tests {
     fn keyword_collisions_are_avoided() {
         // ID could sample "if", which lexes as the keyword; the sampler
         // must avoid emitting it as an ID.
-        let g = parse_grammar(
-            "grammar K; s : 'if' ID ; ID : [fi]+ ; WS : [ ]+ -> skip ;",
-        )
-        .unwrap();
+        let g = parse_grammar("grammar K; s : 'if' ID ; ID : [fi]+ ; WS : [ ]+ -> skip ;").unwrap();
         let scanner = g.lexer.build().unwrap();
         let mut found = 0;
         for seed in 0..40 {

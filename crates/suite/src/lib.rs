@@ -15,8 +15,8 @@
 
 pub mod c;
 pub mod common;
-pub mod derivation;
 pub mod csharp;
+pub mod derivation;
 pub mod java;
 pub mod ratsjava;
 pub mod sql;
@@ -142,12 +142,7 @@ mod tests {
     fn generators_emit_requested_size() {
         for e in all() {
             let src = (e.generate)(60, 3);
-            assert!(
-                src.lines().count() >= 50,
-                "{}: only {} lines",
-                e.name,
-                src.lines().count()
-            );
+            assert!(src.lines().count() >= 50, "{}: only {} lines", e.name, src.lines().count());
         }
     }
 }

@@ -188,9 +188,7 @@ fn emit_insert(g: &mut CodeGen) {
     if g.chance(0.3) {
         // insert … select — exercises the subquery machinery.
         let w = expr(g, 1);
-        g.line(&format!(
-            "insert into orders ( id, user_id ) select id, age from users where {w};"
-        ));
+        g.line(&format!("insert into orders ( id, user_id ) select id, age from users where {w};"));
     } else {
         let (a, b, c) = (g.int_lit(), sql_str(g), g.int_lit());
         g.line(&format!("insert into users ( id, name, age ) values ( {a}, {b}, {c} );"));

@@ -8,7 +8,7 @@
 
 use llstar::core::analyze;
 use llstar::grammar::{apply_peg_mode, parse_grammar};
-use llstar::runtime::{Hooks, HookContext, Parser, TokenStream};
+use llstar::runtime::{HookContext, Hooks, Parser, TokenStream};
 use std::cell::RefCell;
 use std::collections::HashSet;
 use std::rc::Rc;

@@ -58,7 +58,8 @@ fn eval(tree: &ParseTree, src: &str) -> f64 {
                             }
                             _ => {
                                 // INT leaf at the innermost level.
-                                let v = apply_sign(text.parse().unwrap_or(f64::NAN), &mut unary_minus);
+                                let v =
+                                    apply_sign(text.parse().unwrap_or(f64::NAN), &mut unary_minus);
                                 acc = Some(combine(acc, pending_op.take(), v));
                             }
                         }

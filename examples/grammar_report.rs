@@ -81,18 +81,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .find(|d| {
             d.is_grammar_decision()
-                && !matches!(
-                    analysis.decision(d.id).dfa.classify(),
-                    DecisionClass::Fixed { .. }
-                )
+                && !matches!(analysis.decision(d.id).dfa.classify(), DecisionClass::Fixed { .. })
         })
         .or_else(|| analysis.atn.decisions.first())
     {
-        println!(
-            "\nlookahead DFA for decision d{} (rule {}):",
-            d.id.0,
-            grammar.rule(d.rule).name
-        );
+        println!("\nlookahead DFA for decision d{} (rule {}):", d.id.0, grammar.rule(d.rule).name);
         print!("{}", analysis.decision(d.id).dfa.to_pretty(&grammar));
     }
     Ok(())

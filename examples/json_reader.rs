@@ -44,35 +44,33 @@ fn decode(grammar: &Grammar, tree: &ParseTree, src: &str) -> Value {
                 s => Value::Number(s.parse().unwrap_or(f64::NAN)),
             }
         }
-        ParseTree::Rule { rule, children, .. } => {
-            match grammar.rule(*rule).name.as_str() {
-                "value" => decode(grammar, &children[0], src),
-                "object" => {
-                    let mut map = BTreeMap::new();
-                    for c in children {
-                        if let ParseTree::Rule { rule: r, children: kv, .. } = c {
-                            if grammar.rule(*r).name == "pair" {
-                                let key = match decode(grammar, &kv[0], src) {
-                                    Value::String(s) => s,
-                                    other => format!("{other:?}"),
-                                };
-                                map.insert(key, decode(grammar, &kv[2], src));
-                            }
+        ParseTree::Rule { rule, children, .. } => match grammar.rule(*rule).name.as_str() {
+            "value" => decode(grammar, &children[0], src),
+            "object" => {
+                let mut map = BTreeMap::new();
+                for c in children {
+                    if let ParseTree::Rule { rule: r, children: kv, .. } = c {
+                        if grammar.rule(*r).name == "pair" {
+                            let key = match decode(grammar, &kv[0], src) {
+                                Value::String(s) => s,
+                                other => format!("{other:?}"),
+                            };
+                            map.insert(key, decode(grammar, &kv[2], src));
                         }
                     }
-                    Value::Object(map)
                 }
-                "array" => Value::Array(
-                    children
-                        .iter()
-                        .filter(|c| matches!(c, ParseTree::Rule { .. }))
-                        .map(|c| decode(grammar, c, src))
-                        .collect(),
-                ),
-                "pair" => decode(grammar, &children[2], src),
-                other => panic!("unexpected rule {other}"),
+                Value::Object(map)
             }
-        }
+            "array" => Value::Array(
+                children
+                    .iter()
+                    .filter(|c| matches!(c, ParseTree::Rule { .. }))
+                    .map(|c| decode(grammar, c, src))
+                    .collect(),
+            ),
+            "pair" => decode(grammar, &children[2], src),
+            other => panic!("unexpected rule {other}"),
+        },
     }
 }
 

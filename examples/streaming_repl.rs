@@ -13,7 +13,7 @@
 
 use llstar::core::analyze;
 use llstar::grammar::parse_grammar;
-use llstar::runtime::{NopHooks, Parser, ParseTree, TokenStream};
+use llstar::runtime::{NopHooks, ParseTree, Parser, TokenStream};
 use llstar_lexer::Token;
 use std::collections::HashMap;
 use std::io::BufRead;
@@ -76,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match parser.parse("stat") {
             Ok(tree) => {
                 let src = source_text.borrow();
-                execute(&grammar, &tree, &src, &mut env);
+                execute(&tree, &src, &mut env);
             }
             Err(e) => {
                 // EOF (or an error at it) ends the session.
@@ -91,36 +91,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn execute(
-    grammar: &llstar::grammar::Grammar,
-    tree: &ParseTree,
-    src: &str,
-    env: &mut HashMap<String, i64>,
-) {
+fn execute(tree: &ParseTree, src: &str, env: &mut HashMap<String, i64>) {
     let ParseTree::Rule { alt, children, .. } = tree else { return };
     match alt {
         1 => {
             // ID '=' expr ';'
             let name = leaf_text(&children[0], src).to_string();
-            let value = eval(grammar, &children[2], src, env);
+            let value = eval(&children[2], src, env);
             env.insert(name.clone(), value);
             eprintln!("  {name} = {value}");
         }
         2 => {
             // 'print' expr ';'
-            let value = eval(grammar, &children[1], src, env);
+            let value = eval(&children[1], src, env);
             println!("{value}");
         }
         _ => {}
     }
 }
 
-fn eval(
-    grammar: &llstar::grammar::Grammar,
-    tree: &ParseTree,
-    src: &str,
-    env: &HashMap<String, i64>,
-) -> i64 {
+fn eval(tree: &ParseTree, src: &str, env: &HashMap<String, i64>) -> i64 {
     match tree {
         ParseTree::Token(t) => {
             let text = t.text(src);
@@ -135,7 +125,7 @@ fn eval(
                         op = t.text(src).chars().next().unwrap_or('+');
                     }
                     sub => {
-                        let v = eval(grammar, sub, src, env);
+                        let v = eval(sub, src, env);
                         acc = if op == '+' { acc + v } else { acc - v };
                     }
                 }

@@ -7,31 +7,84 @@
 //! llstar generate <grammar.g> [out.rs]     emit a standalone Rust parser
 //! llstar parse <grammar.g> <rule> <file>   parse a file, print the tree
 //! ```
+//!
+//! Analysis-carrying subcommands (`check`, `dfa`, `generate`, `compile`,
+//! `parse`) accept two shared flags:
+//!
+//! * `--jobs N` — worker threads for per-decision DFA construction
+//!   (`0`/default = available parallelism, `1` = sequential). Every value
+//!   produces byte-identical analyses; it only changes wall-clock time.
+//! * `--cache <dir>` — persistent analysis cache. The serialized
+//!   analysis is stored as `<dir>/<grammar-name>.dfa`, guarded by an
+//!   FNV-1a fingerprint of the grammar text; a matching cache file is
+//!   loaded without running subset construction, anything else (absent,
+//!   stale after a grammar edit, corrupted) triggers re-analysis and an
+//!   atomic rewrite. The hit/miss outcome is reported on stderr.
 
 use llstar::codegen::generate;
 use llstar::core::{
-    analyze, deserialize_analysis, serialize_analysis, Atn, DecisionClass, GrammarAnalysis,
+    analyze_cached_with, analyze_with, cache_path, deserialize_analysis, serialize_analysis,
+    AnalysisOptions, Atn, DecisionClass, GrammarAnalysis,
 };
 use llstar::grammar::{apply_peg_mode, parse_grammar, validate, Grammar};
 use llstar::runtime::{parse_text, NopHooks};
+use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Flags shared by every analysis-carrying subcommand.
+struct Flags {
+    /// `--cache <dir>`: analysis cache directory.
+    cache: Option<PathBuf>,
+    /// `--jobs N`: analysis worker threads (0 = available parallelism).
+    jobs: Option<usize>,
+}
+
+/// Extracts `--cache`/`--jobs` from `args`, returning the remaining
+/// positional arguments and the parsed flags.
+fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
+    let mut flags = Flags { cache: None, jobs: None };
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cache" => {
+                let dir = it.next().ok_or("--cache needs a directory")?;
+                flags.cache = Some(PathBuf::from(dir));
+            }
+            "--jobs" => {
+                let n = it.next().ok_or("--jobs needs a thread count")?;
+                flags.jobs =
+                    Some(n.parse().map_err(|_| format!("--jobs: bad thread count {n:?}"))?);
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    Ok((positional, flags))
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, flags) = match split_flags(&args) {
+        Ok(split) => split,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let result = match args.first().map(String::as_str) {
-        Some("check") => with_grammar(&args, 2, |g, a| {
+        Some("check") => with_grammar(&args, &flags, 2, |g, a| {
             report(g, a);
             Ok(())
         }),
-        Some("dfa") => with_grammar(&args, 2, |g, a| {
+        Some("dfa") => with_grammar(&args, &flags, 2, |g, a| {
             dump_dfas(g, a, args.get(2).map(String::as_str));
             Ok(())
         }),
-        Some("atn") => with_grammar(&args, 2, |g, _| {
+        Some("atn") => with_grammar(&args, &flags, 2, |g, _| {
             println!("{}", Atn::from_grammar(g).to_dot(g));
             Ok(())
         }),
-        Some("generate") => with_grammar(&args, 2, |g, a| {
+        Some("generate") => with_grammar(&args, &flags, 2, |g, a| {
             let code = generate(g, a)?;
             match args.get(2) {
                 Some(path) => {
@@ -42,21 +95,20 @@ fn main() -> ExitCode {
             }
             Ok(())
         }),
-        Some("compile") => with_grammar(&args, 3, |g, a| {
+        Some("compile") => with_grammar(&args, &flags, 3, |g, a| {
             let out = &args[2];
             std::fs::write(out, serialize_analysis(g, a)).map_err(|e| e.to_string())?;
             eprintln!("wrote serialized lookahead DFAs to {out}");
             Ok(())
         }),
-        Some("parse") => with_grammar(&args, 4, |g, a| {
+        Some("parse") => with_grammar(&args, &flags, 4, |g, a| {
             let rule = &args[2];
             // Optional: --dfa <file> loads pre-compiled DFAs instead of
             // the freshly computed analysis.
             let loaded;
             let a = if let Some(pos) = args.iter().position(|x| x == "--dfa") {
                 let path = args.get(pos + 1).ok_or("--dfa needs a file")?;
-                let text =
-                    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
                 loaded = deserialize_analysis(g, &text).map_err(|e| e.to_string())?;
                 &loaded
             } else {
@@ -84,7 +136,11 @@ fn main() -> ExitCode {
                  llstar atn      <grammar.g>                ATN as Graphviz dot\n\
                  llstar generate <grammar.g> [out.rs]       emit a Rust parser\n\
                  llstar compile  <grammar.g> <out.dfa>      serialize lookahead DFAs\n\
-                 llstar parse    <grammar.g> <rule> <file> [--dfa f]  parse a file"
+                 llstar parse    <grammar.g> <rule> <file> [--dfa f]  parse a file\n\
+                 \n\
+                 shared flags (check/dfa/generate/compile/parse):\n\
+                 --jobs N       analysis worker threads (0 = all cores, 1 = sequential)\n\
+                 --cache <dir>  reuse serialized analyses keyed by grammar hash"
             );
             return ExitCode::from(2);
         }
@@ -100,6 +156,7 @@ fn main() -> ExitCode {
 
 fn with_grammar(
     args: &[String],
+    flags: &Flags,
     min_args: usize,
     f: impl FnOnce(&Grammar, &GrammarAnalysis) -> Result<(), String>,
 ) -> Result<(), String> {
@@ -121,7 +178,20 @@ fn with_grammar(
     if fatal {
         return Err("grammar has errors".into());
     }
-    let analysis = analyze(&grammar);
+    let mut options = AnalysisOptions::from_grammar(&grammar);
+    if let Some(jobs) = flags.jobs {
+        options.threads = jobs;
+    }
+    let analysis = match &flags.cache {
+        Some(dir) => {
+            let cache_file = cache_path(dir, &grammar);
+            let (analysis, status) = analyze_cached_with(&grammar, &cache_file, &options)
+                .map_err(|e| format!("{}: {e}", cache_file.display()))?;
+            eprintln!("analysis cache: {status} ({})", cache_file.display());
+            analysis
+        }
+        None => analyze_with(&grammar, &options),
+    };
     f(&grammar, &analysis)
 }
 
@@ -154,6 +224,20 @@ fn report(grammar: &Grammar, analysis: &GrammarAnalysis) {
         }
     }
     println!("decision classes: {fixed} fixed LL(k), {cyclic} cyclic, {backtrack} backtracking");
+    if analysis.from_cache {
+        println!("analysis loaded from cache; DFA construction skipped");
+    } else if let Some(slowest) =
+        analysis.decisions.iter().max_by_key(|d| d.elapsed).filter(|d| !d.elapsed.is_zero())
+    {
+        let d = &analysis.atn.decisions[slowest.decision.index()];
+        println!(
+            "slowest decision: d{} in rule {} ({:?} of {:?} total)",
+            slowest.decision.0,
+            grammar.rule(d.rule).name,
+            slowest.elapsed,
+            analysis.elapsed
+        );
+    }
 }
 
 fn dump_dfas(grammar: &Grammar, analysis: &GrammarAnalysis, rule_filter: Option<&str>) {

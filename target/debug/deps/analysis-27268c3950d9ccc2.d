@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis-27268c3950d9ccc2.d: crates/bench/benches/analysis.rs
+
+/root/repo/target/debug/deps/analysis-27268c3950d9ccc2: crates/bench/benches/analysis.rs
+
+crates/bench/benches/analysis.rs:

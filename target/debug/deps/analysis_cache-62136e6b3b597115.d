@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_cache-62136e6b3b597115.d: tests/analysis_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_cache-62136e6b3b597115.rmeta: tests/analysis_cache.rs Cargo.toml
+
+tests/analysis_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

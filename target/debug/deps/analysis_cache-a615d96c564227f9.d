@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_cache-a615d96c564227f9.d: tests/analysis_cache.rs
+
+/root/repo/target/debug/deps/analysis_cache-a615d96c564227f9: tests/analysis_cache.rs
+
+tests/analysis_cache.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/analysis_determinism-4d8283c7ac24f830.d: tests/analysis_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_determinism-4d8283c7ac24f830.rmeta: tests/analysis_determinism.rs Cargo.toml
+
+tests/analysis_determinism.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

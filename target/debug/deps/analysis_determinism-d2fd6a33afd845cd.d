@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/analysis_determinism-d2fd6a33afd845cd.d: tests/analysis_determinism.rs
+
+/root/repo/target/debug/deps/analysis_determinism-d2fd6a33afd845cd: tests/analysis_determinism.rs
+
+tests/analysis_determinism.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_scaling-8a90c95cd56ad6a4.d: crates/bench/benches/analysis_scaling.rs
+
+/root/repo/target/debug/deps/analysis_scaling-8a90c95cd56ad6a4: crates/bench/benches/analysis_scaling.rs
+
+crates/bench/benches/analysis_scaling.rs:

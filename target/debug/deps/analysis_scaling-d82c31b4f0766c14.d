@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_scaling-d82c31b4f0766c14.d: crates/bench/benches/analysis_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_scaling-d82c31b4f0766c14.rmeta: crates/bench/benches/analysis_scaling.rs Cargo.toml
+
+crates/bench/benches/analysis_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cli-f83fc2b7639b24e0.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-f83fc2b7639b24e0: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_llstar=/root/repo/target/debug/llstar
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codegen_compile-0189c3a5ff92d2a9.d: tests/codegen_compile.rs
+
+/root/repo/target/debug/deps/codegen_compile-0189c3a5ff92d2a9: tests/codegen_compile.rs
+
+tests/codegen_compile.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codegen_compile-7cae6993bfcd2629.d: tests/codegen_compile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodegen_compile-7cae6993bfcd2629.rmeta: tests/codegen_compile.rs Cargo.toml
+
+tests/codegen_compile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/error_reporting-62b07383f05e64be.d: tests/error_reporting.rs
+
+/root/repo/target/debug/deps/error_reporting-62b07383f05e64be: tests/error_reporting.rs
+
+tests/error_reporting.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz_frontend-3fc67d956a5cce74.d: tests/fuzz_frontend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz_frontend-3fc67d956a5cce74.rmeta: tests/fuzz_frontend.rs Cargo.toml
+
+tests/fuzz_frontend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_frontend-c3a91af8b7ae2a31.d: tests/fuzz_frontend.rs
+
+/root/repo/target/debug/deps/fuzz_frontend-c3a91af8b7ae2a31: tests/fuzz_frontend.rs
+
+tests/fuzz_frontend.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llk_blowup-00eff0ebfc7b8fe1.d: crates/bench/benches/llk_blowup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllk_blowup-00eff0ebfc7b8fe1.rmeta: crates/bench/benches/llk_blowup.rs Cargo.toml
+
+crates/bench/benches/llk_blowup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

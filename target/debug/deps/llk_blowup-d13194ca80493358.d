@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llk_blowup-d13194ca80493358.d: crates/bench/benches/llk_blowup.rs
+
+/root/repo/target/debug/deps/llk_blowup-d13194ca80493358: crates/bench/benches/llk_blowup.rs
+
+crates/bench/benches/llk_blowup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llstar-323be9a8f37dc6fd.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllstar-323be9a8f37dc6fd.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

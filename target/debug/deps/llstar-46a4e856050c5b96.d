@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llstar-46a4e856050c5b96.d: src/lib.rs
+
+/root/repo/target/debug/deps/llstar-46a4e856050c5b96: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llstar-7a9065a3222551c9.d: src/bin/llstar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllstar-7a9065a3222551c9.rmeta: src/bin/llstar.rs Cargo.toml
+
+src/bin/llstar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llstar-8cb56cf356d29856.d: src/bin/llstar.rs
+
+/root/repo/target/debug/deps/llstar-8cb56cf356d29856: src/bin/llstar.rs
+
+src/bin/llstar.rs:

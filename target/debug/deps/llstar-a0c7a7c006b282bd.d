@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llstar-a0c7a7c006b282bd.d: src/bin/llstar.rs
+
+/root/repo/target/debug/deps/llstar-a0c7a7c006b282bd: src/bin/llstar.rs
+
+src/bin/llstar.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/llstar-d5ff37b9a3c9a9fb.d: src/lib.rs
+
+/root/repo/target/debug/deps/libllstar-d5ff37b9a3c9a9fb.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libllstar-d5ff37b9a3c9a9fb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llstar-e89a8ece45de718c.d: src/bin/llstar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllstar-e89a8ece45de718c.rmeta: src/bin/llstar.rs Cargo.toml
+
+src/bin/llstar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

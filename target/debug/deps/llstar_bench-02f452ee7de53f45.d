@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/llstar_bench-02f452ee7de53f45.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/llstar_bench-02f452ee7de53f45: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/llstar_codegen-96d448541f2f2f3f.d: crates/codegen/src/lib.rs crates/codegen/src/lexer_gen.rs crates/codegen/src/parser_gen.rs crates/codegen/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllstar_codegen-96d448541f2f2f3f.rmeta: crates/codegen/src/lib.rs crates/codegen/src/lexer_gen.rs crates/codegen/src/parser_gen.rs crates/codegen/src/writer.rs Cargo.toml
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/lexer_gen.rs:
+crates/codegen/src/parser_gen.rs:
+crates/codegen/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/llstar_codegen-b9c12cd7ae3ae020.d: crates/codegen/src/lib.rs crates/codegen/src/lexer_gen.rs crates/codegen/src/parser_gen.rs crates/codegen/src/writer.rs
+
+/root/repo/target/debug/deps/libllstar_codegen-b9c12cd7ae3ae020.rlib: crates/codegen/src/lib.rs crates/codegen/src/lexer_gen.rs crates/codegen/src/parser_gen.rs crates/codegen/src/writer.rs
+
+/root/repo/target/debug/deps/libllstar_codegen-b9c12cd7ae3ae020.rmeta: crates/codegen/src/lib.rs crates/codegen/src/lexer_gen.rs crates/codegen/src/parser_gen.rs crates/codegen/src/writer.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/lexer_gen.rs:
+crates/codegen/src/parser_gen.rs:
+crates/codegen/src/writer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/llstar_codegen-e1c685bca1d984a5.d: crates/codegen/src/lib.rs crates/codegen/src/lexer_gen.rs crates/codegen/src/parser_gen.rs crates/codegen/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllstar_codegen-e1c685bca1d984a5.rmeta: crates/codegen/src/lib.rs crates/codegen/src/lexer_gen.rs crates/codegen/src/parser_gen.rs crates/codegen/src/writer.rs Cargo.toml
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/lexer_gen.rs:
+crates/codegen/src/parser_gen.rs:
+crates/codegen/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

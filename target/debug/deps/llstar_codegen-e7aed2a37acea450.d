@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/llstar_codegen-e7aed2a37acea450.d: crates/codegen/src/lib.rs crates/codegen/src/lexer_gen.rs crates/codegen/src/parser_gen.rs crates/codegen/src/writer.rs
+
+/root/repo/target/debug/deps/llstar_codegen-e7aed2a37acea450: crates/codegen/src/lib.rs crates/codegen/src/lexer_gen.rs crates/codegen/src/parser_gen.rs crates/codegen/src/writer.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/lexer_gen.rs:
+crates/codegen/src/parser_gen.rs:
+crates/codegen/src/writer.rs:

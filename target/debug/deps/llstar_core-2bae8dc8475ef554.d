@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/llstar_core-2bae8dc8475ef554.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/atn.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/dfa.rs crates/core/src/serialize.rs
+
+/root/repo/target/debug/deps/libllstar_core-2bae8dc8475ef554.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/atn.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/dfa.rs crates/core/src/serialize.rs
+
+/root/repo/target/debug/deps/libllstar_core-2bae8dc8475ef554.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/atn.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/dfa.rs crates/core/src/serialize.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/atn.rs:
+crates/core/src/cache.rs:
+crates/core/src/config.rs:
+crates/core/src/dfa.rs:
+crates/core/src/serialize.rs:

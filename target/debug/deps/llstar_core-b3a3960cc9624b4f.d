@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/llstar_core-b3a3960cc9624b4f.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/atn.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/dfa.rs crates/core/src/serialize.rs
+
+/root/repo/target/debug/deps/llstar_core-b3a3960cc9624b4f: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/atn.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/dfa.rs crates/core/src/serialize.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/atn.rs:
+crates/core/src/cache.rs:
+crates/core/src/config.rs:
+crates/core/src/dfa.rs:
+crates/core/src/serialize.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/llstar_core-ed8f1e42cd2a2ae8.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/atn.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/dfa.rs crates/core/src/serialize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllstar_core-ed8f1e42cd2a2ae8.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/atn.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/dfa.rs crates/core/src/serialize.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/atn.rs:
+crates/core/src/cache.rs:
+crates/core/src/config.rs:
+crates/core/src/dfa.rs:
+crates/core/src/serialize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

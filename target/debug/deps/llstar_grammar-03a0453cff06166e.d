@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/llstar_grammar-03a0453cff06166e.d: crates/grammar/src/lib.rs crates/grammar/src/ast.rs crates/grammar/src/display.rs crates/grammar/src/leftrec.rs crates/grammar/src/meta.rs crates/grammar/src/pegmode.rs crates/grammar/src/validate.rs crates/grammar/src/vocab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllstar_grammar-03a0453cff06166e.rmeta: crates/grammar/src/lib.rs crates/grammar/src/ast.rs crates/grammar/src/display.rs crates/grammar/src/leftrec.rs crates/grammar/src/meta.rs crates/grammar/src/pegmode.rs crates/grammar/src/validate.rs crates/grammar/src/vocab.rs Cargo.toml
+
+crates/grammar/src/lib.rs:
+crates/grammar/src/ast.rs:
+crates/grammar/src/display.rs:
+crates/grammar/src/leftrec.rs:
+crates/grammar/src/meta.rs:
+crates/grammar/src/pegmode.rs:
+crates/grammar/src/validate.rs:
+crates/grammar/src/vocab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

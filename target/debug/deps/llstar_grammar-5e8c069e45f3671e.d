@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/llstar_grammar-5e8c069e45f3671e.d: crates/grammar/src/lib.rs crates/grammar/src/ast.rs crates/grammar/src/display.rs crates/grammar/src/leftrec.rs crates/grammar/src/meta.rs crates/grammar/src/pegmode.rs crates/grammar/src/validate.rs crates/grammar/src/vocab.rs
+
+/root/repo/target/debug/deps/libllstar_grammar-5e8c069e45f3671e.rlib: crates/grammar/src/lib.rs crates/grammar/src/ast.rs crates/grammar/src/display.rs crates/grammar/src/leftrec.rs crates/grammar/src/meta.rs crates/grammar/src/pegmode.rs crates/grammar/src/validate.rs crates/grammar/src/vocab.rs
+
+/root/repo/target/debug/deps/libllstar_grammar-5e8c069e45f3671e.rmeta: crates/grammar/src/lib.rs crates/grammar/src/ast.rs crates/grammar/src/display.rs crates/grammar/src/leftrec.rs crates/grammar/src/meta.rs crates/grammar/src/pegmode.rs crates/grammar/src/validate.rs crates/grammar/src/vocab.rs
+
+crates/grammar/src/lib.rs:
+crates/grammar/src/ast.rs:
+crates/grammar/src/display.rs:
+crates/grammar/src/leftrec.rs:
+crates/grammar/src/meta.rs:
+crates/grammar/src/pegmode.rs:
+crates/grammar/src/validate.rs:
+crates/grammar/src/vocab.rs:

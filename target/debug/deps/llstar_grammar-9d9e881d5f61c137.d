@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/llstar_grammar-9d9e881d5f61c137.d: crates/grammar/src/lib.rs crates/grammar/src/ast.rs crates/grammar/src/display.rs crates/grammar/src/leftrec.rs crates/grammar/src/meta.rs crates/grammar/src/pegmode.rs crates/grammar/src/validate.rs crates/grammar/src/vocab.rs
+
+/root/repo/target/debug/deps/llstar_grammar-9d9e881d5f61c137: crates/grammar/src/lib.rs crates/grammar/src/ast.rs crates/grammar/src/display.rs crates/grammar/src/leftrec.rs crates/grammar/src/meta.rs crates/grammar/src/pegmode.rs crates/grammar/src/validate.rs crates/grammar/src/vocab.rs
+
+crates/grammar/src/lib.rs:
+crates/grammar/src/ast.rs:
+crates/grammar/src/display.rs:
+crates/grammar/src/leftrec.rs:
+crates/grammar/src/meta.rs:
+crates/grammar/src/pegmode.rs:
+crates/grammar/src/validate.rs:
+crates/grammar/src/vocab.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/llstar_lexer-a46c9a6f064d37f6.d: crates/lexer/src/lib.rs crates/lexer/src/charclass.rs crates/lexer/src/dfa.rs crates/lexer/src/nfa.rs crates/lexer/src/regex.rs crates/lexer/src/scanner.rs crates/lexer/src/token.rs
+
+/root/repo/target/debug/deps/libllstar_lexer-a46c9a6f064d37f6.rlib: crates/lexer/src/lib.rs crates/lexer/src/charclass.rs crates/lexer/src/dfa.rs crates/lexer/src/nfa.rs crates/lexer/src/regex.rs crates/lexer/src/scanner.rs crates/lexer/src/token.rs
+
+/root/repo/target/debug/deps/libllstar_lexer-a46c9a6f064d37f6.rmeta: crates/lexer/src/lib.rs crates/lexer/src/charclass.rs crates/lexer/src/dfa.rs crates/lexer/src/nfa.rs crates/lexer/src/regex.rs crates/lexer/src/scanner.rs crates/lexer/src/token.rs
+
+crates/lexer/src/lib.rs:
+crates/lexer/src/charclass.rs:
+crates/lexer/src/dfa.rs:
+crates/lexer/src/nfa.rs:
+crates/lexer/src/regex.rs:
+crates/lexer/src/scanner.rs:
+crates/lexer/src/token.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/llstar_lexer-d1172ce65539ead3.d: crates/lexer/src/lib.rs crates/lexer/src/charclass.rs crates/lexer/src/dfa.rs crates/lexer/src/nfa.rs crates/lexer/src/regex.rs crates/lexer/src/scanner.rs crates/lexer/src/token.rs
+
+/root/repo/target/debug/deps/llstar_lexer-d1172ce65539ead3: crates/lexer/src/lib.rs crates/lexer/src/charclass.rs crates/lexer/src/dfa.rs crates/lexer/src/nfa.rs crates/lexer/src/regex.rs crates/lexer/src/scanner.rs crates/lexer/src/token.rs
+
+crates/lexer/src/lib.rs:
+crates/lexer/src/charclass.rs:
+crates/lexer/src/dfa.rs:
+crates/lexer/src/nfa.rs:
+crates/lexer/src/regex.rs:
+crates/lexer/src/scanner.rs:
+crates/lexer/src/token.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/llstar_lexer-ee39374f46557cb5.d: crates/lexer/src/lib.rs crates/lexer/src/charclass.rs crates/lexer/src/dfa.rs crates/lexer/src/nfa.rs crates/lexer/src/regex.rs crates/lexer/src/scanner.rs crates/lexer/src/token.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllstar_lexer-ee39374f46557cb5.rmeta: crates/lexer/src/lib.rs crates/lexer/src/charclass.rs crates/lexer/src/dfa.rs crates/lexer/src/nfa.rs crates/lexer/src/regex.rs crates/lexer/src/scanner.rs crates/lexer/src/token.rs Cargo.toml
+
+crates/lexer/src/lib.rs:
+crates/lexer/src/charclass.rs:
+crates/lexer/src/dfa.rs:
+crates/lexer/src/nfa.rs:
+crates/lexer/src/regex.rs:
+crates/lexer/src/scanner.rs:
+crates/lexer/src/token.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

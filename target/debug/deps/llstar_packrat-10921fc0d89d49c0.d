@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llstar_packrat-10921fc0d89d49c0.d: crates/packrat/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllstar_packrat-10921fc0d89d49c0.rmeta: crates/packrat/src/lib.rs Cargo.toml
+
+crates/packrat/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

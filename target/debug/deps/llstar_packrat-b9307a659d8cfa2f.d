@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llstar_packrat-b9307a659d8cfa2f.d: crates/packrat/src/lib.rs
+
+/root/repo/target/debug/deps/llstar_packrat-b9307a659d8cfa2f: crates/packrat/src/lib.rs
+
+crates/packrat/src/lib.rs:

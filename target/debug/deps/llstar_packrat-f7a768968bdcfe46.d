@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/llstar_packrat-f7a768968bdcfe46.d: crates/packrat/src/lib.rs
+
+/root/repo/target/debug/deps/libllstar_packrat-f7a768968bdcfe46.rlib: crates/packrat/src/lib.rs
+
+/root/repo/target/debug/deps/libllstar_packrat-f7a768968bdcfe46.rmeta: crates/packrat/src/lib.rs
+
+crates/packrat/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/llstar_rng-22cff448a6a687b2.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libllstar_rng-22cff448a6a687b2.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libllstar_rng-22cff448a6a687b2.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llstar_rng-487221f26a2d6099.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/llstar_rng-487221f26a2d6099: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

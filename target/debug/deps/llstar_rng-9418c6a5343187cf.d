@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llstar_rng-9418c6a5343187cf.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllstar_rng-9418c6a5343187cf.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/llstar_runtime-147462dfe21aed14.d: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/hooks.rs crates/runtime/src/parser.rs crates/runtime/src/stats.rs crates/runtime/src/stream.rs crates/runtime/src/tree.rs crates/runtime/src/visit.rs
+
+/root/repo/target/debug/deps/libllstar_runtime-147462dfe21aed14.rlib: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/hooks.rs crates/runtime/src/parser.rs crates/runtime/src/stats.rs crates/runtime/src/stream.rs crates/runtime/src/tree.rs crates/runtime/src/visit.rs
+
+/root/repo/target/debug/deps/libllstar_runtime-147462dfe21aed14.rmeta: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/hooks.rs crates/runtime/src/parser.rs crates/runtime/src/stats.rs crates/runtime/src/stream.rs crates/runtime/src/tree.rs crates/runtime/src/visit.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/hooks.rs:
+crates/runtime/src/parser.rs:
+crates/runtime/src/stats.rs:
+crates/runtime/src/stream.rs:
+crates/runtime/src/tree.rs:
+crates/runtime/src/visit.rs:

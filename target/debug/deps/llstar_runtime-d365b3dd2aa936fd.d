@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/llstar_runtime-d365b3dd2aa936fd.d: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/hooks.rs crates/runtime/src/parser.rs crates/runtime/src/stats.rs crates/runtime/src/stream.rs crates/runtime/src/tree.rs crates/runtime/src/visit.rs
+
+/root/repo/target/debug/deps/llstar_runtime-d365b3dd2aa936fd: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/hooks.rs crates/runtime/src/parser.rs crates/runtime/src/stats.rs crates/runtime/src/stream.rs crates/runtime/src/tree.rs crates/runtime/src/visit.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/hooks.rs:
+crates/runtime/src/parser.rs:
+crates/runtime/src/stats.rs:
+crates/runtime/src/stream.rs:
+crates/runtime/src/tree.rs:
+crates/runtime/src/visit.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/llstar_runtime-f6c22d5971e47646.d: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/hooks.rs crates/runtime/src/parser.rs crates/runtime/src/stats.rs crates/runtime/src/stream.rs crates/runtime/src/tree.rs crates/runtime/src/visit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllstar_runtime-f6c22d5971e47646.rmeta: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/hooks.rs crates/runtime/src/parser.rs crates/runtime/src/stats.rs crates/runtime/src/stream.rs crates/runtime/src/tree.rs crates/runtime/src/visit.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/hooks.rs:
+crates/runtime/src/parser.rs:
+crates/runtime/src/stats.rs:
+crates/runtime/src/stream.rs:
+crates/runtime/src/tree.rs:
+crates/runtime/src/visit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

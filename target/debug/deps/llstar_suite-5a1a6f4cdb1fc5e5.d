@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/llstar_suite-5a1a6f4cdb1fc5e5.d: crates/suite/src/lib.rs crates/suite/src/c.rs crates/suite/src/common.rs crates/suite/src/csharp.rs crates/suite/src/derivation.rs crates/suite/src/java.rs crates/suite/src/ratsjava.rs crates/suite/src/sql.rs crates/suite/src/vb.rs
+
+/root/repo/target/debug/deps/llstar_suite-5a1a6f4cdb1fc5e5: crates/suite/src/lib.rs crates/suite/src/c.rs crates/suite/src/common.rs crates/suite/src/csharp.rs crates/suite/src/derivation.rs crates/suite/src/java.rs crates/suite/src/ratsjava.rs crates/suite/src/sql.rs crates/suite/src/vb.rs
+
+crates/suite/src/lib.rs:
+crates/suite/src/c.rs:
+crates/suite/src/common.rs:
+crates/suite/src/csharp.rs:
+crates/suite/src/derivation.rs:
+crates/suite/src/java.rs:
+crates/suite/src/ratsjava.rs:
+crates/suite/src/sql.rs:
+crates/suite/src/vb.rs:

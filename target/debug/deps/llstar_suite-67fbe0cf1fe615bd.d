@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/llstar_suite-67fbe0cf1fe615bd.d: crates/suite/src/lib.rs crates/suite/src/c.rs crates/suite/src/common.rs crates/suite/src/csharp.rs crates/suite/src/derivation.rs crates/suite/src/java.rs crates/suite/src/ratsjava.rs crates/suite/src/sql.rs crates/suite/src/vb.rs
+
+/root/repo/target/debug/deps/libllstar_suite-67fbe0cf1fe615bd.rlib: crates/suite/src/lib.rs crates/suite/src/c.rs crates/suite/src/common.rs crates/suite/src/csharp.rs crates/suite/src/derivation.rs crates/suite/src/java.rs crates/suite/src/ratsjava.rs crates/suite/src/sql.rs crates/suite/src/vb.rs
+
+/root/repo/target/debug/deps/libllstar_suite-67fbe0cf1fe615bd.rmeta: crates/suite/src/lib.rs crates/suite/src/c.rs crates/suite/src/common.rs crates/suite/src/csharp.rs crates/suite/src/derivation.rs crates/suite/src/java.rs crates/suite/src/ratsjava.rs crates/suite/src/sql.rs crates/suite/src/vb.rs
+
+crates/suite/src/lib.rs:
+crates/suite/src/c.rs:
+crates/suite/src/common.rs:
+crates/suite/src/csharp.rs:
+crates/suite/src/derivation.rs:
+crates/suite/src/java.rs:
+crates/suite/src/ratsjava.rs:
+crates/suite/src/sql.rs:
+crates/suite/src/vb.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/llstar_suite-aa5bcc86fe35f3e2.d: crates/suite/src/lib.rs crates/suite/src/c.rs crates/suite/src/common.rs crates/suite/src/csharp.rs crates/suite/src/derivation.rs crates/suite/src/java.rs crates/suite/src/ratsjava.rs crates/suite/src/sql.rs crates/suite/src/vb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllstar_suite-aa5bcc86fe35f3e2.rmeta: crates/suite/src/lib.rs crates/suite/src/c.rs crates/suite/src/common.rs crates/suite/src/csharp.rs crates/suite/src/derivation.rs crates/suite/src/java.rs crates/suite/src/ratsjava.rs crates/suite/src/sql.rs crates/suite/src/vb.rs Cargo.toml
+
+crates/suite/src/lib.rs:
+crates/suite/src/c.rs:
+crates/suite/src/common.rs:
+crates/suite/src/csharp.rs:
+crates/suite/src/derivation.rs:
+crates/suite/src/java.rs:
+crates/suite/src/ratsjava.rs:
+crates/suite/src/sql.rs:
+crates/suite/src/vb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llstar_vs_packrat-65a993346153dba7.d: crates/bench/benches/llstar_vs_packrat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllstar_vs_packrat-65a993346153dba7.rmeta: crates/bench/benches/llstar_vs_packrat.rs Cargo.toml
+
+crates/bench/benches/llstar_vs_packrat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llstar_vs_packrat-c3b97cf2e65bf3e3.d: crates/bench/benches/llstar_vs_packrat.rs
+
+/root/repo/target/debug/deps/llstar_vs_packrat-c3b97cf2e65bf3e3: crates/bench/benches/llstar_vs_packrat.rs
+
+crates/bench/benches/llstar_vs_packrat.rs:

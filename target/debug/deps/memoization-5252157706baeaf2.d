@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memoization-5252157706baeaf2.d: crates/bench/benches/memoization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemoization-5252157706baeaf2.rmeta: crates/bench/benches/memoization.rs Cargo.toml
+
+crates/bench/benches/memoization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memoization-dc538ef991a6c374.d: crates/bench/benches/memoization.rs
+
+/root/repo/target/debug/deps/memoization-dc538ef991a6c374: crates/bench/benches/memoization.rs
+
+crates/bench/benches/memoization.rs:

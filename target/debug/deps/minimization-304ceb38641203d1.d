@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/minimization-304ceb38641203d1.d: tests/minimization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libminimization-304ceb38641203d1.rmeta: tests/minimization.rs Cargo.toml
+
+tests/minimization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

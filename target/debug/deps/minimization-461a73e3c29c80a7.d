@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/minimization-461a73e3c29c80a7.d: tests/minimization.rs
+
+/root/repo/target/debug/deps/minimization-461a73e3c29c80a7: tests/minimization.rs
+
+tests/minimization.rs:

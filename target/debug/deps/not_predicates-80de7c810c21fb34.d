@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/not_predicates-80de7c810c21fb34.d: tests/not_predicates.rs
+
+/root/repo/target/debug/deps/not_predicates-80de7c810c21fb34: tests/not_predicates.rs
+
+tests/not_predicates.rs:

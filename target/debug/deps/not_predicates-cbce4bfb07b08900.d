@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/not_predicates-cbce4bfb07b08900.d: tests/not_predicates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnot_predicates-cbce4bfb07b08900.rmeta: tests/not_predicates.rs Cargo.toml
+
+tests/not_predicates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parse-bc39d9a358cd8a8b.d: crates/bench/benches/parse.rs
+
+/root/repo/target/debug/deps/parse-bc39d9a358cd8a8b: crates/bench/benches/parse.rs
+
+crates/bench/benches/parse.rs:

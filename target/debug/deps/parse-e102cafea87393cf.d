@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parse-e102cafea87393cf.d: crates/bench/benches/parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparse-e102cafea87393cf.rmeta: crates/bench/benches/parse.rs Cargo.toml
+
+crates/bench/benches/parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

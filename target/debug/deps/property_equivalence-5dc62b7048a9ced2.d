@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_equivalence-5dc62b7048a9ced2.d: tests/property_equivalence.rs
+
+/root/repo/target/debug/deps/property_equivalence-5dc62b7048a9ced2: tests/property_equivalence.rs
+
+tests/property_equivalence.rs:

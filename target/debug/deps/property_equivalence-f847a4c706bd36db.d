@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_equivalence-f847a4c706bd36db.d: tests/property_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_equivalence-f847a4c706bd36db.rmeta: tests/property_equivalence.rs Cargo.toml
+
+tests/property_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report_tables-099a8794e3e0c9cd.d: crates/bench/src/bin/report_tables.rs
+
+/root/repo/target/debug/deps/report_tables-099a8794e3e0c9cd: crates/bench/src/bin/report_tables.rs
+
+crates/bench/src/bin/report_tables.rs:

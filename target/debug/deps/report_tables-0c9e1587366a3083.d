@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/report_tables-0c9e1587366a3083.d: crates/bench/src/bin/report_tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport_tables-0c9e1587366a3083.rmeta: crates/bench/src/bin/report_tables.rs Cargo.toml
+
+crates/bench/src/bin/report_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/report_tables-3dbf3e188ce57cf4.d: crates/bench/src/bin/report_tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport_tables-3dbf3e188ce57cf4.rmeta: crates/bench/src/bin/report_tables.rs Cargo.toml
+
+crates/bench/src/bin/report_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

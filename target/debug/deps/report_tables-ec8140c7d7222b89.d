@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report_tables-ec8140c7d7222b89.d: crates/bench/src/bin/report_tables.rs
+
+/root/repo/target/debug/deps/report_tables-ec8140c7d7222b89: crates/bench/src/bin/report_tables.rs
+
+crates/bench/src/bin/report_tables.rs:

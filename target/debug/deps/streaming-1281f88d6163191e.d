@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming-1281f88d6163191e.d: tests/streaming.rs
+
+/root/repo/target/debug/deps/streaming-1281f88d6163191e: tests/streaming.rs
+
+tests/streaming.rs:

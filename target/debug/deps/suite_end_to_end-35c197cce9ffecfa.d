@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_end_to_end-35c197cce9ffecfa.d: tests/suite_end_to_end.rs
+
+/root/repo/target/debug/deps/suite_end_to_end-35c197cce9ffecfa: tests/suite_end_to_end.rs
+
+tests/suite_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/suite_end_to_end-cc9fa1648c488a3c.d: tests/suite_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuite_end_to_end-cc9fa1648c488a3c.rmeta: tests/suite_end_to_end.rs Cargo.toml
+
+tests/suite_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

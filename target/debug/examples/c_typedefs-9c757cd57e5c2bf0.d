@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/c_typedefs-9c757cd57e5c2bf0.d: examples/c_typedefs.rs Cargo.toml
+
+/root/repo/target/debug/examples/libc_typedefs-9c757cd57e5c2bf0.rmeta: examples/c_typedefs.rs Cargo.toml
+
+examples/c_typedefs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

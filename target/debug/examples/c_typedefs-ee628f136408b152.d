@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/c_typedefs-ee628f136408b152.d: examples/c_typedefs.rs
+
+/root/repo/target/debug/examples/c_typedefs-ee628f136408b152: examples/c_typedefs.rs
+
+examples/c_typedefs.rs:

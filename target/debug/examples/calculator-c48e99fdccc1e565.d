@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calculator-c48e99fdccc1e565.d: examples/calculator.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalculator-c48e99fdccc1e565.rmeta: examples/calculator.rs Cargo.toml
+
+examples/calculator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

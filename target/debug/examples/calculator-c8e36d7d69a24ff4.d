@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calculator-c8e36d7d69a24ff4.d: examples/calculator.rs
+
+/root/repo/target/debug/examples/calculator-c8e36d7d69a24ff4: examples/calculator.rs
+
+examples/calculator.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/generate_parser-468b32ff19e60561.d: examples/generate_parser.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgenerate_parser-468b32ff19e60561.rmeta: examples/generate_parser.rs Cargo.toml
+
+examples/generate_parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/generate_parser-79bafb2ac13781d4.d: examples/generate_parser.rs
+
+/root/repo/target/debug/examples/generate_parser-79bafb2ac13781d4: examples/generate_parser.rs
+
+examples/generate_parser.rs:

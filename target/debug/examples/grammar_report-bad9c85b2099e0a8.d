@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/grammar_report-bad9c85b2099e0a8.d: examples/grammar_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgrammar_report-bad9c85b2099e0a8.rmeta: examples/grammar_report.rs Cargo.toml
+
+examples/grammar_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

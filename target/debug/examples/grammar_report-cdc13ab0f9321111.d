@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/grammar_report-cdc13ab0f9321111.d: examples/grammar_report.rs
+
+/root/repo/target/debug/examples/grammar_report-cdc13ab0f9321111: examples/grammar_report.rs
+
+examples/grammar_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/json_reader-2c8f5f04f9a2c3f3.d: examples/json_reader.rs
+
+/root/repo/target/debug/examples/json_reader-2c8f5f04f9a2c3f3: examples/json_reader.rs
+
+examples/json_reader.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/json_reader-e8fc1003d096aeab.d: examples/json_reader.rs Cargo.toml
+
+/root/repo/target/debug/examples/libjson_reader-e8fc1003d096aeab.rmeta: examples/json_reader.rs Cargo.toml
+
+examples/json_reader.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-109520213fe66dd4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-109520213fe66dd4: examples/quickstart.rs
+
+examples/quickstart.rs:

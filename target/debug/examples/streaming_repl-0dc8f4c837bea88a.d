@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/streaming_repl-0dc8f4c837bea88a.d: examples/streaming_repl.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstreaming_repl-0dc8f4c837bea88a.rmeta: examples/streaming_repl.rs Cargo.toml
+
+examples/streaming_repl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming_repl-9bd01a03703921fb.d: examples/streaming_repl.rs
+
+/root/repo/target/debug/examples/streaming_repl-9bd01a03703921fb: examples/streaming_repl.rs
+
+examples/streaming_repl.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/llstar-2c05dbb9e39f47a8.d: src/lib.rs
+
+/root/repo/target/release/deps/libllstar-2c05dbb9e39f47a8.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libllstar-2c05dbb9e39f47a8.rmeta: src/lib.rs
+
+src/lib.rs:

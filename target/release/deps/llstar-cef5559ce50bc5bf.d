@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/llstar-cef5559ce50bc5bf.d: src/bin/llstar.rs
+
+/root/repo/target/release/deps/llstar-cef5559ce50bc5bf: src/bin/llstar.rs
+
+src/bin/llstar.rs:

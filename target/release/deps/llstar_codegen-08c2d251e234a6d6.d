@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/llstar_codegen-08c2d251e234a6d6.d: crates/codegen/src/lib.rs crates/codegen/src/lexer_gen.rs crates/codegen/src/parser_gen.rs crates/codegen/src/writer.rs
+
+/root/repo/target/release/deps/libllstar_codegen-08c2d251e234a6d6.rlib: crates/codegen/src/lib.rs crates/codegen/src/lexer_gen.rs crates/codegen/src/parser_gen.rs crates/codegen/src/writer.rs
+
+/root/repo/target/release/deps/libllstar_codegen-08c2d251e234a6d6.rmeta: crates/codegen/src/lib.rs crates/codegen/src/lexer_gen.rs crates/codegen/src/parser_gen.rs crates/codegen/src/writer.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/lexer_gen.rs:
+crates/codegen/src/parser_gen.rs:
+crates/codegen/src/writer.rs:

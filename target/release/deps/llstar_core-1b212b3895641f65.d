@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/llstar_core-1b212b3895641f65.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/atn.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/dfa.rs crates/core/src/serialize.rs
+
+/root/repo/target/release/deps/libllstar_core-1b212b3895641f65.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/atn.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/dfa.rs crates/core/src/serialize.rs
+
+/root/repo/target/release/deps/libllstar_core-1b212b3895641f65.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/atn.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/dfa.rs crates/core/src/serialize.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/atn.rs:
+crates/core/src/cache.rs:
+crates/core/src/config.rs:
+crates/core/src/dfa.rs:
+crates/core/src/serialize.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/llstar_grammar-6527f20e9e051664.d: crates/grammar/src/lib.rs crates/grammar/src/ast.rs crates/grammar/src/display.rs crates/grammar/src/leftrec.rs crates/grammar/src/meta.rs crates/grammar/src/pegmode.rs crates/grammar/src/validate.rs crates/grammar/src/vocab.rs
+
+/root/repo/target/release/deps/libllstar_grammar-6527f20e9e051664.rlib: crates/grammar/src/lib.rs crates/grammar/src/ast.rs crates/grammar/src/display.rs crates/grammar/src/leftrec.rs crates/grammar/src/meta.rs crates/grammar/src/pegmode.rs crates/grammar/src/validate.rs crates/grammar/src/vocab.rs
+
+/root/repo/target/release/deps/libllstar_grammar-6527f20e9e051664.rmeta: crates/grammar/src/lib.rs crates/grammar/src/ast.rs crates/grammar/src/display.rs crates/grammar/src/leftrec.rs crates/grammar/src/meta.rs crates/grammar/src/pegmode.rs crates/grammar/src/validate.rs crates/grammar/src/vocab.rs
+
+crates/grammar/src/lib.rs:
+crates/grammar/src/ast.rs:
+crates/grammar/src/display.rs:
+crates/grammar/src/leftrec.rs:
+crates/grammar/src/meta.rs:
+crates/grammar/src/pegmode.rs:
+crates/grammar/src/validate.rs:
+crates/grammar/src/vocab.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/llstar_lexer-86e095cb0dd5c0f0.d: crates/lexer/src/lib.rs crates/lexer/src/charclass.rs crates/lexer/src/dfa.rs crates/lexer/src/nfa.rs crates/lexer/src/regex.rs crates/lexer/src/scanner.rs crates/lexer/src/token.rs
+
+/root/repo/target/release/deps/libllstar_lexer-86e095cb0dd5c0f0.rlib: crates/lexer/src/lib.rs crates/lexer/src/charclass.rs crates/lexer/src/dfa.rs crates/lexer/src/nfa.rs crates/lexer/src/regex.rs crates/lexer/src/scanner.rs crates/lexer/src/token.rs
+
+/root/repo/target/release/deps/libllstar_lexer-86e095cb0dd5c0f0.rmeta: crates/lexer/src/lib.rs crates/lexer/src/charclass.rs crates/lexer/src/dfa.rs crates/lexer/src/nfa.rs crates/lexer/src/regex.rs crates/lexer/src/scanner.rs crates/lexer/src/token.rs
+
+crates/lexer/src/lib.rs:
+crates/lexer/src/charclass.rs:
+crates/lexer/src/dfa.rs:
+crates/lexer/src/nfa.rs:
+crates/lexer/src/regex.rs:
+crates/lexer/src/scanner.rs:
+crates/lexer/src/token.rs:

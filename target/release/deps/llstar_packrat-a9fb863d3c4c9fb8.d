@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/llstar_packrat-a9fb863d3c4c9fb8.d: crates/packrat/src/lib.rs
+
+/root/repo/target/release/deps/libllstar_packrat-a9fb863d3c4c9fb8.rlib: crates/packrat/src/lib.rs
+
+/root/repo/target/release/deps/libllstar_packrat-a9fb863d3c4c9fb8.rmeta: crates/packrat/src/lib.rs
+
+crates/packrat/src/lib.rs:

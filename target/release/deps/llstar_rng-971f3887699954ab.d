@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/llstar_rng-971f3887699954ab.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libllstar_rng-971f3887699954ab.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libllstar_rng-971f3887699954ab.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

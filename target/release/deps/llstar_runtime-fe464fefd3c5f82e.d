@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/llstar_runtime-fe464fefd3c5f82e.d: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/hooks.rs crates/runtime/src/parser.rs crates/runtime/src/stats.rs crates/runtime/src/stream.rs crates/runtime/src/tree.rs crates/runtime/src/visit.rs
+
+/root/repo/target/release/deps/libllstar_runtime-fe464fefd3c5f82e.rlib: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/hooks.rs crates/runtime/src/parser.rs crates/runtime/src/stats.rs crates/runtime/src/stream.rs crates/runtime/src/tree.rs crates/runtime/src/visit.rs
+
+/root/repo/target/release/deps/libllstar_runtime-fe464fefd3c5f82e.rmeta: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/hooks.rs crates/runtime/src/parser.rs crates/runtime/src/stats.rs crates/runtime/src/stream.rs crates/runtime/src/tree.rs crates/runtime/src/visit.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/hooks.rs:
+crates/runtime/src/parser.rs:
+crates/runtime/src/stats.rs:
+crates/runtime/src/stream.rs:
+crates/runtime/src/tree.rs:
+crates/runtime/src/visit.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/llstar_suite-590531cc3c57ff9e.d: crates/suite/src/lib.rs crates/suite/src/c.rs crates/suite/src/common.rs crates/suite/src/csharp.rs crates/suite/src/derivation.rs crates/suite/src/java.rs crates/suite/src/ratsjava.rs crates/suite/src/sql.rs crates/suite/src/vb.rs
+
+/root/repo/target/release/deps/libllstar_suite-590531cc3c57ff9e.rlib: crates/suite/src/lib.rs crates/suite/src/c.rs crates/suite/src/common.rs crates/suite/src/csharp.rs crates/suite/src/derivation.rs crates/suite/src/java.rs crates/suite/src/ratsjava.rs crates/suite/src/sql.rs crates/suite/src/vb.rs
+
+/root/repo/target/release/deps/libllstar_suite-590531cc3c57ff9e.rmeta: crates/suite/src/lib.rs crates/suite/src/c.rs crates/suite/src/common.rs crates/suite/src/csharp.rs crates/suite/src/derivation.rs crates/suite/src/java.rs crates/suite/src/ratsjava.rs crates/suite/src/sql.rs crates/suite/src/vb.rs
+
+crates/suite/src/lib.rs:
+crates/suite/src/c.rs:
+crates/suite/src/common.rs:
+crates/suite/src/csharp.rs:
+crates/suite/src/derivation.rs:
+crates/suite/src/java.rs:
+crates/suite/src/ratsjava.rs:
+crates/suite/src/sql.rs:
+crates/suite/src/vb.rs:

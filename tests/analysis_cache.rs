@@ -1,0 +1,197 @@
+//! The persistent analysis cache, proven end to end:
+//!
+//! * a hit *skips subset construction entirely* (the global DFA build
+//!   counter does not move),
+//! * a grammar edit changes the fingerprint and forces re-analysis,
+//! * truncated or corrupted cache files are rejected with a
+//!   line-numbered [`SerializeError`] — never a panic, and never a
+//!   silently wrong analysis.
+//!
+//! Every test serializes on one lock: `dfa_builds()` is a process-global
+//! counter, so deltas are only meaningful while no other analysis runs.
+
+use llstar::core::{
+    analyze_cached, analyze_with, cache_path, deserialize_analysis, dfa_builds, serialize_analysis,
+    AnalysisOptions, CacheMiss, CacheStatus,
+};
+use llstar::grammar::{apply_peg_mode, parse_grammar, Grammar};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("llstar_cachetest_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn grammar(body: &str) -> Grammar {
+    apply_peg_mode(parse_grammar(body).expect("test grammar parses"))
+}
+
+const BASE: &str = "grammar Cached;
+    s : A B C | A B D | A* X ;
+    t : X Y | X Z ;
+    A:'a'; B:'b'; C:'c'; D:'d'; X:'x'; Y:'y'; Z:'z';
+    WS : [ ]+ -> skip ;";
+
+#[test]
+fn hit_skips_subset_construction() {
+    let _guard = lock();
+    let g = grammar(BASE);
+    let path = cache_path(&workdir("hit"), &g);
+    let _ = std::fs::remove_file(&path);
+
+    let before = dfa_builds();
+    let (fresh, status) = analyze_cached(&g, &path).expect("first analyze");
+    assert_eq!(status, CacheStatus::Miss(CacheMiss::Absent));
+    let built = dfa_builds() - before;
+    assert!(built > 0, "a miss must run subset construction");
+
+    let before = dfa_builds();
+    let (loaded, status) = analyze_cached(&g, &path).expect("second analyze");
+    assert!(status.is_hit(), "{status}");
+    assert_eq!(dfa_builds() - before, 0, "a cache hit must not build a single DFA");
+    assert!(loaded.from_cache);
+    assert_eq!(
+        serialize_analysis(&g, &fresh),
+        serialize_analysis(&g, &loaded),
+        "loaded analysis differs from the one that was cached"
+    );
+}
+
+#[test]
+fn grammar_edit_changes_fingerprint_and_forces_reanalysis() {
+    let _guard = lock();
+    let g1 = grammar(BASE);
+    let dir = workdir("edit");
+    let path = cache_path(&dir, &g1);
+    let _ = std::fs::remove_file(&path);
+    analyze_cached(&g1, &path).expect("prime the cache");
+
+    // Same grammar name — same cache slot — but an edited body.
+    let g2 = grammar(&BASE.replace("t : X Y | X Z ;", "t : X Y | Y Z ;"));
+    assert_eq!(cache_path(&dir, &g2), path, "edit must target the same slot");
+
+    let before = dfa_builds();
+    let (a, status) = analyze_cached(&g2, &path).expect("re-analyze after edit");
+    assert_eq!(status, CacheStatus::Miss(CacheMiss::Stale));
+    assert!(dfa_builds() - before > 0, "a stale cache must be recomputed");
+    assert!(!a.from_cache);
+
+    // The rewrite re-keys the slot: the edited grammar now hits, and the
+    // *original* grammar is the one that misses.
+    let (_, status) = analyze_cached(&g2, &path).expect("hit after rewrite");
+    assert!(status.is_hit(), "{status}");
+    let (_, status) = analyze_cached(&g1, &path).expect("original now stale");
+    assert_eq!(status, CacheStatus::Miss(CacheMiss::Stale));
+}
+
+#[test]
+fn truncated_caches_are_rejected_with_a_line_number() {
+    let _guard = lock();
+    let g = grammar(BASE);
+    let full = serialize_analysis(&g, &analyze_with(&g, &AnalysisOptions::from_grammar(&g)));
+    let total_lines = full.lines().count();
+    assert!(total_lines > 5, "serialization too small to truncate meaningfully");
+
+    // Cut the file after every line boundary. No prefix may load: the
+    // format ends each decision with an explicit `end` marker and records
+    // the decision count up front, so every truncation is detectable.
+    for keep in 0..total_lines {
+        let truncated: String = full.lines().take(keep).map(|l| format!("{l}\n")).collect();
+        let e = deserialize_analysis(&g, &truncated)
+            .err()
+            .unwrap_or_else(|| panic!("truncation to {keep} lines loaded successfully"));
+        assert!(
+            e.line >= 1 && e.line <= keep + 1,
+            "truncation to {keep} lines blamed line {} ({e})",
+            e.line
+        );
+    }
+}
+
+#[test]
+fn corrupted_caches_are_rejected_never_panicking() {
+    let _guard = lock();
+    let g = grammar(BASE);
+    let dir = workdir("corrupt");
+    let path = cache_path(&dir, &g);
+    let _ = std::fs::remove_file(&path);
+    analyze_cached(&g, &path).expect("prime the cache");
+    let full = std::fs::read_to_string(&path).expect("read cache");
+
+    // Mangle each line in turn; every mangled file must be rejected with
+    // a diagnosis naming that line (or a later one, when the damage only
+    // becomes detectable downstream — e.g. an inflated state count).
+    let lines: Vec<&str> = full.lines().collect();
+    for (i, _) in lines.iter().enumerate() {
+        for mangled_line in ["?garbage?", "state accept=99999 default=- edges= preds=", ""] {
+            let mangled: String = lines
+                .iter()
+                .enumerate()
+                .map(|(j, l)| if j == i { format!("{mangled_line}\n") } else { format!("{l}\n") })
+                .collect();
+            match deserialize_analysis(&g, &mangled) {
+                Ok(_) if mangled_line.is_empty() => {
+                    // Deleting a line is only acceptable when the result
+                    // still serializes identically (blank lines are
+                    // insignificant — but no content line is).
+                    panic!("deleting content line {} loaded successfully", i + 1);
+                }
+                Ok(_) => panic!("corrupting line {} loaded successfully", i + 1),
+                Err(e) => assert!(
+                    e.line >= 1,
+                    "corrupting line {} produced an unlocated error: {e}",
+                    i + 1
+                ),
+            }
+        }
+    }
+
+    // And the cache layer turns any such file into a repairing miss.
+    std::fs::write(&path, "llstar-analysis v1\nfingerprint zzzz\n").expect("plant corrupt cache");
+    let (a, status) = analyze_cached(&g, &path).expect("recover from corruption");
+    match status {
+        CacheStatus::Miss(CacheMiss::Invalid(e)) => {
+            assert!(e.line >= 1, "invalid-cache diagnosis has no line: {e}")
+        }
+        other => panic!("expected an invalid-cache miss, got {other:?}"),
+    }
+    assert!(!a.from_cache);
+    let (_, status) = analyze_cached(&g, &path).expect("repaired");
+    assert!(status.is_hit(), "{status}");
+}
+
+#[test]
+fn cache_written_by_parallel_analysis_hits_for_sequential_and_vice_versa() {
+    let _guard = lock();
+    let g = grammar(BASE);
+    let dir = workdir("xthreads");
+
+    // Parallel writer, then a hit regardless of the reader's options —
+    // determinism means thread count never invalidates a cache.
+    for (writer_threads, tag) in [(4usize, "par"), (1usize, "seq")] {
+        let path = dir.join(format!("{tag}.dfa"));
+        let _ = std::fs::remove_file(&path);
+        let mut options = AnalysisOptions::from_grammar(&g);
+        options.threads = writer_threads;
+        let (_, status) = llstar::core::analyze_cached_with(&g, &path, &options).expect("prime");
+        assert!(!status.is_hit());
+        for reader_threads in [1usize, 4] {
+            let mut options = AnalysisOptions::from_grammar(&g);
+            options.threads = reader_threads;
+            let (a, status) = llstar::core::analyze_cached_with(&g, &path, &options).expect("read");
+            assert!(
+                status.is_hit(),
+                "writer threads={writer_threads}, reader threads={reader_threads}: {status}"
+            );
+            assert!(a.from_cache);
+        }
+    }
+}

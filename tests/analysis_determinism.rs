@@ -1,0 +1,99 @@
+//! Parallel analysis determinism: `analyze_with` must produce results
+//! that are *byte-identical* under serialization no matter how many
+//! worker threads run the per-decision subset constructions, and every
+//! decision's warnings must arrive in the same order. This is the
+//! contract that makes `--jobs` purely a wall-clock knob and lets the
+//! analysis cache ignore how its contents were computed.
+
+use llstar::core::{analyze_with, serialize_analysis, AnalysisOptions, GrammarAnalysis};
+use llstar::grammar::{apply_peg_mode, parse_grammar, Grammar};
+use std::path::PathBuf;
+
+/// Thread counts to pit against the sequential baseline. `0` is the
+/// "use available parallelism" default; the rest bracket typical core
+/// counts, including oversubscription (more threads than decisions).
+const THREAD_COUNTS: &[usize] = &[0, 2, 3, 4, 8];
+
+fn analyze_at(grammar: &Grammar, threads: usize) -> GrammarAnalysis {
+    let mut options = AnalysisOptions::from_grammar(grammar);
+    options.threads = threads;
+    analyze_with(grammar, &options)
+}
+
+/// Asserts sequential and parallel analyses of `grammar` agree, both as
+/// serialized bytes and warning-by-warning.
+fn assert_deterministic(label: &str, grammar: &Grammar) {
+    let baseline = analyze_at(grammar, 1);
+    let baseline_bytes = serialize_analysis(grammar, &baseline);
+    for &threads in THREAD_COUNTS {
+        let parallel = analyze_at(grammar, threads);
+        assert_eq!(
+            baseline_bytes,
+            serialize_analysis(grammar, &parallel),
+            "{label}: threads={threads} serialization differs from sequential"
+        );
+        assert_eq!(
+            baseline.decisions.len(),
+            parallel.decisions.len(),
+            "{label}: threads={threads} decision count differs"
+        );
+        for (seq, par) in baseline.decisions.iter().zip(&parallel.decisions) {
+            assert_eq!(
+                seq.decision, par.decision,
+                "{label}: threads={threads} decisions assembled out of order"
+            );
+            assert_eq!(
+                seq.warnings, par.warnings,
+                "{label}: threads={threads} warnings differ (or arrive reordered) \
+                 at decision d{}",
+                seq.decision.0
+            );
+        }
+    }
+}
+
+fn repo_grammars() -> Vec<(String, Grammar)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("grammars");
+    let mut out = Vec::new();
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .expect("grammars/ directory")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "g"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let source = std::fs::read_to_string(&path).expect("read grammar");
+        let grammar = apply_peg_mode(parse_grammar(&source).expect("grammar parses"));
+        out.push((path.file_name().unwrap().to_string_lossy().to_string(), grammar));
+    }
+    out
+}
+
+#[test]
+fn repo_grammars_analyze_identically_at_any_thread_count() {
+    let grammars = repo_grammars();
+    assert!(!grammars.is_empty(), "no grammars found under grammars/");
+    for (name, grammar) in &grammars {
+        assert_deterministic(name, grammar);
+    }
+}
+
+#[test]
+fn suite_grammars_analyze_identically_at_any_thread_count() {
+    for entry in llstar_suite::all() {
+        let grammar = entry.load();
+        assert_deterministic(entry.name, &grammar);
+    }
+}
+
+#[test]
+fn thread_count_exceeding_decisions_is_harmless() {
+    // One decision, sixteen workers: fifteen spin down immediately and
+    // the result still matches the sequential analysis.
+    let g = apply_peg_mode(
+        parse_grammar("grammar Tiny; s : A | B ; A:'a'; B:'b';").expect("grammar parses"),
+    );
+    let seq = serialize_analysis(&g, &analyze_at(&g, 1));
+    let wide = serialize_analysis(&g, &analyze_at(&g, 16));
+    assert_eq!(seq, wide);
+}

@@ -130,3 +130,47 @@ fn shipped_grammar_files_check_clean() {
         );
     }
 }
+
+#[test]
+fn check_with_cache_hits_on_second_run() {
+    let g = grammar_path();
+    let cache = workdir().join("cache_hit_dir");
+    let _ = std::fs::remove_dir_all(&cache);
+    let cache = cache.to_string_lossy().to_string();
+
+    // Cold run: a miss that populates the cache and reports timing.
+    let (ok, stdout, stderr) = llstar(&["check", &g, "--cache", &cache, "--jobs", "2"]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("analysis cache: miss (no cache file)"), "{stderr}");
+    assert!(stdout.contains("slowest decision:"), "{stdout}");
+
+    // Warm run: reported as a hit, DFA construction skipped.
+    let (ok, stdout, stderr) = llstar(&["check", &g, "--cache", &cache]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("analysis cache: hit"), "{stderr}");
+    assert!(stdout.contains("analysis loaded from cache; DFA construction skipped"), "{stdout}");
+    assert!(stdout.contains("decision classes"), "{stdout}");
+}
+
+#[test]
+fn jobs_flag_does_not_change_compiled_dfas() {
+    let g = grammar_path();
+    let dir = workdir();
+    let seq = dir.join("seq.dfa");
+    let par = dir.join("par.dfa");
+    let (ok, _, stderr) = llstar(&["compile", &g, &seq.to_string_lossy(), "--jobs", "1"]);
+    assert!(ok, "{stderr}");
+    let (ok, _, stderr) = llstar(&["compile", &g, &par.to_string_lossy(), "--jobs", "8"]);
+    assert!(ok, "{stderr}");
+    let seq = std::fs::read_to_string(seq).unwrap();
+    let par = std::fs::read_to_string(par).unwrap();
+    assert_eq!(seq, par, "--jobs changed the serialized analysis");
+}
+
+#[test]
+fn bad_jobs_value_is_a_usage_error() {
+    let g = grammar_path();
+    let (ok, _, stderr) = llstar(&["check", &g, "--jobs", "lots"]);
+    assert!(!ok);
+    assert!(stderr.contains("--jobs"), "{stderr}");
+}

@@ -98,16 +98,7 @@ fn generated_parser_agrees_with_interpreter() {
     let g = apply_peg_mode(parse_grammar(CALC).expect("grammar"));
     let a = analyze(&g);
     let exe = build_generated("agree", CALC, DRIVER);
-    for input in [
-        "42",
-        "1+2+3",
-        "2 * 3 + 4 * 5",
-        "((((7))))",
-        "-1 - -2",
-        "1 +",
-        ")(",
-        "1 * * 2",
-    ] {
+    for input in ["42", "1+2+3", "2 * 3 + 4 * 5", "((((7))))", "-1 - -2", "1 +", ")(", "1 * * 2"] {
         let interp = parse_text(&g, &a, input, "expr", NopHooks);
         let (gen_ok, gen_out) = run_generated(&exe, input);
         assert_eq!(
@@ -181,8 +172,14 @@ fn main() {
         let stdout = String::from_utf8_lossy(&out.stdout).trim().to_string();
         assert!(out.status.success(), "seed {seed}: generated parser rejected:\n{stdout}");
         // Token counts agree with the interpreter.
-        let (tree, _) = llstar::runtime::parse_text(&g, &a, &program, entry.start_rule,
-            llstar::runtime::NopHooks).expect("interpreter parses");
+        let (tree, _) = llstar::runtime::parse_text(
+            &g,
+            &a,
+            &program,
+            entry.start_rule,
+            llstar::runtime::NopHooks,
+        )
+        .expect("interpreter parses");
         assert_eq!(stdout, tree.token_count().to_string(), "seed {seed}: token counts differ");
     }
 }

@@ -25,8 +25,9 @@ fn arbitrary_lookahead_error_points_at_offending_symbol() {
 
 #[test]
 fn mismatch_error_names_the_expected_token() {
-    let g = parse_grammar("grammar M; s : ID '=' INT ';' ; ID:[a-z]+; INT:[0-9]+; WS:[ ]+ -> skip;")
-        .unwrap();
+    let g =
+        parse_grammar("grammar M; s : ID '=' INT ';' ; ID:[a-z]+; INT:[0-9]+; WS:[ ]+ -> skip;")
+            .unwrap();
     let a = analyze(&g);
     let err = parse_text(&g, &a, "x = 1", "s", NopHooks).unwrap_err();
     assert!(err.contains("';'"), "{err}");
@@ -61,10 +62,7 @@ fn backtracking_reports_deepest_speculative_failure() {
     let err = parse_text(&g, &a, input, "s", NopHooks).unwrap_err();
     // The deepest failure is at end of input (neither '!' nor '?' found),
     // column of the last token or beyond — not at the first token.
-    assert!(
-        !err.contains("1:1:"),
-        "error must not blame the first token: {err}"
-    );
+    assert!(!err.contains("1:1:"), "error must not blame the first token: {err}");
 }
 
 #[test]
@@ -86,11 +84,7 @@ fn suite_grammars_report_positions_on_corrupted_inputs() {
         match parse_text(&g, &a, truncated, entry.start_rule, NopHooks) {
             Ok(_) => {}
             Err(e) => {
-                assert!(
-                    e.starts_with("line "),
-                    "{}: error must carry a position: {e}",
-                    entry.name
-                );
+                assert!(e.starts_with("line "), "{}: error must carry a position: {e}", entry.name);
             }
         }
     }

@@ -64,9 +64,7 @@ fn packrat_agrees_on_not_predicates() {
     let g = parse_grammar(SRC2).unwrap();
     let a = analyze(&g);
     let scanner = g.lexer.build().unwrap();
-    for (input, expect_ok) in
-        [("x ;", true), ("x = y ;", true), ("x = ;", false), ("; x", false)]
-    {
+    for (input, expect_ok) in [("x ;", true), ("x = y ;", true), ("x = ;", false), ("; x", false)] {
         let Ok(tokens) = scanner.tokenize(input) else { continue };
         let ll = parse_text(&g, &a, input, "s", NopHooks).is_ok();
         let mut p = PackratParser::new(&g, tokens);

@@ -3,7 +3,7 @@
 //! parsers' prediction machinery (indirectly, via the same DFAs), and —
 //! for PEG-compatible grammars — by the packrat baseline.
 
-use llstar::core::analyze;
+use llstar::core::{analyze, analyze_cached};
 use llstar::grammar::{apply_peg_mode, parse_grammar, rewrite_left_recursion, Grammar};
 use llstar::packrat::PackratParser;
 use llstar::runtime::{parse_text, NopHooks};
@@ -117,10 +117,7 @@ fn llstar_and_packrat_agree_on_mini_grammars() {
                 let ll = parse_text(&g, &a, &mutated, start, NopHooks).is_ok();
                 let mut packrat = PackratParser::new(&g, tokens);
                 let pk = packrat.recognize(start).is_ok();
-                assert_eq!(
-                    ll, pk,
-                    "{name}: engines disagree on mutated input {mutated:?}"
-                );
+                assert_eq!(ll, pk, "{name}: engines disagree on mutated input {mutated:?}");
             }
         }
     }
@@ -153,6 +150,46 @@ fn suite_sentences_parse_with_llstar() {
             );
         }
         assert!(produced >= 5, "{}: only {produced} sentences sampled", entry.name);
+    }
+}
+
+#[test]
+fn cache_loaded_analysis_parses_identically() {
+    // A parse driven by a cache-loaded analysis must be observationally
+    // identical to one driven by a fresh analysis: same tree, same
+    // ParseStats — lookahead depths, backtrack counts, memo traffic and
+    // all. The serialized DFAs are the *whole* analysis as far as the
+    // runtime is concerned.
+    let dir = std::env::temp_dir().join(format!("llstar_prop_cache_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for (name, start, src) in MINI_GRAMMARS {
+        let g = load(src);
+        let fresh = analyze(&g);
+        // All mini-grammars share the name "M", so `cache_path` would
+        // alias their slots; key the file by test label instead.
+        let path = dir.join(format!("{name}.dfa"));
+        let _ = std::fs::remove_file(&path);
+        let (_, status) = analyze_cached(&g, &path).expect("prime cache");
+        assert!(!status.is_hit(), "{name}: cache pre-populated?");
+        let (cached, status) = analyze_cached(&g, &path).expect("load cache");
+        assert!(status.is_hit(), "{name}: {status}");
+        assert!(cached.from_cache);
+
+        for seed in 0..40u64 {
+            let Some(sentence) = sample_sentence(&g, start, seed, 8) else {
+                continue;
+            };
+            let (fresh_tree, fresh_stats) =
+                parse_text(&g, &fresh, &sentence, start, NopHooks).expect("fresh parse");
+            let (cached_tree, cached_stats) =
+                parse_text(&g, &cached, &sentence, start, NopHooks).expect("cached parse");
+            assert_eq!(
+                fresh_tree.to_sexpr(&g, &sentence),
+                cached_tree.to_sexpr(&g, &sentence),
+                "{name}: trees differ on {sentence:?}"
+            );
+            assert_eq!(fresh_stats, cached_stats, "{name}: ParseStats differ on {sentence:?}");
+        }
     }
 }
 

@@ -11,9 +11,8 @@ fn hooks_for(entry: &suite::SuiteEntry, source: &str) -> MapHooks {
     let mut hooks = MapHooks::new();
     if entry.name == "RatsC" {
         let src = source.to_string();
-        hooks.on_pred("isTypeName", move |ctx| {
-            suite::c::is_typedef_name(ctx.next_token.text(&src))
-        });
+        hooks
+            .on_pred("isTypeName", move |ctx| suite::c::is_typedef_name(ctx.next_token.text(&src)));
     }
     hooks
 }
