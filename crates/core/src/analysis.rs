@@ -88,6 +88,11 @@ pub struct GrammarAnalysis {
     /// Whether this analysis was deserialized (cache/`--dfa` load) rather
     /// than computed by subset construction.
     pub from_cache: bool,
+    /// The options the analysis was produced under. For cache loads these
+    /// are the options recorded in the serialized file (with `threads`
+    /// reset to the default, since thread count never affects results);
+    /// the cache layer compares them against the caller's request.
+    pub options: AnalysisOptions,
 }
 
 impl GrammarAnalysis {
@@ -139,6 +144,17 @@ impl AnalysisOptions {
             ..Default::default()
         }
     }
+
+    /// Whether analyses run under `self` and `other` produce identical
+    /// results. Every limit that shapes the DFAs participates; `threads`
+    /// does not (parallel and sequential runs are byte-identical, see
+    /// `tests/analysis_determinism`).
+    pub fn same_results(&self, other: &AnalysisOptions) -> bool {
+        self.rec_depth_m.max(1) == other.rec_depth_m.max(1)
+            && self.max_k == other.max_k
+            && self.max_dfa_states == other.max_dfa_states
+            && self.minimize == other.minimize
+    }
 }
 
 /// Analyzes every decision of `grammar`, producing lookahead DFAs.
@@ -156,7 +172,13 @@ pub fn analyze_with(grammar: &Grammar, options: &AnalysisOptions) -> GrammarAnal
     } else {
         analyze_decisions_parallel(grammar, &atn, options, threads)
     };
-    GrammarAnalysis { atn, decisions, elapsed: start.elapsed(), from_cache: false }
+    GrammarAnalysis {
+        atn,
+        decisions,
+        elapsed: start.elapsed(),
+        from_cache: false,
+        options: options.clone(),
+    }
 }
 
 /// Resolves the `threads` knob: `0` = available parallelism, and never

@@ -4,8 +4,11 @@
 //! even though the result is a pure function of the grammar text.
 //! [`analyze_cached`] memoizes it on disk: the serialized analysis
 //! (`serialize.rs` format) is loaded when its embedded FNV-1a grammar
-//! fingerprint matches the grammar being analyzed, and rebuilt — then
-//! atomically rewritten — otherwise. This is the same role ANTLR's
+//! fingerprint matches the grammar being analyzed (the fingerprint covers
+//! the `options { … }` block, so editing only analysis options is a
+//! grammar change) *and* the recorded [`AnalysisOptions`] would produce
+//! the same results as the caller's; it is rebuilt — then atomically
+//! rewritten — otherwise. This is the same role ANTLR's
 //! serialized decision DFAs embedded in generated parsers play, lifted
 //! into the tool itself so repeated `check`/`generate`/`parse` runs skip
 //! DFA construction entirely.
@@ -40,8 +43,11 @@ pub enum CacheStatus {
 pub enum CacheMiss {
     /// No cache file existed yet.
     Absent,
-    /// The file's fingerprint belongs to a different grammar text (the
-    /// grammar was edited since the cache was written).
+    /// The file no longer matches this analysis request: its fingerprint
+    /// belongs to a different grammar text (the grammar — including its
+    /// `options { … }` block — was edited since the cache was written),
+    /// or it was built under different result-affecting
+    /// [`AnalysisOptions`] than the caller is asking for now.
     Stale,
     /// The file was unreadable as a serialized analysis (truncated or
     /// corrupted); the parse-level diagnosis names the offending line.
@@ -87,10 +93,12 @@ pub fn analyze_cached(
 }
 
 /// Loads the analysis serialized at `path` when it matches `grammar`'s
-/// fingerprint; otherwise analyzes with `options` (parallel per
-/// `options.threads`) and atomically replaces `path` with the fresh
-/// serialization (temp file + rename, so concurrent readers never see a
-/// partial write and a crash never leaves a torn cache).
+/// fingerprint and was built under options result-equivalent to
+/// `options` ([`AnalysisOptions::same_results`]); otherwise analyzes with
+/// `options` (parallel per `options.threads`) and atomically replaces
+/// `path` with the fresh serialization (temp file + rename, so concurrent
+/// readers never see a partial write and a crash never leaves a torn
+/// cache).
 ///
 /// # Errors
 /// Propagates I/O errors from reading an existing cache file (other than
@@ -102,7 +110,15 @@ pub fn analyze_cached_with(
 ) -> io::Result<(GrammarAnalysis, CacheStatus)> {
     let miss = match std::fs::read_to_string(path) {
         Ok(text) => match deserialize_analysis(grammar, &text) {
-            Ok(analysis) => return Ok((analysis, CacheStatus::Hit)),
+            // A loadable file only counts as a hit when it was built under
+            // options that produce the same results the caller would get
+            // from a fresh analysis — otherwise serving it would silently
+            // change DFAs/warnings (e.g. a cache written with unbounded k
+            // answering a max_k=1 request).
+            Ok(analysis) if analysis.options.same_results(options) => {
+                return Ok((analysis, CacheStatus::Hit))
+            }
+            Ok(_) => CacheMiss::Stale,
             Err(e) => {
                 // A well-formed header with a different fingerprint is a
                 // grammar edit; anything else is a damaged file.
@@ -128,8 +144,13 @@ fn write_atomically(path: &Path, contents: &str) -> io::Result<()> {
             std::fs::create_dir_all(parent)?;
         }
     }
+    // pid alone is not unique enough: two threads of one process
+    // refreshing the same grammar's cache would share a temp path and
+    // could publish a torn file. A process-wide counter disambiguates.
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let mut tmp = path.as_os_str().to_owned();
-    tmp.push(format!(".tmp.{}", std::process::id()));
+    tmp.push(format!(".tmp.{}.{seq}", std::process::id()));
     let tmp = PathBuf::from(tmp);
     std::fs::write(&tmp, contents)?;
     match std::fs::rename(&tmp, path) {
@@ -197,6 +218,58 @@ mod tests {
 
         // The refresh re-keys the slot for the edited grammar.
         let (_, status) = analyze_cached(&g2, &path).unwrap();
+        assert!(status.is_hit(), "{status}");
+    }
+
+    #[test]
+    fn options_block_edit_is_a_stale_miss() {
+        // Regression: the fingerprint must cover the options block.
+        // Adding `k = 1` changes max_k — and with it the DFAs and the
+        // ambiguity/dead-alternative warnings — so serving the unbounded-k
+        // cache would silently change analysis results.
+        let g1 = demo_grammar();
+        let dir = tmpdir("options_edit");
+        let path = cache_path(&dir, &g1);
+        let _ = std::fs::remove_file(&path);
+        analyze_cached(&g1, &path).unwrap();
+
+        let g2 =
+            parse_grammar("grammar D; options { k = 1; } s : A X | A Y ; A:'a'; X:'x'; Y:'y';")
+                .unwrap();
+        assert_eq!(cache_path(&dir, &g2), path, "same slot");
+        let (a, status) = analyze_cached(&g2, &path).unwrap();
+        assert_eq!(status, CacheStatus::Miss(CacheMiss::Stale));
+        assert!(!a.from_cache);
+        assert_eq!(a.options.max_k, Some(1));
+
+        // The refreshed cache serves the k=1 analysis…
+        let (b, status) = analyze_cached(&g2, &path).unwrap();
+        assert!(status.is_hit(), "{status}");
+        assert_eq!(b.options.max_k, Some(1));
+        // …and reverting the edit is stale again, not a poisoned hit.
+        let (_, status) = analyze_cached(&g1, &path).unwrap();
+        assert_eq!(status, CacheStatus::Miss(CacheMiss::Stale));
+    }
+
+    #[test]
+    fn caller_options_mismatch_is_a_stale_miss() {
+        // Same grammar text, but the caller asks for different
+        // result-affecting options than the cache was built under.
+        let g = demo_grammar();
+        let path = tmpdir("caller_options").join(format!("{}.dfa", g.name));
+        let _ = std::fs::remove_file(&path);
+        analyze_cached(&g, &path).unwrap();
+
+        let unminimized = AnalysisOptions { minimize: false, ..AnalysisOptions::from_grammar(&g) };
+        let (a, status) = analyze_cached_with(&g, &path, &unminimized).unwrap();
+        assert_eq!(status, CacheStatus::Miss(CacheMiss::Stale));
+        assert!(!a.options.minimize);
+        let (_, status) = analyze_cached_with(&g, &path, &unminimized).unwrap();
+        assert!(status.is_hit(), "{status}");
+
+        // threads is result-neutral and must NOT invalidate the cache.
+        let threaded = AnalysisOptions { threads: 7, ..unminimized };
+        let (_, status) = analyze_cached_with(&g, &path, &threaded).unwrap();
         assert!(status.is_hit(), "{status}");
     }
 

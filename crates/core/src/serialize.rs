@@ -6,10 +6,14 @@
 //! The format is a small line-oriented text format (no external
 //! dependencies). The ATN is *not* stored: it is rebuilt
 //! deterministically from the grammar at load time; an FNV-1a hash of the
-//! grammar's canonical rendering guards against loading DFAs for a
-//! different grammar.
+//! grammar's canonical rendering (which includes the `options { … }`
+//! block) guards against loading DFAs for a different grammar, and the
+//! result-affecting `AnalysisOptions` the analysis ran under are recorded
+//! in the header so loaders can tell whether they match the options they
+//! would analyze with (`threads` is deliberately excluded — thread count
+//! never changes results).
 
-use crate::analysis::{AnalysisWarning, DecisionAnalysis, GrammarAnalysis};
+use crate::analysis::{AnalysisOptions, AnalysisWarning, DecisionAnalysis, GrammarAnalysis};
 use crate::atn::{Atn, DecisionId};
 use crate::config::PredSource;
 use crate::dfa::{DfaState, LookaheadDfa};
@@ -150,11 +154,53 @@ fn warning_from_text(s: &str, line: usize) -> Result<AnalysisWarning, SerializeE
     }
 }
 
+fn options_to_text(o: &AnalysisOptions) -> String {
+    let k = o.max_k.map_or("-".to_string(), |k| k.to_string());
+    format!(
+        "options m={} k={k} max-states={} minimize={}",
+        o.rec_depth_m.max(1),
+        o.max_dfa_states,
+        o.minimize
+    )
+}
+
+fn options_from_text(s: &str, line: usize) -> Result<AnalysisOptions, SerializeError> {
+    let err = |m: String| SerializeError { line, message: m };
+    let mut options = AnalysisOptions::default();
+    for field in s.split_whitespace() {
+        let (key, value) =
+            field.split_once('=').ok_or_else(|| err(format!("malformed option {field:?}")))?;
+        match key {
+            "m" => {
+                options.rec_depth_m = value.parse().map_err(|_| err(format!("bad m {value:?}")))?;
+            }
+            "k" => {
+                options.max_k = if value == "-" {
+                    None
+                } else {
+                    Some(value.parse().map_err(|_| err(format!("bad k {value:?}")))?)
+                };
+            }
+            "max-states" => {
+                options.max_dfa_states =
+                    value.parse().map_err(|_| err(format!("bad max-states {value:?}")))?;
+            }
+            "minimize" => {
+                options.minimize =
+                    value.parse().map_err(|_| err(format!("bad minimize {value:?}")))?;
+            }
+            other => return Err(err(format!("unknown option {other:?}"))),
+        }
+    }
+    Ok(options)
+}
+
 /// Serializes an analysis (DFAs + warnings) to the text format.
 pub fn serialize_analysis(grammar: &Grammar, analysis: &GrammarAnalysis) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "llstar-analysis v1");
     let _ = writeln!(out, "fingerprint {:016x}", grammar_fingerprint(grammar));
+    let _ = writeln!(out, "{}", options_to_text(&analysis.options));
     let _ = writeln!(out, "decisions {}", analysis.decisions.len());
     for d in &analysis.decisions {
         let _ = writeln!(out, "decision {} states {}", d.decision.0, d.dfa.states.len());
@@ -182,7 +228,11 @@ pub fn serialize_analysis(grammar: &Grammar, analysis: &GrammarAnalysis) -> Stri
 
 /// Rebuilds a [`GrammarAnalysis`] from text produced by
 /// [`serialize_analysis`]. The ATN is reconstructed from `grammar`; the
-/// fingerprint must match.
+/// fingerprint must match. The [`AnalysisOptions`] recorded in the header
+/// are restored into the result's `options` field — callers that would
+/// have analyzed under different options must check
+/// [`AnalysisOptions::same_results`] themselves (the cache layer does,
+/// and treats a mismatch as a stale cache).
 ///
 /// # Errors
 /// Returns [`SerializeError`] on version/fingerprint mismatch or
@@ -214,6 +264,14 @@ pub fn deserialize_analysis(
             "fingerprint mismatch: serialized DFAs belong to a different grammar".into(),
         ));
     }
+
+    let (ln, opt_line) = next_line().ok_or_else(|| err(eof, "missing options".into()))?;
+    let options = options_from_text(
+        opt_line
+            .strip_prefix("options ")
+            .ok_or_else(|| err(ln, "malformed options line".into()))?,
+        ln,
+    )?;
 
     let (ln, count_line) = next_line().ok_or_else(|| err(eof, "missing decision count".into()))?;
     let count: usize = count_line
@@ -342,7 +400,7 @@ pub fn deserialize_analysis(
             elapsed: Duration::ZERO,
         });
     }
-    Ok(GrammarAnalysis { atn, decisions, elapsed: Duration::ZERO, from_cache: true })
+    Ok(GrammarAnalysis { atn, decisions, elapsed: Duration::ZERO, from_cache: true, options })
 }
 
 #[cfg(test)]

@@ -69,6 +69,21 @@ fn write_element(grammar: &Grammar, elem: &Element, out: &mut String) {
 pub fn grammar_to_string(grammar: &Grammar) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "grammar {};", grammar.name);
+    // The options block is part of the rendering even when every value is
+    // the default: analysis behaviour (max_k, rec_depth_m, backtracking)
+    // derives from it, so any consumer hashing this text — notably
+    // `grammar_fingerprint` guarding the analysis cache — must see option
+    // edits as a change to the grammar.
+    let o = &grammar.options;
+    let _ = write!(
+        out,
+        "options {{ backtrack = {}; memoize = {}; m = {};",
+        o.backtrack, o.memoize, o.rec_depth_m
+    );
+    if let Some(k) = o.max_k {
+        let _ = write!(out, " k = {k};");
+    }
+    out.push_str(" }\n");
     for rule in &grammar.rules {
         let _ = write!(out, "{} :", rule.name);
         for (i, alt) in rule.alts.iter().enumerate() {
@@ -119,6 +134,20 @@ mod tests {
         assert!(text.contains("(A B)=>"), "{text}");
         assert!(text.contains("{act}"), "{text}");
         assert!(text.contains("{{aa}}"), "{text}");
+    }
+
+    #[test]
+    fn options_render_and_discriminate() {
+        let plain = parse_grammar("grammar O; s : A ; A:'a';").unwrap();
+        let text = grammar_to_string(&plain);
+        assert!(text.contains("options { backtrack = false; memoize = true; m = 1; }"), "{text}");
+
+        // Same rules, different options ⇒ different rendering (the
+        // analysis-cache fingerprint depends on this).
+        let tuned = parse_grammar("grammar O; options { k = 1; m = 2; } s : A ; A:'a';").unwrap();
+        let tuned_text = grammar_to_string(&tuned);
+        assert!(tuned_text.contains("m = 2; k = 1;"), "{tuned_text}");
+        assert_ne!(text, tuned_text);
     }
 
     #[test]

@@ -129,7 +129,11 @@ macro_rules! impl_sample_range {
             fn sample(self, rng: &mut Rng64) -> $ty {
                 let (start, end) = (*self.start(), *self.end());
                 assert!(start <= end, "empty range");
-                let span = (end - start) as u64 + 1;
+                // Wrapping: for the full u64 domain (end - start ==
+                // u64::MAX) the +1 wraps to 0, which the branch below
+                // handles; a checked add would panic in debug builds
+                // before it could.
+                let span = ((end - start) as u64).wrapping_add(1);
                 // span == 0 ⇒ the full u64 domain; the modulo is a no-op.
                 if span == 0 {
                     return start + rng.next_u64() as $ty;
@@ -145,6 +149,17 @@ impl_sample_range!(usize, u64, u32, u16, u8);
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn full_domain_inclusive_range_does_not_overflow() {
+        let mut rng = Rng64::seed_from_u64(7);
+        // Would panic with an arithmetic overflow in debug builds if the
+        // span were computed with a checked `+ 1`.
+        let _: u64 = rng.gen_range(0..=u64::MAX);
+        let v: u8 = rng.gen_range(0..=u8::MAX);
+        let _ = v;
+        assert_eq!(rng.gen_range(5u32..=5), 5);
+    }
 
     #[test]
     fn same_seed_same_stream() {

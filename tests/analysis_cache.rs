@@ -2,7 +2,9 @@
 //!
 //! * a hit *skips subset construction entirely* (the global DFA build
 //!   counter does not move),
-//! * a grammar edit changes the fingerprint and forces re-analysis,
+//! * a grammar edit changes the fingerprint and forces re-analysis —
+//!   including an edit that touches *only* the `options { … }` block,
+//!   since analysis limits (`max_k`, `m`) derive from it,
 //! * truncated or corrupted cache files are rejected with a
 //!   line-numbered [`SerializeError`] — never a panic, and never a
 //!   silently wrong analysis.
@@ -90,6 +92,33 @@ fn grammar_edit_changes_fingerprint_and_forces_reanalysis() {
     assert!(status.is_hit(), "{status}");
     let (_, status) = analyze_cached(&g1, &path).expect("original now stale");
     assert_eq!(status, CacheStatus::Miss(CacheMiss::Stale));
+}
+
+#[test]
+fn options_block_edit_forces_reanalysis() {
+    let _guard = lock();
+    let g1 = grammar(BASE);
+    let dir = workdir("opts");
+    let path = cache_path(&dir, &g1);
+    let _ = std::fs::remove_file(&path);
+    analyze_cached(&g1, &path).expect("prime the cache");
+
+    // Identical rules — only the options block changes. `k = 1` bounds
+    // the lookahead, which changes the DFAs and the ambiguity warnings,
+    // so serving the unbounded-k cache would silently alter results.
+    let g2 = grammar(&BASE.replace("grammar Cached;", "grammar Cached; options { k = 1; }"));
+    assert_eq!(cache_path(&dir, &g2), path, "options edit must target the same slot");
+
+    let before = dfa_builds();
+    let (a, status) = analyze_cached(&g2, &path).expect("re-analyze after options edit");
+    assert_eq!(status, CacheStatus::Miss(CacheMiss::Stale));
+    assert!(dfa_builds() - before > 0, "an options edit must force re-analysis");
+    assert!(!a.from_cache);
+    assert_eq!(a.options.max_k, Some(1));
+
+    let (b, status) = analyze_cached(&g2, &path).expect("hit with matching options");
+    assert!(status.is_hit(), "{status}");
+    assert_eq!(b.options.max_k, Some(1));
 }
 
 #[test]
