@@ -1,8 +1,11 @@
 //! Prints the reproduction of every table and figure in the paper's
 //! evaluation section.
 //!
-//! Usage: `report_tables [--lines N] [--seed S] [--table N]... [--figures]`
-//! With no selection flags, everything is printed.
+//! Usage: `report_tables [--lines N] [--seed S] [--table N]...
+//! [--figures] [--analysis-json PATH]`
+//! With no selection flags, everything is printed. Whenever the tables
+//! run, the per-decision analysis metrics and runtime summaries are also
+//! written as JSONL to `--analysis-json` (default `BENCH_analysis.json`).
 
 use llstar_bench::{cyclic_figure, figure1, figure2, figure6, report, GrammarRun};
 
@@ -12,6 +15,7 @@ fn main() {
     let mut tables: Vec<u32> = Vec::new();
     let mut figures = false;
     let mut any_selection = false;
+    let mut analysis_json = String::from("BENCH_analysis.json");
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -34,9 +38,16 @@ fn main() {
                 figures = true;
                 any_selection = true;
             }
+            "--analysis-json" => {
+                i += 1;
+                analysis_json = args[i].clone();
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: report_tables [--lines N] [--seed S] [--table N]... [--figures]");
+                eprintln!(
+                    "usage: report_tables [--lines N] [--seed S] [--table N]... [--figures] \
+                     [--analysis-json PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -76,6 +87,10 @@ fn main() {
                 }
             };
             println!("{text}");
+        }
+        match std::fs::write(&analysis_json, report::analysis_jsonl(&runs)) {
+            Ok(()) => eprintln!("wrote per-decision analysis metrics to {analysis_json}"),
+            Err(e) => eprintln!("warning: could not write {analysis_json}: {e}"),
         }
     }
 }

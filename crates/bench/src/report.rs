@@ -1,7 +1,7 @@
 //! Regenerates the data behind every table and figure of the paper's
 //! evaluation (Section 6) from the suite grammars and generated inputs.
 
-use llstar_core::{analyze, DecisionClass, GrammarAnalysis};
+use llstar_core::{analyze, AnalysisRecord, DecisionClass, GrammarAnalysis, Json};
 use llstar_grammar::Grammar;
 use llstar_runtime::{MapHooks, ParseStats, Parser, TokenStream};
 use llstar_suite::{self as suite, SuiteEntry};
@@ -243,6 +243,60 @@ pub fn run_all(input_lines: usize, seed: u64) -> Vec<GrammarRun> {
     suite::all().into_iter().map(|e| run_grammar(e, input_lines, seed)).collect()
 }
 
+/// JSONL export of the observability layer's per-decision metrics for a
+/// set of runs (the content of `BENCH_analysis.json`): one `analysis`
+/// line per grammar decision (construction cost counters, tagged with
+/// the grammar name) and one `summary` line per grammar folding in the
+/// runtime behaviour. Timing appears only in the summary lines — the
+/// per-decision records are byte-deterministic.
+pub fn analysis_jsonl(runs: &[GrammarRun]) -> String {
+    let mut out = String::new();
+    for run in runs {
+        for d in &run.analysis.atn.decisions {
+            if !d.is_grammar_decision() {
+                continue;
+            }
+            let da = run.analysis.decision(d.id);
+            let record = AnalysisRecord {
+                decision: d.id.0,
+                rule: run.grammar.rule(d.rule).name.clone(),
+                class: da.dfa.classify().to_string(),
+                metrics: da.metrics,
+            };
+            // Tag the record with its grammar, right after "type".
+            let mut fields = match Json::parse(&record.to_json()).expect("records are valid JSON") {
+                Json::Object(fields) => fields,
+                _ => unreachable!("analysis records are objects"),
+            };
+            fields.insert(1, ("grammar".to_string(), Json::Str(run.entry.name.to_string())));
+            out.push_str(&Json::Object(fields).to_string());
+            out.push('\n');
+        }
+        let total = run.analysis.total_metrics();
+        let s = &run.stats;
+        let summary = Json::Object(vec![
+            ("type".into(), Json::Str("summary".into())),
+            ("grammar".into(), Json::Str(run.entry.name.to_string())),
+            ("decisions".into(), Json::Num(decision_classes(&run.analysis).len() as u64)),
+            ("closures".into(), Json::Num(total.closure_calls)),
+            ("configs".into(), Json::Num(total.configs_created)),
+            ("dfa-states".into(), Json::Num(total.dfa_states)),
+            ("dfa-edges".into(), Json::Num(total.dfa_edges)),
+            ("input-tokens".into(), Json::Num(run.input_tokens as u64)),
+            ("events".into(), Json::Num(s.total_events())),
+            ("max-lookahead".into(), Json::Num(s.max_lookahead())),
+            ("backtracks".into(), Json::Num(s.total_backtrack_events())),
+            ("memo-hits".into(), Json::Num(s.memo_hits)),
+            ("memo-entries".into(), Json::Num(s.memo_entries)),
+            ("analysis-micros".into(), Json::Num(run.analysis.elapsed.as_micros() as u64)),
+            ("parse-micros".into(), Json::Num(run.parse_time.as_micros() as u64)),
+        ]);
+        out.push_str(&summary.to_string());
+        out.push('\n');
+    }
+    out
+}
+
 // ---------------------------------------------------------------------------
 // Formatting
 // ---------------------------------------------------------------------------
@@ -414,6 +468,31 @@ mod tests {
         assert!(row.max_k as f64 > row.avg_k * 4.0, "{row:?}");
         let t4 = run.table4_row();
         assert!(t4.did_backtrack > 0, "{t4:?}");
+    }
+
+    #[test]
+    fn analysis_jsonl_lines_parse_and_cover_every_grammar() {
+        let runs: Vec<GrammarRun> = vec![small_run("Java"), small_run("SQL")];
+        let text = analysis_jsonl(&runs);
+        let mut analysis_lines = 0usize;
+        let mut summaries = Vec::new();
+        for line in text.lines() {
+            let v = Json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            assert!(v.get("grammar").is_some(), "{line}");
+            match v.get("type").and_then(Json::as_str) {
+                Some("analysis") => {
+                    analysis_lines += 1;
+                    // The record minus the grammar tag round-trips.
+                    assert!(AnalysisRecord::from_json(&v).is_ok(), "{line}");
+                }
+                Some("summary") => {
+                    summaries.push(v.get("grammar").and_then(Json::as_str).unwrap().to_string())
+                }
+                other => panic!("unexpected line type {other:?}: {line}"),
+            }
+        }
+        assert!(analysis_lines > 30, "Java alone has dozens of decisions");
+        assert_eq!(summaries, ["Java", "SQL"]);
     }
 
     #[test]

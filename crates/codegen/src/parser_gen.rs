@@ -4,6 +4,7 @@
 //! shape of ANTLR's generated parsers.
 
 use crate::writer::CodeWriter;
+use crate::CodegenOptions;
 use llstar_core::{DecisionKind, DfaState, GrammarAnalysis, LookaheadDfa, PredSource};
 use llstar_grammar::{Alt, Block, Ebnf, Element, Grammar};
 
@@ -37,12 +38,19 @@ struct ParserGen<'a> {
     analysis: &'a GrammarAnalysis,
     /// Decision ids actually referenced by predictors, in emit order.
     used_decisions: Vec<usize>,
+    /// Emit `Hooks::trace` calls around predictors and synpreds.
+    trace: bool,
 }
 
 /// Generates the parser for `grammar` into `w`. `analysis` must come from
 /// the same grammar.
-pub fn emit_parser(w: &mut CodeWriter, grammar: &Grammar, analysis: &GrammarAnalysis) {
-    let mut gen = ParserGen { grammar, analysis, used_decisions: Vec::new() };
+pub fn emit_parser(
+    w: &mut CodeWriter,
+    grammar: &Grammar,
+    analysis: &GrammarAnalysis,
+    options: CodegenOptions,
+) {
+    let mut gen = ParserGen { grammar, analysis, used_decisions: Vec::new(), trace: options.trace };
     gen.emit(w);
 }
 
@@ -182,10 +190,22 @@ impl<'a> ParserGen<'a> {
         w.open(&format!("fn synpred_{idx}(&mut self) -> bool {{"));
         w.line("let start = self.pos;");
         w.open(&format!("match self.memo.get(&({memo_key}, start)) {{"));
-        w.line("Some(Memo::Stop(_)) => return true,");
-        w.line("Some(Memo::Fail(_)) => return false,");
+        if self.trace {
+            w.line(&format!(
+                "Some(Memo::Stop(_)) => {{ self.hooks.trace(\"memo-hit\", {idx}, start); return true; }}"
+            ));
+            w.line(&format!(
+                "Some(Memo::Fail(_)) => {{ self.hooks.trace(\"memo-hit\", {idx}, start); return false; }}"
+            ));
+        } else {
+            w.line("Some(Memo::Stop(_)) => return true,");
+            w.line("Some(Memo::Fail(_)) => return false,");
+        }
         w.line("None => {}");
         w.close("}");
+        if self.trace {
+            w.line(&format!("self.hooks.trace(\"backtrack-enter\", {idx}, start);"));
+        }
         w.line("self.speculating += 1;");
         w.line(&format!("let result = self.synpred_{idx}_body();"));
         w.line("self.speculating -= 1;");
@@ -196,6 +216,9 @@ impl<'a> ParserGen<'a> {
         w.line("Err(e) => Memo::Fail(e.clone()),");
         w.close("};");
         w.line(&format!("self.memo.insert(({memo_key}, start), entry);"));
+        if self.trace {
+            w.line(&format!("self.hooks.trace(\"backtrack-exit\", {idx}, start);"));
+        }
         w.line("result.is_ok()");
         w.close("}");
         w.blank();
@@ -361,7 +384,23 @@ impl<'a> ParserGen<'a> {
         let rule_name = &self.grammar.rule(rule).name;
         w.blank();
         w.line(&format!("/// Lookahead DFA for decision {decision} (rule `{rule_name}`)."));
-        w.open(&format!("fn predict_{decision}(&mut self) -> Result<u16, Error> {{"));
+        if self.trace {
+            // Traced build: a wrapper reports the prediction outcome and
+            // the DFA walk moves into a `_body` helper.
+            w.open(&format!("fn predict_{decision}(&mut self) -> Result<u16, Error> {{"));
+            w.line(&format!("self.hooks.trace(\"predict-start\", {decision}, self.pos);"));
+            w.line(&format!("let result = self.predict_{decision}_body();"));
+            w.open("match &result {");
+            w.line(&format!("Ok(_) => self.hooks.trace(\"predict-stop\", {decision}, self.pos),"));
+            w.line(&format!("Err(_) => self.hooks.trace(\"syntax-error\", {decision}, self.pos),"));
+            w.close("}");
+            w.line("result");
+            w.close("}");
+            w.blank();
+            w.open(&format!("fn predict_{decision}_body(&mut self) -> Result<u16, Error> {{"));
+        } else {
+            w.open(&format!("fn predict_{decision}(&mut self) -> Result<u16, Error> {{"));
+        }
         w.line("let mut s = 0usize;");
         w.line("let mut i = 0usize;");
         w.line("let _ = &mut i;");

@@ -13,6 +13,7 @@
 use crate::atn::{Atn, AtnEdge, Decision, DecisionId};
 use crate::config::{Config, PredSource, StackArena, StackId};
 use crate::dfa::{DfaState, DfaStateId, LookaheadDfa};
+use crate::metrics::{DecisionMetrics, FallbackReason};
 use llstar_grammar::Grammar;
 use llstar_lexer::TokenType;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -20,13 +21,14 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Process-wide count of DFA subset constructions ([`DfaBuilder::build`]
-/// runs). Cache tests use the delta across an operation to prove the
-/// cache-hit path skips construction entirely.
+/// runs), kept only to back the deprecated [`dfa_builds`] shim.
 static DFA_BUILDS: AtomicU64 = AtomicU64::new(0);
 
 /// Total lookahead-DFA constructions performed by this process so far
 /// (including LL(1) fallback rebuilds). Monotonic; compare before/after
 /// deltas rather than absolute values.
+#[deprecated(note = "process-global counter; use the per-run `DecisionMetrics` \
+            (`DecisionAnalysis::metrics` / `GrammarAnalysis::total_metrics`) instead")]
 pub fn dfa_builds() -> u64 {
     DFA_BUILDS.load(Ordering::Relaxed)
 }
@@ -70,8 +72,12 @@ pub struct DecisionAnalysis {
     pub dfa: LookaheadDfa,
     /// Warnings encountered.
     pub warnings: Vec<AnalysisWarning>,
+    /// Construction cost counters. Deterministic, and serialized with the
+    /// cache — a cache-loaded analysis still reports its original cost.
+    pub metrics: DecisionMetrics,
     /// Wall-clock time spent on this decision's subset construction
-    /// (zero when the analysis was loaded from a cache).
+    /// (zero when the analysis was loaded from a cache; timing is
+    /// display-only and never serialized).
     pub elapsed: Duration,
 }
 
@@ -99,6 +105,17 @@ impl GrammarAnalysis {
     /// The analysis result for `id`.
     pub fn decision(&self, id: DecisionId) -> &DecisionAnalysis {
         &self.decisions[id.index()]
+    }
+
+    /// Construction cost summed over every decision.
+    pub fn total_metrics(&self) -> DecisionMetrics {
+        let mut total = DecisionMetrics::default();
+        for d in &self.decisions {
+            total.absorb(&d.metrics);
+        }
+        // A sum has no single fallback reason; per-decision metrics do.
+        total.fallback = None;
+        total
     }
 }
 
@@ -248,7 +265,13 @@ pub fn analyze_decision(
             let dfa = if options.minimize { dfa.minimized() } else { dfa };
             let mut warnings = builder.warnings;
             note_dead_alternatives(atn, decision, &dfa, &mut warnings);
-            DecisionAnalysis { decision: decision.id, dfa, warnings, elapsed: start.elapsed() }
+            DecisionAnalysis {
+                decision: decision.id,
+                dfa,
+                warnings,
+                metrics: builder.metrics,
+                elapsed: start.elapsed(),
+            }
         }
         Err(abort) => {
             // Fall back: LL(1) DFA with overflow-style resolution instead
@@ -263,7 +286,20 @@ pub fn analyze_decision(
             }];
             warnings.extend(fb.warnings);
             note_dead_alternatives(atn, decision, &dfa, &mut warnings);
-            DecisionAnalysis { decision: decision.id, dfa, warnings, elapsed: start.elapsed() }
+            // Total cost = aborted LL(*) attempt + fallback build.
+            let mut metrics = builder.metrics;
+            metrics.absorb(&fb.metrics);
+            metrics.fallback = Some(match abort {
+                Abort::NonLlRegular => FallbackReason::NonLlRegular,
+                Abort::StateLimit => FallbackReason::StateLimit,
+            });
+            DecisionAnalysis {
+                decision: decision.id,
+                dfa,
+                warnings,
+                metrics,
+                elapsed: start.elapsed(),
+            }
         }
     }
 }
@@ -338,6 +374,7 @@ struct DfaBuilder<'a> {
     state_configs: Vec<Option<Vec<Config>>>,
     state_depth: Vec<u32>,
     warnings: Vec<AnalysisWarning>,
+    metrics: DecisionMetrics,
 }
 
 impl<'a> DfaBuilder<'a> {
@@ -363,14 +400,17 @@ impl<'a> DfaBuilder<'a> {
             state_configs: vec![None],
             state_depth: vec![0],
             warnings: Vec::new(),
+            metrics: DecisionMetrics::default(),
         }
     }
 
     /// Algorithm 8, `createDFA`.
     fn build(&mut self) -> Result<LookaheadDfa, Abort> {
         DFA_BUILDS.fetch_add(1, Ordering::Relaxed);
-        // D0: closure over one configuration per alternative, seeded from
-        // the decision state's ordered ε edges.
+        self.metrics.dfa_builds += 1;
+        self.metrics.dfa_states += 1; // D0, created in `new`.
+                                      // D0: closure over one configuration per alternative, seeded from
+                                      // the decision state's ordered ε edges.
         let mut ctx = StateCtx { capture_preds: true, ..Default::default() };
         let decision_state = &self.atn.states[self.decision.state];
         let alt_targets: Vec<_> = decision_state.edges.iter().map(|(_, t)| *t).collect();
@@ -455,6 +495,7 @@ impl<'a> DfaBuilder<'a> {
                         }
                     }
                 };
+                self.metrics.dfa_edges += 1;
                 self.dfa.states[d].edges.push((token, target));
             }
         }
@@ -476,6 +517,7 @@ impl<'a> DfaBuilder<'a> {
             return Err(Abort::StateLimit);
         }
         let id = self.dfa.states.len();
+        self.metrics.dfa_states += 1;
         self.dfa.states.push(DfaState::default());
         self.state_configs.push(Some(key.0.clone()));
         self.interned.insert(key, id);
@@ -489,6 +531,7 @@ impl<'a> DfaBuilder<'a> {
             return id;
         }
         let id = self.dfa.states.len();
+        self.metrics.dfa_states += 1;
         self.dfa.states.push(DfaState { accept: Some(alt), ..Default::default() });
         self.state_configs.push(None);
         self.state_depth.push(u32::MAX);
@@ -498,10 +541,13 @@ impl<'a> DfaBuilder<'a> {
 
     /// Algorithm 9, `closure`.
     fn closure(&mut self, ctx: &mut StateCtx, c: Config) -> Result<(), Abort> {
+        self.metrics.closure_calls += 1;
         if !ctx.busy.insert(c) {
             return Ok(());
         }
-        ctx.configs.insert(c);
+        if ctx.configs.insert(c) {
+            self.metrics.configs_created += 1;
+        }
         let state = &self.atn.states[c.state];
 
         if self.atn.is_stop_state(c.state) {
@@ -551,6 +597,7 @@ impl<'a> DfaBuilder<'a> {
                     }
                     if depth >= self.m {
                         // Recursion overflow: stop pursuing this path.
+                        self.metrics.recursion_overflows += 1;
                         ctx.overflowed = true;
                         continue;
                     }
@@ -603,6 +650,7 @@ impl<'a> DfaBuilder<'a> {
         if depth == 0 {
             return Resolution::Continue;
         }
+        self.metrics.resolve_calls += 1;
         let conflicts = self.conflict_alts(ctx);
         let depth_limited = self.max_k.is_some_and(|k| depth >= k);
         let force = ctx.overflowed || depth_limited;
@@ -652,6 +700,7 @@ impl<'a> DfaBuilder<'a> {
                     pred_for.get(a).into_iter().flat_map(|set| set.iter().map(|p| (*p, *a)))
                 })
                 .collect();
+            self.metrics.pred_resolutions += 1;
             return Resolution::Predicated { preds, default_alt: unpredicated.first().copied() };
         }
 
@@ -1106,5 +1155,52 @@ mod tests {
     fn elapsed_is_recorded() {
         let (_, a) = analyze_src("grammar T; s : A | B ; A:'a'; B:'b';");
         assert!(a.elapsed.as_nanos() > 0);
+    }
+
+    /// Per-decision metrics count the construction work actually done.
+    #[test]
+    fn metrics_count_construction_work() {
+        let (g, a) = analyze_src("grammar M; s : A X | A Y ; A:'a'; X:'x'; Y:'y';");
+        let d = rule_decision(&g, &a, "s");
+        let m = &d.metrics;
+        assert_eq!(m.dfa_builds, 1);
+        assert!(m.closure_calls > 0, "{m:?}");
+        assert!(m.configs_created > 0, "{m:?}");
+        // Construction-time states can exceed the minimized DFA, never
+        // fall short of it.
+        assert!(m.dfa_states as usize >= d.dfa.states.len(), "{m:?}");
+        assert!(m.dfa_edges > 0, "{m:?}");
+        assert!(m.resolve_calls > 0, "{m:?}");
+        assert_eq!(m.fallback, None);
+        assert_eq!(m.recursion_overflows, 0);
+
+        let total = a.total_metrics();
+        assert_eq!(total.dfa_builds, a.decisions.len() as u64);
+        assert!(total.closure_calls >= m.closure_calls);
+    }
+
+    /// An LL(1) fallback is visible in the metrics: two builds, a reason.
+    #[test]
+    fn metrics_record_fallback_reason() {
+        let g =
+            parse_grammar("grammar N; s : a C | a D ; a : A a | B ; A:'a'; B:'b'; C:'c'; D:'d';")
+                .unwrap();
+        let a = analyze(&g);
+        let d = rule_decision(&g, &a, "s");
+        assert_eq!(d.metrics.fallback, Some(FallbackReason::NonLlRegular));
+        assert_eq!(d.metrics.dfa_builds, 2, "aborted attempt + fallback build");
+    }
+
+    /// Metrics are deterministic: two identical runs agree exactly.
+    #[test]
+    fn metrics_are_deterministic() {
+        let src = "grammar D2; options { backtrack = true; m = 1; } \
+                   t : '-'* ID | expr ; expr : INT | '-' expr ; \
+                   ID : [a-z]+ ; INT : [0-9]+ ; WS : [ ]+ -> skip ;";
+        let (_, a1) = analyze_src(src);
+        let (_, a2) = analyze_src(src);
+        for (d1, d2) in a1.decisions.iter().zip(&a2.decisions) {
+            assert_eq!(d1.metrics, d2.metrics, "decision {:?}", d1.decision);
+        }
     }
 }

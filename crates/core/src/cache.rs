@@ -19,6 +19,7 @@
 //! cache can cost time but can never change parse results.
 
 use crate::analysis::{analyze_with, AnalysisOptions, GrammarAnalysis};
+use crate::metrics::CacheMetrics;
 use crate::serialize::{
     deserialize_analysis, grammar_fingerprint, serialize_analysis, serialized_fingerprint,
     SerializeError,
@@ -43,12 +44,13 @@ pub enum CacheStatus {
 pub enum CacheMiss {
     /// No cache file existed yet.
     Absent,
-    /// The file no longer matches this analysis request: its fingerprint
-    /// belongs to a different grammar text (the grammar — including its
-    /// `options { … }` block — was edited since the cache was written),
-    /// or it was built under different result-affecting
+    /// The file's fingerprint belongs to a different grammar text: the
+    /// grammar — including its `options { … }` block — was edited since
+    /// the cache was written.
+    StaleGrammar,
+    /// The file was built under different result-affecting
     /// [`AnalysisOptions`] than the caller is asking for now.
-    Stale,
+    StaleOptions,
     /// The file was unreadable as a serialized analysis (truncated or
     /// corrupted); the parse-level diagnosis names the offending line.
     Invalid(SerializeError),
@@ -59,6 +61,17 @@ impl CacheStatus {
     pub fn is_hit(&self) -> bool {
         matches!(self, CacheStatus::Hit)
     }
+
+    /// Tallies this outcome into `metrics`.
+    pub fn record(&self, metrics: &mut CacheMetrics) {
+        match self {
+            CacheStatus::Hit => metrics.hits += 1,
+            CacheStatus::Miss(CacheMiss::Absent) => metrics.absent += 1,
+            CacheStatus::Miss(CacheMiss::StaleGrammar) => metrics.stale_grammar += 1,
+            CacheStatus::Miss(CacheMiss::StaleOptions) => metrics.stale_options += 1,
+            CacheStatus::Miss(CacheMiss::Invalid(_)) => metrics.invalid += 1,
+        }
+    }
 }
 
 impl fmt::Display for CacheStatus {
@@ -66,7 +79,10 @@ impl fmt::Display for CacheStatus {
         match self {
             CacheStatus::Hit => write!(f, "hit"),
             CacheStatus::Miss(CacheMiss::Absent) => write!(f, "miss (no cache file)"),
-            CacheStatus::Miss(CacheMiss::Stale) => write!(f, "miss (grammar changed)"),
+            CacheStatus::Miss(CacheMiss::StaleGrammar) => write!(f, "miss (grammar changed)"),
+            CacheStatus::Miss(CacheMiss::StaleOptions) => {
+                write!(f, "miss (analysis options changed)")
+            }
             CacheStatus::Miss(CacheMiss::Invalid(e)) => write!(f, "miss (invalid cache: {e})"),
         }
     }
@@ -118,12 +134,12 @@ pub fn analyze_cached_with(
             Ok(analysis) if analysis.options.same_results(options) => {
                 return Ok((analysis, CacheStatus::Hit))
             }
-            Ok(_) => CacheMiss::Stale,
+            Ok(_) => CacheMiss::StaleOptions,
             Err(e) => {
                 // A well-formed header with a different fingerprint is a
                 // grammar edit; anything else is a damaged file.
                 match serialized_fingerprint(&text) {
-                    Some(fp) if fp != grammar_fingerprint(grammar) => CacheMiss::Stale,
+                    Some(fp) if fp != grammar_fingerprint(grammar) => CacheMiss::StaleGrammar,
                     _ => CacheMiss::Invalid(e),
                 }
             }
@@ -135,6 +151,22 @@ pub fn analyze_cached_with(
     let analysis = analyze_with(grammar, options);
     write_atomically(path, &serialize_analysis(grammar, &analysis))?;
     Ok((analysis, CacheStatus::Miss(miss)))
+}
+
+/// [`analyze_cached_with`], additionally tallying the lookup's outcome
+/// into `metrics` (the `llstar --cache -v` accounting path).
+///
+/// # Errors
+/// As [`analyze_cached_with`].
+pub fn analyze_cached_metered(
+    grammar: &Grammar,
+    path: &Path,
+    options: &AnalysisOptions,
+    metrics: &mut CacheMetrics,
+) -> io::Result<(GrammarAnalysis, CacheStatus)> {
+    let (analysis, status) = analyze_cached_with(grammar, path, options)?;
+    status.record(metrics);
+    Ok((analysis, status))
 }
 
 /// Writes `contents` to `path` via a same-directory temp file + rename.
@@ -214,7 +246,7 @@ mod tests {
         let g2 = parse_grammar("grammar D; s : A X | B Y ; A:'a'; B:'b'; X:'x'; Y:'y';").unwrap();
         assert_eq!(cache_path(&dir, &g2), path);
         let (_, status) = analyze_cached(&g2, &path).unwrap();
-        assert_eq!(status, CacheStatus::Miss(CacheMiss::Stale));
+        assert_eq!(status, CacheStatus::Miss(CacheMiss::StaleGrammar));
 
         // The refresh re-keys the slot for the edited grammar.
         let (_, status) = analyze_cached(&g2, &path).unwrap();
@@ -238,7 +270,7 @@ mod tests {
                 .unwrap();
         assert_eq!(cache_path(&dir, &g2), path, "same slot");
         let (a, status) = analyze_cached(&g2, &path).unwrap();
-        assert_eq!(status, CacheStatus::Miss(CacheMiss::Stale));
+        assert_eq!(status, CacheStatus::Miss(CacheMiss::StaleGrammar));
         assert!(!a.from_cache);
         assert_eq!(a.options.max_k, Some(1));
 
@@ -248,7 +280,7 @@ mod tests {
         assert_eq!(b.options.max_k, Some(1));
         // …and reverting the edit is stale again, not a poisoned hit.
         let (_, status) = analyze_cached(&g1, &path).unwrap();
-        assert_eq!(status, CacheStatus::Miss(CacheMiss::Stale));
+        assert_eq!(status, CacheStatus::Miss(CacheMiss::StaleGrammar));
     }
 
     #[test]
@@ -262,7 +294,7 @@ mod tests {
 
         let unminimized = AnalysisOptions { minimize: false, ..AnalysisOptions::from_grammar(&g) };
         let (a, status) = analyze_cached_with(&g, &path, &unminimized).unwrap();
-        assert_eq!(status, CacheStatus::Miss(CacheMiss::Stale));
+        assert_eq!(status, CacheStatus::Miss(CacheMiss::StaleOptions));
         assert!(!a.options.minimize);
         let (_, status) = analyze_cached_with(&g, &path, &unminimized).unwrap();
         assert!(status.is_hit(), "{status}");
@@ -277,7 +309,7 @@ mod tests {
     fn corrupt_cache_is_rejected_and_repaired() {
         let g = demo_grammar();
         let path = tmpdir("corrupt").join(format!("{}.dfa", g.name));
-        std::fs::write(&path, "llstar-analysis v1\ngarbage\n").unwrap();
+        std::fs::write(&path, "llstar-analysis v2\ngarbage\n").unwrap();
 
         let (a, status) = analyze_cached(&g, &path).unwrap();
         match status {
@@ -290,5 +322,37 @@ mod tests {
         // The rewrite leaves a valid cache behind.
         let (_, status) = analyze_cached(&g, &path).unwrap();
         assert!(status.is_hit(), "{status}");
+    }
+
+    #[test]
+    fn old_format_versions_are_invalid_misses_and_repaired() {
+        // A v1-era cache (no metrics line) must never be trusted; the
+        // lookup repairs it in place.
+        let g = demo_grammar();
+        let path = tmpdir("v1_upgrade").join(format!("{}.dfa", g.name));
+        std::fs::write(&path, "llstar-analysis v1\nfingerprint 0123456789abcdef\n").unwrap();
+        let (_, status) = analyze_cached(&g, &path).unwrap();
+        assert!(matches!(status, CacheStatus::Miss(CacheMiss::Invalid(_))), "{status}");
+        let (_, status) = analyze_cached(&g, &path).unwrap();
+        assert!(status.is_hit(), "{status}");
+    }
+
+    #[test]
+    fn metered_lookups_tally_outcomes() {
+        let g = demo_grammar();
+        let path = tmpdir("metered").join(format!("{}.dfa", g.name));
+        let _ = std::fs::remove_file(&path);
+        let options = AnalysisOptions::from_grammar(&g);
+        let mut metrics = CacheMetrics::default();
+
+        analyze_cached_metered(&g, &path, &options, &mut metrics).unwrap();
+        analyze_cached_metered(&g, &path, &options, &mut metrics).unwrap();
+        let unminimized = AnalysisOptions { minimize: false, ..options.clone() };
+        analyze_cached_metered(&g, &path, &unminimized, &mut metrics).unwrap();
+
+        assert_eq!(metrics.absent, 1, "{metrics}");
+        assert_eq!(metrics.hits, 1, "{metrics}");
+        assert_eq!(metrics.stale_options, 1, "{metrics}");
+        assert_eq!(metrics.lookups(), 3, "{metrics}");
     }
 }

@@ -57,6 +57,18 @@ pub enum DecisionClass {
     Backtrack,
 }
 
+impl std::fmt::Display for DecisionClass {
+    /// The spelling shared by the profile table and the JSONL exports:
+    /// `LL(k)`, `cyclic`, or `backtrack`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecisionClass::Fixed { k } => write!(f, "LL({k})"),
+            DecisionClass::Cyclic => f.write_str("cyclic"),
+            DecisionClass::Backtrack => f.write_str("backtrack"),
+        }
+    }
+}
+
 /// A lookahead DFA for one parsing decision.
 #[derive(Debug, Clone)]
 pub struct LookaheadDfa {

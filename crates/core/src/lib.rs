@@ -38,16 +38,24 @@ pub mod atn;
 pub mod cache;
 pub mod config;
 pub mod dfa;
+pub mod json;
+pub mod metrics;
 pub mod serialize;
 
+#[allow(deprecated)]
+pub use analysis::dfa_builds;
 pub use analysis::{
-    analyze, analyze_decision, analyze_with, dfa_builds, AnalysisOptions, AnalysisWarning,
-    DecisionAnalysis, GrammarAnalysis,
+    analyze, analyze_decision, analyze_with, AnalysisOptions, AnalysisWarning, DecisionAnalysis,
+    GrammarAnalysis,
 };
 pub use atn::{Atn, AtnEdge, AtnState, AtnStateId, Decision, DecisionId, DecisionKind, StateKind};
-pub use cache::{analyze_cached, analyze_cached_with, cache_path, CacheMiss, CacheStatus};
+pub use cache::{
+    analyze_cached, analyze_cached_metered, analyze_cached_with, cache_path, CacheMiss, CacheStatus,
+};
 pub use config::{Config, PredSource, StackArena, StackId};
 pub use dfa::{DecisionClass, DfaState, DfaStateId, LookaheadDfa};
+pub use json::Json;
+pub use metrics::{AnalysisRecord, CacheMetrics, DecisionMetrics, FallbackReason};
 pub use serialize::{
     deserialize_analysis, grammar_fingerprint, serialize_analysis, serialized_fingerprint,
     SerializeError,

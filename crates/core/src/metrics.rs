@@ -1,0 +1,321 @@
+//! Analysis-side observability: per-decision subset-construction cost
+//! counters (the static half of the paper's Tables 1–2) and cache-outcome
+//! tallies.
+//!
+//! Every field is a deterministic counter — a pure function of the
+//! grammar and the result-affecting [`AnalysisOptions`] — so metrics can
+//! be serialized alongside the cached DFAs (a cache hit still reports
+//! what the original analysis cost) without breaking the byte-identical
+//! guarantees of `tests/analysis_determinism`. Wall-clock time is kept
+//! *out* of this struct on purpose: it lives in
+//! [`DecisionAnalysis::elapsed`] and is display-only.
+//!
+//! [`AnalysisOptions`]: crate::analysis::AnalysisOptions
+//! [`DecisionAnalysis::elapsed`]: crate::analysis::DecisionAnalysis
+
+use crate::json::{quote, Json};
+use std::fmt;
+
+/// Why the full LL(*) construction of a decision was abandoned for the
+/// LL(1) fallback (Section 5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// Recursion in more than one alternative: likely not LL-regular.
+    NonLlRegular,
+    /// The DFA state budget was exhausted.
+    StateLimit,
+}
+
+impl FallbackReason {
+    /// Stable textual name (used by serialization and JSONL export).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FallbackReason::NonLlRegular => "non-ll-regular",
+            FallbackReason::StateLimit => "state-limit",
+        }
+    }
+
+    /// Inverse of [`FallbackReason::as_str`].
+    pub fn from_name(s: &str) -> Option<FallbackReason> {
+        match s {
+            "non-ll-regular" => Some(FallbackReason::NonLlRegular),
+            "state-limit" => Some(FallbackReason::StateLimit),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Cost counters for one decision's DFA construction.
+///
+/// When a decision fell back to LL(1), the counters cover *both*
+/// constructions (the aborted LL(*) attempt and the fallback build) and
+/// `fallback` records why — total work done, not just the work that
+/// survived.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionMetrics {
+    /// DFA constructions run ([`DfaBuilder::build`] calls: 1, or 2 with
+    /// an LL(1) fallback).
+    ///
+    /// [`DfaBuilder::build`]: crate::analysis
+    pub dfa_builds: u64,
+    /// `closure` invocations (Algorithm 9), including busy-set skips.
+    pub closure_calls: u64,
+    /// Distinct ATN configurations added across all closure working sets.
+    pub configs_created: u64,
+    /// DFA states created during construction (before minimization).
+    pub dfa_states: u64,
+    /// DFA token edges created during construction.
+    pub dfa_edges: u64,
+    /// `resolve` invocations (Algorithms 10–11) on move()-reached states.
+    pub resolve_calls: u64,
+    /// States resolved with predicate transitions (`resolveWithPreds`).
+    pub pred_resolutions: u64,
+    /// Recursion-overflow events: closure paths cut at depth `m`.
+    pub recursion_overflows: u64,
+    /// Why LL(*) construction was abandoned, if it was.
+    pub fallback: Option<FallbackReason>,
+}
+
+impl DecisionMetrics {
+    /// Accumulates `other` into `self` (counter sums; the first fallback
+    /// reason wins — per decision there is at most one).
+    pub fn absorb(&mut self, other: &DecisionMetrics) {
+        self.dfa_builds += other.dfa_builds;
+        self.closure_calls += other.closure_calls;
+        self.configs_created += other.configs_created;
+        self.dfa_states += other.dfa_states;
+        self.dfa_edges += other.dfa_edges;
+        self.resolve_calls += other.resolve_calls;
+        self.pred_resolutions += other.pred_resolutions;
+        self.recursion_overflows += other.recursion_overflows;
+        self.fallback = self.fallback.or(other.fallback);
+    }
+
+    /// The counters as ordered `(name, value)` pairs (fallback excluded);
+    /// shared by the text serializer, the JSONL exporters, and the
+    /// profile table.
+    pub fn fields(&self) -> [(&'static str, u64); 8] {
+        [
+            ("builds", self.dfa_builds),
+            ("closures", self.closure_calls),
+            ("configs", self.configs_created),
+            ("states", self.dfa_states),
+            ("edges", self.dfa_edges),
+            ("resolves", self.resolve_calls),
+            ("pred-resolutions", self.pred_resolutions),
+            ("overflows", self.recursion_overflows),
+        ]
+    }
+
+    /// Sets the counter `name` (a [`DecisionMetrics::fields`] key).
+    /// Returns `false` for an unknown name.
+    pub fn set_field(&mut self, name: &str, value: u64) -> bool {
+        match name {
+            "builds" => self.dfa_builds = value,
+            "closures" => self.closure_calls = value,
+            "configs" => self.configs_created = value,
+            "states" => self.dfa_states = value,
+            "edges" => self.dfa_edges = value,
+            "resolves" => self.resolve_calls = value,
+            "pred-resolutions" => self.pred_resolutions = value,
+            "overflows" => self.recursion_overflows = value,
+            _ => return false,
+        }
+        true
+    }
+}
+
+/// One exported per-decision analysis record: the JSONL form of a
+/// decision's static cost, as written by `llstar profile --json` and
+/// `BENCH_analysis.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisRecord {
+    /// The decision id.
+    pub decision: u32,
+    /// Name of the rule the decision belongs to.
+    pub rule: String,
+    /// Decision classification rendered as text (`LL(k)`, `cyclic`, …).
+    pub class: String,
+    /// The construction cost counters.
+    pub metrics: DecisionMetrics,
+}
+
+impl AnalysisRecord {
+    /// One JSONL line (no trailing newline). Counters only — no
+    /// timestamps — so output is byte-deterministic.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"type\":\"analysis\",\"decision\":{},\"rule\":{},\"class\":{}",
+            self.decision,
+            quote(&self.rule),
+            quote(&self.class)
+        );
+        for (name, value) in self.metrics.fields() {
+            out.push_str(&format!(",{}:{value}", quote(name)));
+        }
+        match self.metrics.fallback {
+            Some(r) => out.push_str(&format!(",\"fallback\":{}", quote(r.as_str()))),
+            None => out.push_str(",\"fallback\":null"),
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses a value produced by [`AnalysisRecord::to_json`].
+    ///
+    /// # Errors
+    /// Returns a description when `value` is not an analysis record.
+    pub fn from_json(value: &Json) -> Result<AnalysisRecord, String> {
+        if value.get("type").and_then(Json::as_str) != Some("analysis") {
+            return Err("not an analysis record".into());
+        }
+        let field = |name: &str| {
+            value.get(name).and_then(Json::as_u64).ok_or_else(|| format!("missing field {name:?}"))
+        };
+        let mut metrics = DecisionMetrics::default();
+        for (name, _) in DecisionMetrics::default().fields() {
+            metrics.set_field(name, field(name)?);
+        }
+        metrics.fallback = match value.get("fallback") {
+            Some(Json::Null) | None => None,
+            Some(Json::Str(s)) => {
+                Some(FallbackReason::from_name(s).ok_or_else(|| format!("bad fallback {s:?}"))?)
+            }
+            Some(other) => return Err(format!("bad fallback {other}")),
+        };
+        Ok(AnalysisRecord {
+            decision: field("decision")? as u32,
+            rule: value
+                .get("rule")
+                .and_then(Json::as_str)
+                .ok_or("missing field \"rule\"")?
+                .to_string(),
+            class: value
+                .get("class")
+                .and_then(Json::as_str)
+                .ok_or("missing field \"class\"")?
+                .to_string(),
+            metrics,
+        })
+    }
+}
+
+/// Tallies of [`CacheStatus`] outcomes over a run (satellite of the
+/// observability layer: `llstar --cache -v` prints these).
+///
+/// [`CacheStatus`]: crate::cache::CacheStatus
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheMetrics {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Misses: no cache file existed.
+    pub absent: u64,
+    /// Misses: the cached fingerprint belongs to an edited grammar.
+    pub stale_grammar: u64,
+    /// Misses: built under different result-affecting analysis options.
+    pub stale_options: u64,
+    /// Misses: the file was truncated or corrupted.
+    pub invalid: u64,
+}
+
+impl CacheMetrics {
+    /// Total lookups recorded.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.absent + self.stale_grammar + self.stale_options + self.invalid
+    }
+}
+
+impl fmt::Display for CacheMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache metrics: {} lookups, {} hits, {} absent, {} stale-grammar, {} stale-options, {} invalid",
+            self.lookups(),
+            self.hits,
+            self.absent,
+            self.stale_grammar,
+            self.stale_options,
+            self.invalid
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_and_keeps_first_fallback() {
+        let mut a = DecisionMetrics {
+            dfa_builds: 1,
+            closure_calls: 10,
+            fallback: Some(FallbackReason::NonLlRegular),
+            ..Default::default()
+        };
+        let b = DecisionMetrics {
+            dfa_builds: 1,
+            closure_calls: 5,
+            configs_created: 7,
+            fallback: Some(FallbackReason::StateLimit),
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.dfa_builds, 2);
+        assert_eq!(a.closure_calls, 15);
+        assert_eq!(a.configs_created, 7);
+        assert_eq!(a.fallback, Some(FallbackReason::NonLlRegular));
+    }
+
+    #[test]
+    fn analysis_record_round_trips() {
+        let record = AnalysisRecord {
+            decision: 3,
+            rule: "expr".into(),
+            class: "LL(2)".into(),
+            metrics: DecisionMetrics {
+                dfa_builds: 2,
+                closure_calls: 42,
+                configs_created: 17,
+                dfa_states: 5,
+                dfa_edges: 8,
+                resolve_calls: 4,
+                pred_resolutions: 1,
+                recursion_overflows: 1,
+                fallback: Some(FallbackReason::StateLimit),
+            },
+        };
+        let line = record.to_json();
+        let parsed = AnalysisRecord::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed, record);
+        assert_eq!(parsed.to_json(), line, "re-serialization is byte-stable");
+
+        let no_fallback = AnalysisRecord {
+            metrics: DecisionMetrics { fallback: None, ..record.metrics },
+            ..record
+        };
+        let line = no_fallback.to_json();
+        assert_eq!(AnalysisRecord::from_json(&Json::parse(&line).unwrap()).unwrap(), no_fallback);
+    }
+
+    #[test]
+    fn fallback_reason_names_round_trip() {
+        for r in [FallbackReason::NonLlRegular, FallbackReason::StateLimit] {
+            assert_eq!(FallbackReason::from_name(r.as_str()), Some(r));
+        }
+        assert_eq!(FallbackReason::from_name("nope"), None);
+    }
+
+    #[test]
+    fn cache_metrics_display() {
+        let m = CacheMetrics { hits: 2, absent: 1, ..Default::default() };
+        let text = m.to_string();
+        assert!(text.contains("3 lookups"), "{text}");
+        assert!(text.contains("2 hits"), "{text}");
+    }
+}

@@ -17,6 +17,7 @@ use crate::analysis::{AnalysisOptions, AnalysisWarning, DecisionAnalysis, Gramma
 use crate::atn::{Atn, DecisionId};
 use crate::config::PredSource;
 use crate::dfa::{DfaState, LookaheadDfa};
+use crate::metrics::{DecisionMetrics, FallbackReason};
 use llstar_grammar::{Grammar, PredId, SynPredId};
 use llstar_lexer::TokenType;
 use std::fmt;
@@ -41,6 +42,11 @@ impl fmt::Display for SerializeError {
 
 impl std::error::Error for SerializeError {}
 
+/// Current format header. v2 added the mandatory per-decision `metrics`
+/// line; v1 files are rejected (an invalid-cache miss, so the cache
+/// layer transparently rebuilds them).
+const HEADER: &str = "llstar-analysis v2";
+
 /// FNV-1a over the grammar's canonical rendering: cheap integrity check
 /// that serialized DFAs belong to this grammar.
 pub fn grammar_fingerprint(grammar: &Grammar) -> u64 {
@@ -59,7 +65,7 @@ pub fn grammar_fingerprint(grammar: &Grammar) -> u64 {
 /// distinguish "stale: grammar changed" from "corrupt file".
 pub fn serialized_fingerprint(text: &str) -> Option<u64> {
     let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
-    if lines.next()? != "llstar-analysis v1" {
+    if lines.next()? != HEADER {
         return None;
     }
     let fp = lines.next()?.strip_prefix("fingerprint ")?;
@@ -154,6 +160,40 @@ fn warning_from_text(s: &str, line: usize) -> Result<AnalysisWarning, SerializeE
     }
 }
 
+fn metrics_to_text(m: &DecisionMetrics) -> String {
+    let mut out = String::from("metrics");
+    for (name, value) in m.fields() {
+        let _ = write!(out, " {name}={value}");
+    }
+    let _ = write!(out, " fallback={}", m.fallback.map_or("-", FallbackReason::as_str));
+    out
+}
+
+fn metrics_from_text(s: &str, line: usize) -> Result<DecisionMetrics, SerializeError> {
+    let err = |m: String| SerializeError { line, message: m };
+    let mut metrics = DecisionMetrics::default();
+    for field in s.split_whitespace() {
+        let (key, value) =
+            field.split_once('=').ok_or_else(|| err(format!("malformed metric {field:?}")))?;
+        if key == "fallback" {
+            metrics.fallback = if value == "-" {
+                None
+            } else {
+                Some(
+                    FallbackReason::from_name(value)
+                        .ok_or_else(|| err(format!("bad fallback {value:?}")))?,
+                )
+            };
+        } else {
+            let parsed = value.parse().map_err(|_| err(format!("bad metric value {value:?}")))?;
+            if !metrics.set_field(key, parsed) {
+                return Err(err(format!("unknown metric {key:?}")));
+            }
+        }
+    }
+    Ok(metrics)
+}
+
 fn options_to_text(o: &AnalysisOptions) -> String {
     let k = o.max_k.map_or("-".to_string(), |k| k.to_string());
     format!(
@@ -198,12 +238,13 @@ fn options_from_text(s: &str, line: usize) -> Result<AnalysisOptions, SerializeE
 /// Serializes an analysis (DFAs + warnings) to the text format.
 pub fn serialize_analysis(grammar: &Grammar, analysis: &GrammarAnalysis) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "llstar-analysis v1");
+    let _ = writeln!(out, "{HEADER}");
     let _ = writeln!(out, "fingerprint {:016x}", grammar_fingerprint(grammar));
     let _ = writeln!(out, "{}", options_to_text(&analysis.options));
     let _ = writeln!(out, "decisions {}", analysis.decisions.len());
     for d in &analysis.decisions {
         let _ = writeln!(out, "decision {} states {}", d.decision.0, d.dfa.states.len());
+        let _ = writeln!(out, "{}", metrics_to_text(&d.metrics));
         for st in &d.dfa.states {
             let accept = st.accept.map_or("-".to_string(), |a| a.to_string());
             let default = st.default_alt.map_or("-".to_string(), |a| a.to_string());
@@ -250,7 +291,7 @@ pub fn deserialize_analysis(
         move || -> Option<(usize, &str)> { lines.by_ref().find(|(_, l)| !l.is_empty()) };
 
     let (ln, header) = next_line().ok_or_else(|| err(eof, "empty input".into()))?;
-    if header != "llstar-analysis v1" {
+    if header != HEADER {
         return Err(err(ln, format!("unsupported header {header:?}")));
     }
     let (ln, fp_line) = next_line().ok_or_else(|| err(eof, "missing fingerprint".into()))?;
@@ -308,6 +349,14 @@ pub fn deserialize_analysis(
             .nth(1)
             .and_then(|p| p.parse().ok())
             .ok_or_else(|| err(ln, "missing state count".into()))?;
+
+        let (ln, mline) = next_line().ok_or_else(|| err(eof, "missing metrics".into()))?;
+        let metrics = metrics_from_text(
+            mline
+                .strip_prefix("metrics")
+                .ok_or_else(|| err(ln, format!("expected 'metrics', found {mline:?}")))?,
+            ln,
+        )?;
 
         let mut states = Vec::with_capacity(nstates);
         for _ in 0..nstates {
@@ -397,6 +446,7 @@ pub fn deserialize_analysis(
             decision: DecisionId(id),
             dfa: LookaheadDfa { decision: DecisionId(id), states },
             warnings,
+            metrics,
             elapsed: Duration::ZERO,
         });
     }
@@ -438,6 +488,7 @@ mod tests {
         assert_eq!(a.decisions.len(), b.decisions.len());
         for (da, db) in a.decisions.iter().zip(&b.decisions) {
             assert_eq!(da.warnings, db.warnings);
+            assert_eq!(da.metrics, db.metrics, "cached analyses report their original cost");
             assert_eq!(da.dfa.states.len(), db.dfa.states.len());
             for (sa, sb) in da.dfa.states.iter().zip(&db.dfa.states) {
                 assert_eq!(sa.accept, sb.accept);
@@ -481,10 +532,11 @@ mod tests {
         for corrupt in [
             "".to_string(),
             "nonsense".to_string(),
-            text.replace("llstar-analysis v1", "llstar-analysis v9"),
+            text.replace(HEADER, "llstar-analysis v9"),
             text.replace("decisions ", "decisions 9"),
             text.lines().take(8).collect::<Vec<_>>().join("\n"),
             text.replace("accept=", "wat="),
+            text.replace("metrics builds=", "metrics wat="),
         ] {
             assert!(deserialize_analysis(&g, &corrupt).is_err(), "accepted: {corrupt:.80}");
         }

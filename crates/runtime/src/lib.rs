@@ -32,13 +32,15 @@ pub mod hooks;
 pub mod parser;
 pub mod stats;
 pub mod stream;
+pub mod trace;
 pub mod tree;
 pub mod visit;
 
 pub use error::{ParseError, ParseErrorKind};
 pub use hooks::{HookContext, Hooks, MapHooks, NopHooks};
-pub use parser::{parse_text, Parser};
+pub use parser::{parse_text, parse_text_traced, Parser};
 pub use stats::{DecisionStats, ParseStats};
 pub use stream::TokenStream;
+pub use trace::{parse_jsonl, JsonlSink, MemoKind, NopSink, RingSink, TraceEvent, TraceSink};
 pub use tree::ParseTree;
 pub use visit::{covered_text, find_rule_nodes, walk, TreeListener};

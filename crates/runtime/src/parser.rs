@@ -13,6 +13,7 @@ use crate::error::{ParseError, ParseErrorKind};
 use crate::hooks::{HookContext, Hooks};
 use crate::stats::ParseStats;
 use crate::stream::TokenStream;
+use crate::trace::{MemoKind, TraceEvent, TraceSink};
 use crate::tree::ParseTree;
 use llstar_core::{Atn, AtnEdge, DecisionId, GrammarAnalysis, PredSource, StateKind};
 use llstar_grammar::{Grammar, RuleId, SynPredId};
@@ -48,6 +49,7 @@ pub struct Parser<'g, H: Hooks> {
     speculating: u32,
     furthest_error: Option<ParseError>,
     memoize: bool,
+    trace: Option<&'g mut dyn TraceSink>,
 }
 
 impl<'g, H: Hooks> Parser<'g, H> {
@@ -70,6 +72,23 @@ impl<'g, H: Hooks> Parser<'g, H> {
             speculating: 0,
             furthest_error: None,
             memoize: grammar.options.memoize,
+            trace: None,
+        }
+    }
+
+    /// Attaches a trace sink; every subsequent runtime event is forwarded
+    /// to it (stats keep accumulating either way — they are a fold over
+    /// the same event stream).
+    pub fn set_trace_sink(&mut self, sink: &'g mut dyn TraceSink) {
+        self.trace = Some(sink);
+    }
+
+    /// Routes one runtime event: folds it into the stats, then forwards
+    /// it to the attached sink (if any).
+    fn emit(&mut self, event: TraceEvent) {
+        self.stats.apply(&event);
+        if let Some(sink) = self.trace.as_mut() {
+            sink.event(&event);
         }
     }
 
@@ -141,6 +160,10 @@ impl<'g, H: Hooks> Parser<'g, H> {
 
     fn error_here(&mut self, kind: ParseErrorKind) -> ParseError {
         let err = ParseError { kind, token: self.tokens.lt(1), token_index: self.tokens.index() };
+        self.emit(TraceEvent::SyntaxError {
+            token_index: err.token_index,
+            speculating: self.speculating > 0,
+        });
         self.furthest_error = Some(match self.furthest_error.take() {
             Some(f) => f.deepest(err.clone()),
             None => err.clone(),
@@ -166,14 +189,19 @@ impl<'g, H: Hooks> Parser<'g, H> {
         let start = self.tokens.index();
         let key = (MemoKey::Rule(rule), start);
         if self.speculating > 0 && self.memoize {
-            if let Some(m) = self.memo.get(&key) {
-                self.stats.memo_hits += 1;
+            if let Some(m) = self.memo.get(&key).cloned() {
+                self.emit(TraceEvent::MemoHit {
+                    kind: MemoKind::Rule,
+                    id: rule.index() as u32,
+                    token_index: start,
+                    success: matches!(m, MemoResult::Success(_)),
+                });
                 return match m {
                     MemoResult::Success(stop) => {
-                        self.tokens.seek(*stop);
+                        self.tokens.seek(stop);
                         Ok(None)
                     }
-                    MemoResult::Failure(e) => Err(e.clone()),
+                    MemoResult::Failure(e) => Err(e),
                 };
             }
         }
@@ -184,7 +212,12 @@ impl<'g, H: Hooks> Parser<'g, H> {
                 Ok(_) => MemoResult::Success(self.tokens.index()),
                 Err(e) => MemoResult::Failure(e.clone()),
             };
-            self.stats.memo_entries += 1;
+            self.emit(TraceEvent::MemoWrite {
+                kind: MemoKind::Rule,
+                id: rule.index() as u32,
+                token_index: start,
+                success: result.is_ok(),
+            });
             self.memo.insert(key, memo_value);
         }
         result.map(|children| {
@@ -259,7 +292,13 @@ impl<'g, H: Hooks> Parser<'g, H> {
                 AtnEdge::Pred(p) => {
                     let text = self.grammar.sempred_text(p).to_string();
                     let ctx = self.hook_ctx();
-                    if self.hooks.sempred(&text, &ctx) {
+                    let outcome = self.hooks.sempred(&text, &ctx);
+                    self.emit(TraceEvent::Sempred {
+                        pred: text.clone(),
+                        token_index: self.tokens.index(),
+                        outcome,
+                    });
+                    if outcome {
                         state = target;
                     } else {
                         return Err(
@@ -301,6 +340,12 @@ impl<'g, H: Hooks> Parser<'g, H> {
     /// DFA over the remaining input (Figure 5).
     fn predict(&mut self, decision: DecisionId) -> Result<u16, ParseError> {
         let dfa = &self.analysis.decisions[decision.index()].dfa;
+        let start_index = self.tokens.index();
+        // The DFA path is only materialized when a sink is listening; the
+        // stats fold doesn't need it.
+        let tracing = self.trace.is_some();
+        self.emit(TraceEvent::PredictStart { decision: decision.0, token_index: start_index });
+        let mut path: Vec<u32> = if tracing { vec![0] } else { Vec::new() };
         let mut cur = 0usize;
         let mut depth: u64 = 0;
         let mut backtracked = false;
@@ -314,6 +359,9 @@ impl<'g, H: Hooks> Parser<'g, H> {
             if let Some(target) = st.target(next) {
                 depth += 1;
                 cur = target;
+                if tracing {
+                    path.push(target as u32);
+                }
                 continue;
             }
             if !st.preds.is_empty() || st.default_alt.is_some() {
@@ -325,7 +373,13 @@ impl<'g, H: Hooks> Parser<'g, H> {
                         PredSource::Sem(p) => {
                             let text = self.grammar.sempred_text(p).to_string();
                             let ctx = self.hook_ctx();
-                            if self.hooks.sempred(&text, &ctx) {
+                            let outcome = self.hooks.sempred(&text, &ctx);
+                            self.emit(TraceEvent::Sempred {
+                                pred: text,
+                                token_index: start_index,
+                                outcome,
+                            });
+                            if outcome {
                                 chosen = Some(alt);
                                 break;
                             }
@@ -359,10 +413,15 @@ impl<'g, H: Hooks> Parser<'g, H> {
             }
             return Err(self.no_viable(decision, depth));
         };
-        self.stats.record_event(decision, depth.max(1).max(deepest_spec));
-        if backtracked {
-            self.stats.record_backtrack(decision, deepest_spec);
-        }
+        self.emit(TraceEvent::PredictStop {
+            decision: decision.0,
+            token_index: start_index,
+            alt,
+            lookahead: depth.max(1).max(deepest_spec),
+            path,
+            backtracked,
+            spec_depth: deepest_spec,
+        });
         Ok(alt)
     }
 
@@ -377,6 +436,10 @@ impl<'g, H: Hooks> Parser<'g, H> {
             token,
             token_index: self.tokens.index() + depth as usize,
         };
+        self.emit(TraceEvent::SyntaxError {
+            token_index: err.token_index,
+            speculating: self.speculating > 0,
+        });
         self.furthest_error = Some(match self.furthest_error.take() {
             Some(f) => f.deepest(err.clone()),
             None => err.clone(),
@@ -390,14 +453,21 @@ impl<'g, H: Hooks> Parser<'g, H> {
         let start = self.tokens.index();
         let key = (MemoKey::SynPred(sp), start);
         if self.memoize {
-            if let Some(m) = self.memo.get(&key) {
-                self.stats.memo_hits += 1;
+            if let Some(m) = self.memo.get(&key).cloned() {
+                self.emit(TraceEvent::MemoHit {
+                    kind: MemoKind::SynPred,
+                    id: sp.0,
+                    token_index: start,
+                    success: matches!(m, MemoResult::Success(_)),
+                });
                 return match m {
-                    MemoResult::Success(stop) => ((true), (*stop - start) as u64),
+                    MemoResult::Success(stop) => (true, (stop - start) as u64),
                     MemoResult::Failure(_) => (false, 0),
                 };
             }
         }
+        let nesting = self.speculating;
+        self.emit(TraceEvent::BacktrackEnter { synpred: sp.0, token_index: start, nesting });
         let entry = self.atn().synpred_entry[sp.0 as usize];
         self.speculating += 1;
         let result = self.interpret(entry, RuleId(0), false);
@@ -409,9 +479,21 @@ impl<'g, H: Hooks> Parser<'g, H> {
                 Ok(_) => MemoResult::Success(start + consumed as usize),
                 Err(e) => MemoResult::Failure(e.clone()),
             };
-            self.stats.memo_entries += 1;
+            self.emit(TraceEvent::MemoWrite {
+                kind: MemoKind::SynPred,
+                id: sp.0,
+                token_index: start,
+                success: result.is_ok(),
+            });
             self.memo.insert(key, value);
         }
+        self.emit(TraceEvent::BacktrackExit {
+            synpred: sp.0,
+            token_index: start,
+            matched: result.is_ok(),
+            consumed,
+            nesting,
+        });
         (result.is_ok(), consumed)
     }
 }
@@ -431,6 +513,28 @@ pub fn parse_text<H: Hooks>(
     let scanner = grammar.lexer.build().map_err(|e| e.to_string())?;
     let tokens = scanner.tokenize(source).map_err(|e| e.to_string())?;
     let mut parser = Parser::new(grammar, analysis, TokenStream::new(tokens), hooks);
+    let tree = parser.parse_to_eof(rule_name).map_err(|e| e.to_string())?;
+    Ok((tree, parser.stats().clone()))
+}
+
+/// Like [`parse_text`], but streams every runtime event into `sink`
+/// (`llstar profile` uses this to trace a parse).
+///
+/// # Errors
+/// As [`parse_text`]; the sink receives all events emitted before a
+/// failure.
+pub fn parse_text_traced<H: Hooks>(
+    grammar: &Grammar,
+    analysis: &GrammarAnalysis,
+    source: &str,
+    rule_name: &str,
+    hooks: H,
+    sink: &mut dyn TraceSink,
+) -> Result<(ParseTree, ParseStats), String> {
+    let scanner = grammar.lexer.build().map_err(|e| e.to_string())?;
+    let tokens = scanner.tokenize(source).map_err(|e| e.to_string())?;
+    let mut parser = Parser::new(grammar, analysis, TokenStream::new(tokens), hooks);
+    parser.set_trace_sink(sink);
     let tree = parser.parse_to_eof(rule_name).map_err(|e| e.to_string())?;
     Ok((tree, parser.stats().clone()))
 }
@@ -748,6 +852,85 @@ mod tests {
         parser.parse_to_eof("s").unwrap();
         let hooks = parser.into_hooks();
         assert_eq!(hooks.action_log, vec!["note"]);
+    }
+
+    #[test]
+    fn trace_events_reconstruct_stats() {
+        use crate::trace::RingSink;
+        // A backtracking grammar: the trace must carry predictions,
+        // backtrack enter/exit pairs, and memo traffic.
+        let src = r#"
+            grammar TR;
+            options { backtrack = true; m = 1; }
+            t : '-'* ID | expr ;
+            expr : INT | '-' expr ;
+            ID : [a-z]+ ;
+            INT : [0-9]+ ;
+            WS : [ ]+ -> skip ;
+        "#;
+        let (g, a) = setup(src);
+        let mut sink = RingSink::unbounded();
+        let (_, stats) = parse_text_traced(&g, &a, "- - x", "t", NopHooks, &mut sink).unwrap();
+        let events: Vec<_> = sink.into_events();
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::PredictStart { .. })));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::BacktrackEnter { .. })));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::BacktrackExit { .. })));
+        // The stats are exactly the fold of the event stream.
+        let folded = ParseStats::from_events(a.atn.decisions.len(), &events);
+        assert_eq!(folded, stats);
+        // Enter/exit events pair up.
+        let enters = events.iter().filter(|e| matches!(e, TraceEvent::BacktrackEnter { .. }));
+        let exits = events.iter().filter(|e| matches!(e, TraceEvent::BacktrackExit { .. }));
+        assert_eq!(enters.count(), exits.count());
+    }
+
+    #[test]
+    fn trace_records_dfa_path_and_stats_match_untraced_run() {
+        use crate::trace::RingSink;
+        let (g, a) = setup(FIG1);
+        let input = "unsigned unsigned int x";
+        let mut sink = RingSink::unbounded();
+        let (_, traced) = parse_text_traced(&g, &a, input, "s", NopHooks, &mut sink).unwrap();
+        let (_, untraced) = parse_text(&g, &a, input, "s", NopHooks).unwrap();
+        assert_eq!(traced, untraced, "tracing must not change the counters");
+        let path = sink
+            .events()
+            .find_map(|e| match e {
+                TraceEvent::PredictStop { path, .. } => Some(path.clone()),
+                _ => None,
+            })
+            .expect("at least one prediction");
+        assert_eq!(path[0], 0, "paths start at DFA state 0");
+        assert!(path.len() >= 2, "the k=4 decision walks several states: {path:?}");
+    }
+
+    #[test]
+    fn sempred_and_syntax_error_events_are_traced() {
+        use crate::trace::RingSink;
+        let src = r#"
+            grammar TS;
+            s : {isTypeName}? ID ID ';' | ID '=' INT ';' ;
+            ID : [a-zA-Z_]+ ;
+            INT : [0-9]+ ;
+            WS : [ ]+ -> skip ;
+        "#;
+        let (g, a) = setup(src);
+        let mut hooks = MapHooks::new();
+        hooks.on_pred("isTypeName", |_| true);
+        let mut sink = RingSink::unbounded();
+        parse_text_traced(&g, &a, "T x ;", "s", hooks, &mut sink).unwrap();
+        assert!(
+            sink.events().any(|e| matches!(e, TraceEvent::Sempred { outcome: true, .. })),
+            "sempred evaluation must be traced"
+        );
+
+        let mut sink = RingSink::unbounded();
+        let err = parse_text_traced(&g, &a, "x = ;", "s", NopHooks, &mut sink);
+        assert!(err.is_err());
+        assert!(
+            sink.events().any(|e| matches!(e, TraceEvent::SyntaxError { .. })),
+            "the failure must appear in the trace"
+        );
     }
 
     #[test]

@@ -1,6 +1,11 @@
 //! Runtime instrumentation backing the paper's Tables 3 and 4: per
 //! decision, how deep lookahead went and how often backtracking fired.
+//!
+//! [`ParseStats`] is a fold over the parser's [`TraceEvent`] stream (see
+//! [`ParseStats::apply`]): the parser emits events, and these counters
+//! are one particular aggregation of them.
 
+use crate::trace::TraceEvent;
 use llstar_core::DecisionId;
 
 /// Counters for one decision.
@@ -38,6 +43,37 @@ impl ParseStats {
             memo_hits: 0,
             memo_entries: 0,
         }
+    }
+
+    /// Folds one trace event into the counters. [`TraceEvent::PredictStop`]
+    /// feeds the per-decision lookahead/backtrack columns,
+    /// [`TraceEvent::MemoHit`]/[`TraceEvent::MemoWrite`] feed the memo
+    /// totals; other events carry no aggregate.
+    pub fn apply(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::PredictStop { decision, lookahead, backtracked, spec_depth, .. } => {
+                self.record_event(DecisionId(*decision), *lookahead);
+                if *backtracked {
+                    self.record_backtrack(DecisionId(*decision), *spec_depth);
+                }
+            }
+            TraceEvent::MemoHit { .. } => self.memo_hits += 1,
+            TraceEvent::MemoWrite { .. } => self.memo_entries += 1,
+            _ => {}
+        }
+    }
+
+    /// Rebuilds stats from a recorded event stream (e.g. a parsed JSONL
+    /// export): the fold form of a live parse's instrumentation.
+    pub fn from_events<'e>(
+        decision_count: usize,
+        events: impl IntoIterator<Item = &'e TraceEvent>,
+    ) -> Self {
+        let mut stats = ParseStats::new(decision_count);
+        for event in events {
+            stats.apply(event);
+        }
+        stats
     }
 
     /// Records one prediction event.
@@ -195,6 +231,53 @@ mod tests {
         assert_eq!(s.max_lookahead(), 0);
         assert_eq!(s.backtrack_event_rate(), 0.0);
         assert_eq!(s.backtrack_trigger_rate(&[true, true, true, true]), 0.0);
+    }
+
+    #[test]
+    fn fold_over_events_matches_direct_recording() {
+        let events = vec![
+            TraceEvent::PredictStart { decision: 0, token_index: 0 },
+            TraceEvent::PredictStop {
+                decision: 0,
+                token_index: 0,
+                alt: 1,
+                lookahead: 2,
+                path: vec![0, 1],
+                backtracked: false,
+                spec_depth: 0,
+            },
+            TraceEvent::PredictStop {
+                decision: 1,
+                token_index: 2,
+                alt: 2,
+                lookahead: 3,
+                path: vec![0],
+                backtracked: true,
+                spec_depth: 3,
+            },
+            TraceEvent::MemoHit {
+                kind: crate::trace::MemoKind::Rule,
+                id: 0,
+                token_index: 2,
+                success: true,
+            },
+            TraceEvent::MemoWrite {
+                kind: crate::trace::MemoKind::SynPred,
+                id: 0,
+                token_index: 2,
+                success: false,
+            },
+            TraceEvent::SyntaxError { token_index: 4, speculating: true },
+        ];
+        let folded = ParseStats::from_events(2, &events);
+
+        let mut direct = ParseStats::new(2);
+        direct.record_event(DecisionId(0), 2);
+        direct.record_event(DecisionId(1), 3);
+        direct.record_backtrack(DecisionId(1), 3);
+        direct.memo_hits = 1;
+        direct.memo_entries = 1;
+        assert_eq!(folded, direct);
     }
 
     #[test]

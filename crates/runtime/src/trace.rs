@@ -1,0 +1,497 @@
+//! Runtime prediction tracing: typed events emitted by the parser,
+//! consumed through the [`TraceSink`] trait.
+//!
+//! The event stream is the single source of truth for runtime
+//! observability — [`ParseStats`] is a fold over it (see
+//! [`ParseStats::apply`]), the `llstar profile` subcommand renders it,
+//! and [`JsonlSink`] exports it one JSON object per line. Events carry
+//! token indices and counters but never wall-clock timestamps, so the
+//! JSONL stream for a given grammar + input is byte-identical across
+//! runs.
+//!
+//! [`ParseStats`]: crate::stats::ParseStats
+//! [`ParseStats::apply`]: crate::stats::ParseStats::apply
+
+use llstar_core::json::{quote, Json};
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+/// What a memoization event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoKind {
+    /// A rule sub-parse memo (packrat caching during speculation).
+    Rule,
+    /// A syntactic-predicate outcome memo.
+    SynPred,
+}
+
+impl MemoKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MemoKind::Rule => "rule",
+            MemoKind::SynPred => "synpred",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<MemoKind> {
+        match s {
+            "rule" => Some(MemoKind::Rule),
+            "synpred" => Some(MemoKind::SynPred),
+            _ => None,
+        }
+    }
+}
+
+/// One traced runtime event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A decision's lookahead-DFA simulation began.
+    PredictStart {
+        /// The decision id.
+        decision: u32,
+        /// Token index where prediction started.
+        token_index: usize,
+    },
+    /// A decision's prediction concluded with an alternative.
+    PredictStop {
+        /// The decision id.
+        decision: u32,
+        /// Token index where prediction started (no tokens consumed).
+        token_index: usize,
+        /// The predicted alternative (1-based).
+        alt: u16,
+        /// Lookahead depth charged to this event (≥ 1; includes
+        /// speculation depth when backtracking decided).
+        lookahead: u64,
+        /// DFA states visited, in order, starting at state 0.
+        path: Vec<u32>,
+        /// Whether a speculative sub-parse ran.
+        backtracked: bool,
+        /// Deepest speculation (tokens), 0 when none ran.
+        spec_depth: u64,
+    },
+    /// A speculative parse of a syntactic predicate began.
+    BacktrackEnter {
+        /// The syntactic predicate id.
+        synpred: u32,
+        /// Token index at speculation start.
+        token_index: usize,
+        /// Speculation nesting depth already active (0 = outermost).
+        nesting: u32,
+    },
+    /// A speculative parse concluded (stream rewound).
+    BacktrackExit {
+        /// The syntactic predicate id.
+        synpred: u32,
+        /// Token index at speculation start.
+        token_index: usize,
+        /// Whether the speculative parse matched.
+        matched: bool,
+        /// Tokens consumed speculatively before rewinding.
+        consumed: u64,
+        /// Speculation nesting depth (matches the enter event).
+        nesting: u32,
+    },
+    /// A memoized sub-parse result was served without re-parsing.
+    MemoHit {
+        /// What the memo caches.
+        kind: MemoKind,
+        /// Rule or synpred id.
+        id: u32,
+        /// Token index the memo is keyed on.
+        token_index: usize,
+        /// Whether the cached outcome was a successful parse.
+        success: bool,
+    },
+    /// A sub-parse result was written into the memo table.
+    MemoWrite {
+        /// What the memo caches.
+        kind: MemoKind,
+        /// Rule or synpred id.
+        id: u32,
+        /// Token index the memo is keyed on.
+        token_index: usize,
+        /// Whether the recorded outcome was a successful parse.
+        success: bool,
+    },
+    /// A semantic predicate was evaluated.
+    Sempred {
+        /// The predicate text.
+        pred: String,
+        /// Token index at evaluation.
+        token_index: usize,
+        /// The hook's verdict.
+        outcome: bool,
+    },
+    /// A syntax error was recorded (possibly during speculation, where it
+    /// steers backtracking rather than failing the parse).
+    SyntaxError {
+        /// Token index of the offending token.
+        token_index: usize,
+        /// Whether the parser was speculating.
+        speculating: bool,
+    },
+}
+
+impl TraceEvent {
+    /// One JSONL line (no trailing newline). No timestamps: output is
+    /// byte-deterministic for a fixed grammar + input.
+    pub fn to_json(&self) -> String {
+        match self {
+            TraceEvent::PredictStart { decision, token_index } => format!(
+                "{{\"type\":\"predict-start\",\"decision\":{decision},\"token\":{token_index}}}"
+            ),
+            TraceEvent::PredictStop {
+                decision,
+                token_index,
+                alt,
+                lookahead,
+                path,
+                backtracked,
+                spec_depth,
+            } => {
+                let path: Vec<String> = path.iter().map(u32::to_string).collect();
+                format!(
+                    "{{\"type\":\"predict-stop\",\"decision\":{decision},\"token\":{token_index},\
+                     \"alt\":{alt},\"lookahead\":{lookahead},\"path\":[{}],\
+                     \"backtracked\":{backtracked},\"spec_depth\":{spec_depth}}}",
+                    path.join(",")
+                )
+            }
+            TraceEvent::BacktrackEnter { synpred, token_index, nesting } => format!(
+                "{{\"type\":\"backtrack-enter\",\"synpred\":{synpred},\"token\":{token_index},\
+                 \"nesting\":{nesting}}}"
+            ),
+            TraceEvent::BacktrackExit { synpred, token_index, matched, consumed, nesting } => {
+                format!(
+                    "{{\"type\":\"backtrack-exit\",\"synpred\":{synpred},\"token\":{token_index},\
+                     \"matched\":{matched},\"consumed\":{consumed},\"nesting\":{nesting}}}"
+                )
+            }
+            TraceEvent::MemoHit { kind, id, token_index, success } => format!(
+                "{{\"type\":\"memo-hit\",\"kind\":{},\"id\":{id},\"token\":{token_index},\
+                 \"success\":{success}}}",
+                quote(kind.as_str())
+            ),
+            TraceEvent::MemoWrite { kind, id, token_index, success } => format!(
+                "{{\"type\":\"memo-write\",\"kind\":{},\"id\":{id},\"token\":{token_index},\
+                 \"success\":{success}}}",
+                quote(kind.as_str())
+            ),
+            TraceEvent::Sempred { pred, token_index, outcome } => format!(
+                "{{\"type\":\"sempred\",\"pred\":{},\"token\":{token_index},\
+                 \"outcome\":{outcome}}}",
+                quote(pred)
+            ),
+            TraceEvent::SyntaxError { token_index, speculating } => format!(
+                "{{\"type\":\"syntax-error\",\"token\":{token_index},\
+                 \"speculating\":{speculating}}}"
+            ),
+        }
+    }
+
+    /// Parses a value produced by [`TraceEvent::to_json`].
+    ///
+    /// # Errors
+    /// Returns a description when `value` is not a trace event.
+    pub fn from_json(value: &Json) -> Result<TraceEvent, String> {
+        let num = |name: &str| {
+            value.get(name).and_then(Json::as_u64).ok_or_else(|| format!("missing field {name:?}"))
+        };
+        let flag = |name: &str| {
+            value.get(name).and_then(Json::as_bool).ok_or_else(|| format!("missing field {name:?}"))
+        };
+        let token = || num("token").map(|n| n as usize);
+        let memo = |kind_field: &Json| {
+            kind_field
+                .as_str()
+                .and_then(MemoKind::from_name)
+                .ok_or_else(|| format!("bad memo kind {kind_field}"))
+        };
+        match value.get("type").and_then(Json::as_str) {
+            Some("predict-start") => Ok(TraceEvent::PredictStart {
+                decision: num("decision")? as u32,
+                token_index: token()?,
+            }),
+            Some("predict-stop") => Ok(TraceEvent::PredictStop {
+                decision: num("decision")? as u32,
+                token_index: token()?,
+                alt: num("alt")? as u16,
+                lookahead: num("lookahead")?,
+                path: value
+                    .get("path")
+                    .and_then(Json::as_array)
+                    .ok_or("missing field \"path\"")?
+                    .iter()
+                    .map(|v| v.as_u64().map(|n| n as u32).ok_or("bad path entry".to_string()))
+                    .collect::<Result<_, _>>()?,
+                backtracked: flag("backtracked")?,
+                spec_depth: num("spec_depth")?,
+            }),
+            Some("backtrack-enter") => Ok(TraceEvent::BacktrackEnter {
+                synpred: num("synpred")? as u32,
+                token_index: token()?,
+                nesting: num("nesting")? as u32,
+            }),
+            Some("backtrack-exit") => Ok(TraceEvent::BacktrackExit {
+                synpred: num("synpred")? as u32,
+                token_index: token()?,
+                matched: flag("matched")?,
+                consumed: num("consumed")?,
+                nesting: num("nesting")? as u32,
+            }),
+            Some("memo-hit") => Ok(TraceEvent::MemoHit {
+                kind: memo(value.get("kind").ok_or("missing field \"kind\"")?)?,
+                id: num("id")? as u32,
+                token_index: token()?,
+                success: flag("success")?,
+            }),
+            Some("memo-write") => Ok(TraceEvent::MemoWrite {
+                kind: memo(value.get("kind").ok_or("missing field \"kind\"")?)?,
+                id: num("id")? as u32,
+                token_index: token()?,
+                success: flag("success")?,
+            }),
+            Some("sempred") => Ok(TraceEvent::Sempred {
+                pred: value
+                    .get("pred")
+                    .and_then(Json::as_str)
+                    .ok_or("missing field \"pred\"")?
+                    .to_string(),
+                token_index: token()?,
+                outcome: flag("outcome")?,
+            }),
+            Some("syntax-error") => Ok(TraceEvent::SyntaxError {
+                token_index: token()?,
+                speculating: flag("speculating")?,
+            }),
+            Some(other) => Err(format!("unknown event type {other:?}")),
+            None => Err("missing event type".into()),
+        }
+    }
+}
+
+/// A consumer of [`TraceEvent`]s. The parser calls [`TraceSink::event`]
+/// synchronously; implementations should be cheap (buffer, don't block).
+pub trait TraceSink {
+    /// Consume one event.
+    fn event(&mut self, event: &TraceEvent);
+
+    /// Flush any buffered output.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from writer-backed sinks.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Discards every event (tracing disabled).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NopSink;
+
+impl TraceSink for NopSink {
+    fn event(&mut self, _event: &TraceEvent) {}
+}
+
+/// An in-memory sink holding the most recent events (bounded), or every
+/// event (unbounded).
+#[derive(Debug, Default)]
+pub struct RingSink {
+    events: VecDeque<TraceEvent>,
+    capacity: Option<usize>,
+    seen: u64,
+}
+
+impl RingSink {
+    /// A ring keeping the latest `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        RingSink { events: VecDeque::new(), capacity: Some(capacity), seen: 0 }
+    }
+
+    /// A sink that keeps every event.
+    pub fn unbounded() -> Self {
+        RingSink::default()
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter()
+    }
+
+    /// Total events received, including any evicted from the ring.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.seen - self.events.len() as u64
+    }
+
+    /// Consumes the sink, returning the buffered events oldest-first.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events.into_iter().collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn event(&mut self, event: &TraceEvent) {
+        self.seen += 1;
+        if let Some(cap) = self.capacity {
+            if cap == 0 {
+                return;
+            }
+            if self.events.len() == cap {
+                self.events.pop_front();
+            }
+        }
+        self.events.push_back(event.clone());
+    }
+}
+
+/// Streams events to a writer, one JSON object per line.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A sink writing JSONL to `out`.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out, error: None }
+    }
+
+    /// Consumes the sink, returning the writer and the first write error
+    /// encountered (if any; subsequent events are dropped after one).
+    pub fn into_inner(self) -> (W, Option<io::Error>) {
+        (self.out, self.error)
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn event(&mut self, event: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(self.out, "{}", event.to_json()) {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+}
+
+/// Parses a JSONL event stream (as emitted by [`JsonlSink`]) back into
+/// events; blank lines are skipped.
+///
+/// # Errors
+/// Returns `(1-based line, description)` for the first malformed line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, (usize, String)> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| {
+            let value = Json::parse(l).map_err(|e| (i + 1, e))?;
+            TraceEvent::from_json(&value).map_err(|e| (i + 1, e))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::PredictStart { decision: 0, token_index: 0 },
+            TraceEvent::PredictStop {
+                decision: 0,
+                token_index: 0,
+                alt: 2,
+                lookahead: 3,
+                path: vec![0, 1, 4],
+                backtracked: true,
+                spec_depth: 3,
+            },
+            TraceEvent::BacktrackEnter { synpred: 1, token_index: 5, nesting: 0 },
+            TraceEvent::BacktrackExit {
+                synpred: 1,
+                token_index: 5,
+                matched: false,
+                consumed: 4,
+                nesting: 0,
+            },
+            TraceEvent::MemoHit { kind: MemoKind::Rule, id: 3, token_index: 6, success: true },
+            TraceEvent::MemoWrite {
+                kind: MemoKind::SynPred,
+                id: 1,
+                token_index: 5,
+                success: false,
+            },
+            TraceEvent::Sempred { pred: "isTypeName".into(), token_index: 2, outcome: true },
+            TraceEvent::SyntaxError { token_index: 9, speculating: true },
+        ]
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        for event in sample_events() {
+            let line = event.to_json();
+            let parsed = TraceEvent::from_json(&Json::parse(&line).unwrap()).unwrap();
+            assert_eq!(parsed, event, "{line}");
+            assert_eq!(parsed.to_json(), line, "re-serialization is byte-stable");
+        }
+    }
+
+    #[test]
+    fn jsonl_stream_round_trips() {
+        let events = sample_events();
+        let mut sink = JsonlSink::new(Vec::new());
+        for e in &events {
+            sink.event(e);
+        }
+        sink.flush().unwrap();
+        let (bytes, error) = sink.into_inner();
+        assert!(error.is_none());
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(parse_jsonl(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn parse_jsonl_reports_the_bad_line() {
+        let (line, _) = parse_jsonl(
+            "{\"type\":\"syntax-error\",\"token\":1,\"speculating\":false}\nnot json\n",
+        )
+        .unwrap_err();
+        assert_eq!(line, 2);
+        let (line, _) = parse_jsonl("{\"type\":\"martian\"}").unwrap_err();
+        assert_eq!(line, 1);
+    }
+
+    #[test]
+    fn ring_sink_bounds_and_counts() {
+        let mut sink = RingSink::new(2);
+        for e in sample_events() {
+            sink.event(&e);
+        }
+        assert_eq!(sink.seen(), 8);
+        assert_eq!(sink.events().count(), 2);
+        assert_eq!(sink.dropped(), 6);
+        let kept = sink.into_events();
+        assert!(matches!(kept[1], TraceEvent::SyntaxError { .. }), "{kept:?}");
+
+        let mut all = RingSink::unbounded();
+        for e in sample_events() {
+            all.event(&e);
+        }
+        assert_eq!(all.dropped(), 0);
+        assert_eq!(all.into_events(), sample_events());
+    }
+}

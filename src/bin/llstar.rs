@@ -21,13 +21,13 @@
 //!   stale after a grammar edit, corrupted) triggers re-analysis and an
 //!   atomic rewrite. The hit/miss outcome is reported on stderr.
 
-use llstar::codegen::generate;
+use llstar::codegen::{generate_with, CodegenOptions};
 use llstar::core::{
-    analyze_cached_with, analyze_with, cache_path, deserialize_analysis, serialize_analysis,
-    AnalysisOptions, Atn, DecisionClass, GrammarAnalysis,
+    analyze_cached_metered, analyze_with, cache_path, deserialize_analysis, serialize_analysis,
+    AnalysisOptions, AnalysisRecord, Atn, CacheMetrics, DecisionClass, GrammarAnalysis,
 };
 use llstar::grammar::{apply_peg_mode, parse_grammar, validate, Grammar};
-use llstar::runtime::{parse_text, NopHooks};
+use llstar::runtime::{parse_text, parse_text_traced, NopHooks, ParseStats, RingSink};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -37,12 +37,21 @@ struct Flags {
     cache: Option<PathBuf>,
     /// `--jobs N`: analysis worker threads (0 = available parallelism).
     jobs: Option<usize>,
+    /// `--json <path>`: JSONL export target (`profile`).
+    json: Option<PathBuf>,
+    /// `--rule <name>`: start rule override (`profile`).
+    rule: Option<String>,
+    /// `-v`/`--verbose`: extra diagnostics (e.g. cache metrics).
+    verbose: bool,
+    /// `--trace`: emit trace hooks in generated parsers (`generate`).
+    trace: bool,
 }
 
-/// Extracts `--cache`/`--jobs` from `args`, returning the remaining
+/// Extracts the shared flags from `args`, returning the remaining
 /// positional arguments and the parsed flags.
 fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
-    let mut flags = Flags { cache: None, jobs: None };
+    let mut flags =
+        Flags { cache: None, jobs: None, json: None, rule: None, verbose: false, trace: false };
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -56,6 +65,16 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                 flags.jobs =
                     Some(n.parse().map_err(|_| format!("--jobs: bad thread count {n:?}"))?);
             }
+            "--json" => {
+                let path = it.next().ok_or("--json needs a file path")?;
+                flags.json = Some(PathBuf::from(path));
+            }
+            "--rule" => {
+                let name = it.next().ok_or("--rule needs a rule name")?;
+                flags.rule = Some(name.clone());
+            }
+            "-v" | "--verbose" => flags.verbose = true,
+            "--trace" => flags.trace = true,
             _ => positional.push(arg.clone()),
         }
     }
@@ -85,7 +104,7 @@ fn main() -> ExitCode {
             Ok(())
         }),
         Some("generate") => with_grammar(&args, &flags, 2, |g, a| {
-            let code = generate(g, a)?;
+            let code = generate_with(g, a, CodegenOptions { trace: flags.trace })?;
             match args.get(2) {
                 Some(path) => {
                     std::fs::write(path, code).map_err(|e| e.to_string())?;
@@ -101,6 +120,9 @@ fn main() -> ExitCode {
             eprintln!("wrote serialized lookahead DFAs to {out}");
             Ok(())
         }),
+        Some("profile") => {
+            with_grammar(&args, &flags, 2, |g, a| profile(g, a, args.get(2), &flags))
+        }
         Some("parse") => with_grammar(&args, &flags, 4, |g, a| {
             let rule = &args[2];
             // Optional: --dfa <file> loads pre-compiled DFAs instead of
@@ -137,10 +159,19 @@ fn main() -> ExitCode {
                  llstar generate <grammar.g> [out.rs]       emit a Rust parser\n\
                  llstar compile  <grammar.g> <out.dfa>      serialize lookahead DFAs\n\
                  llstar parse    <grammar.g> <rule> <file> [--dfa f]  parse a file\n\
+                 llstar profile  <grammar.g> [input]        per-decision analysis + runtime costs\n\
                  \n\
-                 shared flags (check/dfa/generate/compile/parse):\n\
+                 shared flags (check/dfa/generate/compile/parse/profile):\n\
                  --jobs N       analysis worker threads (0 = all cores, 1 = sequential)\n\
-                 --cache <dir>  reuse serialized analyses keyed by grammar hash"
+                 --cache <dir>  reuse serialized analyses keyed by grammar hash\n\
+                 -v, --verbose  extra diagnostics (cache lookup metrics)\n\
+                 \n\
+                 profile flags:\n\
+                 --rule <name>  start rule for the runtime trace (default: first rule)\n\
+                 --json <path>  export analysis records + trace events as JSONL\n\
+                 \n\
+                 generate flags:\n\
+                 --trace        emit Hooks::trace callbacks in the generated parser"
             );
             return ExitCode::from(2);
         }
@@ -185,14 +216,159 @@ fn with_grammar(
     let analysis = match &flags.cache {
         Some(dir) => {
             let cache_file = cache_path(dir, &grammar);
-            let (analysis, status) = analyze_cached_with(&grammar, &cache_file, &options)
-                .map_err(|e| format!("{}: {e}", cache_file.display()))?;
+            let mut metrics = CacheMetrics::default();
+            let (analysis, status) =
+                analyze_cached_metered(&grammar, &cache_file, &options, &mut metrics)
+                    .map_err(|e| format!("{}: {e}", cache_file.display()))?;
             eprintln!("analysis cache: {status} ({})", cache_file.display());
+            if flags.verbose {
+                eprintln!("{metrics}");
+            }
             analysis
         }
         None => analyze_with(&grammar, &options),
     };
     f(&grammar, &analysis)
+}
+
+/// `llstar profile`: one row per decision, static analysis cost on the
+/// left, observed runtime behaviour (when an input was parsed) on the
+/// right — the paper's Tables 1–4 for a single grammar.
+fn profile(
+    grammar: &Grammar,
+    analysis: &GrammarAnalysis,
+    input: Option<&String>,
+    flags: &Flags,
+) -> Result<(), String> {
+    let mut sink = RingSink::unbounded();
+    let stats: Option<ParseStats> = match input {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let rule = match &flags.rule {
+                Some(name) => name.clone(),
+                None => grammar.start_rule().name.clone(),
+            };
+            let (_, stats) =
+                parse_text_traced(grammar, analysis, &text, &rule, NopHooks, &mut sink)?;
+            eprintln!("parsed {path} from rule {rule}: {} trace events", sink.seen());
+            Some(stats)
+        }
+        None => None,
+    };
+
+    println!(
+        "{:<4} {:<14} {:<9} | {:>8} {:>8} {:>6} {:>6} {:>9} {:<14} | {:>7} {:>6} {:>6} {:>6} {:>8}",
+        "dec",
+        "rule",
+        "class",
+        "closures",
+        "configs",
+        "states",
+        "edges",
+        "time",
+        "fallback",
+        "events",
+        "avg-k",
+        "max-k",
+        "backs",
+        "max-spec"
+    );
+    for d in &analysis.atn.decisions {
+        if !d.is_grammar_decision() {
+            continue;
+        }
+        let da = analysis.decision(d.id);
+        let m = &da.metrics;
+        let time =
+            if analysis.from_cache { "cached".to_string() } else { format!("{:?}", da.elapsed) };
+        let fallback = m.fallback.map_or("-".to_string(), |r| r.to_string());
+        let (events, avg_k, max_k, backs, max_spec) = match &stats {
+            Some(s) => {
+                let ds = s.decision(d.id);
+                let avg = if ds.events > 0 {
+                    format!("{:.1}", ds.lookahead_sum as f64 / ds.events as f64)
+                } else {
+                    "-".to_string()
+                };
+                (
+                    ds.events.to_string(),
+                    avg,
+                    ds.max_lookahead.to_string(),
+                    ds.backtrack_events.to_string(),
+                    ds.backtrack_depth_max.to_string(),
+                )
+            }
+            None => ("-".into(), "-".into(), "-".into(), "-".into(), "-".into()),
+        };
+        println!(
+            "d{:<3} {:<14} {:<9} | {:>8} {:>8} {:>6} {:>6} {:>9} {:<14} | {:>7} {:>6} {:>6} {:>6} {:>8}",
+            d.id.0,
+            grammar.rule(d.rule).name,
+            da.dfa.classify().to_string(),
+            m.closure_calls,
+            m.configs_created,
+            m.dfa_states,
+            m.dfa_edges,
+            time,
+            fallback,
+            events,
+            avg_k,
+            max_k,
+            backs,
+            max_spec
+        );
+    }
+    let total = analysis.total_metrics();
+    println!(
+        "total: {} builds, {} closure calls, {} configs, {} DFA states, {} edges, analyzed in {:?}",
+        total.dfa_builds,
+        total.closure_calls,
+        total.configs_created,
+        total.dfa_states,
+        total.dfa_edges,
+        analysis.elapsed
+    );
+    if let Some(s) = &stats {
+        println!(
+            "runtime: {} events over {} decisions, avg lookahead {:.2}, max {}, \
+             {} backtracks, {} memo hits, {} memo entries",
+            s.total_events(),
+            s.decisions_covered(),
+            s.avg_lookahead(),
+            s.max_lookahead(),
+            s.total_backtrack_events(),
+            s.memo_hits,
+            s.memo_entries
+        );
+    }
+
+    if let Some(path) = &flags.json {
+        let mut out = String::new();
+        let mut lines = 0usize;
+        for d in &analysis.atn.decisions {
+            if !d.is_grammar_decision() {
+                continue;
+            }
+            let da = analysis.decision(d.id);
+            let record = AnalysisRecord {
+                decision: d.id.0,
+                rule: grammar.rule(d.rule).name.clone(),
+                class: da.dfa.classify().to_string(),
+                metrics: da.metrics,
+            };
+            out.push_str(&record.to_json());
+            out.push('\n');
+            lines += 1;
+        }
+        for event in sink.events() {
+            out.push_str(&event.to_json());
+            out.push('\n');
+            lines += 1;
+        }
+        std::fs::write(path, out).map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!("wrote {lines} JSONL lines to {}", path.display());
+    }
+    Ok(())
 }
 
 fn report(grammar: &Grammar, analysis: &GrammarAnalysis) {

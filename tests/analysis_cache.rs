@@ -1,30 +1,28 @@
 //! The persistent analysis cache, proven end to end:
 //!
-//! * a hit *skips subset construction entirely* (the global DFA build
-//!   counter does not move),
+//! * a hit *skips subset construction entirely* (`from_cache` is set and
+//!   the per-decision construction metrics are replayed from the file,
+//!   not recounted),
 //! * a grammar edit changes the fingerprint and forces re-analysis —
 //!   including an edit that touches *only* the `options { … }` block,
 //!   since analysis limits (`max_k`, `m`) derive from it,
+//! * the same cache file read under different *result-affecting* analysis
+//!   options is a `StaleOptions` miss,
 //! * truncated or corrupted cache files are rejected with a
 //!   line-numbered [`SerializeError`] — never a panic, and never a
 //!   silently wrong analysis.
 //!
-//! Every test serializes on one lock: `dfa_builds()` is a process-global
-//! counter, so deltas are only meaningful while no other analysis runs.
+//! All outcomes are observed through per-run state ([`CacheStatus`],
+//! `from_cache`, [`DecisionMetrics`]) — no process-global counters, so
+//! the tests are free to run in parallel.
 
 use llstar::core::{
-    analyze_cached, analyze_with, cache_path, deserialize_analysis, dfa_builds, serialize_analysis,
-    AnalysisOptions, CacheMiss, CacheStatus,
+    analyze_cached, analyze_cached_metered, analyze_cached_with, analyze_with, cache_path,
+    deserialize_analysis, serialize_analysis, AnalysisOptions, CacheMetrics, CacheMiss,
+    CacheStatus,
 };
 use llstar::grammar::{apply_peg_mode, parse_grammar, Grammar};
 use std::path::PathBuf;
-use std::sync::Mutex;
-
-static LOCK: Mutex<()> = Mutex::new(());
-
-fn lock() -> std::sync::MutexGuard<'static, ()> {
-    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
-}
 
 fn workdir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("llstar_cachetest_{tag}_{}", std::process::id()));
@@ -43,33 +41,35 @@ const BASE: &str = "grammar Cached;
     WS : [ ]+ -> skip ;";
 
 #[test]
-fn hit_skips_subset_construction() {
-    let _guard = lock();
+fn hit_skips_subset_construction_and_replays_metrics() {
     let g = grammar(BASE);
     let path = cache_path(&workdir("hit"), &g);
     let _ = std::fs::remove_file(&path);
 
-    let before = dfa_builds();
     let (fresh, status) = analyze_cached(&g, &path).expect("first analyze");
     assert_eq!(status, CacheStatus::Miss(CacheMiss::Absent));
-    let built = dfa_builds() - before;
-    assert!(built > 0, "a miss must run subset construction");
+    assert!(!fresh.from_cache, "a miss must run subset construction");
+    let fresh_total = fresh.total_metrics();
+    assert!(fresh_total.dfa_builds > 0 && fresh_total.closure_calls > 0, "{fresh_total:?}");
 
-    let before = dfa_builds();
     let (loaded, status) = analyze_cached(&g, &path).expect("second analyze");
     assert!(status.is_hit(), "{status}");
-    assert_eq!(dfa_builds() - before, 0, "a cache hit must not build a single DFA");
-    assert!(loaded.from_cache);
+    assert!(loaded.from_cache, "a cache hit must not build a single DFA");
     assert_eq!(
         serialize_analysis(&g, &fresh),
         serialize_analysis(&g, &loaded),
         "loaded analysis differs from the one that was cached"
     );
+    // The original construction cost is reported even though no
+    // construction ran: the metrics travelled through the file.
+    assert_eq!(loaded.total_metrics(), fresh_total);
+    for (da, db) in fresh.decisions.iter().zip(&loaded.decisions) {
+        assert_eq!(da.metrics, db.metrics, "decision d{} metrics", da.decision.0);
+    }
 }
 
 #[test]
 fn grammar_edit_changes_fingerprint_and_forces_reanalysis() {
-    let _guard = lock();
     let g1 = grammar(BASE);
     let dir = workdir("edit");
     let path = cache_path(&dir, &g1);
@@ -80,23 +80,20 @@ fn grammar_edit_changes_fingerprint_and_forces_reanalysis() {
     let g2 = grammar(&BASE.replace("t : X Y | X Z ;", "t : X Y | Y Z ;"));
     assert_eq!(cache_path(&dir, &g2), path, "edit must target the same slot");
 
-    let before = dfa_builds();
     let (a, status) = analyze_cached(&g2, &path).expect("re-analyze after edit");
-    assert_eq!(status, CacheStatus::Miss(CacheMiss::Stale));
-    assert!(dfa_builds() - before > 0, "a stale cache must be recomputed");
-    assert!(!a.from_cache);
+    assert_eq!(status, CacheStatus::Miss(CacheMiss::StaleGrammar));
+    assert!(!a.from_cache, "a stale cache must be recomputed");
 
     // The rewrite re-keys the slot: the edited grammar now hits, and the
     // *original* grammar is the one that misses.
     let (_, status) = analyze_cached(&g2, &path).expect("hit after rewrite");
     assert!(status.is_hit(), "{status}");
     let (_, status) = analyze_cached(&g1, &path).expect("original now stale");
-    assert_eq!(status, CacheStatus::Miss(CacheMiss::Stale));
+    assert_eq!(status, CacheStatus::Miss(CacheMiss::StaleGrammar));
 }
 
 #[test]
 fn options_block_edit_forces_reanalysis() {
-    let _guard = lock();
     let g1 = grammar(BASE);
     let dir = workdir("opts");
     let path = cache_path(&dir, &g1);
@@ -106,14 +103,13 @@ fn options_block_edit_forces_reanalysis() {
     // Identical rules — only the options block changes. `k = 1` bounds
     // the lookahead, which changes the DFAs and the ambiguity warnings,
     // so serving the unbounded-k cache would silently alter results.
+    // The edit changes the grammar text, so this is a grammar-level miss.
     let g2 = grammar(&BASE.replace("grammar Cached;", "grammar Cached; options { k = 1; }"));
     assert_eq!(cache_path(&dir, &g2), path, "options edit must target the same slot");
 
-    let before = dfa_builds();
     let (a, status) = analyze_cached(&g2, &path).expect("re-analyze after options edit");
-    assert_eq!(status, CacheStatus::Miss(CacheMiss::Stale));
-    assert!(dfa_builds() - before > 0, "an options edit must force re-analysis");
-    assert!(!a.from_cache);
+    assert_eq!(status, CacheStatus::Miss(CacheMiss::StaleGrammar));
+    assert!(!a.from_cache, "an options edit must force re-analysis");
     assert_eq!(a.options.max_k, Some(1));
 
     let (b, status) = analyze_cached(&g2, &path).expect("hit with matching options");
@@ -122,8 +118,38 @@ fn options_block_edit_forces_reanalysis() {
 }
 
 #[test]
+fn option_override_without_grammar_edit_is_a_stale_options_miss() {
+    let g = grammar(BASE);
+    let dir = workdir("optover");
+    let path = cache_path(&dir, &g);
+    let _ = std::fs::remove_file(&path);
+
+    let mut metrics = CacheMetrics::default();
+    let defaults = AnalysisOptions::from_grammar(&g);
+    analyze_cached_metered(&g, &path, &defaults, &mut metrics).expect("prime the cache");
+
+    // Same grammar text, different result-affecting analysis options:
+    // the fingerprint matches but the recorded options do not.
+    let mut bounded = defaults.clone();
+    bounded.max_k = Some(1);
+    let (a, status) =
+        analyze_cached_metered(&g, &path, &bounded, &mut metrics).expect("bounded re-analysis");
+    assert_eq!(status, CacheStatus::Miss(CacheMiss::StaleOptions));
+    assert!(!a.from_cache);
+
+    // The rewrite re-keys the slot to the bounded options.
+    let (_, status) =
+        analyze_cached_metered(&g, &path, &bounded, &mut metrics).expect("bounded hit");
+    assert!(status.is_hit(), "{status}");
+
+    assert_eq!(metrics.lookups(), 3);
+    assert_eq!(metrics.absent, 1);
+    assert_eq!(metrics.stale_options, 1);
+    assert_eq!(metrics.hits, 1);
+}
+
+#[test]
 fn truncated_caches_are_rejected_with_a_line_number() {
-    let _guard = lock();
     let g = grammar(BASE);
     let full = serialize_analysis(&g, &analyze_with(&g, &AnalysisOptions::from_grammar(&g)));
     let total_lines = full.lines().count();
@@ -147,7 +173,6 @@ fn truncated_caches_are_rejected_with_a_line_number() {
 
 #[test]
 fn corrupted_caches_are_rejected_never_panicking() {
-    let _guard = lock();
     let g = grammar(BASE);
     let dir = workdir("corrupt");
     let path = cache_path(&dir, &g);
@@ -183,8 +208,10 @@ fn corrupted_caches_are_rejected_never_panicking() {
         }
     }
 
-    // And the cache layer turns any such file into a repairing miss.
-    std::fs::write(&path, "llstar-analysis v1\nfingerprint zzzz\n").expect("plant corrupt cache");
+    // And the cache layer turns any such file into a repairing miss —
+    // including a file written by the superseded v1 format, which lacks
+    // the per-decision metrics lines.
+    std::fs::write(&path, "llstar-analysis v1\nfingerprint zzzz\n").expect("plant old cache");
     let (a, status) = analyze_cached(&g, &path).expect("recover from corruption");
     match status {
         CacheStatus::Miss(CacheMiss::Invalid(e)) => {
@@ -199,7 +226,6 @@ fn corrupted_caches_are_rejected_never_panicking() {
 
 #[test]
 fn cache_written_by_parallel_analysis_hits_for_sequential_and_vice_versa() {
-    let _guard = lock();
     let g = grammar(BASE);
     let dir = workdir("xthreads");
 
@@ -210,12 +236,12 @@ fn cache_written_by_parallel_analysis_hits_for_sequential_and_vice_versa() {
         let _ = std::fs::remove_file(&path);
         let mut options = AnalysisOptions::from_grammar(&g);
         options.threads = writer_threads;
-        let (_, status) = llstar::core::analyze_cached_with(&g, &path, &options).expect("prime");
+        let (_, status) = analyze_cached_with(&g, &path, &options).expect("prime");
         assert!(!status.is_hit());
         for reader_threads in [1usize, 4] {
             let mut options = AnalysisOptions::from_grammar(&g);
             options.threads = reader_threads;
-            let (a, status) = llstar::core::analyze_cached_with(&g, &path, &options).expect("read");
+            let (a, status) = analyze_cached_with(&g, &path, &options).expect("read");
             assert!(
                 status.is_hit(),
                 "writer threads={writer_threads}, reader threads={reader_threads}: {status}"

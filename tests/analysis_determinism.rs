@@ -7,6 +7,7 @@
 
 use llstar::core::{analyze_with, serialize_analysis, AnalysisOptions, GrammarAnalysis};
 use llstar::grammar::{apply_peg_mode, parse_grammar, Grammar};
+use llstar::runtime::{parse_text_traced, JsonlSink, NopHooks};
 use std::path::PathBuf;
 
 /// Thread counts to pit against the sequential baseline. `0` is the
@@ -83,6 +84,48 @@ fn suite_grammars_analyze_identically_at_any_thread_count() {
     for entry in llstar_suite::all() {
         let grammar = entry.load();
         assert_deterministic(entry.name, &grammar);
+    }
+}
+
+/// Traces the smoke input for `stem` against an analysis computed with
+/// `threads` workers and returns the JSONL bytes the sink wrote.
+fn trace_smoke(stem: &str, threads: usize) -> Vec<u8> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("grammars");
+    let source = std::fs::read_to_string(dir.join(format!("{stem}.g"))).expect("read grammar");
+    let input =
+        std::fs::read_to_string(dir.join("smoke").join(format!("{stem}.txt"))).expect("read input");
+    let grammar = apply_peg_mode(parse_grammar(&source).expect("grammar parses"));
+    let analysis = analyze_at(&grammar, threads);
+    let mut sink = JsonlSink::new(Vec::new());
+    let start = grammar.start_rule().name.clone();
+    parse_text_traced(&grammar, &analysis, &input, &start, NopHooks, &mut sink)
+        .unwrap_or_else(|e| panic!("{stem}: smoke input failed to parse: {e}"));
+    let (bytes, error) = sink.into_inner();
+    assert!(error.is_none(), "{stem}: sink I/O error");
+    assert!(!bytes.is_empty(), "{stem}: traced parse emitted no events");
+    bytes
+}
+
+/// The determinism contract extends through the runtime: the same
+/// grammar and input must yield a byte-identical JSONL event trace on
+/// every run, no matter how many threads computed the DFAs the
+/// predictor walks. (The serialized-analysis checks above already pin
+/// the *construction* metrics across thread counts — the v2 format
+/// embeds them — so this closes the loop on the *prediction* side.)
+#[test]
+fn prediction_traces_are_byte_identical_across_runs_and_thread_counts() {
+    for stem in ["calculator", "config", "json", "paper_section2"] {
+        let baseline = trace_smoke(stem, 1);
+        for &threads in THREAD_COUNTS {
+            assert_eq!(
+                baseline,
+                trace_smoke(stem, threads),
+                "{stem}: trace differs when the analysis used threads={threads}"
+            );
+        }
+        // And re-running identically is identical — no hidden
+        // iteration-order or timing dependence in the events.
+        assert_eq!(baseline, trace_smoke(stem, 1), "{stem}: trace differs between runs");
     }
 }
 

@@ -76,7 +76,7 @@ fn compile_then_parse_with_dfa_file() {
     let dfa = workdir().join("demo.dfa").to_string_lossy().to_string();
     let (ok, _, stderr) = llstar(&["compile", &g, &dfa]);
     assert!(ok, "{stderr}");
-    assert!(std::fs::read_to_string(&dfa).unwrap().starts_with("llstar-analysis v1"));
+    assert!(std::fs::read_to_string(&dfa).unwrap().starts_with("llstar-analysis v2"));
 
     let input = workdir().join("input.txt");
     std::fs::write(&input, "unsigned unsigned int counter").unwrap();
@@ -150,6 +150,94 @@ fn check_with_cache_hits_on_second_run() {
     assert!(stderr.contains("analysis cache: hit"), "{stderr}");
     assert!(stdout.contains("analysis loaded from cache; DFA construction skipped"), "{stdout}");
     assert!(stdout.contains("decision classes"), "{stdout}");
+}
+
+#[test]
+fn profile_prints_analysis_and_runtime_columns() {
+    let g = grammar_path();
+    let input = workdir().join("profile_input.txt");
+    std::fs::write(&input, "unsigned unsigned int counter").unwrap();
+
+    let (ok, stdout, stderr) = llstar(&["profile", &g, &input.to_string_lossy()]);
+    assert!(ok, "{stderr}");
+    // Static analysis columns…
+    for col in ["closures", "configs", "states", "edges", "fallback"] {
+        assert!(stdout.contains(col), "missing column {col:?}: {stdout}");
+    }
+    // …runtime columns fed by the trace…
+    for col in ["events", "avg-k", "max-k"] {
+        assert!(stdout.contains(col), "missing column {col:?}: {stdout}");
+    }
+    // …one row per decision-bearing rule plus the totals row.
+    assert!(stdout.contains(" s "), "{stdout}");
+    assert!(stdout.contains("total"), "{stdout}");
+    assert!(stderr.contains("trace events"), "{stderr}");
+
+    // Without an input the analysis half still prints, runtime shows "-".
+    let (ok, stdout, stderr) = llstar(&["profile", &g]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("closures"), "{stdout}");
+}
+
+#[test]
+fn profile_json_round_trips_and_is_deterministic() {
+    use llstar::core::{AnalysisRecord, Json};
+    use llstar::runtime::TraceEvent;
+
+    let g = grammar_path();
+    let input = workdir().join("profile_rt.txt");
+    std::fs::write(&input, "unsigned unsigned int counter").unwrap();
+    let input = input.to_string_lossy().to_string();
+    let json_a = workdir().join("profile_a.jsonl").to_string_lossy().to_string();
+    let json_b = workdir().join("profile_b.jsonl").to_string_lossy().to_string();
+
+    let (ok, _, stderr) = llstar(&["profile", &g, &input, "--json", &json_a, "--jobs", "2"]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("JSONL"), "{stderr}");
+    let (ok, _, stderr) = llstar(&["profile", &g, &input, "--json", &json_b, "--jobs", "2"]);
+    assert!(ok, "{stderr}");
+
+    let a = std::fs::read_to_string(&json_a).unwrap();
+    let b = std::fs::read_to_string(&json_b).unwrap();
+    assert_eq!(a, b, "profile --json must be byte-deterministic across runs");
+
+    // Every line parses back through the public APIs: analysis records
+    // via AnalysisRecord::from_json, trace events via TraceEvent.
+    let mut analysis_lines = 0usize;
+    let mut event_lines = 0usize;
+    for (i, line) in a.lines().enumerate() {
+        let v = Json::parse(line).unwrap_or_else(|e| panic!("line {}: {e}", i + 1));
+        if v.get("type").and_then(Json::as_str) == Some("analysis") {
+            let rec =
+                AnalysisRecord::from_json(&v).unwrap_or_else(|e| panic!("line {}: {e}", i + 1));
+            assert!(!rec.rule.is_empty());
+            analysis_lines += 1;
+        } else {
+            let ev = TraceEvent::from_json(&v).unwrap_or_else(|e| panic!("line {}: {e}", i + 1));
+            assert_eq!(ev.to_json(), line, "line {}: event does not re-serialize", i + 1);
+            event_lines += 1;
+        }
+    }
+    assert!(analysis_lines > 0, "no analysis records exported");
+    assert!(event_lines > 0, "no trace events exported");
+}
+
+#[test]
+fn verbose_check_reports_cache_metrics() {
+    let g = grammar_path();
+    let cache = workdir().join("cache_metrics_dir");
+    let _ = std::fs::remove_dir_all(&cache);
+    let cache = cache.to_string_lossy().to_string();
+
+    let (ok, _, stderr) = llstar(&["check", &g, "--cache", &cache, "-v"]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("cache metrics:"), "{stderr}");
+    assert!(stderr.contains("1 lookups"), "{stderr}");
+    assert!(stderr.contains("1 absent"), "{stderr}");
+
+    let (ok, _, stderr) = llstar(&["check", &g, "--cache", &cache, "--verbose"]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("1 hits"), "{stderr}");
 }
 
 #[test]
