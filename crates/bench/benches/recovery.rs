@@ -1,0 +1,94 @@
+//! Error-recovery overhead: parsing the same generated input three ways
+//! per suite grammar — strict (recovery off), recovery-enabled on clean
+//! input (the overhead of the machinery on the happy path, which should
+//! be noise), and recovery-enabled on an input with ~1% of its tokens
+//! corrupted (the cost of actually repairing).
+
+use llstar_bench::{hooks_for, BenchGroup};
+use llstar_core::analyze;
+use llstar_lexer::Token;
+use llstar_rng::Rng64;
+use llstar_runtime::{Parser, TokenStream};
+use std::hint::black_box;
+use std::time::Duration;
+
+const LINES: usize = 300;
+
+/// Same mutation kernel as `report::recovery_run` / the recovery fuzzer.
+fn corrupt_tokens(tokens: &mut Vec<Token>, pct: f64, seed: u64) {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let body = tokens.len().saturating_sub(1);
+    let sites = ((body as f64 * pct / 100.0).ceil() as usize).max(1);
+    for _ in 0..sites {
+        let body = tokens.len() - 1;
+        if body == 0 {
+            break;
+        }
+        let i = rng.gen_range(0..body);
+        match rng.gen_range(0..3u8) {
+            0 => {
+                tokens.remove(i);
+            }
+            1 => {
+                let t = tokens[i];
+                tokens.insert(i, t);
+            }
+            _ => {
+                if i + 1 < body {
+                    tokens.swap(i, i + 1);
+                } else {
+                    let t = tokens[i];
+                    tokens.insert(i, t);
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut group = BenchGroup::new("recovery");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for entry in llstar_suite::all() {
+        let grammar = entry.load();
+        let analysis = analyze(&grammar);
+        let input = (entry.generate)(LINES, 42);
+        let scanner = grammar.lexer.build().expect("suite lexer builds");
+        let tokens = scanner.tokenize(&input).expect("suite input lexes");
+        let mut corrupted = tokens.clone();
+        corrupt_tokens(&mut corrupted, 1.0, 42);
+        group.throughput_elements(input.lines().count() as u64);
+        group.bench_function(format!("{}/strict", entry.name), || {
+            let mut parser = Parser::new(
+                &grammar,
+                &analysis,
+                TokenStream::new(tokens.clone()),
+                hooks_for(&entry, &input),
+            );
+            let tree = parser.parse_to_eof(entry.start_rule).expect("clean input parses");
+            black_box(tree.token_count())
+        });
+        group.bench_function(format!("{}/recovery-clean", entry.name), || {
+            let mut parser = Parser::new(
+                &grammar,
+                &analysis,
+                TokenStream::new(tokens.clone()),
+                hooks_for(&entry, &input),
+            );
+            parser.enable_recovery(usize::MAX);
+            let tree = parser.parse_to_eof(entry.start_rule).expect("clean input parses");
+            black_box(tree.token_count())
+        });
+        group.bench_function(format!("{}/recovery-1pct-corrupt", entry.name), || {
+            let mut parser = Parser::new(
+                &grammar,
+                &analysis,
+                TokenStream::new(corrupted.clone()),
+                hooks_for(&entry, &input),
+            );
+            parser.enable_recovery(usize::MAX);
+            let tree = parser.parse_to_eof(entry.start_rule).expect("recovery reaches EOF");
+            black_box((tree.token_count(), parser.take_errors().len()))
+        });
+    }
+    group.finish();
+}

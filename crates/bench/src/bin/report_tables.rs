@@ -88,8 +88,14 @@ fn main() {
             };
             println!("{text}");
         }
-        match std::fs::write(&analysis_json, report::analysis_jsonl(&runs)) {
-            Ok(()) => eprintln!("wrote per-decision analysis metrics to {analysis_json}"),
+        eprintln!("measuring error-recovery overhead (clean vs 1% corrupted tokens)…");
+        let recovery = report::recovery_all(lines, seed);
+        println!("{}", report::format_recovery(&recovery));
+        let jsonl = report::analysis_jsonl(&runs) + &report::recovery_jsonl(&recovery);
+        match std::fs::write(&analysis_json, jsonl) {
+            Ok(()) => {
+                eprintln!("wrote per-decision analysis + recovery metrics to {analysis_json}")
+            }
             Err(e) => eprintln!("warning: could not write {analysis_json}: {e}"),
         }
     }

@@ -3,7 +3,8 @@
 //! via [`figures`]. The `report_tables` binary prints everything; the
 //! benches under `benches/` (driven by the dependency-free [`harness`])
 //! measure analysis and parse speed, LL(*) vs packrat, memoization,
-//! analysis scaling across threads, and the fixed-k ablation.
+//! analysis scaling across threads, the fixed-k ablation, and
+//! error-recovery overhead (clean vs 1%-corrupted inputs).
 
 #![warn(missing_docs)]
 
@@ -14,7 +15,7 @@ pub mod report;
 pub use figures::{cyclic_figure, figure1, figure2, figure6, Figure};
 pub use harness::BenchGroup;
 pub use report::{
-    can_backtrack_by_id, decision_classes, format_table1, format_table2, format_table3,
-    format_table4, hooks_for, run_all, run_grammar, GrammarRun, Table1Row, Table2Row, Table3Row,
-    Table4Row,
+    can_backtrack_by_id, decision_classes, format_recovery, format_table1, format_table2,
+    format_table3, format_table4, hooks_for, recovery_all, recovery_run, run_all, run_grammar,
+    GrammarRun, RecoveryRow, Table1Row, Table2Row, Table3Row, Table4Row,
 };

@@ -298,6 +298,186 @@ pub fn analysis_jsonl(runs: &[GrammarRun]) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Error-recovery overhead
+// ---------------------------------------------------------------------------
+
+/// Recovery-overhead measurements for one suite grammar: the same
+/// generated input parsed strict, parsed with recovery enabled (the
+/// clean-input overhead, which should be noise), and parsed with
+/// recovery after ~1% of its tokens were corrupted.
+#[derive(Debug)]
+pub struct RecoveryRow {
+    /// Grammar name.
+    pub name: &'static str,
+    /// Tokens in the clean input (excluding EOF).
+    pub input_tokens: usize,
+    /// Corruption sites applied (~1% of tokens).
+    pub corrupted_sites: usize,
+    /// Diagnostics reported on the corrupted input.
+    pub diagnostics: usize,
+    /// Recovery counters from the corrupted parse.
+    pub stats: ParseStats,
+    /// Strict parse of the clean input.
+    pub clean_strict: Duration,
+    /// Recovery-enabled parse of the clean input (overhead vs strict).
+    pub clean_recovery: Duration,
+    /// Recovery-enabled parse of the corrupted input.
+    pub corrupt_recovery: Duration,
+}
+
+/// Corrupts roughly `pct`% of `tokens` (the trailing EOF is never
+/// touched) with seeded delete/duplicate/swap mutations, mirroring
+/// `tests/recovery_fuzz.rs`. Returns the number of sites mutated.
+fn corrupt_tokens(tokens: &mut Vec<llstar_lexer::Token>, pct: f64, seed: u64) -> usize {
+    let mut rng = llstar_rng::Rng64::seed_from_u64(seed);
+    let body = tokens.len().saturating_sub(1); // keep EOF last
+    let sites = ((body as f64 * pct / 100.0).ceil() as usize).max(1);
+    for _ in 0..sites {
+        let body = tokens.len() - 1;
+        if body == 0 {
+            break;
+        }
+        let i = rng.gen_range(0..body);
+        match rng.gen_range(0..3u8) {
+            0 => {
+                tokens.remove(i);
+            }
+            1 => {
+                let t = tokens[i];
+                tokens.insert(i, t);
+            }
+            _ => {
+                if i + 1 < body {
+                    tokens.swap(i, i + 1);
+                } else {
+                    let t = tokens[i];
+                    tokens.insert(i, t);
+                }
+            }
+        }
+    }
+    sites
+}
+
+/// Measures recovery overhead for one suite grammar on a generated
+/// input of roughly `input_lines` lines.
+///
+/// # Panics
+/// Panics if the clean input fails to parse or the corrupted input
+/// defeats recovery (both would be bugs, and both are fuzzed).
+pub fn recovery_run(entry: SuiteEntry, input_lines: usize, seed: u64) -> RecoveryRow {
+    let grammar = entry.load();
+    let analysis = analyze(&grammar);
+    let input = (entry.generate)(input_lines, seed);
+    let scanner = grammar.lexer.build().expect("suite lexer builds");
+    let tokens = scanner.tokenize(&input).expect("suite input lexes");
+    let input_tokens = tokens.len() - 1;
+
+    let t0 = Instant::now();
+    let mut strict = Parser::new(
+        &grammar,
+        &analysis,
+        TokenStream::new(tokens.clone()),
+        hooks_for(&entry, &input),
+    );
+    strict
+        .parse_to_eof(entry.start_rule)
+        .unwrap_or_else(|e| panic!("{}: clean input failed strict parse: {e}", entry.name));
+    let clean_strict = t0.elapsed();
+
+    let t0 = Instant::now();
+    let mut clean = Parser::new(
+        &grammar,
+        &analysis,
+        TokenStream::new(tokens.clone()),
+        hooks_for(&entry, &input),
+    );
+    clean.enable_recovery(usize::MAX);
+    clean
+        .parse_to_eof(entry.start_rule)
+        .unwrap_or_else(|e| panic!("{}: clean input failed under recovery: {e}", entry.name));
+    let clean_recovery = t0.elapsed();
+    assert!(clean.take_errors().is_empty(), "{}: clean input produced diagnostics", entry.name);
+
+    let mut corrupted = tokens;
+    let corrupted_sites = corrupt_tokens(&mut corrupted, 1.0, seed.wrapping_mul(0x9e37_79b9));
+    let t0 = Instant::now();
+    let mut parser =
+        Parser::new(&grammar, &analysis, TokenStream::new(corrupted), hooks_for(&entry, &input));
+    parser.enable_recovery(usize::MAX);
+    parser
+        .parse_to_eof(entry.start_rule)
+        .unwrap_or_else(|e| panic!("{}: recovery gave up on 1% corruption: {e}", entry.name));
+    let corrupt_recovery = t0.elapsed();
+    let diagnostics = parser.take_errors().len();
+
+    RecoveryRow {
+        name: entry.name,
+        input_tokens,
+        corrupted_sites,
+        diagnostics,
+        stats: parser.stats().clone(),
+        clean_strict,
+        clean_recovery,
+        corrupt_recovery,
+    }
+}
+
+/// [`recovery_run`] over the whole suite.
+pub fn recovery_all(input_lines: usize, seed: u64) -> Vec<RecoveryRow> {
+    suite::all().into_iter().map(|e| recovery_run(e, input_lines, seed)).collect()
+}
+
+/// JSONL export of the recovery rows: one `recovery` line per grammar,
+/// appended to `BENCH_analysis.json` after the analysis records.
+pub fn recovery_jsonl(rows: &[RecoveryRow]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        let line = Json::Object(vec![
+            ("type".into(), Json::Str("recovery".into())),
+            ("grammar".into(), Json::Str(r.name.to_string())),
+            ("input-tokens".into(), Json::Num(r.input_tokens as u64)),
+            ("corrupted-sites".into(), Json::Num(r.corrupted_sites as u64)),
+            ("diagnostics".into(), Json::Num(r.diagnostics as u64)),
+            ("recoveries".into(), Json::Num(r.stats.recoveries)),
+            ("tokens-deleted".into(), Json::Num(r.stats.tokens_deleted)),
+            ("tokens-inserted".into(), Json::Num(r.stats.tokens_inserted)),
+            ("tokens-skipped".into(), Json::Num(r.stats.tokens_skipped)),
+            ("clean-strict-micros".into(), Json::Num(r.clean_strict.as_micros() as u64)),
+            ("clean-recovery-micros".into(), Json::Num(r.clean_recovery.as_micros() as u64)),
+            ("corrupt-recovery-micros".into(), Json::Num(r.corrupt_recovery.as_micros() as u64)),
+        ]);
+        out.push_str(&line.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats the recovery-overhead table.
+pub fn format_recovery(rows: &[RecoveryRow]) -> String {
+    let mut out = String::from(
+        "Recovery overhead (clean input, recovery on vs off; 1% corrupted tokens)\n\
+         Grammar      Tokens  Strict      +Recovery   Overhead%  Sites  Diags  Corrupt-parse\n",
+    );
+    for r in rows {
+        let overhead = 100.0 * (r.clean_recovery.as_secs_f64() - r.clean_strict.as_secs_f64())
+            / r.clean_strict.as_secs_f64().max(f64::EPSILON);
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>10.1?} {:>11.1?} {:>9.1} {:>6} {:>6} {:>13.1?}\n",
+            r.name,
+            r.input_tokens,
+            r.clean_strict,
+            r.clean_recovery,
+            overhead,
+            r.corrupted_sites,
+            r.diagnostics,
+            r.corrupt_recovery
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Formatting
 // ---------------------------------------------------------------------------
 
@@ -493,6 +673,28 @@ mod tests {
         }
         assert!(analysis_lines > 30, "Java alone has dozens of decisions");
         assert_eq!(summaries, ["Java", "SQL"]);
+    }
+
+    #[test]
+    fn recovery_run_measures_overhead_and_repairs() {
+        let row = recovery_run(suite::by_name("SQL").unwrap(), 60, 7);
+        assert!(row.input_tokens > 50, "{row:?}");
+        assert!(row.corrupted_sites >= 1, "{row:?}");
+        // Corruption must surface at least one diagnostic, and cascade
+        // suppression keeps the count linear in the sites mutated.
+        assert!(row.diagnostics >= 1, "{row:?}");
+        assert!(row.diagnostics <= 8 * row.corrupted_sites + 2, "{row:?}");
+        assert_eq!(row.stats.recoveries as usize, row.diagnostics, "{row:?}");
+        let text = format_recovery(&[row]);
+        assert!(text.contains("SQL"), "{text}");
+        let jsonl = recovery_jsonl(&recovery_all(40, 3));
+        let mut grammars = Vec::new();
+        for line in jsonl.lines() {
+            let v = Json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            assert_eq!(v.get("type").and_then(Json::as_str), Some("recovery"), "{line}");
+            grammars.push(v.get("grammar").and_then(Json::as_str).unwrap().to_string());
+        }
+        assert_eq!(grammars.len(), suite::all().len());
     }
 
     #[test]

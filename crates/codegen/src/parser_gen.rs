@@ -40,6 +40,25 @@ struct ParserGen<'a> {
     used_decisions: Vec<usize>,
     /// Emit `Hooks::trace` calls around predictors and synpreds.
     trace: bool,
+    /// Interned expected-token sets, in first-use order; emitted as the
+    /// `EXPECTED_SETS` static the recovery helpers index into.
+    sets: Vec<Vec<u32>>,
+    set_ids: std::collections::HashMap<Vec<u32>, usize>,
+    /// Cursor over [`llstar_core::Atn::token_sites`]: one `(from, to)`
+    /// state pair per `Element::Token`, in creation order — which is
+    /// exactly this module's emission order (same invariant as
+    /// [`DecisionCursor`]).
+    token_site: usize,
+    /// Cursor over [`llstar_core::Atn::call_sites`] (follow state per
+    /// `Element::Rule`), same order invariant.
+    call_site: usize,
+    /// Emitting a synpred fragment body: recovery never engages while
+    /// speculating, so sites emit the plain strict forms (the cursors
+    /// still advance to stay aligned).
+    in_fragment: bool,
+    /// The rule whose body is being emitted (for sync-and-return's early
+    /// `return Ok(Tree::Rule { .. })` and diagnostic trace ids).
+    current_rule: usize,
 }
 
 /// Generates the parser for `grammar` into `w`. `analysis` must come from
@@ -50,7 +69,18 @@ pub fn emit_parser(
     analysis: &GrammarAnalysis,
     options: CodegenOptions,
 ) {
-    let mut gen = ParserGen { grammar, analysis, used_decisions: Vec::new(), trace: options.trace };
+    let mut gen = ParserGen {
+        grammar,
+        analysis,
+        used_decisions: Vec::new(),
+        trace: options.trace,
+        sets: Vec::new(),
+        set_ids: std::collections::HashMap::new(),
+        token_site: 0,
+        call_site: 0,
+        in_fragment: false,
+        current_rule: 0,
+    };
     gen.emit(w);
 }
 
@@ -75,10 +105,60 @@ impl<'a> ParserGen<'a> {
             self.emit_predictor(w, d);
         }
         w.close("}");
+        assert_eq!(
+            self.token_site,
+            self.analysis.atn.token_sites.len(),
+            "codegen token-site order diverged from ATN construction"
+        );
+        assert_eq!(
+            self.call_site,
+            self.analysis.atn.call_sites.len(),
+            "codegen call-site order diverged from ATN construction"
+        );
+        self.emit_expected_sets(w);
+    }
+
+    /// Interns an expected set, returning its `EXPECTED_SETS` index.
+    fn set_id(&mut self, set: &llstar_core::TokenSet) -> usize {
+        let key: Vec<u32> = set.iter().map(|t| t.0).collect();
+        if let Some(&id) = self.set_ids.get(&key) {
+            return id;
+        }
+        let id = self.sets.len();
+        self.set_ids.insert(key.clone(), id);
+        self.sets.push(key);
+        id
+    }
+
+    fn emit_expected_sets(&self, w: &mut CodeWriter) {
+        w.blank();
+        w.line("/// Deduplicated expected-token sets (ascending token types),");
+        w.line("/// indexed by the ids baked into the recovery call sites.");
+        let entries: Vec<String> = self
+            .sets
+            .iter()
+            .map(|s| {
+                let items: Vec<String> = s.iter().map(|t| t.to_string()).collect();
+                format!("&[{}]", items.join(", "))
+            })
+            .collect();
+        w.line(&format!("static EXPECTED_SETS: &[&[u32]] = &[{}];", entries.join(", ")));
     }
 
     fn emit_parser_struct(&self, w: &mut CodeWriter) {
         w.line("enum Memo { Stop(usize), Fail(Error) }");
+        w.blank();
+        w.line("/// Outcome of a recovery-aware terminal match (`expect_r`).");
+        w.open("enum Matched {");
+        w.line("/// The expected token, matched normally.");
+        w.line("Tok(Token),");
+        w.line("/// Single-token deletion: the extraneous token, then the match.");
+        w.line("Del(Token, Token),");
+        w.line("/// Single-token insertion: the synthesized token type.");
+        w.line("Ins(u32),");
+        w.line("/// Sync-and-return: the tokens skipped resynchronizing.");
+        w.line("Out(Vec<Token>),");
+        w.close("}");
         w.blank();
         w.line("/// The generated recursive-descent LL(*) parser.");
         w.open("pub struct Parser<'h, H: Hooks> {");
@@ -87,12 +167,43 @@ impl<'a> ParserGen<'a> {
         w.line("speculating: u32,");
         w.line("memo: std::collections::HashMap<(u32, usize), Memo>,");
         w.line("hooks: &'h mut H,");
+        w.line("/// Error recovery enabled (see `enable_recovery`).");
+        w.line("recovering: bool,");
+        w.line("/// Cap on recorded diagnostics; exceeding it aborts the parse.");
+        w.line("max_errors: usize,");
+        w.line("/// Error condition: set on report, cleared when a real token");
+        w.line("/// matches; while set, follow-up repairs at the same corruption");
+        w.line("/// site run silently (ANTLR's cascade suppression).");
+        w.line("in_error_mode: bool,");
+        w.line("errors: Vec<Diag>,");
+        w.line("/// `EXPECTED_SETS` ids of the follow states of every rule");
+        w.line("/// invocation on the call stack (the dynamic resync set).");
+        w.line("follow: Vec<usize>,");
+        w.line("/// Side channel from a failing predictor to `recover_nv`:");
+        w.line("/// (offending token index, decision expected-set id).");
+        w.line("nv: Option<(usize, usize)>,");
+        w.line("/// ANTLR's `lastErrorIndex` failsafe: position of the last");
+        w.line("/// zero-consumption repair; a repeat at the same position");
+        w.line("/// force-consumes one token so loops cannot spin.");
+        w.line("last_err_idx: usize,");
         w.close("}");
         w.blank();
         w.open("impl<'h, H: Hooks> Parser<'h, H> {");
         w.line("/// Creates a parser over a token buffer ending in EOF.");
         w.open("pub fn new(tokens: Vec<Token>, hooks: &'h mut H) -> Self {");
-        w.line("Parser { tokens, pos: 0, speculating: 0, memo: std::collections::HashMap::new(), hooks }");
+        w.line("Parser { tokens, pos: 0, speculating: 0, memo: std::collections::HashMap::new(), hooks, recovering: false, max_errors: 0, in_error_mode: false, errors: Vec::new(), follow: Vec::new(), nv: None, last_err_idx: usize::MAX }");
+        w.close("}");
+        w.blank();
+        w.line("/// Enables error recovery: syntax errors are repaired and");
+        w.line("/// collected (up to `max_errors`) instead of aborting.");
+        w.open("pub fn enable_recovery(&mut self, max_errors: usize) {");
+        w.line("self.recovering = true;");
+        w.line("self.max_errors = max_errors;");
+        w.close("}");
+        w.blank();
+        w.line("/// Diagnostics recorded by recovery, in input order.");
+        w.open("pub fn take_errors(&mut self) -> Vec<Diag> {");
+        w.line("std::mem::take(&mut self.errors)");
         w.close("}");
         w.blank();
         w.open("fn la(&self, i: usize) -> u32 {");
@@ -114,8 +225,220 @@ impl<'a> ParserGen<'a> {
         w.line("Err(self.err_at(0, format!(\"expected {name}\")))");
         w.close("}");
         w.close("}");
+        w.blank();
+        w.open("fn consume(&mut self) -> Token {");
+        w.line("let t = self.tokens[self.pos.min(self.tokens.len() - 1)];");
+        w.line("if self.pos + 1 < self.tokens.len() { self.pos += 1; }");
+        w.line("t");
         w.close("}");
         w.blank();
+        w.line("/// Whether `t` belongs to the dynamic resynchronization set:");
+        w.line("/// the union of expected sets over the follow states of every");
+        w.line("/// rule invocation on the call stack, plus EOF.");
+        w.open("fn in_resync(&self, t: u32) -> bool {");
+        w.line("if t == 0 { return true; }");
+        w.line("self.follow.iter().any(|&f| EXPECTED_SETS[f].contains(&t))");
+        w.close("}");
+        w.blank();
+        w.line("/// Records a diagnostic, or fails the parse when `max_errors`");
+        w.line("/// is reached. Reports are suppressed while the error condition");
+        w.line("/// is set (no token matched since the last report).");
+        w.open("fn report(&mut self, d: Diag, e: Error, rid: u32) -> Result<(), Error> {");
+        w.line("if self.in_error_mode { return Ok(()); }");
+        w.line("if self.errors.len() >= self.max_errors { return Err(e); }");
+        if self.trace {
+            w.line("self.hooks.trace(\"recover\", rid, self.pos);");
+        } else {
+            w.line("let _ = rid;");
+        }
+        w.line("self.errors.push(d);");
+        w.line("self.in_error_mode = true;");
+        w.line("Ok(())");
+        w.close("}");
+        w.blank();
+        w.line("/// Consumes tokens until the resynchronization set (or EOF).");
+        w.open("fn sync(&mut self) -> Vec<Token> {");
+        if self.trace {
+            w.line("let start = self.pos;");
+        }
+        w.line("let mut skipped = Vec::new();");
+        w.open("loop {");
+        w.line("let la = self.la(1);");
+        w.line("if la == 0 || self.in_resync(la) { break; }");
+        w.line("skipped.push(self.consume());");
+        w.close("}");
+        if self.trace {
+            w.line("self.hooks.trace(\"sync-skip\", skipped.len() as u32, start);");
+        }
+        w.line("skipped");
+        w.close("}");
+        w.blank();
+        w.line("/// Recovery-aware terminal match: on mismatch (outside");
+        w.line("/// speculation), reports a diagnostic and repairs by");
+        w.line("/// single-token deletion (`la(2)` matches), single-token");
+        w.line("/// insertion (`la(1)` is in the successor state's expected");
+        w.line("/// set `succ`), or sync-and-return.");
+        w.open("fn expect_r(&mut self, ttype: u32, name: &str, succ: usize, rid: u32) -> Result<Matched, Error> {");
+        w.open("if self.la(1) == ttype {");
+        w.line("let t = self.consume();");
+        w.line("if self.speculating == 0 { self.in_error_mode = false; }");
+        w.line("return Ok(Matched::Tok(t));");
+        w.close("}");
+        w.line("let e = self.err_at(0, format!(\"expected {name}\"));");
+        w.line("if !self.recovering || self.speculating > 0 { return Err(e); }");
+        w.line("let t = self.tokens[self.pos.min(self.tokens.len() - 1)];");
+        w.line("let found = TOKEN_NAMES[t.ttype as usize];");
+        w.line("let d = Diag { kind: \"mismatch\", line: t.line, col: t.col, start: t.start, end: t.end, found: found.to_string(), expected: vec![name.to_string()], message: format!(\"expected {name}, found {found}\") };");
+        w.line("self.report(d, e, rid)?;");
+        w.open("if self.la(2) == ttype {");
+        w.line("let bad = self.consume();");
+        if self.trace {
+            w.line("self.hooks.trace(\"token-deleted\", bad.ttype, self.pos - 1);");
+        }
+        w.open("if self.la(1) == ttype {");
+        w.line("let tok = self.consume();");
+        w.line("if self.speculating == 0 { self.in_error_mode = false; }");
+        w.line("return Ok(Matched::Del(bad, tok));");
+        w.close("}");
+        w.line("// The deletion guess was wrong; resynchronize, keeping the");
+        w.line("// deleted token in the error node.");
+        w.line("let mut skipped = vec![bad];");
+        w.line("skipped.extend(self.sync());");
+        w.line("return Ok(Matched::Out(skipped));");
+        w.close("}");
+        w.open("if EXPECTED_SETS[succ].contains(&self.la(1)) {");
+        if self.trace {
+            w.line("self.hooks.trace(\"token-inserted\", ttype, self.pos);");
+        }
+        w.line("return Ok(Matched::Ins(ttype));");
+        w.close("}");
+        w.line("// Sync-and-return, with the `lastErrorIndex` failsafe: a");
+        w.line("// second zero-consumption resync at the same position");
+        w.line("// force-consumes one token so loops cannot spin.");
+        w.line("let start = self.pos;");
+        w.line("let mut skipped = Vec::new();");
+        w.open("if self.last_err_idx == start && self.la(1) != 0 && self.in_resync(self.la(1)) {");
+        w.line("skipped.push(self.consume());");
+        w.close("}");
+        w.line("skipped.extend(self.sync());");
+        w.line("if skipped.is_empty() { self.last_err_idx = start; }");
+        w.line("Ok(Matched::Out(skipped))");
+        w.close("}");
+        w.blank();
+        w.line("/// Builds a no-viable-alternative error at lookahead depth `i`,");
+        w.line("/// leaving the offender and the decision's expected set for");
+        w.line("/// `recover_nv` (the message matches the strict engine).");
+        w.open("fn nv_err(&mut self, i: usize, dset: usize, message: &str) -> Error {");
+        w.line("let idx = (self.pos + i).min(self.tokens.len() - 1);");
+        w.line("self.nv = Some((idx, dset));");
+        w.line("let t = self.tokens[idx];");
+        w.line("Error { line: t.line, col: t.col, message: message.to_string() }");
+        w.close("}");
+        w.blank();
+        w.line("/// Repairs a failed prediction: consume until either a token");
+        w.line("/// in the decision's expected set appears (`(true, skipped)` —");
+        w.line("/// retry the decision) or a resynchronization token appears");
+        w.line("/// (`(false, skipped)` — return from the rule partially).");
+        w.open(
+            "fn recover_nv(&mut self, e: Error, rid: u32) -> Result<(bool, Vec<Token>), Error> {",
+        );
+        w.line("if !self.recovering || self.speculating > 0 { return Err(e); }");
+        w.line("let (idx, dset) = match self.nv.take() { Some(v) => v, None => return Err(e) };");
+        w.line("let t = self.tokens[idx];");
+        w.line("let d = Diag { kind: \"no-viable\", line: t.line, col: t.col, start: t.start, end: t.end, found: TOKEN_NAMES[t.ttype as usize].to_string(), expected: EXPECTED_SETS[dset].iter().map(|&tt| TOKEN_NAMES[tt as usize].to_string()).collect(), message: e.message.clone() };");
+        w.line("self.report(d, e, rid)?;");
+        w.line("// Already synchronized: return from the rule without");
+        w.line("// consuming (consuming a token the caller expects would");
+        w.line("// cascade errors). Exception: a second zero-consumption");
+        w.line("// repair at the same position force-consumes one token");
+        w.line("// (the `lastErrorIndex` failsafe) so an enclosing loop");
+        w.line("// cannot spin on the failing rule forever.");
+        w.line("let la1 = self.la(1);");
+        w.open("if la1 == 0 || self.in_resync(la1) {");
+        w.open("if self.last_err_idx == self.pos && la1 != 0 {");
+        w.line("let skipped = vec![self.consume()];");
+        if self.trace {
+            w.line("self.hooks.trace(\"sync-skip\", 1, self.pos - 1);");
+        }
+        w.line("return Ok((false, skipped));");
+        w.close("}");
+        w.line("self.last_err_idx = self.pos;");
+        if self.trace {
+            w.line("self.hooks.trace(\"sync-skip\", 0, self.pos);");
+        }
+        w.line("return Ok((false, Vec::new()));");
+        w.close("}");
+        w.line("// Otherwise the offending token is consumed unconditionally");
+        w.line("// — every repair makes progress.");
+        if self.trace {
+            w.line("let start = self.pos;");
+        }
+        w.line("let mut skipped = vec![self.consume()];");
+        w.open("loop {");
+        w.line("let la = self.la(1);");
+        w.open("if EXPECTED_SETS[dset].contains(&la) {");
+        if self.trace {
+            w.line("self.hooks.trace(\"sync-skip\", skipped.len() as u32, start);");
+        }
+        w.line("return Ok((true, skipped));");
+        w.close("}");
+        w.open("if la == 0 || self.in_resync(la) {");
+        if self.trace {
+            w.line("self.hooks.trace(\"sync-skip\", skipped.len() as u32, start);");
+        }
+        w.line("return Ok((false, skipped));");
+        w.close("}");
+        w.line("skipped.push(self.consume());");
+        w.close("}");
+        w.close("}");
+        w.blank();
+        w.line("/// Repairs a failed gating predicate: report, consume at least");
+        w.line("/// the offending token (when not at EOF), skip to the");
+        w.line("/// resynchronization set, and return from the rule. At least one");
+        w.line("/// token is always consumed so an enclosing loop that re-enters");
+        w.line("/// the rule cannot spin on the same gate forever.");
+        w.open("fn recover_gate(&mut self, d: Diag, e: Error, rid: u32) -> Result<Vec<Token>, Error> {");
+        w.line("self.report(d, e, rid)?;");
+        if self.trace {
+            w.line("let start = self.pos;");
+        }
+        w.line("let mut skipped = Vec::new();");
+        w.open("if self.la(1) != 0 {");
+        w.line("skipped.push(self.consume());");
+        w.open("loop {");
+        w.line("let la = self.la(1);");
+        w.line("if la == 0 || self.in_resync(la) { break; }");
+        w.line("skipped.push(self.consume());");
+        w.close("}");
+        w.close("}");
+        if self.trace {
+            w.line("self.hooks.trace(\"sync-skip\", skipped.len() as u32, start);");
+        }
+        w.line("Ok(skipped)");
+        w.close("}");
+        w.close("}");
+        w.blank();
+    }
+
+    /// Emits the recovery tail of a failed body gate: build the
+    /// predicate diagnostic at the current token (byte-identical to the
+    /// interpreter's), resynchronize, and return from the rule with an
+    /// error node. `strict_err` is the expression producing the strict
+    /// engine's `Error`.
+    fn emit_gate_recovery(&mut self, w: &mut CodeWriter, strict_err: &str, diag_message: &str) {
+        let rid = self.current_rule;
+        w.line(&format!("let __e = {strict_err};"));
+        w.line("if !self.recovering || self.speculating > 0 { return Err(__e); }");
+        w.line("let __t = self.tokens[self.pos.min(self.tokens.len() - 1)];");
+        w.line(&format!(
+            "let __d = Diag {{ kind: \"predicate\", line: __t.line, col: __t.col, \
+             start: __t.start, end: __t.end, \
+             found: TOKEN_NAMES[__t.ttype as usize].to_string(), expected: Vec::new(), \
+             message: {diag_message:?}.to_string() }};"
+        ));
+        w.line(&format!("let __skipped = self.recover_gate(__d, __e, {rid})?;"));
+        w.line("children.push(Tree::Error { tokens: __skipped, inserted: None });");
+        w.line(&format!("return Ok(Tree::Rule {{ rule: {rid}, alt, children }});"));
     }
 
     fn rule_fn_name(&self, idx: usize) -> String {
@@ -157,10 +480,11 @@ impl<'a> ParserGen<'a> {
         w.open(&format!("fn {name}_body(&mut self) -> Result<Tree, Error> {{"));
         w.line("let mut children: Vec<Tree> = Vec::new();");
         w.line("let mut alt: u16 = 0;");
+        self.current_rule = rid;
         if rule.alts.len() > 1 {
             let d = cursor.take(DecisionKind::RuleAlts);
             self.used_decisions.push(d);
-            w.line(&format!("alt = self.predict_{d}()?;"));
+            self.emit_predict_binding(w, d, "alt =");
             w.open("match alt {");
             for (i, a) in rule.alts.iter().enumerate() {
                 w.open(&format!("{} => {{", i + 1));
@@ -224,11 +548,40 @@ impl<'a> ParserGen<'a> {
         w.blank();
         w.open(&format!("fn synpred_{idx}_body(&mut self) -> Result<(), Error> {{"));
         w.line("let mut children: Vec<Tree> = Vec::new();");
-        // The fragment submachine has a single alternative.
+        // The fragment submachine has a single alternative. Recovery
+        // never engages while speculating, so fragment bodies emit the
+        // plain strict forms.
+        self.in_fragment = true;
         self.emit_sequence(w, &frag.elements, cursor);
+        self.in_fragment = false;
         w.line("let _ = children;");
         w.line("Ok(())");
         w.close("}");
+    }
+
+    /// Emits `{binding} <predicted alt>;` for decision `d`: the predictor
+    /// call wrapped in the no-viable recovery loop — resynchronize and
+    /// either retry the decision or return partially from the rule. In
+    /// fragment bodies (speculation) the plain propagating call is
+    /// emitted instead.
+    fn emit_predict_binding(&mut self, w: &mut CodeWriter, d: usize, binding: &str) {
+        if self.in_fragment {
+            w.line(&format!("{binding} self.predict_{d}()?;"));
+            return;
+        }
+        let rid = self.current_rule;
+        w.open(&format!("{binding} loop {{"));
+        w.open(&format!("match self.predict_{d}() {{"));
+        w.line("Ok(__a) => break __a,");
+        w.open("Err(__e) => {");
+        w.line(&format!("let (__retry, __skipped) = self.recover_nv(__e, {rid})?;"));
+        w.line("children.push(Tree::Error { tokens: __skipped, inserted: None });");
+        w.open("if !__retry {");
+        w.line(&format!("return Ok(Tree::Rule {{ rule: {rid}, alt, children }});"));
+        w.close("}");
+        w.close("}");
+        w.close("}");
+        w.close("};");
     }
 
     fn emit_sequence(
@@ -246,34 +599,87 @@ impl<'a> ParserGen<'a> {
         match e {
             Element::Token(t) => {
                 let name = self.grammar.vocab.display_name(*t);
-                w.line(&format!("children.push(Tree::Leaf(self.expect({}, {:?})?));", t.0, name));
+                // The ATN recorded one (from, to) pair per token element,
+                // in this exact emission order; `to`'s expected set is the
+                // single-token-insertion viability test.
+                let (_, to) = self.analysis.atn.token_sites[self.token_site];
+                self.token_site += 1;
+                if self.in_fragment {
+                    w.line(&format!(
+                        "children.push(Tree::Leaf(self.expect({}, {:?})?));",
+                        t.0, name
+                    ));
+                } else {
+                    let succ = self.set_id(self.analysis.recovery.expected_at(to));
+                    let rid = self.current_rule;
+                    w.open(&format!("match self.expect_r({}, {:?}, {succ}, {rid})? {{", t.0, name));
+                    w.line("Matched::Tok(__t) => children.push(Tree::Leaf(__t)),");
+                    w.open("Matched::Del(__bad, __t) => {");
+                    w.line("children.push(Tree::Error { tokens: vec![__bad], inserted: None });");
+                    w.line("children.push(Tree::Leaf(__t));");
+                    w.close("}");
+                    w.line(
+                        "Matched::Ins(__tt) => children.push(Tree::Error { tokens: Vec::new(), inserted: Some(__tt) }),",
+                    );
+                    w.open("Matched::Out(__skipped) => {");
+                    w.line("children.push(Tree::Error { tokens: __skipped, inserted: None });");
+                    w.line(&format!("return Ok(Tree::Rule {{ rule: {rid}, alt, children }});"));
+                    w.close("}");
+                    w.close("}");
+                }
             }
             Element::Rule(r) => {
-                w.line(&format!("children.push(self.{}()?);", self.rule_fn_name(r.index())));
+                // One follow state per rule invocation, same order
+                // invariant as `token_sites`.
+                let follow = self.analysis.atn.call_sites[self.call_site];
+                self.call_site += 1;
+                if self.in_fragment {
+                    w.line(&format!("children.push(self.{}()?);", self.rule_fn_name(r.index())));
+                } else {
+                    let fid = self.set_id(self.analysis.recovery.expected_at(follow));
+                    w.line(&format!("self.follow.push({fid});"));
+                    w.line(&format!("let __sub = self.{}();", self.rule_fn_name(r.index())));
+                    w.line("self.follow.pop();");
+                    w.line("children.push(__sub?);");
+                }
             }
             Element::SemPred(p) => {
-                let text = self.grammar.sempred_text(*p);
+                let text = self.grammar.sempred_text(*p).to_string();
                 w.open(&format!("if !self.hooks.sempred({}, {:?}, self.pos) {{", p.0, text));
-                w.line(&format!(
-                    "return Err(self.err_at(0, format!(\"predicate {{}} failed\", {:?})));",
-                    text
-                ));
+                let strict =
+                    format!("self.err_at(0, format!(\"predicate {{}} failed\", {:?}))", text);
+                if self.in_fragment {
+                    w.line(&format!("return Err({strict});"));
+                } else {
+                    let msg = format!("semantic predicate {{{text}}}? failed");
+                    self.emit_gate_recovery(w, &strict, &msg);
+                }
                 w.close("}");
             }
             Element::SynPred(sp) => {
                 w.open(&format!("if !self.synpred_{}() {{", sp.0));
-                w.line(&format!(
-                    "return Err(self.err_at(0, \"syntactic predicate {} failed\".to_string()));",
-                    sp.0
-                ));
+                let strict =
+                    format!("self.err_at(0, \"syntactic predicate {} failed\".to_string())", sp.0);
+                if self.in_fragment {
+                    w.line(&format!("return Err({strict});"));
+                } else {
+                    let msg = format!("semantic predicate {{synpred{}}}? failed", sp.0);
+                    self.emit_gate_recovery(w, &strict, &msg);
+                }
                 w.close("}");
             }
             Element::NotSynPred(sp) => {
                 w.open(&format!("if self.synpred_{}() {{", sp.0));
-                w.line(&format!(
-                    "return Err(self.err_at(0, \"negated syntactic predicate {} failed\".to_string()));",
+                let strict = format!(
+                    "self.err_at(0, \"negated syntactic predicate {} failed\".to_string())",
                     sp.0
-                ));
+                );
+                if self.in_fragment {
+                    w.line(&format!("return Err({strict});"));
+                } else {
+                    let msg = format!("semantic predicate {{!synpred{}}}? failed", sp.0);
+                    self.emit_gate_recovery(w, &strict, &msg);
+                }
                 w.close("}");
             }
             Element::Action { id, always } => {
@@ -296,7 +702,8 @@ impl<'a> ParserGen<'a> {
                 } else {
                     let d = cursor.take(DecisionKind::Block);
                     self.used_decisions.push(d);
-                    w.open(&format!("match self.predict_{d}()? {{"));
+                    self.emit_predict_binding(w, d, &format!("let __alt_{d} ="));
+                    w.open(&format!("match __alt_{d} {{"));
                     for (i, a) in b.alts.iter().enumerate() {
                         w.open(&format!("{} => {{", i + 1));
                         self.emit_sequence(w, &a.elements, cursor);
@@ -310,7 +717,8 @@ impl<'a> ParserGen<'a> {
                 let d = cursor.take(DecisionKind::Optional);
                 self.used_decisions.push(d);
                 let exit = b.alts.len() + 1;
-                w.open(&format!("match self.predict_{d}()? {{"));
+                self.emit_predict_binding(w, d, &format!("let __alt_{d} ="));
+                w.open(&format!("match __alt_{d} {{"));
                 for (i, a) in b.alts.iter().enumerate() {
                     w.open(&format!("{} => {{", i + 1));
                     self.emit_sequence(w, &a.elements, cursor);
@@ -326,7 +734,8 @@ impl<'a> ParserGen<'a> {
                 let exit = b.alts.len() + 1;
                 w.open("loop {");
                 w.line("let before = self.pos;");
-                w.open(&format!("match self.predict_{d}()? {{"));
+                self.emit_predict_binding(w, d, &format!("let __alt_{d} ="));
+                w.open(&format!("match __alt_{d} {{"));
                 for (i, a) in b.alts.iter().enumerate() {
                     w.open(&format!("{} => {{", i + 1));
                     self.emit_sequence(w, &a.elements, cursor);
@@ -351,7 +760,8 @@ impl<'a> ParserGen<'a> {
                 w.open("loop {");
                 w.line("let before = self.pos;");
                 if let Some(d) = entry_d {
-                    w.open(&format!("match self.predict_{d}()? {{"));
+                    self.emit_predict_binding(w, d, &format!("let __alt_{d} ="));
+                    w.open(&format!("match __alt_{d} {{"));
                     for (i, a) in b.alts.iter().enumerate() {
                         w.open(&format!("{} => {{", i + 1));
                         // Inner decisions are emitted for alternative
@@ -366,7 +776,8 @@ impl<'a> ParserGen<'a> {
                 }
                 let d = cursor.take(DecisionKind::PlusLoop);
                 self.used_decisions.push(d);
-                w.line(&format!("if self.predict_{d}()? != 1 {{ break; }}"));
+                self.emit_predict_binding(w, d, &format!("let __alt_{d} ="));
+                w.line(&format!("if __alt_{d} != 1 {{ break; }}"));
                 w.line("if self.pos == before { break; } // ε-body guard");
                 w.close("}");
             }
@@ -377,7 +788,11 @@ impl<'a> ParserGen<'a> {
     // Predictors
     // -----------------------------------------------------------------
 
-    fn emit_predictor(&self, w: &mut CodeWriter, decision: usize) {
+    fn emit_predictor(&mut self, w: &mut CodeWriter, decision: usize) {
+        // The decision state's expected set: the no-viable diagnostic's
+        // `expected` list and `recover_nv`'s retry test.
+        let dstate = self.analysis.atn.decisions[decision].state;
+        let dset = self.set_id(self.analysis.recovery.expected_at(dstate));
         let analysis = &self.analysis.decisions[decision];
         let dfa = &analysis.dfa;
         let rule = self.analysis.atn.decisions[decision].rule;
@@ -407,7 +822,7 @@ impl<'a> ParserGen<'a> {
         w.open("loop {");
         w.open("match s {");
         for (sid, st) in dfa.states.iter().enumerate() {
-            self.emit_dfa_state(w, dfa, sid, st, rule_name);
+            self.emit_dfa_state(w, dfa, sid, st, rule_name, dset);
         }
         w.line("_ => unreachable!(\"generated DFA has no such state\"),");
         w.close("}");
@@ -422,6 +837,7 @@ impl<'a> ParserGen<'a> {
         sid: usize,
         st: &DfaState,
         rule_name: &str,
+        dset: usize,
     ) {
         if let Some(alt) = st.accept {
             w.line(&format!("{sid} => return Ok({alt}),"));
@@ -434,18 +850,18 @@ impl<'a> ParserGen<'a> {
                 w.line(&format!("{} => {{ s = {target}; i += 1; }}", tok.0));
             }
             w.open("_ => {");
-            self.emit_state_fallback(w, st, rule_name);
+            self.emit_state_fallback(w, st, rule_name, dset);
             w.close("}");
             w.close("}");
         } else {
-            self.emit_state_fallback(w, st, rule_name);
+            self.emit_state_fallback(w, st, rule_name, dset);
         }
         w.close("}");
     }
 
     /// Emits the predicate/default/error handling reached when no token
     /// edge applies in a DFA state.
-    fn emit_state_fallback(&self, w: &mut CodeWriter, st: &DfaState, rule_name: &str) {
+    fn emit_state_fallback(&self, w: &mut CodeWriter, st: &DfaState, rule_name: &str, dset: usize) {
         for &(pred, alt) in &st.preds {
             match pred {
                 PredSource::Sem(p) => {
@@ -467,7 +883,7 @@ impl<'a> ParserGen<'a> {
             w.line(&format!("return Ok({alt});"));
         } else {
             w.line(&format!(
-                "return Err(self.err_at(i, \"no viable alternative for rule {rule_name}\".to_string()));"
+                "return Err(self.nv_err(i, {dset}, \"no viable alternative for rule {rule_name}\"));"
             ));
         }
     }

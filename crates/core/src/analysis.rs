@@ -14,6 +14,7 @@ use crate::atn::{Atn, AtnEdge, Decision, DecisionId};
 use crate::config::{Config, PredSource, StackArena, StackId};
 use crate::dfa::{DfaState, DfaStateId, LookaheadDfa};
 use crate::metrics::{DecisionMetrics, FallbackReason};
+use crate::recovery::RecoverySets;
 use llstar_grammar::Grammar;
 use llstar_lexer::TokenType;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -88,6 +89,10 @@ pub struct GrammarAnalysis {
     pub atn: Atn,
     /// Per-decision results, indexed by [`DecisionId`].
     pub decisions: Vec<DecisionAnalysis>,
+    /// Expected-token and resynchronization sets for error recovery,
+    /// recomputed from the ATN on every construction path (including
+    /// cache loads — like the ATN itself, they are never serialized).
+    pub recovery: RecoverySets,
     /// Wall-clock time spent analyzing (grammar → DFAs). For cache loads
     /// this is the deserialization time, not a subset-construction time.
     pub elapsed: Duration,
@@ -189,9 +194,11 @@ pub fn analyze_with(grammar: &Grammar, options: &AnalysisOptions) -> GrammarAnal
     } else {
         analyze_decisions_parallel(grammar, &atn, options, threads)
     };
+    let recovery = RecoverySets::compute(grammar, &atn);
     GrammarAnalysis {
         atn,
         decisions,
+        recovery,
         elapsed: start.elapsed(),
         from_cache: false,
         options: options.clone(),

@@ -155,6 +155,17 @@ pub struct Atn {
     /// matched, anything at all may follow, so exit branches of decisions
     /// inside fragments must stay viable on any next token.
     pub any_follow: AtnStateId,
+    /// `(from, to)` per `Token` edge created while building rule bodies
+    /// and syntactic-predicate fragments, in creation order. Creation
+    /// order equals grammar-AST traversal order — the same invariant the
+    /// code generator's decision cursor relies on — so codegen can walk
+    /// this list to attach per-match-site recovery sets.
+    pub token_sites: Vec<(AtnStateId, AtnStateId)>,
+    /// The follow state per `Rule` edge created while building rule
+    /// bodies and fragments, in creation order (mirrors `token_sites`;
+    /// codegen uses it to push the caller's continuation onto the
+    /// runtime resynchronization stack).
+    pub call_sites: Vec<AtnStateId>,
 }
 
 impl Atn {
@@ -229,6 +240,8 @@ struct Builder<'g> {
     rule_stop: Vec<AtnStateId>,
     synpred_entry: Vec<AtnStateId>,
     synpred_stop: Vec<AtnStateId>,
+    token_sites: Vec<(AtnStateId, AtnStateId)>,
+    call_sites: Vec<AtnStateId>,
     current_rule: RuleId,
     in_fragment: bool,
 }
@@ -243,6 +256,8 @@ impl<'g> Builder<'g> {
             rule_stop: Vec::new(),
             synpred_entry: Vec::new(),
             synpred_stop: Vec::new(),
+            token_sites: Vec::new(),
+            call_sites: Vec::new(),
             current_rule: RuleId(0),
             in_fragment: false,
         }
@@ -341,6 +356,8 @@ impl<'g> Builder<'g> {
             synpred_stop: self.synpred_stop,
             eof_follow,
             any_follow,
+            token_sites: self.token_sites,
+            call_sites: self.call_sites,
         }
     }
 
@@ -379,12 +396,14 @@ impl<'g> Builder<'g> {
             Element::Token(t) => {
                 let next = self.add_state(StateKind::Basic);
                 self.add_edge(from, AtnEdge::Token(*t), next);
+                self.token_sites.push((from, next));
                 next
             }
             Element::Rule(r) => {
                 let next = self.add_state(StateKind::Basic);
                 let entry = self.rule_entry[r.index()];
                 self.add_edge(from, AtnEdge::Rule { rule: *r, follow: next }, entry);
+                self.call_sites.push(next);
                 next
             }
             Element::SemPred(p) => {

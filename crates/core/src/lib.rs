@@ -40,6 +40,7 @@ pub mod config;
 pub mod dfa;
 pub mod json;
 pub mod metrics;
+pub mod recovery;
 pub mod serialize;
 
 #[allow(deprecated)]
@@ -56,6 +57,7 @@ pub use config::{Config, PredSource, StackArena, StackId};
 pub use dfa::{DecisionClass, DfaState, DfaStateId, LookaheadDfa};
 pub use json::Json;
 pub use metrics::{AnalysisRecord, CacheMetrics, DecisionMetrics, FallbackReason};
+pub use recovery::{RecoverySets, TokenSet};
 pub use serialize::{
     deserialize_analysis, grammar_fingerprint, serialize_analysis, serialized_fingerprint,
     SerializeError,

@@ -1,0 +1,289 @@
+//! Recovery-set precomputation: per-ATN-state *expected token sets* and
+//! per-rule *resynchronization (follow) sets*.
+//!
+//! The same ATN that drives prediction (Section 5.1) tells us, for every
+//! state, exactly which tokens could begin a viable continuation. The
+//! runtime's error-recovery strategy consults these sets *after* a
+//! prediction or terminal match fails: the expected set names the tokens
+//! a repaired input could continue with (single-token insertion checks
+//! the successor state's set), and the follow sets — derived from
+//! [`Atn::rule_followers`] — bound how far sync-and-return resynchronization
+//! may skip.
+//!
+//! Everything here is a deterministic fixpoint over the ATN, so the sets
+//! are identical across runs and thread counts and are cheap enough to
+//! recompute on cache loads (the ATN itself is likewise rebuilt rather
+//! than serialized).
+
+use crate::atn::{Atn, AtnEdge, AtnStateId, StateKind};
+use llstar_grammar::{Grammar, RuleId};
+use llstar_lexer::TokenType;
+
+/// A set of token types over a fixed vocabulary, stored as a bitset.
+///
+/// Iteration order is ascending [`TokenType`], which keeps every consumer
+/// (diagnostic rendering, codegen tables, serialized traces) byte
+/// deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenSet {
+    bits: Vec<u64>,
+}
+
+impl TokenSet {
+    /// The empty set over a vocabulary of `vocab_len` token types.
+    pub fn new(vocab_len: usize) -> TokenSet {
+        TokenSet { bits: vec![0; vocab_len.div_ceil(64)] }
+    }
+
+    /// Inserts `t`; returns `true` if the set changed.
+    pub fn insert(&mut self, t: TokenType) -> bool {
+        let (word, bit) = (t.index() / 64, t.index() % 64);
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        let changed = self.bits[word] & (1 << bit) == 0;
+        self.bits[word] |= 1 << bit;
+        changed
+    }
+
+    /// Whether `t` is a member.
+    pub fn contains(&self, t: TokenType) -> bool {
+        let (word, bit) = (t.index() / 64, t.index() % 64);
+        self.bits.get(word).is_some_and(|w| w & (1 << bit) != 0)
+    }
+
+    /// Unions `other` into `self`; returns `true` if the set changed.
+    pub fn union_with(&mut self, other: &TokenSet) -> bool {
+        if other.bits.len() > self.bits.len() {
+            self.bits.resize(other.bits.len(), 0);
+        }
+        let mut changed = false;
+        for (dst, src) in self.bits.iter_mut().zip(other.bits.iter()) {
+            let next = *dst | *src;
+            changed |= next != *dst;
+            *dst = next;
+        }
+        changed
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|w| *w == 0)
+    }
+
+    /// Members in ascending token-type order.
+    pub fn iter(&self) -> impl Iterator<Item = TokenType> + '_ {
+        self.bits.iter().enumerate().flat_map(|(word, &w)| {
+            (0..64)
+                .filter(move |bit| w & (1 << bit) != 0)
+                .map(move |bit| TokenType((word * 64 + bit) as u32))
+        })
+    }
+
+    /// Members collected into a vector (ascending).
+    pub fn types(&self) -> Vec<TokenType> {
+        self.iter().collect()
+    }
+}
+
+/// Expected and resynchronization sets for a grammar's ATN.
+#[derive(Debug, Clone)]
+pub struct RecoverySets {
+    /// Per ATN state: the tokens that could be consumed next from here.
+    /// A state whose submachine can complete without consuming folds in
+    /// the follow of its rule's stop state, so the set is never empty on
+    /// reachable states.
+    pub expected: Vec<TokenSet>,
+    /// Per rule: the union of expected sets over the rule's follower
+    /// states ([`Atn::rule_followers`]), i.e. every token that may
+    /// legally appear right after the rule. Always contains EOF (any
+    /// rule may serve as a parse entry point).
+    pub rule_follow: Vec<TokenSet>,
+}
+
+impl RecoverySets {
+    /// Computes the sets for `atn` by fixpoint (see the module docs).
+    pub fn compute(grammar: &Grammar, atn: &Atn) -> RecoverySets {
+        let vocab_len = grammar.vocab.len();
+        let n = atn.states.len();
+        // Pass 1: which states can reach their submachine's stop state
+        // without consuming a token (drives FIRST-set propagation across
+        // nullable rule invocations).
+        let mut nullable = vec![false; n];
+        for &stop in atn.rule_stop.iter().chain(atn.synpred_stop.iter()) {
+            nullable[stop] = true;
+        }
+        let rule_nullable = |nullable: &[bool], r: RuleId| nullable[atn.rule_entry[r.index()]];
+        loop {
+            let mut changed = false;
+            for s in 0..n {
+                if nullable[s] {
+                    continue;
+                }
+                let now = atn.states[s].edges.iter().any(|(edge, target)| match edge {
+                    AtnEdge::Token(_) => false,
+                    AtnEdge::Rule { rule, follow } => {
+                        rule_nullable(&nullable, *rule) && nullable[*follow]
+                    }
+                    _ => nullable[*target],
+                });
+                if now {
+                    nullable[s] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Pass 2: expected-token sets. Stop states import their rule's
+        // follower states (Atn::rule_followers), which already include
+        // the synthetic EOF continuation; fragment stops import the
+        // any-token wildcard (recovery never runs inside speculation,
+        // so this only keeps the fixpoint total).
+        let mut expected: Vec<TokenSet> = vec![TokenSet::new(vocab_len); n];
+        loop {
+            let mut changed = false;
+            for s in 0..n {
+                let mut acc = std::mem::replace(&mut expected[s], TokenSet::new(0));
+                match atn.states[s].kind {
+                    StateKind::RuleStop if atn.is_fragment_stop(s) => {
+                        changed |= acc.union_with(&expected[atn.any_follow]);
+                    }
+                    StateKind::RuleStop => {
+                        let rule = atn.states[s].rule;
+                        for &f in &atn.rule_followers[rule.index()] {
+                            changed |= acc.union_with(&expected[f]);
+                        }
+                    }
+                    _ => {
+                        for (edge, target) in &atn.states[s].edges {
+                            match edge {
+                                AtnEdge::Token(t) => changed |= acc.insert(*t),
+                                AtnEdge::Rule { rule, follow } => {
+                                    changed |=
+                                        acc.union_with(&expected[atn.rule_entry[rule.index()]]);
+                                    if rule_nullable(&nullable, *rule) {
+                                        changed |= acc.union_with(&expected[*follow]);
+                                    }
+                                }
+                                _ => changed |= acc.union_with(&expected[*target]),
+                            }
+                        }
+                    }
+                }
+                expected[s] = acc;
+            }
+            if !changed {
+                break;
+            }
+        }
+        let rule_follow = atn.rule_stop.iter().map(|&stop| expected[stop].clone()).collect();
+        RecoverySets { expected, rule_follow }
+    }
+
+    /// The expected-token set at ATN state `s`.
+    pub fn expected_at(&self, s: AtnStateId) -> &TokenSet {
+        &self.expected[s]
+    }
+
+    /// The static follow set of `rule`.
+    pub fn follow_of(&self, rule: RuleId) -> &TokenSet {
+        &self.rule_follow[rule.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llstar_grammar::parse_grammar;
+
+    fn sets(src: &str) -> (Grammar, Atn, RecoverySets) {
+        let g = parse_grammar(src).unwrap();
+        let atn = Atn::from_grammar(&g);
+        let sets = RecoverySets::compute(&g, &atn);
+        (g, atn, sets)
+    }
+
+    fn names(g: &Grammar, set: &TokenSet) -> Vec<String> {
+        set.iter().map(|t| g.vocab.display_name(t)).collect()
+    }
+
+    #[test]
+    fn token_set_basics() {
+        let mut s = TokenSet::new(70);
+        assert!(s.is_empty());
+        assert!(s.insert(TokenType(3)));
+        assert!(!s.insert(TokenType(3)), "second insert is a no-op");
+        assert!(s.insert(TokenType(67)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(TokenType(67)));
+        assert!(!s.contains(TokenType(4)));
+        assert_eq!(s.types(), vec![TokenType(3), TokenType(67)], "ascending order");
+        let mut other = TokenSet::new(70);
+        other.insert(TokenType(1));
+        assert!(s.union_with(&other));
+        assert!(!s.union_with(&other), "second union is a no-op");
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn expected_at_rule_entry_is_first_set() {
+        let (g, atn, sets) = sets("grammar G; s : x B ; x : A | C ; A:'a'; B:'b'; C:'c';");
+        let x = g.rule_id("x").unwrap();
+        let e = sets.expected_at(atn.rule_entry[x.index()]);
+        assert_eq!(names(&g, e), vec!["A", "C"]);
+        // Entry of s chases into x.
+        let s = g.rule_id("s").unwrap();
+        let e = sets.expected_at(atn.rule_entry[s.index()]);
+        assert_eq!(names(&g, e), vec!["A", "C"]);
+    }
+
+    #[test]
+    fn nullable_rule_folds_in_follow() {
+        // x is nullable, so at s's call site both 'a' (x itself) and 'b'
+        // (what follows x inside s) are expected.
+        let (g, atn, sets) = sets("grammar G; s : x B ; x : A | ; A:'a'; B:'b';");
+        let s = g.rule_id("s").unwrap();
+        let e = sets.expected_at(atn.rule_entry[s.index()]);
+        // EOF appears because x's stop state folds in x's followers, and
+        // any rule may serve as a parse entry point (eof_follow).
+        assert_eq!(names(&g, e), vec!["EOF", "A", "B"]);
+    }
+
+    #[test]
+    fn rule_follow_includes_call_sites_and_eof() {
+        let (g, _, sets) = sets("grammar G; s : x B | x C ; x : A ; A:'a'; B:'b'; C:'c';");
+        let x = g.rule_id("x").unwrap();
+        let f = sets.follow_of(x);
+        assert_eq!(names(&g, f), vec!["EOF", "B", "C"]);
+        // The never-invoked start rule is followed only by EOF.
+        let s = g.rule_id("s").unwrap();
+        assert_eq!(names(&g, sets.follow_of(s)), vec!["EOF"]);
+    }
+
+    #[test]
+    fn loops_expect_body_and_continuation() {
+        let (g, atn, sets) = sets("grammar G; s : A* B ; A:'a'; B:'b';");
+        // The star-loop decision state expects both the body token and
+        // the loop continuation.
+        let d = &atn.decisions[0];
+        assert_eq!(names(&g, sets.expected_at(d.state)), vec!["A", "B"]);
+    }
+
+    #[test]
+    fn sets_are_deterministic() {
+        let src = "grammar G; s : x (B | C)* ; x : A | ; A:'a'; B:'b'; C:'c';";
+        let g = parse_grammar(src).unwrap();
+        let atn = Atn::from_grammar(&g);
+        let a = RecoverySets::compute(&g, &atn);
+        let b = RecoverySets::compute(&g, &atn);
+        assert_eq!(a.expected, b.expected);
+        assert_eq!(a.rule_follow, b.rule_follow);
+    }
+}

@@ -450,7 +450,15 @@ pub fn deserialize_analysis(
             elapsed: Duration::ZERO,
         });
     }
-    Ok(GrammarAnalysis { atn, decisions, elapsed: Duration::ZERO, from_cache: true, options })
+    let recovery = crate::recovery::RecoverySets::compute(grammar, &atn);
+    Ok(GrammarAnalysis {
+        atn,
+        decisions,
+        recovery,
+        elapsed: Duration::ZERO,
+        from_cache: true,
+        options,
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,220 @@
+//! Rendering [`ParseError`]s as annotated source diagnostics.
+//!
+//! A [`Diagnostic`] is the presentation form of a parse error: grammar
+//! token types resolved to display names, the offending span in
+//! line/column terms, and a one-line message. It has two stable
+//! renderings:
+//!
+//! * [`Diagnostic::render`] — a rustc-style snippet with a caret
+//!   underline, for humans;
+//! * [`Diagnostic::to_json`] — a single JSON object with a **fixed
+//!   field order** (`type`, `kind`, `line`, `col`, `start`, `end`,
+//!   `found`, `expected`, `message`), for tooling. Interpreted and
+//!   generated parsers emit byte-identical lines for the same errors,
+//!   which the parity tests assert.
+
+use crate::error::{ParseError, ParseErrorKind};
+use llstar_core::json::quote;
+use llstar_grammar::Grammar;
+use std::fmt::Write as _;
+
+/// A parse error resolved into presentation form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Error class: `"mismatch"`, `"no-viable"`, `"predicate"`, or
+    /// `"infinite-loop"`.
+    pub kind: &'static str,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// Byte offset where the offending token starts.
+    pub start: usize,
+    /// Byte offset where the offending token ends (exclusive).
+    pub end: usize,
+    /// Display name of the token actually found.
+    pub found: String,
+    /// Display names of the tokens that would have been accepted
+    /// (ascending after the first, which is the directly-required one);
+    /// empty for predicate and loop errors.
+    pub expected: Vec<String>,
+    /// The human-readable one-liner (no position prefix).
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Resolves a [`ParseError`] against the grammar's vocabulary.
+    pub fn from_error(grammar: &Grammar, err: &ParseError) -> Diagnostic {
+        let found = grammar.vocab.display_name(err.token.ttype);
+        let (kind, expected, message) = match &err.kind {
+            ParseErrorKind::Mismatch { expected_names, .. } => (
+                "mismatch",
+                expected_names.clone(),
+                format!(
+                    "expected {}, found {found}",
+                    ParseErrorKind::render_expected(expected_names)
+                ),
+            ),
+            ParseErrorKind::NoViableAlternative { rule, expected_names, .. } => (
+                "no-viable",
+                expected_names.clone(),
+                format!("no viable alternative for rule {rule}"),
+            ),
+            ParseErrorKind::PredicateFailed { predicate } => {
+                ("predicate", Vec::new(), format!("semantic predicate {{{predicate}}}? failed"))
+            }
+            ParseErrorKind::InfiniteLoop { rule } => {
+                ("infinite-loop", Vec::new(), format!("rule {rule} loops without consuming input"))
+            }
+        };
+        Diagnostic {
+            kind,
+            line: err.token.line,
+            col: err.token.col,
+            start: err.token.span.start,
+            end: err.token.span.end,
+            found,
+            expected,
+            message,
+        }
+    }
+
+    /// Resolves every error in order.
+    pub fn from_errors(grammar: &Grammar, errors: &[ParseError]) -> Vec<Diagnostic> {
+        errors.iter().map(|e| Diagnostic::from_error(grammar, e)).collect()
+    }
+
+    /// One JSON object with the stable field order documented on the
+    /// module. Generated parsers replicate this byte-for-byte.
+    pub fn to_json(&self) -> String {
+        let expected = self.expected.iter().map(|n| quote(n)).collect::<Vec<_>>().join(",");
+        format!(
+            "{{\"type\":\"diagnostic\",\"kind\":{},\"line\":{},\"col\":{},\"start\":{},\"end\":{},\"found\":{},\"expected\":[{}],\"message\":{}}}",
+            quote(self.kind),
+            self.line,
+            self.col,
+            self.start,
+            self.end,
+            quote(&self.found),
+            expected,
+            quote(&self.message),
+        )
+    }
+
+    /// Renders a rustc-style annotated snippet:
+    ///
+    /// ```text
+    /// error: expected one of '+', ';', found INT
+    ///  --> input.txt:1:7
+    ///   |
+    /// 1 | x = 1 2 ;
+    ///   |       ^ expected one of '+', ';'
+    /// ```
+    pub fn render(&self, source: &str, file: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "error: {}", self.message);
+        let _ = writeln!(out, " --> {}:{}:{}", file, self.line, self.col);
+        let line_text = source.lines().nth(self.line.saturating_sub(1) as usize).unwrap_or("");
+        let gutter = self.line.to_string();
+        let pad = " ".repeat(gutter.len());
+        let _ = writeln!(out, "{pad} |");
+        let _ = writeln!(out, "{gutter} | {line_text}");
+        // Caret width: the token's span, clamped to the rest of the line
+        // (EOF and multi-line tokens get a single caret or run to EOL).
+        let col0 = self.col.saturating_sub(1) as usize;
+        let span = self.end.saturating_sub(self.start).max(1);
+        let remaining = line_text.chars().count().saturating_sub(col0).max(1);
+        let carets = "^".repeat(span.min(remaining));
+        let label = if self.expected.is_empty() {
+            String::new()
+        } else {
+            format!(" expected {}", ParseErrorKind::render_expected(&self.expected))
+        };
+        let _ = writeln!(out, "{pad} | {}{carets}{label}", " ".repeat(col0));
+        out
+    }
+}
+
+/// Serializes diagnostics as JSONL, one object per line.
+pub fn diagnostics_jsonl(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders all diagnostics as human-readable snippets, separated by
+/// blank lines.
+pub fn render_all(diags: &[Diagnostic], source: &str, file: &str) -> String {
+    diags.iter().map(|d| d.render(source, file)).collect::<Vec<_>>().join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llstar_grammar::parse_grammar;
+    use llstar_lexer::{Span, Token, TokenType};
+
+    fn grammar() -> Grammar {
+        parse_grammar("grammar D; s : A B ; A:'a'; B:'b';").unwrap()
+    }
+
+    fn mismatch_err() -> ParseError {
+        ParseError {
+            kind: ParseErrorKind::Mismatch {
+                expected: vec![TokenType(2)],
+                expected_names: vec!["B".into()],
+                found: TokenType(1),
+            },
+            token: Token::new(TokenType(1), Span::new(2, 3), 1, 3),
+            token_index: 1,
+        }
+    }
+
+    #[test]
+    fn json_field_order_is_stable() {
+        let g = grammar();
+        let d = Diagnostic::from_error(&g, &mismatch_err());
+        assert_eq!(
+            d.to_json(),
+            "{\"type\":\"diagnostic\",\"kind\":\"mismatch\",\"line\":1,\"col\":3,\
+             \"start\":2,\"end\":3,\"found\":\"A\",\"expected\":[\"B\"],\
+             \"message\":\"expected B, found A\"}"
+        );
+    }
+
+    #[test]
+    fn render_points_caret_at_column() {
+        let g = grammar();
+        let d = Diagnostic::from_error(&g, &mismatch_err());
+        let rendered = d.render("a a b", "in.txt");
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[0], "error: expected B, found A");
+        assert_eq!(lines[1], " --> in.txt:1:3");
+        assert_eq!(lines[3], "1 | a a b");
+        assert_eq!(lines[4], "  |   ^ expected B");
+    }
+
+    #[test]
+    fn render_survives_out_of_range_positions() {
+        let g = grammar();
+        let mut err = mismatch_err();
+        err.token = Token::new(TokenType(0), Span::new(5, 5), 7, 9);
+        let d = Diagnostic::from_error(&g, &err);
+        // Line 7 doesn't exist in a one-line source; must not panic.
+        let rendered = d.render("a a b", "in.txt");
+        assert!(rendered.contains(" --> in.txt:7:9"), "{rendered}");
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_diagnostic() {
+        let g = grammar();
+        let errs = vec![mismatch_err(), mismatch_err()];
+        let diags = Diagnostic::from_errors(&g, &errs);
+        let jsonl = diagnostics_jsonl(&diags);
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.ends_with('\n'));
+    }
+}

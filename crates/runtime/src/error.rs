@@ -10,10 +10,13 @@ use std::fmt;
 pub enum ParseErrorKind {
     /// A terminal did not match.
     Mismatch {
-        /// What the parser required.
-        expected: TokenType,
-        /// A display name for the expected token.
-        expected_name: String,
+        /// The full expected-token set at the failing ATN state. The
+        /// token the parser directly required comes first; the rest
+        /// follow in ascending token-type order.
+        expected: Vec<TokenType>,
+        /// Display names aligned with `expected` (so `expected_names[0]`
+        /// names the directly-required token, as older messages did).
+        expected_names: Vec<String>,
         /// What it found.
         found: TokenType,
     },
@@ -21,6 +24,11 @@ pub enum ParseErrorKind {
     NoViableAlternative {
         /// The rule containing the decision.
         rule: String,
+        /// The expected-token set at the decision state (ascending), for
+        /// diagnostics; empty when the ATN state was not available.
+        expected: Vec<TokenType>,
+        /// Display names aligned with `expected`.
+        expected_names: Vec<String>,
     },
     /// A gated semantic predicate evaluated to false.
     PredicateFailed {
@@ -32,6 +40,27 @@ pub enum ParseErrorKind {
         /// The rule being parsed.
         rule: String,
     },
+}
+
+impl ParseErrorKind {
+    /// A single-token mismatch (the common case for terminal matches and
+    /// the EOF check).
+    pub fn mismatch_one(expected: TokenType, expected_name: String, found: TokenType) -> Self {
+        ParseErrorKind::Mismatch {
+            expected: vec![expected],
+            expected_names: vec![expected_name],
+            found,
+        }
+    }
+
+    /// Renders an expected-name list as `X` or `one of X, Y, …`.
+    pub fn render_expected(names: &[String]) -> String {
+        match names {
+            [] => "<nothing>".to_string(),
+            [one] => one.clone(),
+            many => format!("one of {}", many.join(", ")),
+        }
+    }
 }
 
 /// A parse error at a specific token.
@@ -64,10 +93,14 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "line {}:{}: ", self.token.line, self.token.col)?;
         match &self.kind {
-            ParseErrorKind::Mismatch { expected_name, found, .. } => {
-                write!(f, "expected {expected_name}, found {found}")
+            ParseErrorKind::Mismatch { expected_names, found, .. } => {
+                write!(
+                    f,
+                    "expected {}, found {found}",
+                    ParseErrorKind::render_expected(expected_names)
+                )
             }
-            ParseErrorKind::NoViableAlternative { rule } => {
+            ParseErrorKind::NoViableAlternative { rule, .. } => {
                 write!(f, "no viable alternative for rule {rule}")
             }
             ParseErrorKind::PredicateFailed { predicate } => {
@@ -89,7 +122,11 @@ mod tests {
 
     fn err_at(index: usize) -> ParseError {
         ParseError {
-            kind: ParseErrorKind::NoViableAlternative { rule: "s".into() },
+            kind: ParseErrorKind::NoViableAlternative {
+                rule: "s".into(),
+                expected: vec![],
+                expected_names: vec![],
+            },
             token: Token::new(TokenType(1), Span::new(index, index + 1), 1, index as u32 + 1),
             token_index: index,
         }
@@ -108,11 +145,7 @@ mod tests {
     #[test]
     fn display_includes_position_and_kind() {
         let e = ParseError {
-            kind: ParseErrorKind::Mismatch {
-                expected: TokenType(2),
-                expected_name: "';'".into(),
-                found: TokenType(3),
-            },
+            kind: ParseErrorKind::mismatch_one(TokenType(2), "';'".into(), TokenType(3)),
             token: Token::new(TokenType(3), Span::new(10, 11), 4, 2),
             token_index: 5,
         };
@@ -124,5 +157,20 @@ mod tests {
             ..e.clone()
         };
         assert!(e2.to_string().contains("isType"));
+    }
+
+    #[test]
+    fn display_renders_expected_sets() {
+        let e = ParseError {
+            kind: ParseErrorKind::Mismatch {
+                expected: vec![TokenType(2), TokenType(4)],
+                expected_names: vec!["'a'".into(), "'b'".into()],
+                found: TokenType(3),
+            },
+            token: Token::new(TokenType(3), Span::new(0, 1), 1, 1),
+            token_index: 0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("expected one of 'a', 'b'"), "{s}");
     }
 }

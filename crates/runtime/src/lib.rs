@@ -27,18 +27,24 @@
 
 #![warn(missing_docs)]
 
+pub mod diagnostics;
 pub mod error;
 pub mod hooks;
 pub mod parser;
+pub mod recovery;
 pub mod stats;
 pub mod stream;
 pub mod trace;
 pub mod tree;
 pub mod visit;
 
+pub use diagnostics::{diagnostics_jsonl, render_all, Diagnostic};
 pub use error::{ParseError, ParseErrorKind};
 pub use hooks::{HookContext, Hooks, MapHooks, NopHooks};
-pub use parser::{parse_text, parse_text_traced, Parser};
+pub use parser::{
+    parse_text, parse_text_recovering, parse_text_recovering_traced, parse_text_traced, Parser,
+};
+pub use recovery::{BailErrorStrategy, DefaultErrorStrategy, ErrorStrategy, Repair, RepairContext};
 pub use stats::{DecisionStats, ParseStats};
 pub use stream::TokenStream;
 pub use trace::{parse_jsonl, JsonlSink, MemoKind, NopSink, RingSink, TraceEvent, TraceSink};

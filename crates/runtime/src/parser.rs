@@ -11,12 +11,14 @@
 
 use crate::error::{ParseError, ParseErrorKind};
 use crate::hooks::{HookContext, Hooks};
+use crate::recovery::{DefaultErrorStrategy, ErrorStrategy, Repair, RepairContext};
 use crate::stats::ParseStats;
 use crate::stream::TokenStream;
 use crate::trace::{MemoKind, TraceEvent, TraceSink};
 use crate::tree::ParseTree;
-use llstar_core::{Atn, AtnEdge, DecisionId, GrammarAnalysis, PredSource, StateKind};
+use llstar_core::{Atn, AtnEdge, AtnStateId, DecisionId, GrammarAnalysis, PredSource, StateKind};
 use llstar_grammar::{Grammar, RuleId, SynPredId};
+use llstar_lexer::{Token, TokenType};
 use std::collections::HashMap;
 
 /// Memoization key: a rule or a syntactic-predicate fragment.
@@ -35,10 +37,41 @@ enum MemoResult {
     Failure(ParseError),
 }
 
+/// Recovery-mode state: the pluggable strategy plus the errors recorded
+/// so far (capped at `max_errors`).
+struct RecoveryState {
+    strategy: Box<dyn ErrorStrategy>,
+    max_errors: usize,
+    errors: Vec<ParseError>,
+    /// ANTLR's error-condition flag: set when an error is reported,
+    /// cleared when a real token matches. While set, further repairs at
+    /// the same corruption site run silently instead of cascading
+    /// reports.
+    in_error_mode: bool,
+    /// ANTLR's `lastErrorIndex` failsafe: the token index of the last
+    /// no-viable repair that returned without consuming. A second such
+    /// repair at the same index force-consumes one token so an enclosing
+    /// loop that keeps re-entering the failing rule cannot spin forever.
+    last_error_index: Option<usize>,
+}
+
+/// How a repair told the interpreter loop to proceed.
+enum RepairOutcome {
+    /// Continue interpreting at `state`; `consumed` says whether the
+    /// repair advanced the input (and so resets the progress watchdog).
+    Continue { state: AtnStateId, consumed: bool },
+    /// Re-run the current decision state (resynchronized onto a viable
+    /// lookahead token).
+    Retry,
+    /// Return from the current rule with a partial match.
+    Return,
+}
+
 /// An LL(*) parser over a token stream.
 ///
 /// See [`Parser::parse`] for the entry point and the crate root for a
-/// complete example.
+/// complete example. [`Parser::enable_recovery`] switches the parser
+/// from fail-fast to ANTLR-style error recovery.
 pub struct Parser<'g, H: Hooks> {
     grammar: &'g Grammar,
     analysis: &'g GrammarAnalysis,
@@ -50,6 +83,10 @@ pub struct Parser<'g, H: Hooks> {
     furthest_error: Option<ParseError>,
     memoize: bool,
     trace: Option<&'g mut dyn TraceSink>,
+    recovery: Option<RecoveryState>,
+    /// Follow states of the rule invocations currently on the call
+    /// stack; their expected sets form the dynamic resynchronization set.
+    follow_stack: Vec<AtnStateId>,
 }
 
 impl<'g, H: Hooks> Parser<'g, H> {
@@ -73,7 +110,66 @@ impl<'g, H: Hooks> Parser<'g, H> {
             furthest_error: None,
             memoize: grammar.options.memoize,
             trace: None,
+            recovery: None,
+            follow_stack: Vec::new(),
         }
+    }
+
+    /// Switches the parser into recovery mode with the default strategy:
+    /// instead of failing on the first syntax error it repairs (via
+    /// single-token deletion/insertion or follow-set resynchronization),
+    /// records the error, and keeps parsing — up to `max_errors` errors,
+    /// after which the parse aborts like the strict engine. Recovered
+    /// errors appear as [`ParseTree::Error`] nodes in the tree and in
+    /// [`Parser::errors`]. Recovery never engages during speculation, so
+    /// backtracking semantics are unchanged.
+    pub fn enable_recovery(&mut self, max_errors: usize) {
+        self.recovery = Some(RecoveryState {
+            strategy: Box::new(DefaultErrorStrategy),
+            max_errors,
+            errors: Vec::new(),
+            in_error_mode: false,
+            last_error_index: None,
+        });
+    }
+
+    /// Replaces the recovery strategy (enabling recovery with no error
+    /// cap if it wasn't enabled). Use [`crate::recovery::BailErrorStrategy`]
+    /// to get strict semantics without rebuilding the parser.
+    pub fn set_error_strategy(&mut self, strategy: Box<dyn ErrorStrategy>) {
+        match &mut self.recovery {
+            Some(r) => r.strategy = strategy,
+            None => {
+                self.recovery = Some(RecoveryState {
+                    strategy,
+                    max_errors: usize::MAX,
+                    errors: Vec::new(),
+                    in_error_mode: false,
+                    last_error_index: None,
+                })
+            }
+        }
+    }
+
+    /// The syntax errors recorded by recovery so far, in input order.
+    pub fn errors(&self) -> &[ParseError] {
+        self.recovery.as_ref().map(|r| r.errors.as_slice()).unwrap_or(&[])
+    }
+
+    /// Takes the recorded errors, leaving the parser's list empty.
+    pub fn take_errors(&mut self) -> Vec<ParseError> {
+        self.recovery.as_mut().map(|r| std::mem::take(&mut r.errors)).unwrap_or_default()
+    }
+
+    /// Whether the token stream is exhausted.
+    pub fn at_eof(&mut self) -> bool {
+        self.tokens.at_eof()
+    }
+
+    /// Recovery engages only outside speculation (Section 4.1's
+    /// backtracking must still fail fast).
+    fn recovering(&self) -> bool {
+        self.recovery.is_some() && self.speculating == 0
     }
 
     /// Attaches a trace sink; every subsequent runtime event is forwarded
@@ -138,14 +234,34 @@ impl<'g, H: Hooks> Parser<'g, H> {
     /// # Errors
     /// As [`Parser::parse`], plus a mismatch error if tokens remain.
     pub fn parse_to_eof(&mut self, rule_name: &str) -> Result<ParseTree, ParseError> {
-        let tree = self.parse(rule_name)?;
+        let mut tree = self.parse(rule_name)?;
         if !self.tokens.at_eof() {
             let found = self.tokens.la(1);
-            let err = self.error_here(ParseErrorKind::Mismatch {
-                expected: llstar_lexer::TokenType::EOF,
-                expected_name: "EOF".to_string(),
+            let err = self.error_here(ParseErrorKind::mismatch_one(
+                TokenType::EOF,
+                "EOF".to_string(),
                 found,
-            });
+            ));
+            if self.recovering() {
+                let rule = self.grammar.rule_id(rule_name).expect("resolved by parse");
+                if let Err(e) = self.note_error(err, rule) {
+                    return Err(self.deepest_error(e));
+                }
+                // Trailing junk: consume to EOF into an error node.
+                let start = self.tokens.index();
+                let mut skipped = Vec::new();
+                while !self.tokens.at_eof() {
+                    skipped.push(self.tokens.consume());
+                }
+                self.emit(TraceEvent::SyncSkip {
+                    token_index: start,
+                    skipped: skipped.len() as u64,
+                });
+                if let ParseTree::Rule { children, .. } = &mut tree {
+                    children.push(ParseTree::Error { tokens: skipped, inserted: None });
+                }
+                return Ok(tree);
+            }
             return Err(self.deepest_error(err));
         }
         Ok(tree)
@@ -252,7 +368,28 @@ impl<'g, H: Hooks> Parser<'g, H> {
                 return Err(self.error_here(ParseErrorKind::InfiniteLoop { rule: rule_name }));
             }
             if let StateKind::Decision(id) = self.atn().states[state].kind {
-                let alt = self.predict(id)?;
+                let alt = match self.predict(id) {
+                    Ok(alt) => alt,
+                    Err(err) => {
+                        let resync = self.recovering()
+                            && self.recovery.as_mut().expect("recovering").strategy.on_no_viable();
+                        if !resync {
+                            return Err(err);
+                        }
+                        match self.recover_no_viable(err, state, rule, build, &mut children)? {
+                            RepairOutcome::Retry => {
+                                idle_steps = 0;
+                                continue;
+                            }
+                            RepairOutcome::Return => {
+                                return Ok(Some((rule_alt, children)).filter(|_| build));
+                            }
+                            RepairOutcome::Continue { .. } => {
+                                unreachable!("no-viable repairs retry or return")
+                            }
+                        }
+                    }
+                };
                 if state == entry {
                     rule_alt = alt;
                 }
@@ -267,22 +404,44 @@ impl<'g, H: Hooks> Parser<'g, H> {
                     if self.tokens.la(1) == expected {
                         let tok = self.tokens.consume();
                         idle_steps = 0;
+                        self.token_matched();
                         if build {
                             children.push(ParseTree::Token(tok));
                         }
                         state = target;
                     } else {
-                        let name = self.grammar.vocab.display_name(expected);
-                        let found = self.tokens.la(1);
-                        return Err(self.error_here(ParseErrorKind::Mismatch {
+                        let err = self.mismatch_here(expected, state);
+                        if !self.recovering() {
+                            return Err(err);
+                        }
+                        match self.recover_mismatch(
+                            err,
                             expected,
-                            expected_name: name,
-                            found,
-                        }));
+                            target,
+                            rule,
+                            build,
+                            &mut children,
+                        )? {
+                            RepairOutcome::Continue { state: next, consumed } => {
+                                if consumed {
+                                    idle_steps = 0;
+                                }
+                                state = next;
+                            }
+                            RepairOutcome::Return => {
+                                return Ok(Some((rule_alt, children)).filter(|_| build));
+                            }
+                            RepairOutcome::Retry => {
+                                unreachable!("mismatch repairs continue or return")
+                            }
+                        }
                     }
                 }
                 AtnEdge::Rule { rule: callee, follow } => {
-                    let sub = self.parse_rule_node(callee, build)?;
+                    self.follow_stack.push(follow);
+                    let sub = self.parse_rule_node(callee, build);
+                    self.follow_stack.pop();
+                    let sub = sub?;
                     idle_steps = 0;
                     if let Some(tree) = sub {
                         children.push(tree);
@@ -301,9 +460,13 @@ impl<'g, H: Hooks> Parser<'g, H> {
                     if outcome {
                         state = target;
                     } else {
-                        return Err(
-                            self.error_here(ParseErrorKind::PredicateFailed { predicate: text })
-                        );
+                        let err =
+                            self.error_here(ParseErrorKind::PredicateFailed { predicate: text });
+                        if !self.recovering() {
+                            return Err(err);
+                        }
+                        self.recover_gate(err, rule, build, &mut children)?;
+                        return Ok(Some((rule_alt, children)).filter(|_| build));
                     }
                 }
                 AtnEdge::SynPred(sp) => {
@@ -312,7 +475,12 @@ impl<'g, H: Hooks> Parser<'g, H> {
                         state = target;
                     } else {
                         let predicate = format!("synpred{}", sp.0);
-                        return Err(self.error_here(ParseErrorKind::PredicateFailed { predicate }));
+                        let err = self.error_here(ParseErrorKind::PredicateFailed { predicate });
+                        if !self.recovering() {
+                            return Err(err);
+                        }
+                        self.recover_gate(err, rule, build, &mut children)?;
+                        return Ok(Some((rule_alt, children)).filter(|_| build));
                     }
                 }
                 AtnEdge::NotSynPred(sp) => {
@@ -321,7 +489,12 @@ impl<'g, H: Hooks> Parser<'g, H> {
                         state = target;
                     } else {
                         let predicate = format!("!synpred{}", sp.0);
-                        return Err(self.error_here(ParseErrorKind::PredicateFailed { predicate }));
+                        let err = self.error_here(ParseErrorKind::PredicateFailed { predicate });
+                        if !self.recovering() {
+                            return Err(err);
+                        }
+                        self.recover_gate(err, rule, build, &mut children)?;
+                        return Ok(Some((rule_alt, children)).filter(|_| build));
                     }
                 }
                 AtnEdge::Action(a, always) => {
@@ -426,13 +599,19 @@ impl<'g, H: Hooks> Parser<'g, H> {
     }
 
     /// A no-viable-alternative error at the lookahead token that caused
-    /// the DFA error state (Section 4.4).
+    /// the DFA error state (Section 4.4), carrying the decision state's
+    /// expected-token set for diagnostics.
     fn no_viable(&mut self, decision: DecisionId, depth: u64) -> ParseError {
-        let rule = self.atn().decisions[decision.index()].rule;
+        let (rule, dstate) = {
+            let d = &self.atn().decisions[decision.index()];
+            (d.rule, d.state)
+        };
         let rule_name = self.grammar.rule(rule).name.clone();
+        let expected = self.analysis.recovery.expected_at(dstate).types();
+        let expected_names = expected.iter().map(|&t| self.grammar.vocab.display_name(t)).collect();
         let token = self.tokens.lt(depth as usize + 1);
         let err = ParseError {
-            kind: ParseErrorKind::NoViableAlternative { rule: rule_name },
+            kind: ParseErrorKind::NoViableAlternative { rule: rule_name, expected, expected_names },
             token,
             token_index: self.tokens.index() + depth as usize,
         };
@@ -445,6 +624,263 @@ impl<'g, H: Hooks> Parser<'g, H> {
             None => err.clone(),
         });
         err
+    }
+
+    /// A mismatch error at the current token: `required` (the token the
+    /// failing ATN edge demands) first, then the rest of the state's
+    /// expected set in ascending order.
+    fn mismatch_here(&mut self, required: TokenType, state: AtnStateId) -> ParseError {
+        let analysis = self.analysis;
+        let mut expected = vec![required];
+        expected.extend(analysis.recovery.expected_at(state).iter().filter(|&t| t != required));
+        let expected_names = expected.iter().map(|&t| self.grammar.vocab.display_name(t)).collect();
+        let found = self.tokens.la(1);
+        self.error_here(ParseErrorKind::Mismatch { expected, expected_names, found })
+    }
+
+    /// Records a recovered error, or fails the parse when `max_errors`
+    /// is reached. Emits [`TraceEvent::Recover`] for each recorded error.
+    /// While the error condition is set (no token matched since the last
+    /// report), follow-up errors at the same corruption site are repaired
+    /// silently rather than recorded — ANTLR's cascade suppression.
+    fn note_error(&mut self, err: ParseError, rule: RuleId) -> Result<(), ParseError> {
+        let r = self.recovery.as_ref().expect("recovery enabled");
+        if r.in_error_mode {
+            return Ok(());
+        }
+        if r.errors.len() >= r.max_errors {
+            return Err(err);
+        }
+        self.emit(TraceEvent::Recover { token_index: err.token_index, rule: rule.index() as u32 });
+        let r = self.recovery.as_mut().expect("recovery enabled");
+        r.errors.push(err);
+        r.in_error_mode = true;
+        Ok(())
+    }
+
+    /// A real token matched: end the error condition (subsequent errors
+    /// are new corruption sites, reported again).
+    fn token_matched(&mut self) {
+        if self.speculating == 0 {
+            if let Some(r) = &mut self.recovery {
+                r.in_error_mode = false;
+            }
+        }
+    }
+
+    /// Whether `t` belongs to the dynamic resynchronization set: the
+    /// union of expected sets over the follow states of every rule
+    /// invocation on the call stack (ANTLR's combined-follow recovery
+    /// set), plus EOF.
+    fn in_resync(&self, t: TokenType) -> bool {
+        if t == TokenType::EOF {
+            return true;
+        }
+        let rec = &self.analysis.recovery;
+        self.follow_stack.iter().any(|&f| rec.expected_at(f).contains(t))
+    }
+
+    /// Consumes tokens until the resynchronization set (or EOF), emitting
+    /// one [`TraceEvent::SyncSkip`] with the count.
+    fn sync_tokens(&mut self) -> Vec<Token> {
+        let start = self.tokens.index();
+        let mut skipped = Vec::new();
+        loop {
+            if self.tokens.at_eof() {
+                break;
+            }
+            let la = self.tokens.la(1);
+            if self.in_resync(la) {
+                break;
+            }
+            skipped.push(self.tokens.consume());
+        }
+        self.emit(TraceEvent::SyncSkip { token_index: start, skipped: skipped.len() as u64 });
+        skipped
+    }
+
+    /// Repairs a failed terminal match (edge requiring `required`, from
+    /// the mismatching state toward `target`) per the strategy's choice.
+    fn recover_mismatch(
+        &mut self,
+        err: ParseError,
+        required: TokenType,
+        target: AtnStateId,
+        rule: RuleId,
+        build: bool,
+        children: &mut Vec<ParseTree>,
+    ) -> Result<RepairOutcome, ParseError> {
+        self.note_error(err.clone(), rule)?;
+        let analysis = self.analysis;
+        let ctx = RepairContext {
+            expected: required,
+            successor_expected: analysis.recovery.expected_at(target),
+            la1: self.tokens.la(1),
+            la2: self.tokens.la(2),
+        };
+        let repair = self.recovery.as_mut().expect("recovery enabled").strategy.on_mismatch(&ctx);
+        match repair {
+            Repair::Abort => Err(err),
+            Repair::InsertToken => {
+                self.emit(TraceEvent::TokenInserted {
+                    token_index: self.tokens.index(),
+                    ttype: required.0,
+                });
+                if build {
+                    children
+                        .push(ParseTree::Error { tokens: Vec::new(), inserted: Some(required) });
+                }
+                Ok(RepairOutcome::Continue { state: target, consumed: false })
+            }
+            Repair::DeleteToken => {
+                let bad = self.tokens.consume();
+                self.emit(TraceEvent::TokenDeleted {
+                    token_index: err.token_index,
+                    ttype: bad.ttype.0,
+                });
+                if self.tokens.la(1) == required {
+                    let tok = self.tokens.consume();
+                    self.token_matched();
+                    if build {
+                        children.push(ParseTree::Error { tokens: vec![bad], inserted: None });
+                        children.push(ParseTree::Token(tok));
+                    }
+                    Ok(RepairOutcome::Continue { state: target, consumed: true })
+                } else {
+                    // The strategy's guess was wrong; resynchronize,
+                    // keeping the deleted token in the error node.
+                    let mut skipped = vec![bad];
+                    skipped.extend(self.sync_tokens());
+                    if build {
+                        children.push(ParseTree::Error { tokens: skipped, inserted: None });
+                    }
+                    Ok(RepairOutcome::Return)
+                }
+            }
+            Repair::SyncAndReturn => {
+                // ANTLR's `lastErrorIndex` failsafe: a second zero-token
+                // resync at the same index means an enclosing loop keeps
+                // re-entering the failing rule — force one token of
+                // progress before synchronizing.
+                let start = self.tokens.index();
+                let repeat = self.recovery.as_ref().expect("recovery enabled").last_error_index
+                    == Some(start);
+                let mut skipped = Vec::new();
+                let la1 = self.tokens.la(1);
+                if repeat && !self.tokens.at_eof() && self.in_resync(la1) {
+                    skipped.push(self.tokens.consume());
+                }
+                skipped.extend(self.sync_tokens());
+                if skipped.is_empty() {
+                    self.recovery.as_mut().expect("recovery enabled").last_error_index =
+                        Some(start);
+                }
+                if build {
+                    children.push(ParseTree::Error { tokens: skipped, inserted: None });
+                }
+                Ok(RepairOutcome::Return)
+            }
+        }
+    }
+
+    /// Repairs a failed gating predicate (semantic or syntactic) in a
+    /// rule body: report, consume at least the offending token, skip to
+    /// the resynchronization set, and return from the rule. Unlike
+    /// no-viable repair there is no retry — the predicate already judged
+    /// this position unparsable — and at least one token is always
+    /// consumed (when not at EOF) so an enclosing loop that re-enters
+    /// the rule cannot spin on the same gate forever.
+    fn recover_gate(
+        &mut self,
+        err: ParseError,
+        rule: RuleId,
+        build: bool,
+        children: &mut Vec<ParseTree>,
+    ) -> Result<(), ParseError> {
+        self.note_error(err, rule)?;
+        let start = self.tokens.index();
+        let mut skipped = Vec::new();
+        if !self.tokens.at_eof() {
+            skipped.push(self.tokens.consume());
+            loop {
+                let la = self.tokens.la(1);
+                if la == TokenType::EOF || self.in_resync(la) {
+                    break;
+                }
+                skipped.push(self.tokens.consume());
+            }
+        }
+        self.emit(TraceEvent::SyncSkip { token_index: start, skipped: skipped.len() as u64 });
+        if build {
+            children.push(ParseTree::Error { tokens: skipped, inserted: None });
+        }
+        Ok(())
+    }
+
+    /// Repairs a failed prediction at decision state `dstate`: consume
+    /// until either a token in the decision's expected set appears (then
+    /// retry the decision) or a token in the resynchronization set
+    /// appears (then return from the rule with a partial match).
+    fn recover_no_viable(
+        &mut self,
+        err: ParseError,
+        dstate: AtnStateId,
+        rule: RuleId,
+        build: bool,
+        children: &mut Vec<ParseTree>,
+    ) -> Result<RepairOutcome, ParseError> {
+        self.note_error(err, rule)?;
+        let analysis = self.analysis;
+        let expected = analysis.recovery.expected_at(dstate);
+        let start = self.tokens.index();
+        // Already synchronized: return from the rule without consuming
+        // (consuming a token the caller expects would cascade errors).
+        // Exception — ANTLR's `lastErrorIndex` failsafe: a *second*
+        // non-consuming repair at the same token means an enclosing loop
+        // is re-entering the failing rule; force one token of progress.
+        let la1 = self.tokens.la(1);
+        if self.tokens.at_eof() || self.in_resync(la1) {
+            let repeat =
+                self.recovery.as_ref().expect("recovery enabled").last_error_index == Some(start);
+            if repeat && !self.tokens.at_eof() {
+                let skipped = vec![self.tokens.consume()];
+                self.emit(TraceEvent::SyncSkip { token_index: start, skipped: 1 });
+                if build {
+                    children.push(ParseTree::Error { tokens: skipped, inserted: None });
+                }
+                return Ok(RepairOutcome::Return);
+            }
+            self.recovery.as_mut().expect("recovery enabled").last_error_index = Some(start);
+            self.emit(TraceEvent::SyncSkip { token_index: start, skipped: 0 });
+            if build {
+                children.push(ParseTree::Error { tokens: Vec::new(), inserted: None });
+            }
+            return Ok(RepairOutcome::Return);
+        }
+        // Otherwise the offending token is consumed unconditionally —
+        // every repair makes progress.
+        let mut skipped = vec![self.tokens.consume()];
+        loop {
+            let la = self.tokens.la(1);
+            let (outcome, done) = if expected.contains(la) {
+                (RepairOutcome::Retry, true)
+            } else if la == TokenType::EOF || self.in_resync(la) {
+                (RepairOutcome::Return, true)
+            } else {
+                (RepairOutcome::Retry, false)
+            };
+            if done {
+                self.emit(TraceEvent::SyncSkip {
+                    token_index: start,
+                    skipped: skipped.len() as u64,
+                });
+                if build {
+                    children.push(ParseTree::Error { tokens: skipped, inserted: None });
+                }
+                return Ok(outcome);
+            }
+            skipped.push(self.tokens.consume());
+        }
     }
 
     /// Evaluates a syntactic predicate by speculative parse; returns
@@ -537,6 +973,56 @@ pub fn parse_text_traced<H: Hooks>(
     parser.set_trace_sink(sink);
     let tree = parser.parse_to_eof(rule_name).map_err(|e| e.to_string())?;
     Ok((tree, parser.stats().clone()))
+}
+
+/// Like [`parse_text`], but with error recovery enabled: returns the
+/// (possibly repaired) tree together with every syntax error recorded,
+/// instead of failing on the first one. An `Err` still occurs for lexer
+/// failures, for hard aborts (infinite loops, failed predicates), or
+/// when more than `max_errors` errors are found.
+///
+/// # Errors
+/// As [`parse_text`] for non-recoverable failures.
+pub fn parse_text_recovering<H: Hooks>(
+    grammar: &Grammar,
+    analysis: &GrammarAnalysis,
+    source: &str,
+    rule_name: &str,
+    hooks: H,
+    max_errors: usize,
+) -> Result<(ParseTree, Vec<ParseError>, ParseStats), String> {
+    let scanner = grammar.lexer.build().map_err(|e| e.to_string())?;
+    let tokens = scanner.tokenize(source).map_err(|e| e.to_string())?;
+    let mut parser = Parser::new(grammar, analysis, TokenStream::new(tokens), hooks);
+    parser.enable_recovery(max_errors);
+    let tree = parser.parse_to_eof(rule_name).map_err(|e| e.to_string())?;
+    let errors = parser.take_errors();
+    Ok((tree, errors, parser.stats().clone()))
+}
+
+/// [`parse_text_recovering`] with every runtime event streamed into
+/// `sink` (recovery emits [`TraceEvent::Recover`]/[`TraceEvent::SyncSkip`]/
+/// [`TraceEvent::TokenInserted`]/[`TraceEvent::TokenDeleted`]).
+///
+/// # Errors
+/// As [`parse_text_recovering`].
+pub fn parse_text_recovering_traced<H: Hooks>(
+    grammar: &Grammar,
+    analysis: &GrammarAnalysis,
+    source: &str,
+    rule_name: &str,
+    hooks: H,
+    max_errors: usize,
+    sink: &mut dyn TraceSink,
+) -> Result<(ParseTree, Vec<ParseError>, ParseStats), String> {
+    let scanner = grammar.lexer.build().map_err(|e| e.to_string())?;
+    let tokens = scanner.tokenize(source).map_err(|e| e.to_string())?;
+    let mut parser = Parser::new(grammar, analysis, TokenStream::new(tokens), hooks);
+    parser.enable_recovery(max_errors);
+    parser.set_trace_sink(sink);
+    let tree = parser.parse_to_eof(rule_name).map_err(|e| e.to_string())?;
+    let errors = parser.take_errors();
+    Ok((tree, errors, parser.stats().clone()))
 }
 
 #[cfg(test)]
@@ -938,5 +1424,231 @@ mod tests {
         let (g, a) = setup("grammar L; s : A ; A:'a';");
         let err = parse_text(&g, &a, "%", "s", NopHooks).unwrap_err();
         assert!(err.contains("no lexer rule"), "{err}");
+    }
+
+    const STMTS: &str = r#"
+        grammar R;
+        s : stat+ ;
+        stat : ID '=' expr ';' ;
+        expr : INT ;
+        ID : [a-z]+ ;
+        INT : [0-9]+ ;
+        WS : [ ]+ -> skip ;
+    "#;
+
+    fn recover(src: &str, input: &str, rule: &str) -> (ParseTree, Vec<ParseError>, ParseStats) {
+        let (g, a) = setup(src);
+        parse_text_recovering(&g, &a, input, rule, NopHooks, 100).unwrap()
+    }
+
+    #[test]
+    fn recovery_inserts_missing_token() {
+        // `a 1 ;` — the `=` is missing; INT can follow it, so recovery
+        // synthesizes the `=` without consuming input.
+        let (g, a) = setup(STMTS);
+        let (tree, errors, stats) =
+            parse_text_recovering(&g, &a, "a 1 ; b = 2 ;", "s", NopHooks, 100).unwrap();
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert_eq!(stats.tokens_inserted, 1);
+        assert_eq!(tree.error_node_count(), 1);
+        let sexpr = tree.to_sexpr(&g, "a 1 ; b = 2 ;");
+        assert!(sexpr.contains("<missing '='>"), "{sexpr}");
+        // The second statement parses normally after recovery.
+        assert!(sexpr.contains("\"b\""), "{sexpr}");
+    }
+
+    #[test]
+    fn recovery_deletes_extraneous_token() {
+        // `a = = 1 ;` — the second `=` is extraneous; la(2) is the INT
+        // the parser wants, so recovery deletes one token.
+        let (tree, errors, stats) = recover(STMTS, "a = = 1 ;", "s");
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert_eq!(stats.tokens_deleted, 1);
+        assert_eq!(tree.error_node_count(), 1);
+        assert!(errors[0].to_string().contains("expected"), "{}", errors[0]);
+    }
+
+    #[test]
+    fn recovery_syncs_to_follow_set() {
+        // `+ +` after `=` can be neither deleted (la(2) is another `+`)
+        // nor bridged by a single insertion; recovery skips to expr's
+        // dynamic follow (`;`) and returns a partial expr.
+        let src = r#"
+            grammar RS;
+            s : stat+ ;
+            stat : ID '=' expr ';' ;
+            expr : INT ;
+            ID : [a-z]+ ;
+            INT : [0-9]+ ;
+            PLUS : '+' ;
+            WS : [ ]+ -> skip ;
+        "#;
+        let (tree, errors, stats) = recover(src, "a = + + 1 ; c = 2 ;", "s");
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert_eq!(stats.tokens_skipped, 3, "`+ + 1` all land in the error node");
+        assert_eq!(tree.error_node_count(), 1);
+        // The trailing statement still parses.
+        assert_eq!(tree.token_count(), 3 + 4, "a = ; plus c = 2 ;");
+    }
+
+    #[test]
+    fn recovery_cascade_is_suppressed() {
+        // `a = b ;` — `b` is in the resync set (an ID can start the next
+        // stat), so expr returns empty, and the follow-up mismatch at `;`
+        // silently deletes `b`: one reported error, not a cascade.
+        let (tree, errors, stats) = recover(STMTS, "a = b ; c = 2 ;", "s");
+        assert_eq!(errors.len(), 1, "cascades collapse to one report: {errors:?}");
+        assert_eq!(stats.recoveries, 1);
+        assert_eq!(stats.tokens_deleted, 1, "`b` is silently deleted");
+        assert_eq!(tree.token_count(), 3 + 4);
+    }
+
+    #[test]
+    fn recovery_collects_multiple_errors_in_one_pass() {
+        let input = "a 1 ; b = ; c = x ; d = 4 ;";
+        let (g, a) = setup(STMTS);
+        let (tree, errors, stats) =
+            parse_text_recovering(&g, &a, input, "s", NopHooks, 100).unwrap();
+        assert_eq!(errors.len(), 3, "{errors:?}");
+        // Two insertions, plus a sync-return and a silent deletion for
+        // the third corruption site.
+        assert_eq!(tree.error_node_count(), 4);
+        assert_eq!(stats.recoveries, 3);
+        // Errors arrive in input order with correct positions.
+        let cols: Vec<u32> = errors.iter().map(|e| e.token.col).collect();
+        let mut sorted = cols.clone();
+        sorted.sort_unstable();
+        assert_eq!(cols, sorted, "errors must be reported in input order");
+        // The last statement is intact.
+        let sexpr = tree.to_sexpr(&g, input);
+        assert!(sexpr.contains("\"d\""), "{sexpr}");
+    }
+
+    #[test]
+    fn clean_input_identical_with_recovery_enabled() {
+        let input = "a = 1 ; b = 2 ;";
+        let (g, a) = setup(STMTS);
+        let (strict_tree, strict_stats) = parse_text(&g, &a, input, "s", NopHooks).unwrap();
+        let (tree, errors, stats) =
+            parse_text_recovering(&g, &a, input, "s", NopHooks, 100).unwrap();
+        assert!(errors.is_empty());
+        assert_eq!(tree, strict_tree, "recovery must not perturb clean parses");
+        assert_eq!(stats, strict_stats, "recovery must not perturb clean stats");
+    }
+
+    #[test]
+    fn recovery_caps_at_max_errors() {
+        let input = "a 1 ; b = ; c = x ; d = 4 ;";
+        let (g, a) = setup(STMTS);
+        let err = parse_text_recovering(&g, &a, input, "s", NopHooks, 1).unwrap_err();
+        assert!(err.contains("expected"), "{err}");
+        // max_errors = 0 behaves like the strict engine.
+        assert!(parse_text_recovering(&g, &a, input, "s", NopHooks, 0).is_err());
+    }
+
+    #[test]
+    fn no_viable_recovery_skips_to_viable_token() {
+        let src = r#"
+            grammar NV;
+            s : stat+ ;
+            stat : ID '=' INT ';' | '!' ID ';' ;
+            ID : [a-z]+ ;
+            INT : [0-9]+ ;
+            WS : [ ]+ -> skip ;
+        "#;
+        // `= 1 ;` matches no alternative of stat; recovery consumes up to
+        // the `!` (which can start a stat) and retries the decision.
+        let (tree, errors, _) = recover(src, "= 1 ; ! x ;", "s");
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(
+            matches!(&errors[0].kind, ParseErrorKind::NoViableAlternative { expected, .. }
+                if !expected.is_empty()),
+            "{errors:?}"
+        );
+        // The skipped tokens land in an error node inside the retried
+        // stat, which then matches `! x ;` normally.
+        assert_eq!(tree.error_node_count(), 1);
+        assert_eq!(tree.token_count(), 3, "! x ; survives");
+    }
+
+    #[test]
+    fn eof_trailing_junk_recovered() {
+        let (tree, errors, stats) = recover("grammar P; s : A ; A : 'a' ;", "aa", "s");
+        assert_eq!(errors.len(), 1);
+        assert!(
+            matches!(&errors[0].kind, ParseErrorKind::Mismatch { expected_names, .. }
+                if expected_names == &["EOF".to_string()]),
+            "{errors:?}"
+        );
+        assert_eq!(tree.error_node_count(), 1, "trailing junk lands in an error node");
+        assert_eq!(stats.tokens_skipped, 1);
+    }
+
+    #[test]
+    fn recovery_never_engages_during_speculation() {
+        let src = r#"
+            grammar F2;
+            options { backtrack = true; m = 1; }
+            t : '-'* ID | expr ;
+            expr : INT | '-' expr ;
+            ID : [a-z]+ ;
+            INT : [0-9]+ ;
+            WS : [ ]+ -> skip ;
+        "#;
+        let (g, a) = setup(src);
+        let (strict_tree, _) = parse_text(&g, &a, "- - x", "t", NopHooks).unwrap();
+        let (tree, errors, stats) =
+            parse_text_recovering(&g, &a, "- - x", "t", NopHooks, 100).unwrap();
+        assert!(errors.is_empty(), "speculative failures are not user errors: {errors:?}");
+        assert_eq!(tree, strict_tree);
+        assert!(stats.total_backtrack_events() > 0, "the input still backtracks");
+        assert_eq!(stats.recoveries, 0);
+    }
+
+    #[test]
+    fn recovery_trace_events_fold_into_stats() {
+        use crate::trace::RingSink;
+        let (g, a) = setup(STMTS);
+        let input = "a 1 ; b = ; c = x ; d = 4 ;";
+        let mut sink = RingSink::unbounded();
+        let (_, errors, stats) =
+            parse_text_recovering_traced(&g, &a, input, "s", NopHooks, 100, &mut sink).unwrap();
+        let events: Vec<_> = sink.into_events();
+        assert_eq!(
+            events.iter().filter(|e| matches!(e, TraceEvent::Recover { .. })).count(),
+            errors.len()
+        );
+        let folded = ParseStats::from_events(a.atn.decisions.len(), &events);
+        assert_eq!(folded, stats, "stats stay a pure fold of the event stream");
+    }
+
+    #[test]
+    fn recovered_errors_render_diagnostics() {
+        use crate::diagnostics::{diagnostics_jsonl, Diagnostic};
+        let (g, a) = setup(STMTS);
+        let input = "a 1 ; b = ; c = x ; d = 4 ;";
+        let (_, errors, _) = parse_text_recovering(&g, &a, input, "s", NopHooks, 100).unwrap();
+        let diags = Diagnostic::from_errors(&g, &errors);
+        assert_eq!(diags.len(), 3);
+        let jsonl = diagnostics_jsonl(&diags);
+        assert_eq!(jsonl.lines().count(), 3);
+        for line in jsonl.lines() {
+            assert!(line.starts_with("{\"type\":\"diagnostic\",\"kind\":"), "{line}");
+        }
+        let rendered = diags[0].render(input, "input.txt");
+        assert!(rendered.contains("--> input.txt:1:"), "{rendered}");
+        assert!(rendered.contains('^'), "{rendered}");
+    }
+
+    #[test]
+    fn bail_strategy_restores_strict_semantics() {
+        use crate::recovery::BailErrorStrategy;
+        let (g, a) = setup(STMTS);
+        let scanner = g.lexer.build().unwrap();
+        let toks = scanner.tokenize("a 1 ;").unwrap();
+        let mut parser = Parser::new(&g, &a, TokenStream::new(toks), NopHooks);
+        parser.enable_recovery(100);
+        parser.set_error_strategy(Box::new(BailErrorStrategy));
+        assert!(parser.parse_to_eof("s").is_err());
     }
 }

@@ -1,0 +1,140 @@
+//! ANTLR-style error recovery: the pluggable [`ErrorStrategy`] the parser
+//! consults after a terminal match or prediction fails in recovery mode.
+//!
+//! The strategy only *chooses* among the three repair moves; the parser
+//! executes them:
+//!
+//! * **single-token deletion** — the offending token is extraneous:
+//!   consume it into an error node and match the expected token that
+//!   follows it (`la(2)`).
+//! * **single-token insertion** — the expected token is missing:
+//!   synthesize it (no input consumed) when the current token is in the
+//!   *expected set of the successor ATN state*, i.e. the parse can
+//!   continue as if the token had been there.
+//! * **sync-and-return** — neither local repair applies: consume tokens
+//!   until one appears in the *resynchronization set* (the union of
+//!   expected sets over the runtime rule-invocation stack's follow
+//!   states, plus EOF), then return from the current rule.
+//!
+//! Recovery never engages during speculation — backtracking semantics
+//! (Section 4.1) are unchanged — and the number of recorded errors is
+//! capped by `max_errors`, after which the parser aborts like the strict
+//! engine. All sets come from [`llstar_core::RecoverySets`], precomputed
+//! from the same ATN that drives prediction.
+
+use llstar_core::TokenSet;
+use llstar_lexer::TokenType;
+
+/// A repair move chosen by an [`ErrorStrategy`] for a failed terminal
+/// match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Repair {
+    /// Delete the offending token, then match the expected token.
+    DeleteToken,
+    /// Synthesize the expected token without consuming input.
+    InsertToken,
+    /// Consume until the resynchronization set, then return from the
+    /// current rule.
+    SyncAndReturn,
+    /// Give up: propagate the error exactly like the strict engine.
+    Abort,
+}
+
+/// What the parser knows at a failed terminal match.
+#[derive(Debug)]
+pub struct RepairContext<'a> {
+    /// The token type the ATN edge requires.
+    pub expected: TokenType,
+    /// Expected set of the ATN state *after* the required token — the
+    /// insertion viability test.
+    pub successor_expected: &'a TokenSet,
+    /// The offending token's type (`la(1)`).
+    pub la1: TokenType,
+    /// The type of the token after it (`la(2)`).
+    pub la2: TokenType,
+}
+
+/// Chooses repair moves. Implementations must be deterministic for the
+/// trace streams (and the interpreted/generated diagnostic parity) to
+/// stay byte-identical.
+pub trait ErrorStrategy {
+    /// The repair for a failed terminal match.
+    fn on_mismatch(&mut self, ctx: &RepairContext<'_>) -> Repair;
+
+    /// Whether to resynchronize after a failed prediction (`false`
+    /// propagates the no-viable-alternative error).
+    fn on_no_viable(&mut self) -> bool {
+        true
+    }
+}
+
+/// ANTLR's default policy: single-token deletion if `la(2)` matches,
+/// else single-token insertion if `la(1)` can follow the missing token,
+/// else sync-and-return. Generated parsers hard-code this policy, so use
+/// it whenever interpreted/generated diagnostic parity matters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DefaultErrorStrategy;
+
+impl ErrorStrategy for DefaultErrorStrategy {
+    fn on_mismatch(&mut self, ctx: &RepairContext<'_>) -> Repair {
+        if ctx.la2 == ctx.expected {
+            Repair::DeleteToken
+        } else if ctx.successor_expected.contains(ctx.la1) {
+            Repair::InsertToken
+        } else {
+            Repair::SyncAndReturn
+        }
+    }
+}
+
+/// Aborts on the first error: recovery mode with strict-engine
+/// semantics (useful to flip recovery off per-parse without rebuilding
+/// the parser).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BailErrorStrategy;
+
+impl ErrorStrategy for BailErrorStrategy {
+    fn on_mismatch(&mut self, _ctx: &RepairContext<'_>) -> Repair {
+        Repair::Abort
+    }
+
+    fn on_no_viable(&mut self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(expected: u32, succ: &TokenSet, la1: u32, la2: u32) -> RepairContext<'_> {
+        RepairContext {
+            expected: TokenType(expected),
+            successor_expected: succ,
+            la1: TokenType(la1),
+            la2: TokenType(la2),
+        }
+    }
+
+    #[test]
+    fn default_strategy_prefers_deletion_then_insertion() {
+        let mut succ = TokenSet::new(8);
+        succ.insert(TokenType(5));
+        let mut s = DefaultErrorStrategy;
+        // la(2) matches: delete the offender.
+        assert_eq!(s.on_mismatch(&ctx(3, &succ, 9, 3)), Repair::DeleteToken);
+        // la(1) viable after the missing token: insert.
+        assert_eq!(s.on_mismatch(&ctx(3, &succ, 5, 6)), Repair::InsertToken);
+        // Neither: resynchronize.
+        assert_eq!(s.on_mismatch(&ctx(3, &succ, 9, 6)), Repair::SyncAndReturn);
+        assert!(s.on_no_viable());
+    }
+
+    #[test]
+    fn bail_strategy_always_aborts() {
+        let succ = TokenSet::new(8);
+        let mut s = BailErrorStrategy;
+        assert_eq!(s.on_mismatch(&ctx(3, &succ, 3, 3)), Repair::Abort);
+        assert!(!s.on_no_viable());
+    }
+}

@@ -33,6 +33,15 @@ pub struct ParseStats {
     pub memo_hits: u64,
     /// Memoization cache entries written.
     pub memo_entries: u64,
+    /// Error-recovery engagements (one per recorded syntax error that the
+    /// parser repaired rather than aborted on).
+    pub recoveries: u64,
+    /// Tokens removed by single-token deletion.
+    pub tokens_deleted: u64,
+    /// Tokens synthesized by single-token insertion.
+    pub tokens_inserted: u64,
+    /// Tokens consumed while resynchronizing on follow sets.
+    pub tokens_skipped: u64,
 }
 
 impl ParseStats {
@@ -42,6 +51,10 @@ impl ParseStats {
             per_decision: vec![DecisionStats::default(); decision_count],
             memo_hits: 0,
             memo_entries: 0,
+            recoveries: 0,
+            tokens_deleted: 0,
+            tokens_inserted: 0,
+            tokens_skipped: 0,
         }
     }
 
@@ -59,6 +72,10 @@ impl ParseStats {
             }
             TraceEvent::MemoHit { .. } => self.memo_hits += 1,
             TraceEvent::MemoWrite { .. } => self.memo_entries += 1,
+            TraceEvent::Recover { .. } => self.recoveries += 1,
+            TraceEvent::TokenDeleted { .. } => self.tokens_deleted += 1,
+            TraceEvent::TokenInserted { .. } => self.tokens_inserted += 1,
+            TraceEvent::SyncSkip { skipped, .. } => self.tokens_skipped += skipped,
             _ => {}
         }
     }
@@ -188,6 +205,10 @@ impl ParseStats {
         }
         self.memo_hits = 0;
         self.memo_entries = 0;
+        self.recoveries = 0;
+        self.tokens_deleted = 0;
+        self.tokens_inserted = 0;
+        self.tokens_skipped = 0;
     }
 }
 

@@ -131,6 +131,36 @@ pub enum TraceEvent {
         /// Whether the parser was speculating.
         speculating: bool,
     },
+    /// Error recovery engaged after a failed match or prediction (never
+    /// during speculation).
+    Recover {
+        /// Token index of the recorded error.
+        token_index: usize,
+        /// The rule being parsed when recovery engaged.
+        rule: u32,
+    },
+    /// Recovery consumed tokens to resynchronize on the follow set.
+    SyncSkip {
+        /// Token index where skipping started.
+        token_index: usize,
+        /// Number of tokens consumed (0 when already synchronized).
+        skipped: u64,
+    },
+    /// Recovery synthesized a missing token without consuming input
+    /// (single-token insertion).
+    TokenInserted {
+        /// Token index where the synthetic token was inserted.
+        token_index: usize,
+        /// The synthesized token type.
+        ttype: u32,
+    },
+    /// Recovery deleted an extraneous token (single-token deletion).
+    TokenDeleted {
+        /// Token index of the deleted token.
+        token_index: usize,
+        /// The deleted token's type.
+        ttype: u32,
+    },
 }
 
 impl TraceEvent {
@@ -187,6 +217,18 @@ impl TraceEvent {
                 "{{\"type\":\"syntax-error\",\"token\":{token_index},\
                  \"speculating\":{speculating}}}"
             ),
+            TraceEvent::Recover { token_index, rule } => {
+                format!("{{\"type\":\"recover\",\"token\":{token_index},\"rule\":{rule}}}")
+            }
+            TraceEvent::SyncSkip { token_index, skipped } => {
+                format!("{{\"type\":\"sync-skip\",\"token\":{token_index},\"skipped\":{skipped}}}")
+            }
+            TraceEvent::TokenInserted { token_index, ttype } => {
+                format!("{{\"type\":\"token-inserted\",\"token\":{token_index},\"ttype\":{ttype}}}")
+            }
+            TraceEvent::TokenDeleted { token_index, ttype } => {
+                format!("{{\"type\":\"token-deleted\",\"token\":{token_index},\"ttype\":{ttype}}}")
+            }
         }
     }
 
@@ -265,6 +307,18 @@ impl TraceEvent {
                 token_index: token()?,
                 speculating: flag("speculating")?,
             }),
+            Some("recover") => {
+                Ok(TraceEvent::Recover { token_index: token()?, rule: num("rule")? as u32 })
+            }
+            Some("sync-skip") => {
+                Ok(TraceEvent::SyncSkip { token_index: token()?, skipped: num("skipped")? })
+            }
+            Some("token-inserted") => {
+                Ok(TraceEvent::TokenInserted { token_index: token()?, ttype: num("ttype")? as u32 })
+            }
+            Some("token-deleted") => {
+                Ok(TraceEvent::TokenDeleted { token_index: token()?, ttype: num("ttype")? as u32 })
+            }
             Some(other) => Err(format!("unknown event type {other:?}")),
             None => Err("missing event type".into()),
         }
@@ -437,6 +491,10 @@ mod tests {
             },
             TraceEvent::Sempred { pred: "isTypeName".into(), token_index: 2, outcome: true },
             TraceEvent::SyntaxError { token_index: 9, speculating: true },
+            TraceEvent::Recover { token_index: 9, rule: 2 },
+            TraceEvent::SyncSkip { token_index: 9, skipped: 3 },
+            TraceEvent::TokenInserted { token_index: 4, ttype: 7 },
+            TraceEvent::TokenDeleted { token_index: 5, ttype: 8 },
         ]
     }
 
@@ -481,11 +539,11 @@ mod tests {
         for e in sample_events() {
             sink.event(&e);
         }
-        assert_eq!(sink.seen(), 8);
+        assert_eq!(sink.seen(), 12);
         assert_eq!(sink.events().count(), 2);
-        assert_eq!(sink.dropped(), 6);
+        assert_eq!(sink.dropped(), 10);
         let kept = sink.into_events();
-        assert!(matches!(kept[1], TraceEvent::SyntaxError { .. }), "{kept:?}");
+        assert!(matches!(kept[1], TraceEvent::TokenDeleted { .. }), "{kept:?}");
 
         let mut all = RingSink::unbounded();
         for e in sample_events() {

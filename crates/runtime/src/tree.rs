@@ -1,7 +1,7 @@
 //! Parse trees produced by the LL(*) interpreter.
 
 use llstar_grammar::{Grammar, RuleId};
-use llstar_lexer::Token;
+use llstar_lexer::{Token, TokenType};
 use std::fmt::Write as _;
 
 /// A parse tree: interior nodes are rule applications, leaves are tokens.
@@ -19,6 +19,15 @@ pub enum ParseTree {
     },
     /// A matched token.
     Token(Token),
+    /// An error node recorded by recovery: the tokens consumed while
+    /// repairing (deleted or skipped), or none for an inserted token.
+    Error {
+        /// Tokens the repair consumed without matching, in input order.
+        tokens: Vec<Token>,
+        /// The token type synthesized by single-token insertion, if the
+        /// repair was an insertion.
+        inserted: Option<TokenType>,
+    },
 }
 
 impl ParseTree {
@@ -27,10 +36,12 @@ impl ParseTree {
         ParseTree::Rule { rule, alt: 0, children: Vec::new() }
     }
 
-    /// Number of token leaves in the tree.
+    /// Number of *matched* token leaves in the tree (tokens held by
+    /// error nodes were consumed but never matched, so they don't count).
     pub fn token_count(&self) -> usize {
         match self {
             ParseTree::Token(_) => 1,
+            ParseTree::Error { .. } => 0,
             ParseTree::Rule { children, .. } => children.iter().map(ParseTree::token_count).sum(),
         }
     }
@@ -38,9 +49,20 @@ impl ParseTree {
     /// Number of rule nodes in the tree.
     pub fn rule_count(&self) -> usize {
         match self {
-            ParseTree::Token(_) => 0,
+            ParseTree::Token(_) | ParseTree::Error { .. } => 0,
             ParseTree::Rule { children, .. } => {
                 1 + children.iter().map(ParseTree::rule_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Number of error nodes recorded by recovery.
+    pub fn error_node_count(&self) -> usize {
+        match self {
+            ParseTree::Token(_) => 0,
+            ParseTree::Error { .. } => 1,
+            ParseTree::Rule { children, .. } => {
+                children.iter().map(ParseTree::error_node_count).sum()
             }
         }
     }
@@ -48,19 +70,20 @@ impl ParseTree {
     /// Depth of the tree (a single token has depth 1).
     pub fn depth(&self) -> usize {
         match self {
-            ParseTree::Token(_) => 1,
+            ParseTree::Token(_) | ParseTree::Error { .. } => 1,
             ParseTree::Rule { children, .. } => {
                 1 + children.iter().map(ParseTree::depth).max().unwrap_or(0)
             }
         }
     }
 
-    /// The leaf tokens in order.
+    /// The matched leaf tokens in order (error-node tokens excluded).
     pub fn leaves(&self) -> Vec<Token> {
         let mut out = Vec::new();
         fn walk(t: &ParseTree, out: &mut Vec<Token>) {
             match t {
                 ParseTree::Token(tok) => out.push(*tok),
+                ParseTree::Error { .. } => {}
                 ParseTree::Rule { children, .. } => {
                     for c in children {
                         walk(c, out);
@@ -84,6 +107,16 @@ impl ParseTree {
         match self {
             ParseTree::Token(tok) => {
                 let _ = write!(out, "{:?}", tok.text(source));
+            }
+            ParseTree::Error { tokens, inserted } => {
+                out.push_str("(error");
+                if let Some(t) = inserted {
+                    let _ = write!(out, " <missing {}>", grammar.vocab.display_name(*t));
+                }
+                for tok in tokens {
+                    let _ = write!(out, " {:?}", tok.text(source));
+                }
+                out.push(')');
             }
             ParseTree::Rule { rule, children, .. } => {
                 let _ = write!(out, "({}", grammar.rule(*rule).name);

@@ -20,12 +20,17 @@ pub trait TreeListener {
     fn visit_token(&mut self, token: Token) {
         let _ = token;
     }
+    /// Called for each error node recorded by recovery.
+    fn visit_error(&mut self, tokens: &[Token]) {
+        let _ = tokens;
+    }
 }
 
 /// Walks `tree` depth-first, firing `listener` callbacks.
 pub fn walk<L: TreeListener>(tree: &ParseTree, listener: &mut L) {
     match tree {
         ParseTree::Token(tok) => listener.visit_token(*tok),
+        ParseTree::Error { tokens, .. } => listener.visit_error(tokens),
         ParseTree::Rule { rule, alt, children } => {
             listener.enter_rule(*rule, *alt);
             for child in children {

@@ -72,6 +72,8 @@ fn eval(tree: &ParseTree, src: &str) -> f64 {
             }
             acc.unwrap_or(f64::NAN)
         }
+        // Only produced under error recovery, which this example leaves off.
+        ParseTree::Error { .. } => f64::NAN,
     }
 }
 

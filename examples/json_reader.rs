@@ -71,6 +71,8 @@ fn decode(grammar: &Grammar, tree: &ParseTree, src: &str) -> Value {
             "pair" => decode(grammar, &children[2], src),
             other => panic!("unexpected rule {other}"),
         },
+        // Only produced under error recovery, which this example leaves off.
+        ParseTree::Error { .. } => Value::Null,
     }
 }
 

@@ -13,7 +13,7 @@
 
 use llstar::core::analyze;
 use llstar::grammar::parse_grammar;
-use llstar::runtime::{NopHooks, ParseTree, Parser, TokenStream};
+use llstar::runtime::{render_all, Diagnostic, NopHooks, ParseTree, Parser, TokenStream};
 use llstar_lexer::Token;
 use std::collections::HashMap;
 use std::io::BufRead;
@@ -40,6 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source_for_pull = source_text.clone();
     let mut pending: Vec<Token> = Vec::new();
     let mut stdin = std::io::stdin().lock();
+    let mut lines_seen: u32 = 0;
     let pull = move || -> Option<Token> {
         loop {
             if let Some(tok) = pending.first().copied() {
@@ -52,31 +53,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             let offset = source_for_pull.borrow().len();
             source_for_pull.borrow_mut().push_str(&line);
-            // Lex just this line; shift spans to global offsets and drop
-            // the per-line EOF.
+            // Lex just this line; shift spans and line numbers to global
+            // coordinates and drop the per-line EOF.
             match scanner.tokenize(&line) {
                 Ok(mut toks) => {
                     toks.pop();
                     for t in &mut toks {
                         t.span.start += offset;
                         t.span.end += offset;
+                        t.line += lines_seen;
                     }
                     pending.extend(toks);
                 }
                 Err(e) => eprintln!("lex error: {e}"),
             }
+            lines_seen += 1;
         }
     };
 
     let mut parser = Parser::new(&grammar, &analysis, TokenStream::from_source(pull), NopHooks);
+    // Error recovery keeps the session alive across malformed statements:
+    // each bad line produces diagnostics, not a dead REPL.
+    parser.enable_recovery(usize::MAX);
     let mut env: HashMap<String, i64> = HashMap::new();
 
     eprintln!("streaming LL(*) interpreter — statements like `x = 1 + 2 ;` or `print x ;`");
     loop {
+        if parser.at_eof() {
+            break;
+        }
         match parser.parse("stat") {
             Ok(tree) => {
+                let errors = parser.take_errors();
                 let src = source_text.borrow();
-                execute(&tree, &src, &mut env);
+                if errors.is_empty() {
+                    execute(&tree, &src, &mut env);
+                } else {
+                    // The statement was repaired, not understood: render
+                    // the diagnostics and skip evaluation rather than
+                    // executing a guess.
+                    let diags = Diagnostic::from_errors(&grammar, &errors);
+                    eprint!("{}", render_all(&diags, &src, "<stdin>"));
+                }
             }
             Err(e) => {
                 // EOF (or an error at it) ends the session.
@@ -132,6 +150,8 @@ fn eval(tree: &ParseTree, src: &str, env: &HashMap<String, i64>) -> i64 {
             }
             acc
         }
+        // Unreachable here: repaired statements are never evaluated.
+        ParseTree::Error { .. } => 0,
     }
 }
 

@@ -27,7 +27,10 @@ use llstar::core::{
     AnalysisOptions, AnalysisRecord, Atn, CacheMetrics, DecisionClass, GrammarAnalysis,
 };
 use llstar::grammar::{apply_peg_mode, parse_grammar, validate, Grammar};
-use llstar::runtime::{parse_text, parse_text_traced, NopHooks, ParseStats, RingSink};
+use llstar::runtime::{
+    diagnostics_jsonl, parse_text, parse_text_recovering_traced, parse_text_traced, render_all,
+    Diagnostic, NopHooks, ParseStats, RingSink,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -37,21 +40,45 @@ struct Flags {
     cache: Option<PathBuf>,
     /// `--jobs N`: analysis worker threads (0 = available parallelism).
     jobs: Option<usize>,
-    /// `--json <path>`: JSONL export target (`profile`).
+    /// `--json <path>`: JSONL export target (`profile`, `check`).
     json: Option<PathBuf>,
-    /// `--rule <name>`: start rule override (`profile`).
+    /// `--rule <name>`: start rule override (`profile`, `check`).
     rule: Option<String>,
     /// `-v`/`--verbose`: extra diagnostics (e.g. cache metrics).
     verbose: bool,
     /// `--trace`: emit trace hooks in generated parsers (`generate`).
     trace: bool,
+    /// `--diagnostics`: recover from syntax errors and render annotated
+    /// diagnostics instead of stopping at the first error.
+    diagnostics: bool,
+    /// `--max-errors N`: recovery cap (implies `--diagnostics`).
+    max_errors: Option<usize>,
+}
+
+impl Flags {
+    /// Whether error recovery was requested, and the effective cap.
+    fn recovery(&self) -> Option<usize> {
+        match (self.diagnostics, self.max_errors) {
+            (_, Some(n)) => Some(n),
+            (true, None) => Some(10),
+            (false, None) => None,
+        }
+    }
 }
 
 /// Extracts the shared flags from `args`, returning the remaining
 /// positional arguments and the parsed flags.
 fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
-    let mut flags =
-        Flags { cache: None, jobs: None, json: None, rule: None, verbose: false, trace: false };
+    let mut flags = Flags {
+        cache: None,
+        jobs: None,
+        json: None,
+        rule: None,
+        verbose: false,
+        trace: false,
+        diagnostics: false,
+        max_errors: None,
+    };
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -75,6 +102,12 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
             }
             "-v" | "--verbose" => flags.verbose = true,
             "--trace" => flags.trace = true,
+            "--diagnostics" => flags.diagnostics = true,
+            "--max-errors" => {
+                let n = it.next().ok_or("--max-errors needs a count")?;
+                flags.max_errors =
+                    Some(n.parse().map_err(|_| format!("--max-errors: bad count {n:?}"))?);
+            }
             _ => positional.push(arg.clone()),
         }
     }
@@ -93,7 +126,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("check") => with_grammar(&args, &flags, 2, |g, a| {
             report(g, a);
-            Ok(())
+            check_input(g, a, args.get(2), &flags)
         }),
         Some("dfa") => with_grammar(&args, &flags, 2, |g, a| {
             dump_dfas(g, a, args.get(2).map(String::as_str));
@@ -153,7 +186,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: llstar <check|dfa|atn|generate|parse> <grammar.g> …\n\
                  \n\
-                 llstar check    <grammar.g>                validate + analysis report\n\
+                 llstar check    <grammar.g> [input]        validate + analysis report\n\
                  llstar dfa      <grammar.g> [rule]         print lookahead DFAs\n\
                  llstar atn      <grammar.g>                ATN as Graphviz dot\n\
                  llstar generate <grammar.g> [out.rs]       emit a Rust parser\n\
@@ -166,9 +199,11 @@ fn main() -> ExitCode {
                  --cache <dir>  reuse serialized analyses keyed by grammar hash\n\
                  -v, --verbose  extra diagnostics (cache lookup metrics)\n\
                  \n\
-                 profile flags:\n\
+                 check/profile flags:\n\
                  --rule <name>  start rule for the runtime trace (default: first rule)\n\
-                 --json <path>  export analysis records + trace events as JSONL\n\
+                 --json <path>  export analysis records / diagnostics as JSONL\n\
+                 --diagnostics  recover from syntax errors, report all of them\n\
+                 --max-errors N cap collected diagnostics (implies --diagnostics)\n\
                  \n\
                  generate flags:\n\
                  --trace        emit Hooks::trace callbacks in the generated parser"
@@ -231,6 +266,58 @@ fn with_grammar(
     f(&grammar, &analysis)
 }
 
+/// `llstar check <grammar.g> [input]`: when an input file is given,
+/// parses it — strictly, or with error recovery when `--diagnostics` /
+/// `--max-errors` are set, rendering every collected diagnostic as an
+/// annotated snippet (and as JSONL via `--json`).
+fn check_input(
+    grammar: &Grammar,
+    analysis: &GrammarAnalysis,
+    input: Option<&String>,
+    flags: &Flags,
+) -> Result<(), String> {
+    let Some(path) = input else { return Ok(()) };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let rule = match &flags.rule {
+        Some(name) => name.clone(),
+        None => grammar.start_rule().name.clone(),
+    };
+    match flags.recovery() {
+        Some(max_errors) => {
+            let (tree, errors, stats) = llstar::runtime::parse_text_recovering(
+                grammar, analysis, &text, &rule, NopHooks, max_errors,
+            )?;
+            let diags = Diagnostic::from_errors(grammar, &errors);
+            if let Some(json) = &flags.json {
+                std::fs::write(json, diagnostics_jsonl(&diags))
+                    .map_err(|e| format!("{}: {e}", json.display()))?;
+                eprintln!("wrote {} diagnostics to {}", diags.len(), json.display());
+            }
+            if diags.is_empty() {
+                println!("parse ok: {} tokens from rule {rule}", tree.token_count());
+            } else {
+                print!("{}", render_all(&diags, &text, path));
+                println!(
+                    "{} syntax error{} recovered ({} deleted, {} inserted, {} skipped); \
+                     {} tokens matched",
+                    diags.len(),
+                    if diags.len() == 1 { "" } else { "s" },
+                    stats.tokens_deleted,
+                    stats.tokens_inserted,
+                    stats.tokens_skipped,
+                    tree.token_count()
+                );
+            }
+            Ok(())
+        }
+        None => {
+            let (tree, _) = parse_text(grammar, analysis, &text, &rule, NopHooks)?;
+            println!("parse ok: {} tokens from rule {rule}", tree.token_count());
+            Ok(())
+        }
+    }
+}
+
 /// `llstar profile`: one row per decision, static analysis cost on the
 /// left, observed runtime behaviour (when an input was parsed) on the
 /// right — the paper's Tables 1–4 for a single grammar.
@@ -241,6 +328,7 @@ fn profile(
     flags: &Flags,
 ) -> Result<(), String> {
     let mut sink = RingSink::unbounded();
+    let mut diags: Vec<Diagnostic> = Vec::new();
     let stats: Option<ParseStats> = match input {
         Some(path) => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -248,8 +336,23 @@ fn profile(
                 Some(name) => name.clone(),
                 None => grammar.start_rule().name.clone(),
             };
-            let (_, stats) =
-                parse_text_traced(grammar, analysis, &text, &rule, NopHooks, &mut sink)?;
+            let stats = match flags.recovery() {
+                Some(max_errors) => {
+                    let (_, errors, stats) = parse_text_recovering_traced(
+                        grammar, analysis, &text, &rule, NopHooks, max_errors, &mut sink,
+                    )?;
+                    diags = Diagnostic::from_errors(grammar, &errors);
+                    if !diags.is_empty() {
+                        eprint!("{}", render_all(&diags, &text, path));
+                    }
+                    stats
+                }
+                None => {
+                    let (_, stats) =
+                        parse_text_traced(grammar, analysis, &text, &rule, NopHooks, &mut sink)?;
+                    stats
+                }
+            };
             eprintln!("parsed {path} from rule {rule}: {} trace events", sink.seen());
             Some(stats)
         }
@@ -340,6 +443,17 @@ fn profile(
             s.memo_hits,
             s.memo_entries
         );
+        if s.recoveries > 0 || flags.recovery().is_some() {
+            println!(
+                "recovery: {} diagnostics, {} recoveries, {} tokens deleted, \
+                 {} inserted, {} skipped",
+                diags.len(),
+                s.recoveries,
+                s.tokens_deleted,
+                s.tokens_inserted,
+                s.tokens_skipped
+            );
+        }
     }
 
     if let Some(path) = &flags.json {
@@ -364,6 +478,10 @@ fn profile(
             out.push_str(&event.to_json());
             out.push('\n');
             lines += 1;
+        }
+        if !diags.is_empty() {
+            out.push_str(&diagnostics_jsonl(&diags));
+            lines += diags.len();
         }
         std::fs::write(path, out).map_err(|e| format!("{}: {e}", path.display()))?;
         eprintln!("wrote {lines} JSONL lines to {}", path.display());

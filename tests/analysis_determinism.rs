@@ -140,3 +140,68 @@ fn thread_count_exceeding_decisions_is_harmless() {
     let wide = serialize_analysis(&g, &analyze_at(&g, 16));
     assert_eq!(seq, wide);
 }
+
+/// One deliberately-corrupted variant of each smoke input, chosen to
+/// exercise a different repair: a missing operand (no-viable), a
+/// dropped '=' (token insertion), a doubled ',' (sync/deletion), and a
+/// truncated declaration.
+fn corrupted_smoke_input(stem: &str) -> String {
+    match stem {
+        "calculator" => "1 + * (3 - 4) / 5".to_string(),
+        "config" => "[main]\nthreads 4 ;\nname = \"llstar\" ;\n".to_string(),
+        "json" => "{\"name\": \"llstar\", \"tables\": [1, 2, , 4]}".to_string(),
+        "paper_section2" => "unsigned unsigned int".to_string(),
+        other => panic!("no corrupted variant for {other}"),
+    }
+}
+
+fn recovery_trace_smoke(stem: &str, threads: usize) -> (Vec<u8>, String) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("grammars");
+    let source = std::fs::read_to_string(dir.join(format!("{stem}.g"))).expect("read grammar");
+    let input = corrupted_smoke_input(stem);
+    let grammar = apply_peg_mode(parse_grammar(&source).expect("grammar parses"));
+    let analysis = analyze_at(&grammar, threads);
+    let mut sink = JsonlSink::new(Vec::new());
+    let start = grammar.start_rule().name.clone();
+    let (_, errors, _) = llstar::runtime::parse_text_recovering_traced(
+        &grammar, &analysis, &input, &start, NopHooks, 100, &mut sink,
+    )
+    .unwrap_or_else(|e| panic!("{stem}: recovery parse aborted: {e}"));
+    let (bytes, error) = sink.into_inner();
+    assert!(error.is_none(), "{stem}: sink I/O error");
+    let diags = llstar::runtime::Diagnostic::from_errors(&grammar, &errors);
+    (bytes, llstar::runtime::diagnostics_jsonl(&diags))
+}
+
+/// Recovery is part of the determinism contract too: the repair
+/// decisions (delete vs insert vs resync) depend only on the DFAs and
+/// the token stream, so the recovery-event trace and the diagnostics
+/// must be byte-identical regardless of the analysis thread count.
+#[test]
+fn recovery_traces_are_byte_identical_across_thread_counts() {
+    let mut total_diag_lines = 0usize;
+    for stem in ["calculator", "config", "json", "paper_section2"] {
+        let (baseline_trace, baseline_diags) = recovery_trace_smoke(stem, 1);
+        assert!(
+            !baseline_diags.is_empty(),
+            "{stem}: corrupted input produced no diagnostics — corruption is stale"
+        );
+        total_diag_lines += baseline_diags.lines().count();
+        for &threads in THREAD_COUNTS {
+            let (trace, diags) = recovery_trace_smoke(stem, threads);
+            assert_eq!(
+                baseline_trace, trace,
+                "{stem}: recovery trace differs when the analysis used threads={threads}"
+            );
+            assert_eq!(
+                baseline_diags, diags,
+                "{stem}: diagnostics differ when the analysis used threads={threads}"
+            );
+        }
+        // Re-running identically is identical.
+        let (rerun_trace, rerun_diags) = recovery_trace_smoke(stem, 1);
+        assert_eq!(baseline_trace, rerun_trace, "{stem}: trace differs between runs");
+        assert_eq!(baseline_diags, rerun_diags, "{stem}: diagnostics differ between runs");
+    }
+    assert!(total_diag_lines >= 4, "expected at least one diagnostic per corrupted stem");
+}

@@ -262,3 +262,61 @@ fn bad_jobs_value_is_a_usage_error() {
     assert!(!ok);
     assert!(stderr.contains("--jobs"), "{stderr}");
 }
+
+#[test]
+fn check_diagnostics_recovers_and_exports_jsonl() {
+    let g = grammar_path();
+    let dir = workdir();
+    let input = dir.join("broken.txt");
+    // Two corruption sites: a missing '=' and trailing junk.
+    std::fs::write(&input, "a 1\n").expect("write input");
+    let jsonl = dir.join("diag.jsonl");
+    let (ok, stdout, stderr) = llstar(&[
+        "check",
+        &g,
+        &input.to_string_lossy(),
+        "--diagnostics",
+        "--max-errors",
+        "10",
+        "--json",
+        &jsonl.to_string_lossy(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("error:"), "{stdout}");
+    assert!(stdout.contains("syntax error"), "{stdout}");
+    assert!(stdout.contains("recovered"), "{stdout}");
+    let exported = std::fs::read_to_string(&jsonl).expect("jsonl written");
+    assert!(!exported.is_empty(), "diagnostics JSONL must not be empty");
+    for line in exported.lines() {
+        assert!(line.starts_with("{\"type\":\"diagnostic\""), "{line}");
+    }
+}
+
+#[test]
+fn check_without_diagnostics_stays_strict() {
+    let g = grammar_path();
+    let dir = workdir();
+    let input = dir.join("broken_strict.txt");
+    std::fs::write(&input, "a 1\n").expect("write input");
+    let (ok, _, stderr) = llstar(&["check", &g, &input.to_string_lossy()]);
+    assert!(!ok, "strict check must fail on a syntax error");
+    assert!(!stderr.is_empty());
+
+    let clean = dir.join("clean.txt");
+    std::fs::write(&clean, "a = 1\n").expect("write input");
+    let (ok, stdout, stderr) = llstar(&["check", &g, &clean.to_string_lossy()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("parse ok"), "{stdout}");
+}
+
+#[test]
+fn profile_with_diagnostics_reports_recovery_counters() {
+    let g = grammar_path();
+    let dir = workdir();
+    let input = dir.join("broken_profile.txt");
+    std::fs::write(&input, "a 1\n").expect("write input");
+    let (ok, stdout, stderr) = llstar(&["profile", &g, &input.to_string_lossy(), "--diagnostics"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("recovery:"), "{stdout}");
+    assert!(stdout.contains("diagnostics"), "{stdout}");
+}

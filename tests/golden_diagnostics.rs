@@ -1,0 +1,89 @@
+//! Golden-diagnostics tests: each `grammars/smoke/broken/<g>.txt` input
+//! carries deliberately seeded typos; recovering from them must produce
+//! *exactly* the diagnostics checked in under `tests/golden/<g>.jsonl` —
+//! same kinds, spans, and messages, byte for byte. This pins the whole
+//! recovery pipeline (repair choice, resync sets, cascade suppression,
+//! diagnostic rendering) against silent drift.
+//!
+//! To refresh a golden after an intentional change:
+//!   cargo run --bin llstar -- check grammars/<g>.g grammars/smoke/broken/<g>.txt \
+//!     --diagnostics --json tests/golden/<g>.jsonl
+
+use llstar::core::analyze;
+use llstar::grammar::parse_grammar;
+use llstar::runtime::{diagnostics_jsonl, parse_text_recovering, Diagnostic, NopHooks};
+use std::path::Path;
+
+const STEMS: &[&str] = &["calculator", "config", "json", "paper_section2"];
+
+fn repo_path(rel: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn diagnostics_for(stem: &str) -> Vec<Diagnostic> {
+    let grammar_src = std::fs::read_to_string(repo_path(&format!("grammars/{stem}.g")))
+        .expect("grammar file readable");
+    let input = std::fs::read_to_string(repo_path(&format!("grammars/smoke/broken/{stem}.txt")))
+        .expect("broken input readable");
+    let grammar = parse_grammar(&grammar_src).expect("grammar parses");
+    let analysis = analyze(&grammar);
+    let start = grammar.start_rule().name.clone();
+    let (_, errors, _) = parse_text_recovering(&grammar, &analysis, &input, &start, NopHooks, 10)
+        .expect("recovery reaches EOF");
+    Diagnostic::from_errors(&grammar, &errors)
+}
+
+#[test]
+fn broken_smoke_inputs_match_golden_jsonl() {
+    for stem in STEMS {
+        let diags = diagnostics_for(stem);
+        let got = diagnostics_jsonl(&diags);
+        let golden = std::fs::read_to_string(repo_path(&format!("tests/golden/{stem}.jsonl")))
+            .expect("golden file readable");
+        assert_eq!(
+            got, golden,
+            "{stem}: diagnostics drifted from tests/golden/{stem}.jsonl\n\
+             (refresh deliberately via `llstar check --diagnostics --json` if intended)"
+        );
+    }
+}
+
+#[test]
+fn multi_error_inputs_surface_every_seeded_error_in_one_pass() {
+    // The ISSUE acceptance bar: an input with N >= 3 seeded errors yields
+    // all N diagnostics from a single parse, each with a correct span.
+    let diags = diagnostics_for("config");
+    assert!(
+        diags.len() >= 3,
+        "config broken input should surface >= 3 diagnostics, got {}",
+        diags.len()
+    );
+    // Spans are strictly ordered and within the file: one left-to-right pass.
+    let input = std::fs::read_to_string(repo_path("grammars/smoke/broken/config.txt")).unwrap();
+    let mut last = 0usize;
+    for d in &diags {
+        assert!(d.start >= last, "diagnostics out of order: {} < {last}", d.start);
+        assert!(d.end <= input.len(), "span past EOF: {}..{}", d.start, d.end);
+        last = d.start;
+    }
+    // Each seeded typo site is distinct: three different lines are hit.
+    let lines: std::collections::BTreeSet<u32> = diags.iter().map(|d| d.line).collect();
+    assert!(lines.len() >= 3, "expected >= 3 distinct error lines, got {lines:?}");
+}
+
+#[test]
+fn max_errors_cap_aborts_like_the_strict_engine() {
+    // The config input seeds 5 errors; a cap of 2 must make the third
+    // error fatal (recovery exhausts its budget and the parse aborts),
+    // while a generous cap recovers all of them.
+    let grammar_src = std::fs::read_to_string(repo_path("grammars/config.g")).unwrap();
+    let input = std::fs::read_to_string(repo_path("grammars/smoke/broken/config.txt")).unwrap();
+    let grammar = parse_grammar(&grammar_src).unwrap();
+    let analysis = analyze(&grammar);
+    let start = grammar.start_rule().name.clone();
+    let capped = parse_text_recovering(&grammar, &analysis, &input, &start, NopHooks, 2);
+    assert!(capped.is_err(), "max_errors=2 should abort on the third error");
+    let (_, errors, _) = parse_text_recovering(&grammar, &analysis, &input, &start, NopHooks, 100)
+        .expect("uncapped recovery completes");
+    assert_eq!(errors.len(), 5, "config broken input seeds exactly 5 errors");
+}

@@ -1,0 +1,132 @@
+//! Recovery fuzzing: take sentences *known* to be in a grammar's
+//! language (random leftmost derivation), corrupt a handful of tokens,
+//! and parse with error recovery enabled. The parser must never panic,
+//! must always reach EOF (an `Ok` from the recovering entry point), and
+//! must report a number of diagnostics linear in the number of
+//! corruption sites — cascade suppression is what keeps one typo from
+//! exploding into dozens of errors.
+
+use llstar::core::analyze;
+use llstar::grammar::{apply_peg_mode, parse_grammar, Grammar};
+use llstar::runtime::{parse_text_recovering, NopHooks};
+use llstar_rng::Rng64;
+use llstar_suite::sample_sentence;
+
+/// Per-site error allowance. Deleting one token can legitimately
+/// surface a couple of downstream diagnostics (the repair resyncs past
+/// material the grammar still needed), but growth must stay linear.
+const ERRORS_PER_SITE: usize = 8;
+
+/// Applies `k` seeded token-level corruptions (delete, duplicate, or
+/// swap-adjacent) to a whitespace-separated sentence. Returns `None`
+/// when the sentence is too short to corrupt.
+fn corrupt(sentence: &str, k: usize, seed: u64) -> Option<(String, usize)> {
+    let mut tokens: Vec<String> = sentence.split_whitespace().map(str::to_string).collect();
+    if tokens.is_empty() {
+        return None;
+    }
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut applied = 0usize;
+    for _ in 0..k {
+        if tokens.is_empty() {
+            break;
+        }
+        let i = rng.gen_range(0..tokens.len());
+        match rng.gen_range(0..3u8) {
+            0 => {
+                tokens.remove(i);
+            }
+            1 => {
+                let t = tokens[i].clone();
+                tokens.insert(i, t);
+            }
+            _ => {
+                if i + 1 < tokens.len() {
+                    tokens.swap(i, i + 1);
+                } else {
+                    let t = tokens[i].clone();
+                    tokens.insert(i, t);
+                }
+            }
+        }
+        applied += 1;
+    }
+    if applied == 0 {
+        return None;
+    }
+    Some((tokens.join(" "), applied))
+}
+
+fn fuzz_grammar(label: &str, grammar: &Grammar, start: &str, seeds: u64, max_depth: usize) {
+    let analysis = analyze(grammar);
+    let mut corrupted_runs = 0usize;
+    for seed in 0..seeds {
+        let Some(sentence) = sample_sentence(grammar, start, seed, max_depth) else {
+            continue;
+        };
+        for k in 1..=3usize {
+            let Some((bad, applied)) = corrupt(&sentence, k, seed.wrapping_mul(31) + k as u64)
+            else {
+                continue;
+            };
+            corrupted_runs += 1;
+            let (_, errors, _) =
+                parse_text_recovering(grammar, &analysis, &bad, start, NopHooks, 10_000)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "{label}: recovery aborted (seed {seed}, k {k}): {e}\ninput: {bad:?}"
+                        )
+                    });
+            assert!(
+                errors.len() <= ERRORS_PER_SITE * applied + 2,
+                "{label}: {} errors from {applied} corruption sites (seed {seed})\n\
+                 input: {bad:?}",
+                errors.len()
+            );
+        }
+    }
+    assert!(corrupted_runs > 0, "{label}: fuzz never produced a corrupted input");
+}
+
+#[test]
+fn mini_grammars_survive_token_corruption() {
+    let minis: &[(&str, &str, &str)] = &[
+        (
+            "stmtish",
+            "p",
+            r#"grammar M;
+               p : st+ ;
+               st : 'if' e 'then' st 'else' st 'end'
+                  | 'print' e ';'
+                  | ID '=' e ';'
+                  ;
+               e : t ('+' t)* ;
+               t : ID | INT | '(' e ')' ;
+               ID : [a-z]+ ;
+               INT : [0-9]+ ;
+               WS : [ \t\r\n]+ -> skip ;"#,
+        ),
+        (
+            "recursive",
+            "e",
+            "grammar M; e : '(' e ')' | '[' e ']' | INT ; INT : [0-9]+ ; WS : [ ]+ -> skip ;",
+        ),
+        (
+            "llk",
+            "s",
+            "grammar M; s : (A B C | A B D | A C)+ ; A:'a'; B:'b'; C:'c'; D:'d'; WS : [ ]+ -> skip ;",
+        ),
+    ];
+    for (label, start, src) in minis {
+        let g = apply_peg_mode(parse_grammar(src).expect("mini grammar parses"));
+        fuzz_grammar(label, &g, start, 40, 8);
+    }
+}
+
+#[test]
+fn suite_grammars_survive_token_corruption() {
+    for entry in llstar_suite::all() {
+        let grammar = entry.load();
+        fuzz_grammar(entry.name, &grammar, entry.start_rule, 10, 7);
+    }
+}
