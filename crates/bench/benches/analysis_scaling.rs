@@ -3,19 +3,20 @@
 //! independent), so wall-clock analysis time over the suite grammars
 //! should drop as `AnalysisOptions::threads` grows — while producing
 //! byte-identical results (see `tests/analysis_determinism.rs`).
+//!
+//! Beyond the per-configuration timings, this bench renders the
+//! threads × suite-grammar speedup table and appends the `scaling` rows
+//! to `BENCH_analysis.json` (creating the file, schema header included,
+//! when `report_tables` has not run yet).
 
-use llstar_bench::BenchGroup;
+use llstar_bench::{report, BenchGroup};
 use llstar_core::{analyze_with, AnalysisOptions};
 use std::hint::black_box;
+use std::io::Write as _;
 use std::time::Duration;
 
 fn main() {
-    let max = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let mut thread_counts = vec![1usize, 2, 4, 8];
-    thread_counts.retain(|&n| n <= max.max(2));
-    if !thread_counts.contains(&max) {
-        thread_counts.push(max);
-    }
+    let thread_counts = report::scaling_thread_counts();
 
     let mut group = BenchGroup::new("analysis_scaling");
     group.sample_size(10).measurement_time(Duration::from_secs(2));
@@ -31,4 +32,23 @@ fn main() {
         }
     }
     group.finish();
+
+    let rows = report::scaling_all(3);
+    println!("{}", report::format_scaling(&rows));
+    if let Err(e) = append_scaling_rows("BENCH_analysis.json", &report::scaling_jsonl(&rows)) {
+        eprintln!("warning: could not update BENCH_analysis.json: {e}");
+    } else {
+        eprintln!("appended {} scaling rows to BENCH_analysis.json", rows.len());
+    }
+}
+
+/// Appends `rows` to the bench JSONL, writing the schema header first
+/// when the file does not exist yet.
+fn append_scaling_rows(path: &str, rows: &str) -> std::io::Result<()> {
+    let fresh = !std::path::Path::new(path).exists();
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    if fresh {
+        file.write_all(report::bench_stream_header().as_bytes())?;
+    }
+    file.write_all(rows.as_bytes())
 }

@@ -91,11 +91,21 @@ fn main() {
         eprintln!("measuring error-recovery overhead (clean vs 1% corrupted tokens)…");
         let recovery = report::recovery_all(lines, seed);
         println!("{}", report::format_recovery(&recovery));
-        let jsonl = report::analysis_jsonl(&runs) + &report::recovery_jsonl(&recovery);
+        eprintln!("measuring analysis scaling across worker threads…");
+        let scaling = report::scaling_all(3);
+        println!("{}", report::format_scaling(&scaling));
+        eprintln!("measuring coverage-collection overhead…");
+        let coverage = report::coverage_overhead_all(lines, seed);
+        println!("{}", report::format_coverage_overhead(&coverage));
+        let jsonl = report::bench_stream_header()
+            + &report::analysis_jsonl(&runs)
+            + &report::recovery_jsonl(&recovery)
+            + &report::scaling_jsonl(&scaling)
+            + &report::coverage_overhead_jsonl(&coverage);
         match std::fs::write(&analysis_json, jsonl) {
-            Ok(()) => {
-                eprintln!("wrote per-decision analysis + recovery metrics to {analysis_json}")
-            }
+            Ok(()) => eprintln!(
+                "wrote analysis + recovery + scaling + coverage metrics to {analysis_json}"
+            ),
             Err(e) => eprintln!("warning: could not write {analysis_json}: {e}"),
         }
     }

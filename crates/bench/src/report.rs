@@ -1,9 +1,11 @@
 //! Regenerates the data behind every table and figure of the paper's
 //! evaluation (Section 6) from the suite grammars and generated inputs.
 
-use llstar_core::{analyze, AnalysisRecord, DecisionClass, GrammarAnalysis, Json};
+use llstar_core::{
+    analyze, analyze_with, AnalysisOptions, AnalysisRecord, DecisionClass, GrammarAnalysis, Json,
+};
 use llstar_grammar::Grammar;
-use llstar_runtime::{MapHooks, ParseStats, Parser, TokenStream};
+use llstar_runtime::{CoverageSink, MapHooks, ParseStats, Parser, TokenStream};
 use llstar_suite::{self as suite, SuiteEntry};
 use std::time::{Duration, Instant};
 
@@ -478,6 +480,249 @@ pub fn format_recovery(rows: &[RecoveryRow]) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Analysis scaling across worker threads
+// ---------------------------------------------------------------------------
+
+/// One cell of the threads × suite-grammar scaling table: how long the
+/// full per-decision DFA analysis took at a given worker-thread count.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Grammar name.
+    pub name: &'static str,
+    /// `AnalysisOptions::threads` for this measurement.
+    pub threads: usize,
+    /// Best-of-reps analysis wall-clock, microseconds.
+    pub micros: u64,
+    /// Speedup versus the same grammar's single-thread run, in
+    /// thousandths (1850 = 1.85×) — integer so the JSONL stays exact.
+    pub speedup_milli: u64,
+}
+
+/// The thread counts the scaling table sweeps: 1, 2, 4, 8 capped to the
+/// machine, plus full available parallelism.
+pub fn scaling_thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut counts = vec![1usize, 2, 4, 8];
+    counts.retain(|&n| n <= max.max(2));
+    if !counts.contains(&max) {
+        counts.push(max);
+    }
+    counts
+}
+
+/// Measures analysis wall-clock for every suite grammar at every thread
+/// count (best of `reps` runs — analysis results are byte-identical
+/// across thread counts, so only time varies).
+pub fn scaling_all(reps: usize) -> Vec<ScalingRow> {
+    let counts = scaling_thread_counts();
+    let mut rows = Vec::new();
+    for entry in suite::all() {
+        let grammar = entry.load();
+        let base = AnalysisOptions::from_grammar(&grammar);
+        let mut baseline = 0u64;
+        for &threads in &counts {
+            let options = AnalysisOptions { threads, ..base.clone() };
+            let micros = (0..reps.max(1))
+                .map(|_| {
+                    let t0 = Instant::now();
+                    let analysis = analyze_with(&grammar, &options);
+                    let elapsed = t0.elapsed().as_micros() as u64;
+                    std::hint::black_box(analysis.decisions.len());
+                    elapsed
+                })
+                .min()
+                .unwrap_or(0)
+                .max(1);
+            if threads == 1 {
+                baseline = micros;
+            }
+            let speedup_milli = baseline.saturating_mul(1000) / micros;
+            rows.push(ScalingRow { name: entry.name, threads, micros, speedup_milli });
+        }
+    }
+    rows
+}
+
+/// Formats the threads × grammar speedup table.
+pub fn format_scaling(rows: &[ScalingRow]) -> String {
+    let counts = scaling_thread_counts();
+    let mut out = String::from("Analysis scaling (speedup vs 1 thread; best-of-N wall clock)\n");
+    out.push_str(&format!("{:<10} {:>10}", "Grammar", "1-thread"));
+    for &t in &counts[1..] {
+        out.push_str(&format!(" {:>9}", format!("x{t} thr")));
+    }
+    out.push('\n');
+    for entry in suite::all() {
+        let per_grammar: Vec<&ScalingRow> = rows.iter().filter(|r| r.name == entry.name).collect();
+        if per_grammar.is_empty() {
+            continue;
+        }
+        let base = per_grammar.iter().find(|r| r.threads == 1).map_or(0, |r| r.micros);
+        out.push_str(&format!("{:<10} {:>8}us", entry.name, base));
+        for &t in &counts[1..] {
+            match per_grammar.iter().find(|r| r.threads == t) {
+                Some(r) => out.push_str(&format!(" {:>8.2}x", r.speedup_milli as f64 / 1000.0)),
+                None => out.push_str(&format!(" {:>9}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// JSONL export of the scaling rows: one `scaling` line per
+/// (grammar, thread count), appended to `BENCH_analysis.json`.
+pub fn scaling_jsonl(rows: &[ScalingRow]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        let line = Json::Object(vec![
+            ("type".into(), Json::Str("scaling".into())),
+            ("grammar".into(), Json::Str(r.name.to_string())),
+            ("threads".into(), Json::Num(r.threads as u64)),
+            ("micros".into(), Json::Num(r.micros)),
+            ("speedup-milli".into(), Json::Num(r.speedup_milli)),
+        ]);
+        out.push_str(&line.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Coverage-collection overhead
+// ---------------------------------------------------------------------------
+
+/// Coverage-overhead measurements for one suite grammar: the same
+/// generated input parsed bare versus parsed with a `CoverageSink`
+/// folding the trace stream into a coverage map.
+#[derive(Debug)]
+pub struct CoverageOverheadRow {
+    /// Grammar name.
+    pub name: &'static str,
+    /// Tokens in the input (excluding EOF).
+    pub input_tokens: usize,
+    /// Bare parse (no sink attached), microseconds.
+    pub plain_micros: u64,
+    /// Parse with coverage folding attached, microseconds.
+    pub coverage_micros: u64,
+    /// Successful non-speculative predictions the map recorded.
+    pub predictions: u64,
+    /// Alternatives the single generated input left uncovered.
+    pub uncovered_alts: usize,
+}
+
+/// Measures coverage-collection overhead for one suite grammar.
+///
+/// # Panics
+/// Panics if the generated input fails to parse (a suite bug).
+pub fn coverage_overhead_run(
+    entry: SuiteEntry,
+    input_lines: usize,
+    seed: u64,
+) -> CoverageOverheadRow {
+    let grammar = entry.load();
+    let analysis = analyze(&grammar);
+    let input = (entry.generate)(input_lines, seed);
+    let scanner = grammar.lexer.build().expect("suite lexer builds");
+    let tokens = scanner.tokenize(&input).expect("suite input lexes");
+    let input_tokens = tokens.len() - 1;
+
+    let t0 = Instant::now();
+    let mut plain = Parser::new(
+        &grammar,
+        &analysis,
+        TokenStream::new(tokens.clone()),
+        hooks_for(&entry, &input),
+    );
+    plain
+        .parse_to_eof(entry.start_rule)
+        .unwrap_or_else(|e| panic!("{}: bare parse failed: {e}", entry.name));
+    let plain_micros = (t0.elapsed().as_micros() as u64).max(1);
+
+    let mut sink = CoverageSink::new(&grammar, &analysis);
+    let t0 = Instant::now();
+    let mut covered =
+        Parser::new(&grammar, &analysis, TokenStream::new(tokens), hooks_for(&entry, &input));
+    covered.set_trace_sink(&mut sink);
+    covered
+        .parse_to_eof(entry.start_rule)
+        .unwrap_or_else(|e| panic!("{}: coverage parse failed: {e}", entry.name));
+    let coverage_micros = (t0.elapsed().as_micros() as u64).max(1);
+    drop(covered);
+    sink.finish_file();
+    let map = sink.into_map();
+
+    CoverageOverheadRow {
+        name: entry.name,
+        input_tokens,
+        plain_micros,
+        coverage_micros,
+        predictions: map.decisions.iter().map(|d| d.predictions).sum(),
+        uncovered_alts: map.uncovered_alts().len(),
+    }
+}
+
+/// [`coverage_overhead_run`] over the whole suite.
+pub fn coverage_overhead_all(input_lines: usize, seed: u64) -> Vec<CoverageOverheadRow> {
+    suite::all().into_iter().map(|e| coverage_overhead_run(e, input_lines, seed)).collect()
+}
+
+/// Formats the coverage-overhead table.
+pub fn format_coverage_overhead(rows: &[CoverageOverheadRow]) -> String {
+    let mut out = String::from(
+        "Coverage-collection overhead (bare parse vs trace-folded coverage map)\n\
+         Grammar      Tokens     Bare  +Coverage  Overhead%  Predictions  Uncovered\n",
+    );
+    for r in rows {
+        let overhead =
+            100.0 * (r.coverage_micros as f64 - r.plain_micros as f64) / r.plain_micros as f64;
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>7}us {:>9}us {:>9.1} {:>12} {:>10}\n",
+            r.name,
+            r.input_tokens,
+            r.plain_micros,
+            r.coverage_micros,
+            overhead,
+            r.predictions,
+            r.uncovered_alts
+        ));
+    }
+    out
+}
+
+/// JSONL export of the coverage-overhead rows: one `coverage-overhead`
+/// line per grammar, appended to `BENCH_analysis.json`.
+pub fn coverage_overhead_jsonl(rows: &[CoverageOverheadRow]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        let line = Json::Object(vec![
+            ("type".into(), Json::Str("coverage-overhead".into())),
+            ("grammar".into(), Json::Str(r.name.to_string())),
+            ("input-tokens".into(), Json::Num(r.input_tokens as u64)),
+            ("plain-micros".into(), Json::Num(r.plain_micros)),
+            ("coverage-micros".into(), Json::Num(r.coverage_micros)),
+            ("predictions".into(), Json::Num(r.predictions)),
+            ("uncovered-alts".into(), Json::Num(r.uncovered_alts as u64)),
+        ]);
+        out.push_str(&line.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// The schema header line for `BENCH_analysis.json` (with trailing
+/// newline), so the mixed bench stream is versioned like every other
+/// machine-readable output.
+pub fn bench_stream_header() -> String {
+    let mut line = llstar_core::schema::schema_line(
+        "bench-analysis",
+        llstar_core::schema::BENCH_STREAM_VERSION,
+    );
+    line.push('\n');
+    line
+}
+
+// ---------------------------------------------------------------------------
 // Formatting
 // ---------------------------------------------------------------------------
 
@@ -695,6 +940,55 @@ mod tests {
             grammars.push(v.get("grammar").and_then(Json::as_str).unwrap().to_string());
         }
         assert_eq!(grammars.len(), suite::all().len());
+    }
+
+    #[test]
+    fn scaling_rows_cover_the_thread_sweep() {
+        let rows = scaling_all(1);
+        let counts = scaling_thread_counts();
+        assert_eq!(rows.len(), suite::all().len() * counts.len());
+        for r in &rows {
+            assert!(r.micros >= 1, "{r:?}");
+            if r.threads == 1 {
+                assert_eq!(r.speedup_milli, 1000, "1-thread speedup is 1.00x: {r:?}");
+            }
+        }
+        let table = format_scaling(&rows);
+        assert!(table.contains("Java"), "{table}");
+        for line in scaling_jsonl(&rows).lines() {
+            let v = Json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            assert_eq!(v.get("type").and_then(Json::as_str), Some("scaling"), "{line}");
+            assert!(v.get("speedup-milli").and_then(Json::as_u64).is_some(), "{line}");
+        }
+    }
+
+    #[test]
+    fn coverage_overhead_measures_both_sides() {
+        let row = coverage_overhead_run(suite::by_name("SQL").unwrap(), 40, 7);
+        assert!(row.input_tokens > 50, "{row:?}");
+        assert!(row.predictions > 0, "coverage fold saw no predictions: {row:?}");
+        let text = format_coverage_overhead(&[row]);
+        assert!(text.contains("SQL"), "{text}");
+        let jsonl = coverage_overhead_jsonl(&[coverage_overhead_run(
+            suite::by_name("Java").unwrap(),
+            40,
+            7,
+        )]);
+        let v = Json::parse(jsonl.trim_end()).expect("valid json");
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("coverage-overhead"));
+        assert!(v.get("coverage-micros").and_then(Json::as_u64).unwrap() >= 1);
+    }
+
+    #[test]
+    fn bench_stream_is_versioned() {
+        let header = bench_stream_header();
+        let v = Json::parse(header.trim_end()).expect("valid header");
+        llstar_core::schema::check_stream_header(
+            &v,
+            "bench-analysis",
+            llstar_core::schema::BENCH_STREAM_VERSION,
+        )
+        .expect("header matches this build");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use crate::writer::CodeWriter;
 use crate::CodegenOptions;
-use llstar_core::{DecisionKind, DfaState, GrammarAnalysis, LookaheadDfa, PredSource};
+use llstar_core::{DecisionKind, DfaState, GrammarAnalysis, PredSource};
 use llstar_grammar::{Alt, Block, Ebnf, Element, Grammar};
 
 /// Walks grammar constructs in the exact order the ATN builder numbered
@@ -40,6 +40,14 @@ struct ParserGen<'a> {
     used_decisions: Vec<usize>,
     /// Emit `Hooks::trace` calls around predictors and synpreds.
     trace: bool,
+    /// Emit direct coverage counters (`Parser::cov`) mirroring the
+    /// interpreter's `CoverageSink` fold byte-for-byte.
+    coverage: bool,
+    /// The grammar memoizes (`options.memoize`): memo hit/miss coverage
+    /// counters are only emitted then, matching the interpreter's
+    /// memoization gate (the generated engine always memoizes, but
+    /// counting uncounted traffic would break parity).
+    count_memo: bool,
     /// Interned expected-token sets, in first-use order; emitted as the
     /// `EXPECTED_SETS` static the recovery helpers index into.
     sets: Vec<Vec<u32>>,
@@ -74,6 +82,8 @@ pub fn emit_parser(
         analysis,
         used_decisions: Vec::new(),
         trace: options.trace,
+        coverage: options.coverage,
+        count_memo: options.coverage && grammar.options.memoize,
         sets: Vec::new(),
         set_ids: std::collections::HashMap::new(),
         token_site: 0,
@@ -116,6 +126,155 @@ impl<'a> ParserGen<'a> {
             "codegen call-site order diverged from ATN construction"
         );
         self.emit_expected_sets(w);
+        if self.coverage {
+            self.emit_coverage_support(w);
+        }
+    }
+
+    /// Emits the coverage statics (`COV_STATES`, `COV_EDGES`,
+    /// `RULE_ALT_COUNTS`, `GRAMMAR_FINGERPRINT`) and the `Coverage` /
+    /// `CovDecision` accumulator types whose `to_json` rendering is
+    /// byte-identical to the interpreter's `CoverageMap::to_json`.
+    fn emit_coverage_support(&self, w: &mut CodeWriter) {
+        let fingerprint = llstar_core::grammar_fingerprint(self.grammar);
+        let schema = llstar_core::schema::COVERAGE_SCHEMA_VERSION;
+        w.blank();
+        w.line("/// Fingerprint of the source grammar (keys coverage documents).");
+        w.line(&format!("pub const GRAMMAR_FINGERPRINT: u64 = {fingerprint};"));
+        let states: Vec<String> =
+            self.analysis.decisions.iter().map(|d| d.dfa.states.len().to_string()).collect();
+        w.line("/// DFA state counts per decision.");
+        w.line(&format!("static COV_STATES: &[usize] = &[{}];", states.join(", ")));
+        let edges: Vec<String> = self
+            .analysis
+            .decisions
+            .iter()
+            .map(|d| {
+                let mut list: Vec<(u32, u32)> = Vec::new();
+                for (from, st) in d.dfa.states.iter().enumerate() {
+                    for &(_, to) in &st.edges {
+                        list.push((from as u32, to as u32));
+                    }
+                }
+                list.sort_unstable();
+                list.dedup();
+                let items: Vec<String> = list.iter().map(|(f, t)| format!("({f}, {t})")).collect();
+                format!("&[{}]", items.join(", "))
+            })
+            .collect();
+        w.line("/// Distinct `(from, to)` DFA edges per decision, sorted (the");
+        w.line("/// binary-search key space of each decision's `edge_hits`).");
+        w.line(&format!("static COV_EDGES: &[&[(u32, u32)]] = &[{}];", edges.join(", ")));
+        let alts: Vec<String> =
+            self.grammar.rules.iter().map(|r| r.alts.len().to_string()).collect();
+        w.line("/// Alternative counts per rule.");
+        w.line(&format!("static RULE_ALT_COUNTS: &[usize] = &[{}];", alts.join(", ")));
+        w.blank();
+        w.line("/// Coverage counters for one decision (see `Coverage`).");
+        w.line("#[derive(Debug, Clone, PartialEq, Eq)]");
+        w.open("pub struct CovDecision {");
+        w.line("/// Visit counts per DFA state.");
+        w.line("pub states: Vec<u64>,");
+        w.line("/// Traversal counts parallel to this decision's `COV_EDGES` row.");
+        w.line("pub edge_hits: Vec<u64>,");
+        w.line("/// Lookahead-depth histogram: depth -> prediction count.");
+        w.line("pub lookahead: std::collections::BTreeMap<u64, u64>,");
+        w.line("/// Successful predictions at speculation depth zero.");
+        w.line("pub predictions: u64,");
+        w.line("/// Predictions (of those) that fell over to backtracking.");
+        w.line("pub backtracks: u64,");
+        w.line("/// Memo (hits, misses) attributed to this decision.");
+        w.line("pub memo: (u64, u64),");
+        w.close("}");
+        w.blank();
+        w.line("/// Mergeable coverage counters; `to_json` renders the same bytes");
+        w.line("/// as the interpreter's `CoverageMap::to_json` for the same runs.");
+        w.line("#[derive(Debug, Clone, PartialEq, Eq)]");
+        w.open("pub struct Coverage {");
+        w.line("/// Number of corpus inputs accumulated (bumped by the embedder).");
+        w.line("pub files: u64,");
+        w.line("/// Per-rule alternative completion counts.");
+        w.line("pub rules: Vec<Vec<u64>>,");
+        w.line("/// Per-decision counters.");
+        w.line("pub decisions: Vec<CovDecision>,");
+        w.line("/// Memo (hits, misses) seen with no prediction in flight.");
+        w.line("pub memo_unattributed: (u64, u64),");
+        w.close("}");
+        w.blank();
+        w.open("impl Coverage {");
+        w.line("/// An all-zero accumulator shaped for this grammar.");
+        w.open("pub fn new() -> Coverage {");
+        w.open("Coverage {");
+        w.line("files: 0,");
+        w.line("rules: RULE_ALT_COUNTS.iter().map(|&n| vec![0; n]).collect(),");
+        w.line("decisions: COV_STATES.iter().zip(COV_EDGES).map(|(&n, es)| CovDecision { states: vec![0; n], edge_hits: vec![0; es.len()], lookahead: std::collections::BTreeMap::new(), predictions: 0, backtracks: 0, memo: (0, 0) }).collect(),");
+        w.line("memo_unattributed: (0, 0),");
+        w.close("}");
+        w.close("}");
+        w.blank();
+        w.line("/// Adds `other` into `self`, cell by cell.");
+        w.open("pub fn merge(&mut self, other: &Coverage) {");
+        w.line("self.files += other.files;");
+        w.open("for (a, b) in self.rules.iter_mut().zip(&other.rules) {");
+        w.line("for (x, y) in a.iter_mut().zip(b) { *x += y; }");
+        w.close("}");
+        w.open("for (a, b) in self.decisions.iter_mut().zip(&other.decisions) {");
+        w.line("for (x, y) in a.states.iter_mut().zip(&b.states) { *x += y; }");
+        w.line("for (x, y) in a.edge_hits.iter_mut().zip(&b.edge_hits) { *x += y; }");
+        w.line("for (&k, &v) in &b.lookahead { *a.lookahead.entry(k).or_insert(0) += v; }");
+        w.line("a.predictions += b.predictions;");
+        w.line("a.backtracks += b.backtracks;");
+        w.line("a.memo.0 += b.memo.0;");
+        w.line("a.memo.1 += b.memo.1;");
+        w.close("}");
+        w.line("self.memo_unattributed.0 += other.memo_unattributed.0;");
+        w.line("self.memo_unattributed.1 += other.memo_unattributed.1;");
+        w.close("}");
+        w.blank();
+        w.line("/// The stable JSON rendering (field order and bytes match the");
+        w.line("/// interpreter's coverage documents exactly).");
+        w.open("pub fn to_json(&self) -> String {");
+        w.line("let mut out = String::new();");
+        w.line(&format!(
+            "out.push_str(&format!(\"{{{{\\\"type\\\":\\\"coverage\\\",\\\"schema\\\":{schema},\\\"fingerprint\\\":{{}},\\\"files\\\":{{}},\\\"rules\\\":[\", GRAMMAR_FINGERPRINT, self.files));"
+        ));
+        w.open("for (i, counts) in self.rules.iter().enumerate() {");
+        w.line("if i > 0 { out.push(','); }");
+        w.line("out.push('[');");
+        w.open("for (j, c) in counts.iter().enumerate() {");
+        w.line("if j > 0 { out.push(','); }");
+        w.line("out.push_str(&c.to_string());");
+        w.close("}");
+        w.line("out.push(']');");
+        w.close("}");
+        w.line("out.push_str(\"],\\\"decisions\\\":[\");");
+        w.open("for (i, d) in self.decisions.iter().enumerate() {");
+        w.line("if i > 0 { out.push(','); }");
+        w.line("out.push_str(\"{\\\"states\\\":[\");");
+        w.open("for (j, c) in d.states.iter().enumerate() {");
+        w.line("if j > 0 { out.push(','); }");
+        w.line("out.push_str(&c.to_string());");
+        w.close("}");
+        w.line("out.push_str(\"],\\\"edges\\\":[\");");
+        w.open("for (j, (&(f, t), &h)) in COV_EDGES[i].iter().zip(&d.edge_hits).enumerate() {");
+        w.line("if j > 0 { out.push(','); }");
+        w.line("out.push_str(&format!(\"[{f},{t},{h}]\"));");
+        w.close("}");
+        w.line("out.push_str(\"],\\\"lookahead\\\":[\");");
+        w.open("for (j, (&k, &v)) in d.lookahead.iter().enumerate() {");
+        w.line("if j > 0 { out.push(','); }");
+        w.line("out.push_str(&format!(\"[{k},{v}]\"));");
+        w.close("}");
+        w.line("out.push_str(&format!(\"],\\\"predictions\\\":{},\\\"backtracks\\\":{},\\\"memo\\\":[{},{}]}}\", d.predictions, d.backtracks, d.memo.0, d.memo.1));");
+        w.close("}");
+        w.line("out.push_str(&format!(\"],\\\"memo-unattributed\\\":[{},{}]}}\", self.memo_unattributed.0, self.memo_unattributed.1));");
+        w.line("out");
+        w.close("}");
+        w.close("}");
+        w.blank();
+        w.open("impl Default for Coverage {");
+        w.line("fn default() -> Coverage { Coverage::new() }");
+        w.close("}");
     }
 
     /// Interns an expected set, returning its `EXPECTED_SETS` index.
@@ -186,13 +345,82 @@ impl<'a> ParserGen<'a> {
         w.line("/// zero-consumption repair; a repeat at the same position");
         w.line("/// force-consumes one token so loops cannot spin.");
         w.line("last_err_idx: usize,");
+        if self.coverage {
+            w.line("/// Coverage counters accumulated by this parser.");
+            w.line("pub cov: Coverage,");
+            w.line("/// DFA path of the in-flight depth-0 prediction.");
+            w.line("cov_path: Vec<u32>,");
+            w.line("/// Decisions with a prediction in flight (innermost last);");
+            w.line("/// failed predictions leave deterministic dangling entries,");
+            w.line("/// popped through by the next enclosing successful stop —");
+            w.line("/// exactly the interpreter fold's rule.");
+            w.line("cov_stack: Vec<u32>,");
+            w.line("/// Tokens consumed by the most recent syntactic-predicate");
+            w.line("/// evaluation (memoized failures report 0).");
+            w.line("cov_last_spec: u64,");
+        }
         w.close("}");
         w.blank();
         w.open("impl<'h, H: Hooks> Parser<'h, H> {");
         w.line("/// Creates a parser over a token buffer ending in EOF.");
         w.open("pub fn new(tokens: Vec<Token>, hooks: &'h mut H) -> Self {");
-        w.line("Parser { tokens, pos: 0, speculating: 0, memo: std::collections::HashMap::new(), hooks, recovering: false, max_errors: 0, in_error_mode: false, errors: Vec::new(), follow: Vec::new(), nv: None, last_err_idx: usize::MAX }");
+        let cov_init = if self.coverage {
+            ", cov: Coverage::new(), cov_path: Vec::new(), cov_stack: Vec::new(), cov_last_spec: 0"
+        } else {
+            ""
+        };
+        w.line(&format!("Parser {{ tokens, pos: 0, speculating: 0, memo: std::collections::HashMap::new(), hooks, recovering: false, max_errors: 0, in_error_mode: false, errors: Vec::new(), follow: Vec::new(), nv: None, last_err_idx: usize::MAX{cov_init} }}"));
         w.close("}");
+        if self.coverage {
+            w.blank();
+            w.line("/// Finishes a successful prediction of `d`: pops the decision");
+            w.line("/// stack through dangling entries, then (outside speculation)");
+            w.line("/// credits the walked DFA path, the lookahead histogram, and");
+            w.line("/// the prediction/backtrack totals. Returns `alt` so predictor");
+            w.line("/// return sites stay expressions.");
+            w.open("fn cov_stop(&mut self, d: usize, alt: u16, depth: u64, backtracked: bool, spec: u64) -> u16 {");
+            w.open("while let Some(top) = self.cov_stack.pop() {");
+            w.line("if top as usize == d { break; }");
+            w.close("}");
+            w.open("if self.speculating == 0 {");
+            w.line("let cov = &mut self.cov.decisions[d];");
+            w.open("for &s in &self.cov_path {");
+            w.line("if let Some(slot) = cov.states.get_mut(s as usize) { *slot += 1; }");
+            w.close("}");
+            w.open("for pair in self.cov_path.windows(2) {");
+            w.line("if let Ok(i) = COV_EDGES[d].binary_search(&(pair[0], pair[1])) { cov.edge_hits[i] += 1; }");
+            w.close("}");
+            w.line("*cov.lookahead.entry(depth.max(1).max(spec)).or_insert(0) += 1;");
+            w.line("cov.predictions += 1;");
+            w.line("if backtracked { cov.backtracks += 1; }");
+            w.close("}");
+            w.line("alt");
+            w.close("}");
+            w.blank();
+            w.line("/// Credits one memo hit/miss to the innermost in-flight");
+            w.line("/// prediction, or to the unattributed bucket.");
+            w.open("fn cov_memo(&mut self, hit: bool) {");
+            w.open("match self.cov_stack.last() {");
+            w.open("Some(&d) => {");
+            w.line("let memo = &mut self.cov.decisions[d as usize].memo;");
+            w.line("if hit { memo.0 += 1; } else { memo.1 += 1; }");
+            w.close("}");
+            w.open("None => {");
+            w.line("let memo = &mut self.cov.memo_unattributed;");
+            w.line("if hit { memo.0 += 1; } else { memo.1 += 1; }");
+            w.close("}");
+            w.close("}");
+            w.close("}");
+            w.blank();
+            w.line("/// Credits a non-speculative rule completion via 1-based `alt`");
+            w.line("/// (`0` only for single-alternative rules and recovery returns;");
+            w.line("/// the latter are not counted).");
+            w.open("fn cov_rule(&mut self, rid: usize, alt: u16) {");
+            w.line("let counts = &mut self.cov.rules[rid];");
+            w.line("let idx = if counts.len() == 1 { 0 } else if alt >= 1 { alt as usize - 1 } else { return };");
+            w.line("if let Some(slot) = counts.get_mut(idx) { *slot += 1; }");
+            w.close("}");
+        }
         w.blank();
         w.line("/// Enables error recovery: syntax errors are repaired and");
         w.line("/// collected (up to `max_errors`) instead of aborting.");
@@ -459,10 +687,21 @@ impl<'a> ParserGen<'a> {
         w.line("let start = self.pos;");
         w.open("if self.speculating > 0 {");
         w.open(&format!("match self.memo.get(&({rid}, start)) {{"));
-        w.line(&format!(
-            "Some(Memo::Stop(stop)) => {{ self.pos = *stop; return Ok(Tree::Rule {{ rule: {rid}, alt: 0, children: Vec::new() }}); }}"
-        ));
-        w.line("Some(Memo::Fail(e)) => return Err(e.clone()),");
+        if self.count_memo {
+            // The memo borrow is copied out before `cov_memo` retakes
+            // `&mut self`.
+            w.line(&format!(
+                "Some(Memo::Stop(stop)) => {{ let stop = *stop; self.cov_memo(true); self.pos = stop; return Ok(Tree::Rule {{ rule: {rid}, alt: 0, children: Vec::new() }}); }}"
+            ));
+            w.line(
+                "Some(Memo::Fail(e)) => { let e = e.clone(); self.cov_memo(true); return Err(e); }",
+            );
+        } else {
+            w.line(&format!(
+                "Some(Memo::Stop(stop)) => {{ self.pos = *stop; return Ok(Tree::Rule {{ rule: {rid}, alt: 0, children: Vec::new() }}); }}"
+            ));
+            w.line("Some(Memo::Fail(e)) => return Err(e.clone()),");
+        }
         w.line("None => {}");
         w.close("}");
         w.close("}");
@@ -472,8 +711,18 @@ impl<'a> ParserGen<'a> {
         w.line("Ok(_) => Memo::Stop(self.pos),");
         w.line("Err(e) => Memo::Fail(e.clone()),");
         w.close("};");
+        if self.count_memo {
+            w.line("self.cov_memo(false);");
+        }
         w.line(&format!("self.memo.insert(({rid}, start), entry);"));
         w.close("}");
+        if self.coverage {
+            w.open("if self.speculating == 0 {");
+            w.line(&format!(
+                "if let Ok(Tree::Rule {{ alt: __a, .. }}) = &result {{ self.cov_rule({rid}, *__a); }}"
+            ));
+            w.close("}");
+        }
         w.line("result");
         w.close("}");
         w.blank();
@@ -513,14 +762,23 @@ impl<'a> ParserGen<'a> {
         w.line(&format!("/// Syntactic predicate {idx}: speculative match, rewinds."));
         w.open(&format!("fn synpred_{idx}(&mut self) -> bool {{"));
         w.line("let start = self.pos;");
+        let trace_hit = if self.trace {
+            format!("self.hooks.trace(\"memo-hit\", {idx}, start); ")
+        } else {
+            String::new()
+        };
+        let memo_hit = if self.count_memo { "self.cov_memo(true); " } else { "" };
         w.open(&format!("match self.memo.get(&({memo_key}, start)) {{"));
-        if self.trace {
+        if self.coverage {
             w.line(&format!(
-                "Some(Memo::Stop(_)) => {{ self.hooks.trace(\"memo-hit\", {idx}, start); return true; }}"
+                "Some(Memo::Stop(stop)) => {{ let stop = *stop; {trace_hit}{memo_hit}self.cov_last_spec = (stop - start) as u64; return true; }}"
             ));
             w.line(&format!(
-                "Some(Memo::Fail(_)) => {{ self.hooks.trace(\"memo-hit\", {idx}, start); return false; }}"
+                "Some(Memo::Fail(_)) => {{ {trace_hit}{memo_hit}self.cov_last_spec = 0; return false; }}"
             ));
+        } else if self.trace {
+            w.line(&format!("Some(Memo::Stop(_)) => {{ {trace_hit}return true; }}"));
+            w.line(&format!("Some(Memo::Fail(_)) => {{ {trace_hit}return false; }}"));
         } else {
             w.line("Some(Memo::Stop(_)) => return true,");
             w.line("Some(Memo::Fail(_)) => return false,");
@@ -535,10 +793,16 @@ impl<'a> ParserGen<'a> {
         w.line("self.speculating -= 1;");
         w.line("let stop = self.pos;");
         w.line("self.pos = start;");
+        if self.coverage {
+            w.line("self.cov_last_spec = (stop - start) as u64;");
+        }
         w.open("let entry = match &result {");
         w.line("Ok(()) => Memo::Stop(stop),");
         w.line("Err(e) => Memo::Fail(e.clone()),");
         w.close("};");
+        if self.count_memo {
+            w.line("self.cov_memo(false);");
+        }
         w.line(&format!("self.memo.insert(({memo_key}, start), entry);"));
         if self.trace {
             w.line(&format!("self.hooks.trace(\"backtrack-exit\", {idx}, start);"));
@@ -816,13 +1080,23 @@ impl<'a> ParserGen<'a> {
         } else {
             w.open(&format!("fn predict_{decision}(&mut self) -> Result<u16, Error> {{"));
         }
+        if self.coverage {
+            // Mirrors the interpreter fold: the decision is pushed before
+            // any DFA walking or predicate evaluation (the `predict-start`
+            // point), and the shared path buffer is only touched at
+            // speculation depth zero.
+            w.line(&format!("self.cov_stack.push({decision});"));
+            w.line("if self.speculating == 0 { self.cov_path.clear(); self.cov_path.push(0); }");
+            w.line("let mut __bt = false;");
+            w.line("let mut __spec = 0u64;");
+        }
         w.line("let mut s = 0usize;");
         w.line("let mut i = 0usize;");
         w.line("let _ = &mut i;");
         w.open("loop {");
         w.open("match s {");
         for (sid, st) in dfa.states.iter().enumerate() {
-            self.emit_dfa_state(w, dfa, sid, st, rule_name, dset);
+            self.emit_dfa_state(w, decision, sid, st, rule_name, dset);
         }
         w.line("_ => unreachable!(\"generated DFA has no such state\"),");
         w.close("}");
@@ -830,57 +1104,100 @@ impl<'a> ParserGen<'a> {
         w.close("}");
     }
 
+    /// The expression a predictor returns for alternative `alt`: with
+    /// coverage, routed through `cov_stop` (which records the path walked
+    /// so far and hands `alt` back).
+    fn predict_ok(&self, decision: usize, alt: u16) -> String {
+        if self.coverage {
+            format!("Ok(self.cov_stop({decision}, {alt}, i as u64, __bt, __spec))")
+        } else {
+            format!("Ok({alt})")
+        }
+    }
+
     fn emit_dfa_state(
         &self,
         w: &mut CodeWriter,
-        _dfa: &LookaheadDfa,
+        decision: usize,
         sid: usize,
         st: &DfaState,
         rule_name: &str,
         dset: usize,
     ) {
         if let Some(alt) = st.accept {
-            w.line(&format!("{sid} => return Ok({alt}),"));
+            w.line(&format!("{sid} => return {},", self.predict_ok(decision, alt)));
             return;
         }
         w.open(&format!("{sid} => {{"));
         if !st.edges.is_empty() {
             w.open("match self.la(i + 1) {");
             for &(tok, target) in &st.edges {
-                w.line(&format!("{} => {{ s = {target}; i += 1; }}", tok.0));
+                if self.coverage {
+                    w.line(&format!(
+                        "{} => {{ s = {target}; i += 1; if self.speculating == 0 {{ self.cov_path.push({target}); }} }}",
+                        tok.0
+                    ));
+                } else {
+                    w.line(&format!("{} => {{ s = {target}; i += 1; }}", tok.0));
+                }
             }
             w.open("_ => {");
-            self.emit_state_fallback(w, st, rule_name, dset);
+            self.emit_state_fallback(w, st, decision, rule_name, dset);
             w.close("}");
             w.close("}");
         } else {
-            self.emit_state_fallback(w, st, rule_name, dset);
+            self.emit_state_fallback(w, st, decision, rule_name, dset);
         }
         w.close("}");
     }
 
     /// Emits the predicate/default/error handling reached when no token
     /// edge applies in a DFA state.
-    fn emit_state_fallback(&self, w: &mut CodeWriter, st: &DfaState, rule_name: &str, dset: usize) {
+    fn emit_state_fallback(
+        &self,
+        w: &mut CodeWriter,
+        st: &DfaState,
+        decision: usize,
+        rule_name: &str,
+        dset: usize,
+    ) {
         for &(pred, alt) in &st.preds {
+            let ok = self.predict_ok(decision, alt);
             match pred {
                 PredSource::Sem(p) => {
                     let text = self.grammar.sempred_text(p);
                     w.line(&format!(
-                        "if self.hooks.sempred({}, {:?}, self.pos) {{ return Ok({alt}); }}",
+                        "if self.hooks.sempred({}, {:?}, self.pos) {{ return {ok}; }}",
                         p.0, text
                     ));
                 }
                 PredSource::Syn(sp) => {
-                    w.line(&format!("if self.synpred_{}() {{ return Ok({alt}); }}", sp.0));
+                    if self.coverage {
+                        // The speculation depth is folded in before the
+                        // outcome check, matching the interpreter (failed
+                        // speculative parses still deepen the histogram).
+                        w.line("__bt = true;");
+                        w.line(&format!("let __ok = self.synpred_{}();", sp.0));
+                        w.line("__spec = __spec.max(self.cov_last_spec);");
+                        w.line(&format!("if __ok {{ return {ok}; }}"));
+                    } else {
+                        w.line(&format!("if self.synpred_{}() {{ return Ok({alt}); }}", sp.0));
+                    }
                 }
                 PredSource::NotSyn(sp) => {
-                    w.line(&format!("if !self.synpred_{}() {{ return Ok({alt}); }}", sp.0));
+                    if self.coverage {
+                        w.line("__bt = true;");
+                        w.line(&format!("let __ok = self.synpred_{}();", sp.0));
+                        w.line("__spec = __spec.max(self.cov_last_spec);");
+                        w.line(&format!("if !__ok {{ return {ok}; }}"));
+                    } else {
+                        w.line(&format!("if !self.synpred_{}() {{ return Ok({alt}); }}", sp.0));
+                    }
                 }
             }
         }
         if let Some(alt) = st.default_alt {
-            w.line(&format!("return Ok({alt});"));
+            w.line(&format!("return {};", self.predict_ok(decision, alt)));
         } else {
             w.line(&format!(
                 "return Err(self.nv_err(i, {dset}, \"no viable alternative for rule {rule_name}\"));"

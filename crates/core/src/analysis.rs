@@ -18,21 +18,8 @@ use crate::recovery::RecoverySets;
 use llstar_grammar::Grammar;
 use llstar_lexer::TokenType;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
-
-/// Process-wide count of DFA subset constructions ([`DfaBuilder::build`]
-/// runs), kept only to back the deprecated [`dfa_builds`] shim.
-static DFA_BUILDS: AtomicU64 = AtomicU64::new(0);
-
-/// Total lookahead-DFA constructions performed by this process so far
-/// (including LL(1) fallback rebuilds). Monotonic; compare before/after
-/// deltas rather than absolute values.
-#[deprecated(note = "process-global counter; use the per-run `DecisionMetrics` \
-            (`DecisionAnalysis::metrics` / `GrammarAnalysis::total_metrics`) instead")]
-pub fn dfa_builds() -> u64 {
-    DFA_BUILDS.load(Ordering::Relaxed)
-}
 
 /// Warnings produced while analyzing a decision.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -413,7 +400,6 @@ impl<'a> DfaBuilder<'a> {
 
     /// Algorithm 8, `createDFA`.
     fn build(&mut self) -> Result<LookaheadDfa, Abort> {
-        DFA_BUILDS.fetch_add(1, Ordering::Relaxed);
         self.metrics.dfa_builds += 1;
         self.metrics.dfa_states += 1; // D0, created in `new`.
                                       // D0: closure over one configuration per alternative, seeded from

@@ -220,7 +220,7 @@ mod tests {
         assert!(!a.from_cache);
         assert!(path.exists(), "miss must write the cache");
 
-        // (The strict dfa_builds()-delta proof that a hit skips subset
+        // (The strict dfa_builds-metric-delta proof that a hit skips subset
         // construction lives in tests/analysis_cache.rs, where the whole
         // binary serializes on one lock; here other core tests analyze
         // concurrently, so only the flag is race-free to assert.)

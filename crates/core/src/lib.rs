@@ -37,14 +37,14 @@ pub mod analysis;
 pub mod atn;
 pub mod cache;
 pub mod config;
+pub mod coverage;
 pub mod dfa;
 pub mod json;
 pub mod metrics;
 pub mod recovery;
+pub mod schema;
 pub mod serialize;
 
-#[allow(deprecated)]
-pub use analysis::dfa_builds;
 pub use analysis::{
     analyze, analyze_decision, analyze_with, AnalysisOptions, AnalysisWarning, DecisionAnalysis,
     GrammarAnalysis,
@@ -54,6 +54,7 @@ pub use cache::{
     analyze_cached, analyze_cached_metered, analyze_cached_with, cache_path, CacheMiss, CacheStatus,
 };
 pub use config::{Config, PredSource, StackArena, StackId};
+pub use coverage::{CoverageMap, DecisionCoverage};
 pub use dfa::{DecisionClass, DfaState, DfaStateId, LookaheadDfa};
 pub use json::Json;
 pub use metrics::{AnalysisRecord, CacheMetrics, DecisionMetrics, FallbackReason};

@@ -1,0 +1,138 @@
+//! Schema versioning for the machine-readable observability outputs.
+//!
+//! Every JSONL stream the tool emits starts with a header line
+//!
+//! ```text
+//! {"type":"schema","stream":"trace","version":2}
+//! ```
+//!
+//! and every embedded JSON document (the coverage report) carries a
+//! `"schema"` field. Readers call [`check_stream_header`] /
+//! [`check_schema_field`] and reject mismatched versions with a clear
+//! error instead of mis-folding events from a future (or ancient)
+//! writer. Absent headers are accepted for backwards compatibility with
+//! pre-versioned streams: version checks are only enforced once a
+//! writer declares itself.
+
+use crate::json::Json;
+
+/// Version of the `trace` JSONL stream (one [`TraceEvent`] per line).
+/// v1 was the unversioned PR-2 stream; v2 added the header line plus the
+/// `rule-enter` / `rule-exit` span events.
+///
+/// [`TraceEvent`]: https://docs.rs/llstar-runtime
+pub const TRACE_STREAM_VERSION: u64 = 2;
+
+/// Version of the `diagnostics` JSONL stream (one diagnostic per line).
+pub const DIAGNOSTICS_STREAM_VERSION: u64 = 1;
+
+/// Version of the mixed `profile --json` stream (analysis records,
+/// trace events, diagnostics).
+pub const PROFILE_STREAM_VERSION: u64 = 1;
+
+/// Version of the coverage-map JSON document (a `"schema"` field, not a
+/// header line: the report is one document, not a stream).
+pub const COVERAGE_SCHEMA_VERSION: u64 = 1;
+
+/// Version of the `bench-analysis` JSONL stream (`BENCH_analysis.json`).
+pub const BENCH_STREAM_VERSION: u64 = 1;
+
+/// Renders the header line (without trailing newline) declaring
+/// `stream` at `version`.
+pub fn schema_line(stream: &str, version: u64) -> String {
+    format!(
+        "{{\"type\":\"schema\",\"stream\":{},\"version\":{}}}",
+        crate::json::quote(stream),
+        version
+    )
+}
+
+/// Parses `value` as a schema header, returning `(stream, version)`;
+/// `None` when the value is not a header object at all.
+pub fn parse_schema_header(value: &Json) -> Option<(&str, u64)> {
+    if value.get("type").and_then(Json::as_str) != Some("schema") {
+        return None;
+    }
+    let stream = value.get("stream").and_then(Json::as_str)?;
+    let version = value.get("version").and_then(Json::as_u64)?;
+    Some((stream, version))
+}
+
+/// Validates a parsed header `value` against the expected `stream` name
+/// and `version`.
+///
+/// # Errors
+/// A human-readable description when the header names a different
+/// stream or a version this build does not understand.
+pub fn check_stream_header(value: &Json, stream: &str, version: u64) -> Result<(), String> {
+    let Some((got_stream, got_version)) = parse_schema_header(value) else {
+        return Err("not a schema header line".into());
+    };
+    if got_stream != stream {
+        return Err(format!(
+            "stream mismatch: file is a {got_stream:?} stream, expected {stream:?}"
+        ));
+    }
+    if got_version != version {
+        return Err(format!(
+            "unsupported {stream} schema version {got_version} (this build reads version {version}); \
+             re-export the stream with a matching tool"
+        ));
+    }
+    Ok(())
+}
+
+/// Validates the `"schema"` field of a JSON document (e.g. a coverage
+/// report) against the expected `version`.
+///
+/// # Errors
+/// A description when the field is missing, non-numeric, or names a
+/// version this build does not understand.
+pub fn check_schema_field(value: &Json, what: &str, version: u64) -> Result<(), String> {
+    match value.get("schema").and_then(Json::as_u64) {
+        Some(v) if v == version => Ok(()),
+        Some(v) => Err(format!(
+            "unsupported {what} schema version {v} (this build reads version {version})"
+        )),
+        None => Err(format!("{what} document has no \"schema\" version field")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let line = schema_line("trace", TRACE_STREAM_VERSION);
+        assert_eq!(line, "{\"type\":\"schema\",\"stream\":\"trace\",\"version\":2}");
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(parse_schema_header(&parsed), Some(("trace", 2)));
+        check_stream_header(&parsed, "trace", TRACE_STREAM_VERSION).unwrap();
+    }
+
+    #[test]
+    fn mismatches_are_rejected_with_clear_errors() {
+        let parsed = Json::parse(&schema_line("trace", 99)).unwrap();
+        let err = check_stream_header(&parsed, "trace", TRACE_STREAM_VERSION).unwrap_err();
+        assert!(err.contains("version 99"), "{err}");
+        assert!(err.contains("version 2"), "{err}");
+
+        let wrong = Json::parse(&schema_line("diagnostics", 1)).unwrap();
+        let err = check_stream_header(&wrong, "trace", TRACE_STREAM_VERSION).unwrap_err();
+        assert!(err.contains("stream mismatch"), "{err}");
+
+        let event = Json::parse(r#"{"type":"predict-start","decision":0,"token":0}"#).unwrap();
+        assert!(parse_schema_header(&event).is_none());
+    }
+
+    #[test]
+    fn schema_field_checks() {
+        let doc = Json::parse(r#"{"schema":1,"type":"coverage"}"#).unwrap();
+        check_schema_field(&doc, "coverage", 1).unwrap();
+        let err = check_schema_field(&doc, "coverage", 2).unwrap_err();
+        assert!(err.contains("version 1"), "{err}");
+        let bare = Json::parse(r#"{"type":"coverage"}"#).unwrap();
+        assert!(check_schema_field(&bare, "coverage", 1).is_err());
+    }
+}

@@ -1,0 +1,340 @@
+//! Chrome `trace_event` export: converts a [`TraceEvent`] stream (live
+//! or replayed from JSONL) into the JSON object format that
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) open
+//! directly.
+//!
+//! Rule sub-parses, predictions, and speculative (backtracking) parses
+//! become duration spans (`"ph":"B"`/`"E"`); memo traffic, semantic
+//! predicates, and error-recovery events become instants (`"ph":"i"`).
+//! The timeline axis is the event ordinal, **not** wall-clock — trace
+//! events deliberately carry no timestamps (byte-determinism), so the
+//! export shows structure and relative effort, with token positions in
+//! each span's `args`.
+//!
+//! The exporter balances spans defensively: a failed prediction emits
+//! no `predict-stop`, so its span (and anything else left open at end
+//! of stream) is closed synthetically — Perfetto refuses ill-nested
+//! B/E pairs.
+
+use crate::trace::TraceEvent;
+use llstar_core::json::quote;
+use llstar_core::GrammarAnalysis;
+use llstar_grammar::Grammar;
+use std::fmt::Write as _;
+
+/// A span kind + id, used to match closing events to open spans.
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum Span {
+    Rule(u32),
+    Predict(u32),
+    Backtrack(u32),
+}
+
+struct Writer {
+    out: String,
+    any: bool,
+    open: Vec<(Span, String)>,
+}
+
+impl Writer {
+    fn push(&mut self, record: String) {
+        if self.any {
+            self.out.push(',');
+        }
+        self.any = true;
+        self.out.push_str(&record);
+    }
+
+    fn begin(&mut self, span: Span, name: &str, cat: &str, ts: usize, args: &str) {
+        self.push(format!(
+            "{{\"name\":{},\"cat\":{},\"ph\":\"B\",\"ts\":{ts},\"pid\":1,\"tid\":1,\
+             \"args\":{{{args}}}}}",
+            quote(name),
+            quote(cat)
+        ));
+        self.open.push((span, name.to_string()));
+    }
+
+    /// Closes `span`, synthetically closing anything opened after it
+    /// (ill-nested streams arise from failed predictions). A close with
+    /// no matching open span is dropped.
+    fn end(&mut self, span: Span, ts: usize, args: &str) {
+        if !self.open.iter().any(|(s, _)| *s == span) {
+            return;
+        }
+        while let Some((top, name)) = self.open.pop() {
+            let matched = top == span;
+            let args = if matched { args } else { "\"synthetic-close\":true" };
+            self.push(format!(
+                "{{\"name\":{},\"ph\":\"E\",\"ts\":{ts},\"pid\":1,\"tid\":1,\
+                 \"args\":{{{args}}}}}",
+                quote(&name)
+            ));
+            if matched {
+                break;
+            }
+        }
+    }
+
+    fn instant(&mut self, name: &str, cat: &str, ts: usize, args: &str) {
+        self.push(format!(
+            "{{\"name\":{},\"cat\":{},\"ph\":\"i\",\"ts\":{ts},\"s\":\"t\",\"pid\":1,\
+             \"tid\":1,\"args\":{{{args}}}}}",
+            quote(name),
+            quote(cat)
+        ));
+    }
+}
+
+/// Renders `events` as one Chrome `trace_event` JSON document. `grammar`
+/// and `analysis` supply rule/decision names for readable span labels.
+pub fn chrome_trace(
+    events: &[TraceEvent],
+    grammar: &Grammar,
+    analysis: &GrammarAnalysis,
+) -> String {
+    let rule_name = |id: u32| -> String {
+        grammar
+            .rules
+            .get(id as usize)
+            .map(|r| r.name.clone())
+            .unwrap_or_else(|| format!("rule{id}"))
+    };
+    let decision_rule = |id: u32| -> String {
+        analysis
+            .atn
+            .decisions
+            .get(id as usize)
+            .map(|d| rule_name(d.rule.0))
+            .unwrap_or_else(|| format!("d{id}"))
+    };
+
+    let mut w = Writer { out: String::from("{\"traceEvents\":["), any: false, open: Vec::new() };
+    let mut last_ts = 0usize;
+    for (ts, event) in events.iter().enumerate() {
+        last_ts = ts;
+        match event {
+            TraceEvent::RuleEnter { rule, token_index } => {
+                w.begin(
+                    Span::Rule(*rule),
+                    &rule_name(*rule),
+                    "rule",
+                    ts,
+                    &format!("\"token\":{token_index}"),
+                );
+            }
+            TraceEvent::RuleExit { rule, token_index, alt, ok } => {
+                w.end(
+                    Span::Rule(*rule),
+                    ts,
+                    &format!("\"token\":{token_index},\"alt\":{alt},\"ok\":{ok}"),
+                );
+            }
+            TraceEvent::PredictStart { decision, token_index } => {
+                w.begin(
+                    Span::Predict(*decision),
+                    &format!("predict d{decision}"),
+                    "predict",
+                    ts,
+                    &format!(
+                        "\"rule\":{},\"token\":{token_index}",
+                        quote(&decision_rule(*decision))
+                    ),
+                );
+            }
+            TraceEvent::PredictStop { decision, alt, lookahead, backtracked, .. } => {
+                w.end(
+                    Span::Predict(*decision),
+                    ts,
+                    &format!(
+                        "\"alt\":{alt},\"lookahead\":{lookahead},\"backtracked\":{backtracked}"
+                    ),
+                );
+            }
+            TraceEvent::BacktrackEnter { synpred, token_index, .. } => {
+                w.begin(
+                    Span::Backtrack(*synpred),
+                    &format!("synpred{synpred}"),
+                    "backtrack",
+                    ts,
+                    &format!("\"token\":{token_index}"),
+                );
+            }
+            TraceEvent::BacktrackExit { synpred, matched, consumed, .. } => {
+                w.end(
+                    Span::Backtrack(*synpred),
+                    ts,
+                    &format!("\"matched\":{matched},\"consumed\":{consumed}"),
+                );
+            }
+            TraceEvent::MemoHit { kind, id, token_index, success } => {
+                w.instant(
+                    "memo-hit",
+                    "memo",
+                    ts,
+                    &format!(
+                        "\"kind\":{},\"id\":{id},\"token\":{token_index},\"success\":{success}",
+                        quote(match kind {
+                            crate::trace::MemoKind::Rule => "rule",
+                            crate::trace::MemoKind::SynPred => "synpred",
+                        })
+                    ),
+                );
+            }
+            TraceEvent::MemoWrite { id, token_index, .. } => {
+                w.instant(
+                    "memo-write",
+                    "memo",
+                    ts,
+                    &format!("\"id\":{id},\"token\":{token_index}"),
+                );
+            }
+            TraceEvent::Sempred { pred, token_index, outcome } => {
+                w.instant(
+                    "sempred",
+                    "predicate",
+                    ts,
+                    &format!(
+                        "\"pred\":{},\"token\":{token_index},\"outcome\":{outcome}",
+                        quote(pred)
+                    ),
+                );
+            }
+            TraceEvent::SyntaxError { token_index, speculating } => {
+                w.instant(
+                    "syntax-error",
+                    "error",
+                    ts,
+                    &format!("\"token\":{token_index},\"speculating\":{speculating}"),
+                );
+            }
+            TraceEvent::Recover { token_index, rule } => {
+                w.instant(
+                    "recover",
+                    "error",
+                    ts,
+                    &format!("\"token\":{token_index},\"rule\":{}", quote(&rule_name(*rule))),
+                );
+            }
+            TraceEvent::SyncSkip { token_index, skipped } => {
+                w.instant(
+                    "sync-skip",
+                    "error",
+                    ts,
+                    &format!("\"token\":{token_index},\"skipped\":{skipped}"),
+                );
+            }
+            TraceEvent::TokenInserted { token_index, ttype } => {
+                w.instant(
+                    "token-inserted",
+                    "error",
+                    ts,
+                    &format!("\"token\":{token_index},\"ttype\":{ttype}"),
+                );
+            }
+            TraceEvent::TokenDeleted { token_index, ttype } => {
+                w.instant(
+                    "token-deleted",
+                    "error",
+                    ts,
+                    &format!("\"token\":{token_index},\"ttype\":{ttype}"),
+                );
+            }
+        }
+    }
+    // Close anything still open (failed predictions, truncated streams).
+    let final_ts = last_ts + 1;
+    while let Some((_, name)) = w.open.pop() {
+        let record = format!(
+            "{{\"name\":{},\"ph\":\"E\",\"ts\":{final_ts},\"pid\":1,\"tid\":1,\
+             \"args\":{{\"synthetic-close\":true}}}}",
+            quote(&name)
+        );
+        w.push(record);
+    }
+    let _ = write!(w.out, "],\"displayTimeUnit\":\"ms\"}}");
+    w.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NopHooks;
+    use crate::parser::Parser;
+    use crate::stream::TokenStream;
+    use crate::trace::RingSink;
+    use llstar_core::analyze;
+    use llstar_core::json::Json;
+    use llstar_grammar::{apply_peg_mode, parse_grammar};
+
+    #[test]
+    fn export_is_structurally_valid_and_balanced() {
+        let g = apply_peg_mode(
+            parse_grammar(
+                r#"
+                grammar Demo;
+                s : ID | ID '=' expr ;
+                expr : INT ;
+                ID : [a-z]+ ;
+                INT : [0-9]+ ;
+                WS : [ ]+ -> skip ;
+                "#,
+            )
+            .expect("grammar"),
+        );
+        let a = analyze(&g);
+        let scanner = g.lexer.build().expect("lexer");
+        let tokens = TokenStream::new(scanner.tokenize("x = 12").expect("lexes"));
+        let mut ring = RingSink::unbounded();
+        let mut parser = Parser::new(&g, &a, tokens, NopHooks);
+        parser.set_trace_sink(&mut ring);
+        parser.parse_to_eof("s").expect("parses");
+        let events = ring.into_events();
+
+        let text = chrome_trace(&events, &g, &a);
+        let doc = Json::parse(&text).expect("chrome trace is valid JSON");
+        let records =
+            doc.get("traceEvents").and_then(Json::as_array).expect("traceEvents array present");
+        assert!(!records.is_empty());
+        let mut depth = 0i64;
+        for r in records {
+            for key in ["name", "ph", "ts", "pid", "tid"] {
+                assert!(r.get(key).is_some(), "record missing {key}: {r}");
+            }
+            match r.get("ph").and_then(Json::as_str).unwrap() {
+                "B" => depth += 1,
+                "E" => {
+                    depth -= 1;
+                    assert!(depth >= 0, "E without matching B");
+                }
+                "i" => assert_eq!(r.get("s").and_then(Json::as_str), Some("t")),
+                other => panic!("unexpected phase {other:?}"),
+            }
+        }
+        assert_eq!(depth, 0, "spans must balance for Perfetto");
+        // Spans carry grammar names.
+        assert!(text.contains("\"name\":\"s\""), "{text}");
+        assert!(text.contains("predict d"), "{text}");
+    }
+
+    #[test]
+    fn dangling_prediction_spans_are_closed_synthetically() {
+        let events = vec![
+            TraceEvent::RuleEnter { rule: 0, token_index: 0 },
+            TraceEvent::PredictStart { decision: 0, token_index: 0 },
+            // No predict-stop: the prediction failed (no-viable).
+            TraceEvent::SyntaxError { token_index: 0, speculating: false },
+            TraceEvent::RuleExit { rule: 0, token_index: 0, alt: 0, ok: false },
+        ];
+        let g = parse_grammar("grammar Tiny;\ns : ID ;\nID : [a-z]+ ;\nWS : [ ]+ -> skip ;\n")
+            .expect("grammar");
+        let a = analyze(&g);
+        let text = chrome_trace(&events, &g, &a);
+        let doc = Json::parse(&text).expect("valid JSON");
+        let records = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        let begins = records.iter().filter(|r| r.get("ph").and_then(Json::as_str) == Some("B"));
+        let ends = records.iter().filter(|r| r.get("ph").and_then(Json::as_str) == Some("E"));
+        assert_eq!(begins.count(), ends.count(), "{text}");
+        assert!(text.contains("synthetic-close"), "{text}");
+    }
+}

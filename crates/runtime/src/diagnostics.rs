@@ -14,7 +14,8 @@
 //!   which the parity tests assert.
 
 use crate::error::{ParseError, ParseErrorKind};
-use llstar_core::json::quote;
+use llstar_core::json::{quote, Json};
+use llstar_core::schema;
 use llstar_grammar::Grammar;
 use std::fmt::Write as _;
 
@@ -101,6 +102,52 @@ impl Diagnostic {
         )
     }
 
+    /// Parses a value produced by [`Diagnostic::to_json`].
+    ///
+    /// # Errors
+    /// Returns a description when `value` is not a diagnostic object or
+    /// names an unknown error kind.
+    pub fn from_json(value: &Json) -> Result<Diagnostic, String> {
+        if value.get("type").and_then(Json::as_str) != Some("diagnostic") {
+            return Err("not a diagnostic object".into());
+        }
+        let num = |name: &str| {
+            value.get(name).and_then(Json::as_u64).ok_or_else(|| format!("missing field {name:?}"))
+        };
+        let text = |name: &str| {
+            value
+                .get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing field {name:?}"))
+        };
+        let kind = match value.get("kind").and_then(Json::as_str) {
+            Some("mismatch") => "mismatch",
+            Some("no-viable") => "no-viable",
+            Some("predicate") => "predicate",
+            Some("infinite-loop") => "infinite-loop",
+            Some(other) => return Err(format!("unknown diagnostic kind {other:?}")),
+            None => return Err("missing field \"kind\"".into()),
+        };
+        let expected = value
+            .get("expected")
+            .and_then(Json::as_array)
+            .ok_or("missing field \"expected\"")?
+            .iter()
+            .map(|v| v.as_str().map(str::to_string).ok_or("non-string expected entry".to_string()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Diagnostic {
+            kind,
+            line: num("line")? as u32,
+            col: num("col")? as u32,
+            start: num("start")? as usize,
+            end: num("end")? as usize,
+            found: text("found")?,
+            expected,
+            message: text("message")?,
+        })
+    }
+
     /// Renders a rustc-style annotated snippet:
     ///
     /// ```text
@@ -135,14 +182,41 @@ impl Diagnostic {
     }
 }
 
-/// Serializes diagnostics as JSONL, one object per line.
+/// Serializes diagnostics as JSONL: a schema header line, then one
+/// object per line. Generated parsers emit the identical bytes.
 pub fn diagnostics_jsonl(diags: &[Diagnostic]) -> String {
-    let mut out = String::new();
+    let mut out = schema::schema_line("diagnostics", schema::DIAGNOSTICS_STREAM_VERSION);
+    out.push('\n');
     for d in diags {
         out.push_str(&d.to_json());
         out.push('\n');
     }
     out
+}
+
+/// Parses a [`diagnostics_jsonl`] stream back into diagnostics. A
+/// leading schema header is validated and consumed; headerless streams
+/// (pre-versioning exports) are accepted.
+///
+/// # Errors
+/// Returns `(1-based line, description)` for the first malformed line,
+/// including a header naming another stream or an unsupported version.
+pub fn parse_diagnostics_jsonl(text: &str) -> Result<Vec<Diagnostic>, (usize, String)> {
+    let mut out = Vec::new();
+    let mut first = true;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = Json::parse(line).map_err(|e| (i + 1, e))?;
+        if std::mem::take(&mut first) && schema::parse_schema_header(&value).is_some() {
+            schema::check_stream_header(&value, "diagnostics", schema::DIAGNOSTICS_STREAM_VERSION)
+                .map_err(|e| (i + 1, e))?;
+            continue;
+        }
+        out.push(Diagnostic::from_json(&value).map_err(|e| (i + 1, e))?);
+    }
+    Ok(out)
 }
 
 /// Renders all diagnostics as human-readable snippets, separated by
@@ -209,12 +283,37 @@ mod tests {
     }
 
     #[test]
-    fn jsonl_is_one_line_per_diagnostic() {
+    fn jsonl_is_headed_and_one_line_per_diagnostic() {
         let g = grammar();
         let errs = vec![mismatch_err(), mismatch_err()];
         let diags = Diagnostic::from_errors(&g, &errs);
         let jsonl = diagnostics_jsonl(&diags);
-        assert_eq!(jsonl.lines().count(), 2);
+        assert_eq!(jsonl.lines().count(), 3);
+        assert!(
+            jsonl.starts_with("{\"type\":\"schema\",\"stream\":\"diagnostics\",\"version\":1}\n"),
+            "{jsonl}"
+        );
         assert!(jsonl.ends_with('\n'));
+        assert_eq!(parse_diagnostics_jsonl(&jsonl).unwrap(), diags);
+        // Headerless bodies stay parseable.
+        let (_, body) = jsonl.split_once('\n').unwrap();
+        assert_eq!(parse_diagnostics_jsonl(body).unwrap(), diags);
+    }
+
+    #[test]
+    fn parse_rejects_mismatched_versions() {
+        let (line, err) = parse_diagnostics_jsonl(
+            "{\"type\":\"schema\",\"stream\":\"diagnostics\",\"version\":7}\n",
+        )
+        .unwrap_err();
+        assert_eq!(line, 1);
+        assert!(err.contains("version 7"), "{err}");
+        let (_, err) =
+            parse_diagnostics_jsonl("{\"type\":\"schema\",\"stream\":\"trace\",\"version\":2}\n")
+                .unwrap_err();
+        assert!(err.contains("stream mismatch"), "{err}");
+        let (_, err) = parse_diagnostics_jsonl("{\"type\":\"diagnostic\",\"kind\":\"martian\"}\n")
+            .unwrap_err();
+        assert!(err.contains("unknown diagnostic kind"), "{err}");
     }
 }

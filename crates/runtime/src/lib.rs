@@ -27,6 +27,8 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
+pub mod coverage;
 pub mod diagnostics;
 pub mod error;
 pub mod hooks;
@@ -38,7 +40,9 @@ pub mod trace;
 pub mod tree;
 pub mod visit;
 
-pub use diagnostics::{diagnostics_jsonl, render_all, Diagnostic};
+pub use chrome::chrome_trace;
+pub use coverage::CoverageSink;
+pub use diagnostics::{diagnostics_jsonl, parse_diagnostics_jsonl, render_all, Diagnostic};
 pub use error::{ParseError, ParseErrorKind};
 pub use hooks::{HookContext, Hooks, MapHooks, NopHooks};
 pub use parser::{
@@ -47,6 +51,8 @@ pub use parser::{
 pub use recovery::{BailErrorStrategy, DefaultErrorStrategy, ErrorStrategy, Repair, RepairContext};
 pub use stats::{DecisionStats, ParseStats};
 pub use stream::TokenStream;
-pub use trace::{parse_jsonl, JsonlSink, MemoKind, NopSink, RingSink, TraceEvent, TraceSink};
+pub use trace::{
+    parse_jsonl, JsonlSink, MemoKind, NopSink, RingSink, TeeSink, TraceEvent, TraceSink,
+};
 pub use tree::ParseTree;
 pub use visit::{covered_text, find_rule_nodes, walk, TreeListener};

@@ -87,6 +87,11 @@ pub struct Parser<'g, H: Hooks> {
     /// Follow states of the rule invocations currently on the call
     /// stack; their expected sets form the dynamic resynchronization set.
     follow_stack: Vec<AtnStateId>,
+    /// Per-decision prediction wall-clock (nanoseconds), indexed by
+    /// `DecisionId`. `None` unless [`Parser::enable_decision_timing`]
+    /// was called; timing never enters the trace stream or coverage
+    /// maps, which must stay byte-deterministic.
+    timing: Option<Vec<u64>>,
 }
 
 impl<'g, H: Hooks> Parser<'g, H> {
@@ -112,7 +117,22 @@ impl<'g, H: Hooks> Parser<'g, H> {
             trace: None,
             recovery: None,
             follow_stack: Vec::new(),
+            timing: None,
         }
+    }
+
+    /// Starts accumulating per-decision prediction wall-clock, readable
+    /// via [`Parser::decision_nanos`]. Display-only: the hotspot table's
+    /// time-share column joins this against the (deterministic)
+    /// coverage map at render time.
+    pub fn enable_decision_timing(&mut self) {
+        self.timing = Some(vec![0; self.analysis.atn.decisions.len()]);
+    }
+
+    /// Nanoseconds spent predicting, per decision; `None` unless
+    /// [`Parser::enable_decision_timing`] was called.
+    pub fn decision_nanos(&self) -> Option<&[u64]> {
+        self.timing.as_deref()
     }
 
     /// Switches the parser into recovery mode with the default strategy:
@@ -186,6 +206,20 @@ impl<'g, H: Hooks> Parser<'g, H> {
         if let Some(sink) = self.trace.as_mut() {
             sink.event(&event);
         }
+    }
+
+    /// [`Parser::predict`] behind the optional wall-clock accumulator.
+    fn timed_predict(&mut self, id: DecisionId) -> Result<u16, ParseError> {
+        if self.timing.is_none() {
+            return self.predict(id);
+        }
+        let started = std::time::Instant::now();
+        let out = self.predict(id);
+        let nanos = started.elapsed().as_nanos() as u64;
+        if let Some(slot) = self.timing.as_mut().and_then(|t| t.get_mut(id.index())) {
+            *slot += nanos;
+        }
+        out
     }
 
     /// Overrides the grammar's `memoize` option (used by the memoization
@@ -322,7 +356,18 @@ impl<'g, H: Hooks> Parser<'g, H> {
             }
         }
         let entry = self.atn().rule_entry[rule.index()];
+        self.emit(TraceEvent::RuleEnter { rule: rule.index() as u32, token_index: start });
         let result = self.interpret(entry, rule, build);
+        let exit = TraceEvent::RuleExit {
+            rule: rule.index() as u32,
+            token_index: self.tokens.index(),
+            alt: match &result {
+                Ok(Some((alt, _))) => *alt,
+                _ => 0,
+            },
+            ok: result.is_ok(),
+        };
+        self.emit(exit);
         if self.speculating > 0 && self.memoize {
             let memo_value = match &result {
                 Ok(_) => MemoResult::Success(self.tokens.index()),
@@ -368,7 +413,7 @@ impl<'g, H: Hooks> Parser<'g, H> {
                 return Err(self.error_here(ParseErrorKind::InfiniteLoop { rule: rule_name }));
             }
             if let StateKind::Decision(id) = self.atn().states[state].kind {
-                let alt = match self.predict(id) {
+                let alt = match self.timed_predict(id) {
                     Ok(alt) => alt,
                     Err(err) => {
                         let resync = self.recovering()
@@ -1631,8 +1676,8 @@ mod tests {
         let diags = Diagnostic::from_errors(&g, &errors);
         assert_eq!(diags.len(), 3);
         let jsonl = diagnostics_jsonl(&diags);
-        assert_eq!(jsonl.lines().count(), 3);
-        for line in jsonl.lines() {
+        assert_eq!(jsonl.lines().count(), 4, "schema header + one line per diagnostic");
+        for line in jsonl.lines().skip(1) {
             assert!(line.starts_with("{\"type\":\"diagnostic\",\"kind\":"), "{line}");
         }
         let rendered = diags[0].render(input, "input.txt");

@@ -13,6 +13,7 @@
 //! [`ParseStats::apply`]: crate::stats::ParseStats::apply
 
 use llstar_core::json::{quote, Json};
+use llstar_core::schema;
 use std::collections::VecDeque;
 use std::io::{self, Write};
 
@@ -45,6 +46,28 @@ impl MemoKind {
 /// One traced runtime event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
+    /// A rule sub-parse began (span opener; pairs with [`RuleExit`]).
+    ///
+    /// [`RuleExit`]: TraceEvent::RuleExit
+    RuleEnter {
+        /// The rule id.
+        rule: u32,
+        /// Token index at rule entry.
+        token_index: usize,
+    },
+    /// A rule sub-parse concluded (span closer).
+    RuleExit {
+        /// The rule id.
+        rule: u32,
+        /// Token index at rule exit.
+        token_index: usize,
+        /// The alternative the rule completed through: 1-based for
+        /// multi-alternative rules, 0 for single-alternative rules, for
+        /// failures, and for speculative (non-building) sub-parses.
+        alt: u16,
+        /// Whether the sub-parse succeeded.
+        ok: bool,
+    },
     /// A decision's lookahead-DFA simulation began.
     PredictStart {
         /// The decision id.
@@ -168,6 +191,13 @@ impl TraceEvent {
     /// byte-deterministic for a fixed grammar + input.
     pub fn to_json(&self) -> String {
         match self {
+            TraceEvent::RuleEnter { rule, token_index } => {
+                format!("{{\"type\":\"rule-enter\",\"rule\":{rule},\"token\":{token_index}}}")
+            }
+            TraceEvent::RuleExit { rule, token_index, alt, ok } => format!(
+                "{{\"type\":\"rule-exit\",\"rule\":{rule},\"token\":{token_index},\
+                 \"alt\":{alt},\"ok\":{ok}}}"
+            ),
             TraceEvent::PredictStart { decision, token_index } => format!(
                 "{{\"type\":\"predict-start\",\"decision\":{decision},\"token\":{token_index}}}"
             ),
@@ -251,6 +281,15 @@ impl TraceEvent {
                 .ok_or_else(|| format!("bad memo kind {kind_field}"))
         };
         match value.get("type").and_then(Json::as_str) {
+            Some("rule-enter") => {
+                Ok(TraceEvent::RuleEnter { rule: num("rule")? as u32, token_index: token()? })
+            }
+            Some("rule-exit") => Ok(TraceEvent::RuleExit {
+                rule: num("rule")? as u32,
+                token_index: token()?,
+                alt: num("alt")? as u16,
+                ok: flag("ok")?,
+            }),
             Some("predict-start") => Ok(TraceEvent::PredictStart {
                 decision: num("decision")? as u32,
                 token_index: token()?,
@@ -404,17 +443,20 @@ impl TraceSink for RingSink {
     }
 }
 
-/// Streams events to a writer, one JSON object per line.
+/// Streams events to a writer, one JSON object per line, preceded by a
+/// `{"type":"schema","stream":"trace","version":…}` header line (written
+/// lazily before the first event).
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
     out: W,
     error: Option<io::Error>,
+    headed: bool,
 }
 
 impl<W: Write> JsonlSink<W> {
     /// A sink writing JSONL to `out`.
     pub fn new(out: W) -> Self {
-        JsonlSink { out, error: None }
+        JsonlSink { out, error: None, headed: false }
     }
 
     /// Consumes the sink, returning the writer and the first write error
@@ -429,6 +471,14 @@ impl<W: Write> TraceSink for JsonlSink<W> {
         if self.error.is_some() {
             return;
         }
+        if !self.headed {
+            self.headed = true;
+            let header = schema::schema_line("trace", schema::TRACE_STREAM_VERSION);
+            if let Err(e) = writeln!(self.out, "{header}") {
+                self.error = Some(e);
+                return;
+            }
+        }
         if let Err(e) = writeln!(self.out, "{}", event.to_json()) {
             self.error = Some(e);
         }
@@ -442,20 +492,48 @@ impl<W: Write> TraceSink for JsonlSink<W> {
     }
 }
 
+/// Forwards every event to both inner sinks (e.g. a [`JsonlSink`] for
+/// export plus a coverage fold, in one traced parse).
+pub struct TeeSink<'a>(pub &'a mut dyn TraceSink, pub &'a mut dyn TraceSink);
+
+impl TraceSink for TeeSink<'_> {
+    fn event(&mut self, event: &TraceEvent) {
+        self.0.event(event);
+        self.1.event(event);
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        let first = self.0.flush();
+        self.1.flush()?;
+        first
+    }
+}
+
 /// Parses a JSONL event stream (as emitted by [`JsonlSink`]) back into
-/// events; blank lines are skipped.
+/// events; blank lines are skipped. A leading schema header line is
+/// validated and consumed; headerless streams (pre-versioning exports,
+/// in-memory dumps) are accepted as-is.
 ///
 /// # Errors
-/// Returns `(1-based line, description)` for the first malformed line.
+/// Returns `(1-based line, description)` for the first malformed line,
+/// including a header that names another stream or an unsupported
+/// version.
 pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, (usize, String)> {
-    text.lines()
-        .enumerate()
-        .filter(|(_, l)| !l.trim().is_empty())
-        .map(|(i, l)| {
-            let value = Json::parse(l).map_err(|e| (i + 1, e))?;
-            TraceEvent::from_json(&value).map_err(|e| (i + 1, e))
-        })
-        .collect()
+    let mut events = Vec::new();
+    let mut first = true;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = Json::parse(line).map_err(|e| (i + 1, e))?;
+        if std::mem::take(&mut first) && schema::parse_schema_header(&value).is_some() {
+            schema::check_stream_header(&value, "trace", schema::TRACE_STREAM_VERSION)
+                .map_err(|e| (i + 1, e))?;
+            continue;
+        }
+        events.push(TraceEvent::from_json(&value).map_err(|e| (i + 1, e))?);
+    }
+    Ok(events)
 }
 
 #[cfg(test)]
@@ -464,6 +542,8 @@ mod tests {
 
     fn sample_events() -> Vec<TraceEvent> {
         vec![
+            TraceEvent::RuleEnter { rule: 0, token_index: 0 },
+            TraceEvent::RuleExit { rule: 0, token_index: 7, alt: 2, ok: true },
             TraceEvent::PredictStart { decision: 0, token_index: 0 },
             TraceEvent::PredictStop {
                 decision: 0,
@@ -519,7 +599,26 @@ mod tests {
         let (bytes, error) = sink.into_inner();
         assert!(error.is_none());
         let text = String::from_utf8(bytes).unwrap();
+        assert!(
+            text.starts_with("{\"type\":\"schema\",\"stream\":\"trace\",\"version\":2}\n"),
+            "{text}"
+        );
         assert_eq!(parse_jsonl(&text).unwrap(), events);
+        // Headerless streams stay parseable (pre-versioning exports).
+        let (_, body) = text.split_once('\n').unwrap();
+        assert_eq!(parse_jsonl(body).unwrap(), events);
+    }
+
+    #[test]
+    fn parse_jsonl_rejects_mismatched_schema() {
+        let (line, err) =
+            parse_jsonl("{\"type\":\"schema\",\"stream\":\"trace\",\"version\":9}\n").unwrap_err();
+        assert_eq!(line, 1);
+        assert!(err.contains("version 9"), "{err}");
+        let (_, err) =
+            parse_jsonl("{\"type\":\"schema\",\"stream\":\"diagnostics\",\"version\":1}\n")
+                .unwrap_err();
+        assert!(err.contains("stream mismatch"), "{err}");
     }
 
     #[test]
@@ -539,9 +638,9 @@ mod tests {
         for e in sample_events() {
             sink.event(&e);
         }
-        assert_eq!(sink.seen(), 12);
+        assert_eq!(sink.seen(), 14);
         assert_eq!(sink.events().count(), 2);
-        assert_eq!(sink.dropped(), 10);
+        assert_eq!(sink.dropped(), 12);
         let kept = sink.into_events();
         assert!(matches!(kept[1], TraceEvent::TokenDeleted { .. }), "{kept:?}");
 

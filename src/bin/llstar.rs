@@ -22,16 +22,19 @@
 //!   atomic rewrite. The hit/miss outcome is reported on stderr.
 
 use llstar::codegen::{generate_with, CodegenOptions};
+use llstar::core::json::Json;
 use llstar::core::{
-    analyze_cached_metered, analyze_with, cache_path, deserialize_analysis, serialize_analysis,
-    AnalysisOptions, AnalysisRecord, Atn, CacheMetrics, DecisionClass, GrammarAnalysis,
+    analyze_cached_metered, analyze_with, cache_path, deserialize_analysis, schema,
+    serialize_analysis, AnalysisOptions, AnalysisRecord, Atn, CacheMetrics, DecisionClass,
+    GrammarAnalysis,
 };
 use llstar::grammar::{apply_peg_mode, parse_grammar, validate, Grammar};
 use llstar::runtime::{
-    diagnostics_jsonl, parse_text, parse_text_recovering_traced, parse_text_traced, render_all,
-    Diagnostic, NopHooks, ParseStats, RingSink,
+    chrome_trace, diagnostics_jsonl, parse_text, parse_text_recovering_traced, parse_text_traced,
+    render_all, CoverageSink, Diagnostic, NopHooks, ParseStats, Parser, RingSink, TeeSink,
+    TokenStream, TraceEvent, TraceSink,
 };
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Flags shared by every analysis-carrying subcommand.
@@ -53,6 +56,15 @@ struct Flags {
     diagnostics: bool,
     /// `--max-errors N`: recovery cap (implies `--diagnostics`).
     max_errors: Option<usize>,
+    /// `--coverage`: emit coverage counters in generated parsers
+    /// (`generate`).
+    coverage: bool,
+    /// `--chrome-trace <file>`: export a Chrome `trace_event` file
+    /// (`coverage`).
+    chrome_trace: Option<PathBuf>,
+    /// `--fail-uncovered`: exit non-zero when alternatives stay
+    /// uncovered (`coverage`).
+    fail_uncovered: bool,
 }
 
 impl Flags {
@@ -78,6 +90,9 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
         trace: false,
         diagnostics: false,
         max_errors: None,
+        coverage: false,
+        chrome_trace: None,
+        fail_uncovered: false,
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -108,6 +123,12 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                 flags.max_errors =
                     Some(n.parse().map_err(|_| format!("--max-errors: bad count {n:?}"))?);
             }
+            "--coverage" => flags.coverage = true,
+            "--chrome-trace" => {
+                let path = it.next().ok_or("--chrome-trace needs a file path")?;
+                flags.chrome_trace = Some(PathBuf::from(path));
+            }
+            "--fail-uncovered" => flags.fail_uncovered = true,
             _ => positional.push(arg.clone()),
         }
     }
@@ -137,7 +158,11 @@ fn main() -> ExitCode {
             Ok(())
         }),
         Some("generate") => with_grammar(&args, &flags, 2, |g, a| {
-            let code = generate_with(g, a, CodegenOptions { trace: flags.trace })?;
+            let code = generate_with(
+                g,
+                a,
+                CodegenOptions { trace: flags.trace, coverage: flags.coverage },
+            )?;
             match args.get(2) {
                 Some(path) => {
                     std::fs::write(path, code).map_err(|e| e.to_string())?;
@@ -156,6 +181,7 @@ fn main() -> ExitCode {
         Some("profile") => {
             with_grammar(&args, &flags, 2, |g, a| profile(g, a, args.get(2), &flags))
         }
+        Some("coverage") => with_grammar(&args, &flags, 3, |g, a| coverage(g, a, &args[2], &flags)),
         Some("parse") => with_grammar(&args, &flags, 4, |g, a| {
             let rule = &args[2];
             // Optional: --dfa <file> loads pre-compiled DFAs instead of
@@ -193,8 +219,9 @@ fn main() -> ExitCode {
                  llstar compile  <grammar.g> <out.dfa>      serialize lookahead DFAs\n\
                  llstar parse    <grammar.g> <rule> <file> [--dfa f]  parse a file\n\
                  llstar profile  <grammar.g> [input]        per-decision analysis + runtime costs\n\
+                 llstar coverage <grammar.g> <corpus>       corpus coverage + hotspot report\n\
                  \n\
-                 shared flags (check/dfa/generate/compile/parse/profile):\n\
+                 shared flags (check/dfa/generate/compile/parse/profile/coverage):\n\
                  --jobs N       analysis worker threads (0 = all cores, 1 = sequential)\n\
                  --cache <dir>  reuse serialized analyses keyed by grammar hash\n\
                  -v, --verbose  extra diagnostics (cache lookup metrics)\n\
@@ -206,7 +233,15 @@ fn main() -> ExitCode {
                  --max-errors N cap collected diagnostics (implies --diagnostics)\n\
                  \n\
                  generate flags:\n\
-                 --trace        emit Hooks::trace callbacks in the generated parser"
+                 --trace        emit Hooks::trace callbacks in the generated parser\n\
+                 --coverage     emit coverage counters in the generated parser\n\
+                 \n\
+                 coverage flags (corpus = a directory of .txt inputs, one input\n\
+                 file, or a trace/profile .jsonl to replay):\n\
+                 --rule <name>        start rule (default: first rule)\n\
+                 --json <path>        write the merged coverage map as JSON\n\
+                 --chrome-trace <f>   export Chrome trace_event JSON (chrome://tracing)\n\
+                 --fail-uncovered     exit non-zero if any alternative stays uncovered"
             );
             return ExitCode::from(2);
         }
@@ -457,8 +492,9 @@ fn profile(
     }
 
     if let Some(path) = &flags.json {
-        let mut out = String::new();
-        let mut lines = 0usize;
+        let mut out = schema::schema_line("profile", schema::PROFILE_STREAM_VERSION);
+        out.push('\n');
+        let mut lines = 1usize;
         for d in &analysis.atn.decisions {
             if !d.is_grammar_decision() {
                 continue;
@@ -479,14 +515,168 @@ fn profile(
             out.push('\n');
             lines += 1;
         }
-        if !diags.is_empty() {
-            out.push_str(&diagnostics_jsonl(&diags));
-            lines += diags.len();
+        // Diagnostics are appended line-by-line (not via
+        // `diagnostics_jsonl`, whose own header belongs to standalone
+        // diagnostics streams, not mid-way through a profile stream).
+        for d in &diags {
+            out.push_str(&d.to_json());
+            out.push('\n');
+            lines += 1;
         }
         std::fs::write(path, out).map_err(|e| format!("{}: {e}", path.display()))?;
         eprintln!("wrote {lines} JSONL lines to {}", path.display());
     }
     Ok(())
+}
+
+/// `llstar coverage <grammar.g> <corpus>`: merges runtime coverage
+/// across a corpus (directory of `.txt` inputs, one input file, or a
+/// recorded trace/profile `.jsonl` replayed offline), then renders the
+/// annotated grammar, the per-decision hotspot table, and — on request —
+/// the stable JSON map and a Chrome `trace_event` export.
+fn coverage(
+    grammar: &Grammar,
+    analysis: &GrammarAnalysis,
+    corpus: &str,
+    flags: &Flags,
+) -> Result<(), String> {
+    let corpus_path = Path::new(corpus);
+    let mut sink = CoverageSink::new(grammar, analysis);
+    let mut ring = RingSink::unbounded();
+    let mut nanos: Option<Vec<u64>> = None;
+
+    if corpus_path.extension().is_some_and(|e| e == "jsonl") {
+        // Offline replay: fold a recorded event stream. No wall-clock
+        // data exists here, so the hotspot table ranks by predictions.
+        let text = std::fs::read_to_string(corpus_path).map_err(|e| format!("{corpus}: {e}"))?;
+        let events = replay_events(&text).map_err(|e| format!("{corpus}: {e}"))?;
+        for event in &events {
+            sink.event(event);
+        }
+        sink.finish_file();
+        eprintln!("replayed {} trace events from {corpus}", events.len());
+        if let Some(out) = &flags.chrome_trace {
+            std::fs::write(out, chrome_trace(&events, grammar, analysis))
+                .map_err(|e| format!("{}: {e}", out.display()))?;
+            eprintln!("wrote Chrome trace to {}", out.display());
+        }
+    } else {
+        let files = corpus_inputs(corpus_path)?;
+        let rule = match &flags.rule {
+            Some(name) => name.clone(),
+            None => grammar.start_rule().name.clone(),
+        };
+        let want_events = flags.chrome_trace.is_some();
+        let mut total = vec![0u64; analysis.atn.decisions.len()];
+        for file in &files {
+            let input =
+                std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+            let scanner = grammar.lexer.build().map_err(|e| e.to_string())?;
+            let tokens =
+                scanner.tokenize(&input).map_err(|e| format!("{}: {e}", file.display()))?;
+            let mut tee;
+            let mut parser = Parser::new(grammar, analysis, TokenStream::new(tokens), NopHooks);
+            parser.enable_decision_timing();
+            if want_events {
+                tee = TeeSink(&mut ring, &mut sink);
+                parser.set_trace_sink(&mut tee);
+            } else {
+                parser.set_trace_sink(&mut sink);
+            }
+            parser.parse_to_eof(&rule).map_err(|e| format!("{}: {e}", file.display()))?;
+            if let Some(per_file) = parser.decision_nanos() {
+                for (slot, t) in total.iter_mut().zip(per_file) {
+                    *slot += t;
+                }
+            }
+            sink.finish_file();
+        }
+        nanos = Some(total);
+        eprintln!("parsed {} corpus file(s) from rule {rule}", files.len());
+        if let Some(out) = &flags.chrome_trace {
+            let events: Vec<TraceEvent> = ring.events().cloned().collect();
+            std::fs::write(out, chrome_trace(&events, grammar, analysis))
+                .map_err(|e| format!("{}: {e}", out.display()))?;
+            eprintln!("wrote Chrome trace to {}", out.display());
+        }
+    }
+
+    let map = sink.into_map();
+    print!("{}", map.annotated_report(grammar, analysis));
+    println!();
+    print!("{}", map.hotspot_table(grammar, analysis, nanos.as_deref()));
+    println!("{}", map.summary(grammar));
+    if let Some(out) = &flags.json {
+        let mut json = map.to_json();
+        json.push('\n');
+        std::fs::write(out, json).map_err(|e| format!("{}: {e}", out.display()))?;
+        eprintln!("wrote coverage JSON to {}", out.display());
+    }
+    if flags.fail_uncovered {
+        let uncovered = map.uncovered_alts();
+        if !uncovered.is_empty() {
+            let names: Vec<String> = uncovered
+                .iter()
+                .map(|&(rule, alt)| format!("{} alt {}", grammar.rules[rule].name, alt + 1))
+                .collect();
+            return Err(format!(
+                "{} uncovered alternative(s): {}",
+                uncovered.len(),
+                names.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The corpus inputs behind a path: every `*.txt` in a directory
+/// (sorted by name for deterministic merges), or the file itself.
+fn corpus_inputs(path: &Path) -> Result<Vec<PathBuf>, String> {
+    if !path.is_dir() {
+        return Ok(vec![path.to_path_buf()]);
+    }
+    let mut files: Vec<PathBuf> = std::fs::read_dir(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "txt"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("{}: no .txt corpus files found", path.display()));
+    }
+    Ok(files)
+}
+
+/// Parses trace events out of a recorded JSONL stream for replay. Both
+/// pure `trace` streams and mixed `profile --json` streams are accepted
+/// (analysis records and diagnostics are skipped); the schema header is
+/// validated when present.
+fn replay_events(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    let mut first = true;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if std::mem::take(&mut first) {
+            if let Some((stream, _)) = schema::parse_schema_header(&value) {
+                let expected = match stream {
+                    "profile" => ("profile", schema::PROFILE_STREAM_VERSION),
+                    _ => ("trace", schema::TRACE_STREAM_VERSION),
+                };
+                schema::check_stream_header(&value, expected.0, expected.1)
+                    .map_err(|e| format!("line {}: {e}", i + 1))?;
+                continue;
+            }
+        }
+        match value.get("type").and_then(Json::as_str) {
+            Some("analysis") | Some("diagnostic") | Some("schema") => continue,
+            _ => events
+                .push(TraceEvent::from_json(&value).map_err(|e| format!("line {}: {e}", i + 1))?),
+        }
+    }
+    Ok(events)
 }
 
 fn report(grammar: &Grammar, analysis: &GrammarAnalysis) {

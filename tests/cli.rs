@@ -203,9 +203,15 @@ fn profile_json_round_trips_and_is_deterministic() {
 
     // Every line parses back through the public APIs: analysis records
     // via AnalysisRecord::from_json, trace events via TraceEvent.
+    let mut lines = a.lines();
+    assert_eq!(
+        lines.next(),
+        Some("{\"type\":\"schema\",\"stream\":\"profile\",\"version\":1}"),
+        "profile --json must start with its schema header"
+    );
     let mut analysis_lines = 0usize;
     let mut event_lines = 0usize;
-    for (i, line) in a.lines().enumerate() {
+    for (i, line) in lines.enumerate() {
         let v = Json::parse(line).unwrap_or_else(|e| panic!("line {}: {e}", i + 1));
         if v.get("type").and_then(Json::as_str) == Some("analysis") {
             let rec =
@@ -286,10 +292,18 @@ fn check_diagnostics_recovers_and_exports_jsonl() {
     assert!(stdout.contains("syntax error"), "{stdout}");
     assert!(stdout.contains("recovered"), "{stdout}");
     let exported = std::fs::read_to_string(&jsonl).expect("jsonl written");
-    assert!(!exported.is_empty(), "diagnostics JSONL must not be empty");
-    for line in exported.lines() {
+    let mut lines = exported.lines();
+    assert_eq!(
+        lines.next(),
+        Some("{\"type\":\"schema\",\"stream\":\"diagnostics\",\"version\":1}"),
+        "diagnostics JSONL must start with its schema header"
+    );
+    let mut diagnostics = 0;
+    for line in lines {
         assert!(line.starts_with("{\"type\":\"diagnostic\""), "{line}");
+        diagnostics += 1;
     }
+    assert!(diagnostics > 0, "diagnostics JSONL must not be empty");
 }
 
 #[test]
@@ -319,4 +333,112 @@ fn profile_with_diagnostics_reports_recovery_counters() {
     assert!(ok, "{stderr}");
     assert!(stdout.contains("recovery:"), "{stdout}");
     assert!(stdout.contains("diagnostics"), "{stdout}");
+}
+
+/// A corpus exercising only the first two alternatives of `s` — the
+/// `'unsigned'* 'int' ID` / `'unsigned'* ID ID` declaration alts stay
+/// deliberately uncovered.
+fn partial_corpus() -> String {
+    let dir = workdir().join("cov_partial");
+    std::fs::create_dir_all(&dir).expect("corpus dir");
+    std::fs::write(dir.join("a_ref.txt"), "counter").expect("write corpus");
+    std::fs::write(dir.join("b_assign.txt"), "counter = 42").expect("write corpus");
+    dir.to_string_lossy().to_string()
+}
+
+#[test]
+fn coverage_reports_uncovered_alternatives() {
+    let g = grammar_path();
+    let corpus = partial_corpus();
+    let (ok, stdout, stderr) = llstar(&["coverage", &g, &corpus]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.contains("2/4 alternatives covered") || stdout.contains("UNCOVERED"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("// UNCOVERED"), "{stdout}");
+    assert!(stdout.contains("decision"), "hotspot table missing:\n{stdout}");
+
+    // The same corpus under --fail-uncovered is a CI failure that names
+    // the dead alternatives.
+    let (ok, _, stderr) = llstar(&["coverage", &g, &corpus, "--fail-uncovered"]);
+    assert!(!ok, "--fail-uncovered must exit non-zero");
+    assert!(stderr.contains("uncovered alternative"), "{stderr}");
+    assert!(stderr.contains("s alt 3"), "{stderr}");
+}
+
+#[test]
+fn coverage_json_is_versioned_and_round_trips() {
+    use llstar::core::{CoverageMap, Json};
+
+    let g = grammar_path();
+    let corpus = partial_corpus();
+    let json = workdir().join("cov_map.json").to_string_lossy().to_string();
+    let (ok, _, stderr) = llstar(&["coverage", &g, &corpus, "--json", &json]);
+    assert!(ok, "{stderr}");
+    let text = std::fs::read_to_string(&json).unwrap();
+    assert!(text.starts_with("{\"type\":\"coverage\",\"schema\":1,"), "{text}");
+    let map = CoverageMap::from_json(&Json::parse(&text).expect("valid json"))
+        .expect("coverage JSON round-trips");
+    assert_eq!(map.files, 2);
+    assert_eq!(map.uncovered_alts().len(), 2, "two declaration alts stay uncovered");
+
+    // A future schema version is rejected with a clear error.
+    let bumped = text.replacen("\"schema\":1", "\"schema\":99", 1);
+    let err = CoverageMap::from_json(&Json::parse(&bumped).unwrap()).unwrap_err();
+    assert!(err.contains("version 99"), "{err}");
+}
+
+#[test]
+fn coverage_chrome_trace_has_valid_shape() {
+    use llstar::core::Json;
+
+    let g = grammar_path();
+    let corpus = partial_corpus();
+    let trace = workdir().join("cov_trace.json").to_string_lossy().to_string();
+    let (ok, _, stderr) = llstar(&["coverage", &g, &corpus, "--chrome-trace", &trace]);
+    assert!(ok, "{stderr}");
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let doc = Json::parse(&text).expect("chrome trace is valid JSON");
+    let events = doc.get("traceEvents").and_then(Json::as_array).expect("traceEvents array");
+    assert!(!events.is_empty(), "chrome trace must not be empty");
+    let (mut begins, mut ends) = (0usize, 0usize);
+    for e in events {
+        for key in ["name", "ph", "ts", "pid", "tid"] {
+            assert!(e.get(key).is_some(), "event missing {key:?}: {text}");
+        }
+        match e.get("ph").and_then(Json::as_str) {
+            Some("B") => begins += 1,
+            Some("E") => ends += 1,
+            Some("i") => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert_eq!(begins, ends, "span begin/end events must balance");
+}
+
+#[test]
+fn coverage_replays_recorded_jsonl() {
+    let g = grammar_path();
+    let dir = workdir();
+    let input = dir.join("cov_replay_input.txt");
+    std::fs::write(&input, "unsigned unsigned int counter").unwrap();
+    let jsonl = dir.join("cov_replay.jsonl").to_string_lossy().to_string();
+    let (ok, _, stderr) = llstar(&["profile", &g, &input.to_string_lossy(), "--json", &jsonl]);
+    assert!(ok, "{stderr}");
+
+    // Replaying the profile stream folds the recorded events; no live
+    // parse happens, so timing columns degrade to "-".
+    let (ok, stdout, stderr) = llstar(&["coverage", &g, &jsonl]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("replayed"), "{stderr}");
+    assert!(stdout.contains("alternatives covered"), "{stdout}");
+
+    // A stream stamped by a future writer is rejected, not mis-folded.
+    let text = std::fs::read_to_string(&jsonl).unwrap();
+    let bumped_path = dir.join("cov_replay_v99.jsonl");
+    std::fs::write(&bumped_path, text.replacen("\"version\":1", "\"version\":99", 1)).unwrap();
+    let (ok, _, stderr) = llstar(&["coverage", &g, &bumped_path.to_string_lossy()]);
+    assert!(!ok, "future schema versions must be rejected");
+    assert!(stderr.contains("version 99"), "{stderr}");
 }

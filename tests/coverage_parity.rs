@@ -1,0 +1,158 @@
+//! Interpreted/generated coverage parity: folding the interpreter's
+//! trace stream through `CoverageSink` and running a
+//! coverage-instrumented generated parser over the same corpus must
+//! produce **byte-identical coverage JSON** — same rule-alternative hit
+//! counts, DFA state/edge traversals, lookahead histograms, and
+//! backtrack/memo attribution.
+
+use llstar::codegen::{generate_with, CodegenOptions};
+use llstar::core::{analyze, GrammarAnalysis};
+use llstar::grammar::{apply_peg_mode, parse_grammar, Grammar};
+use llstar::runtime::{CoverageSink, NopHooks, Parser, TokenStream};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const STEMS: &[&str] = &["calculator", "config", "json", "paper_section2"];
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// The corpus for a suite grammar: every `*.txt` under
+/// `grammars/corpus/<stem>/`, sorted by file name for determinism.
+fn corpus_files(stem: &str) -> Vec<PathBuf> {
+    let dir = repo_path(&format!("grammars/corpus/{stem}"));
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {dir:?}: {e}"))
+        .map(|entry| entry.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "txt"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "empty corpus for {stem}");
+    files
+}
+
+fn load_grammar(stem: &str) -> (Grammar, GrammarAnalysis) {
+    let source = std::fs::read_to_string(repo_path(&format!("grammars/{stem}.g")))
+        .expect("grammar file readable");
+    let grammar = apply_peg_mode(parse_grammar(&source).expect("grammar parses"));
+    let analysis = analyze(&grammar);
+    (grammar, analysis)
+}
+
+/// Folds the interpreter's trace stream into coverage JSON across a
+/// corpus (the reference side of the parity check).
+fn interpreter_coverage(g: &Grammar, a: &GrammarAnalysis, files: &[PathBuf]) -> String {
+    let start = g.start_rule().name.clone();
+    let mut sink = CoverageSink::new(g, a);
+    for file in files {
+        let input = std::fs::read_to_string(file).expect("corpus file readable");
+        let scanner = g.lexer.build().expect("lexer builds");
+        let tokens = scanner.tokenize(&input).expect("corpus input lexes");
+        let mut parser = Parser::new(g, a, TokenStream::new(tokens), NopHooks);
+        parser.set_trace_sink(&mut sink);
+        parser
+            .parse_to_eof(&start)
+            .unwrap_or_else(|e| panic!("interpreter failed on {file:?}: {e}"));
+        sink.finish_file();
+    }
+    sink.into_map().to_json()
+}
+
+/// Compiles a coverage-instrumented generated parser plus a driver that
+/// parses every argv path and prints the merged coverage JSON.
+fn build_generated(stem: &str, g: &Grammar, a: &GrammarAnalysis) -> PathBuf {
+    let code = generate_with(g, a, CodegenOptions { trace: false, coverage: true })
+        .expect("generation succeeds");
+    let start = &g.start_rule().name;
+    let driver = format!(
+        r#"
+fn main() {{
+    let mut cov = Coverage::new();
+    for path in std::env::args().skip(1) {{
+        let input = std::fs::read_to_string(&path).expect("corpus file readable");
+        let tokens = tokenize(&input).expect("lexes");
+        let mut hooks = NopHooks;
+        let mut parser = Parser::new(tokens, &mut hooks);
+        let tree = parser.parse_{start}().expect("parses");
+        assert!(parser.la(1) == 0, "trailing input in {{path}}");
+        let _ = tree;
+        cov.merge(&parser.cov);
+        cov.files += 1;
+    }}
+    println!("{{}}", cov.to_json());
+}}
+"#
+    );
+
+    let dir = std::env::temp_dir().join(format!("llstar_coverage_{stem}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let src_path = dir.join("parser_main.rs");
+    std::fs::write(&src_path, format!("{code}\n{driver}\n")).expect("write generated source");
+
+    let exe = dir.join("parser_main");
+    let out = Command::new("rustc")
+        .args(["--edition", "2021", "-O", "-o"])
+        .arg(&exe)
+        .arg(&src_path)
+        .output()
+        .expect("rustc runs");
+    assert!(
+        out.status.success(),
+        "generated code failed to compile:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    exe
+}
+
+fn generated_coverage(exe: &Path, files: &[PathBuf]) -> String {
+    let out = Command::new(exe).args(files).output().expect("generated parser runs");
+    assert!(
+        out.status.success(),
+        "generated parser aborted: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output").trim_end().to_string()
+}
+
+#[test]
+fn coverage_json_is_byte_identical_across_engines() {
+    for stem in STEMS {
+        let (g, a) = load_grammar(stem);
+        let exe = build_generated(stem, &g, &a);
+
+        // Corpus-dir fold (several files merged).
+        let files = corpus_files(stem);
+        let expected = interpreter_coverage(&g, &a, &files);
+        let got = generated_coverage(&exe, &files);
+        assert_eq!(got, expected, "{stem}: engines diverged over grammars/corpus/{stem}/");
+
+        // Single smoke input (the per-file shape, files = 1).
+        let smoke = vec![repo_path(&format!("grammars/smoke/{stem}.txt"))];
+        let expected = interpreter_coverage(&g, &a, &smoke);
+        let got = generated_coverage(&exe, &smoke);
+        assert_eq!(got, expected, "{stem}: engines diverged over grammars/smoke/{stem}.txt");
+    }
+}
+
+#[test]
+fn corpus_covers_every_alternative() {
+    // The shipped corpora are full-coverage fixtures: the CI smoke step
+    // runs `llstar coverage --fail-uncovered` over them, so regressions
+    // here should fail loudly with the rule/alt that lost coverage.
+    for stem in STEMS {
+        let (g, a) = load_grammar(stem);
+        let files = corpus_files(stem);
+        let json = interpreter_coverage(&g, &a, &files);
+        let map = llstar::core::CoverageMap::from_json(
+            &llstar::core::json::Json::parse(&json).expect("coverage json parses"),
+        )
+        .expect("coverage json round-trips");
+        let uncovered = map.uncovered_alts();
+        assert!(
+            uncovered.is_empty(),
+            "{stem}: uncovered alternatives {uncovered:?} (rule index, alt index)"
+        );
+    }
+}

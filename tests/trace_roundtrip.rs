@@ -1,0 +1,137 @@
+//! Exhaustive `TraceEvent` JSON round-trip property test.
+//!
+//! Every variant is sampled with randomized fields (seeded `llstar-rng`,
+//! so failures reproduce exactly) and must survive
+//! `to_json → Json::parse → from_json` with equality AND re-encode to
+//! the identical bytes — the property the replay tooling (`llstar
+//! coverage` over recorded JSONL, trace diffing, parity tests) depends
+//! on.
+//!
+//! The `variant_index` match is deliberately wildcard-free: adding a
+//! `TraceEvent` variant breaks this test's compilation until the new
+//! variant is sampled and round-tripped here.
+
+use llstar::core::json::Json;
+use llstar::runtime::{parse_jsonl, MemoKind, TraceEvent};
+use llstar_rng::Rng64;
+
+/// Maps each variant to its sampler index, with no wildcard arm: this is
+/// the compile-time checklist that keeps the sampler exhaustive.
+fn variant_index(event: &TraceEvent) -> usize {
+    match event {
+        TraceEvent::RuleEnter { .. } => 0,
+        TraceEvent::RuleExit { .. } => 1,
+        TraceEvent::PredictStart { .. } => 2,
+        TraceEvent::PredictStop { .. } => 3,
+        TraceEvent::BacktrackEnter { .. } => 4,
+        TraceEvent::BacktrackExit { .. } => 5,
+        TraceEvent::MemoHit { .. } => 6,
+        TraceEvent::MemoWrite { .. } => 7,
+        TraceEvent::Sempred { .. } => 8,
+        TraceEvent::SyntaxError { .. } => 9,
+        TraceEvent::Recover { .. } => 10,
+        TraceEvent::SyncSkip { .. } => 11,
+        TraceEvent::TokenInserted { .. } => 12,
+        TraceEvent::TokenDeleted { .. } => 13,
+    }
+}
+
+const VARIANTS: usize = 14;
+
+fn sample(variant: usize, rng: &mut Rng64) -> TraceEvent {
+    let token_index = rng.gen_range(0usize..1_000_000);
+    let id = rng.gen_range(0u32..10_000);
+    let kind = if rng.gen_bool(0.5) { MemoKind::Rule } else { MemoKind::SynPred };
+    let event = match variant {
+        0 => TraceEvent::RuleEnter { rule: id, token_index },
+        1 => TraceEvent::RuleExit {
+            rule: id,
+            token_index,
+            alt: rng.gen_range(0u16..=20),
+            ok: rng.gen_bool(0.5),
+        },
+        2 => TraceEvent::PredictStart { decision: id, token_index },
+        3 => {
+            let len = rng.gen_range(0usize..=8);
+            TraceEvent::PredictStop {
+                decision: id,
+                token_index,
+                alt: rng.gen_range(1u16..=20),
+                lookahead: rng.gen_range(1u64..=1_000_000),
+                path: (0..len).map(|_| rng.gen_range(0u32..64)).collect(),
+                backtracked: rng.gen_bool(0.5),
+                spec_depth: rng.gen_range(0u64..=1_000_000),
+            }
+        }
+        4 => TraceEvent::BacktrackEnter {
+            synpred: id,
+            token_index,
+            nesting: rng.gen_range(0u32..=8),
+        },
+        5 => TraceEvent::BacktrackExit {
+            synpred: id,
+            token_index,
+            matched: rng.gen_bool(0.5),
+            consumed: rng.gen_range(0u64..=1_000_000),
+            nesting: rng.gen_range(0u32..=8),
+        },
+        6 => TraceEvent::MemoHit { kind, id, token_index, success: rng.gen_bool(0.5) },
+        7 => TraceEvent::MemoWrite { kind, id, token_index, success: rng.gen_bool(0.5) },
+        // Arbitrary (escaping-hostile) predicate text, unicode included.
+        8 => TraceEvent::Sempred {
+            pred: rng.gen_string(24),
+            token_index,
+            outcome: rng.gen_bool(0.5),
+        },
+        9 => TraceEvent::SyntaxError { token_index, speculating: rng.gen_bool(0.5) },
+        10 => TraceEvent::Recover { token_index, rule: id },
+        11 => TraceEvent::SyncSkip { token_index, skipped: rng.gen_range(0u64..=1_000) },
+        12 => TraceEvent::TokenInserted { token_index, ttype: rng.gen_range(0u32..=500) },
+        13 => TraceEvent::TokenDeleted { token_index, ttype: rng.gen_range(0u32..=500) },
+        _ => unreachable!("sampler covers {VARIANTS} variants"),
+    };
+    assert_eq!(variant_index(&event), variant, "sampler built the wrong variant");
+    event
+}
+
+#[test]
+fn every_variant_round_trips_byte_identically() {
+    let mut rng = Rng64::seed_from_u64(0x5eed_11ab);
+    for round in 0..200 {
+        for variant in 0..VARIANTS {
+            let event = sample(variant, &mut rng);
+            let json = event.to_json();
+            let value = Json::parse(&json)
+                .unwrap_or_else(|e| panic!("round {round} variant {variant}: {e}\n{json}"));
+            let back = TraceEvent::from_json(&value)
+                .unwrap_or_else(|e| panic!("round {round} variant {variant}: {e}\n{json}"));
+            assert_eq!(back, event, "round {round}: decoded event differs\n{json}");
+            assert_eq!(back.to_json(), json, "round {round}: re-encode is not byte-identical");
+        }
+    }
+}
+
+#[test]
+fn headed_streams_round_trip_through_parse_jsonl() {
+    let mut rng = Rng64::seed_from_u64(0xcafe_f00d);
+    let events: Vec<TraceEvent> = (0..VARIANTS)
+        .flat_map(|variant| {
+            let e0 = sample(variant, &mut rng);
+            let e1 = sample(variant, &mut rng);
+            [e0, e1]
+        })
+        .collect();
+    let mut stream = String::from("{\"type\":\"schema\",\"stream\":\"trace\",\"version\":2}\n");
+    for event in &events {
+        stream.push_str(&event.to_json());
+        stream.push('\n');
+    }
+    let parsed = parse_jsonl(&stream).expect("headed stream parses");
+    assert_eq!(parsed, events);
+
+    // A stream from a different writer is rejected up front.
+    let wrong = stream.replacen("\"version\":2", "\"version\":99", 1);
+    let (line, err) = parse_jsonl(&wrong).expect_err("future version must be rejected");
+    assert_eq!(line, 1);
+    assert!(err.contains("version 99"), "{err}");
+}
