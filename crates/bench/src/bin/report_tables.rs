@@ -97,14 +97,19 @@ fn main() {
         eprintln!("measuring coverage-collection overhead…");
         let coverage = report::coverage_overhead_all(lines, seed);
         println!("{}", report::format_coverage_overhead(&coverage));
+        eprintln!("measuring prediction dispatch (linear scan vs compiled tables)…");
+        let prediction = report::prediction_all(50_000, 5, seed);
+        println!("{}", report::format_prediction(&prediction));
         let jsonl = report::bench_stream_header()
             + &report::analysis_jsonl(&runs)
             + &report::recovery_jsonl(&recovery)
             + &report::scaling_jsonl(&scaling)
-            + &report::coverage_overhead_jsonl(&coverage);
+            + &report::coverage_overhead_jsonl(&coverage)
+            + &report::prediction_jsonl(&prediction);
         match std::fs::write(&analysis_json, jsonl) {
             Ok(()) => eprintln!(
-                "wrote analysis + recovery + scaling + coverage metrics to {analysis_json}"
+                "wrote analysis + recovery + scaling + coverage + prediction metrics to \
+                 {analysis_json}"
             ),
             Err(e) => eprintln!("warning: could not write {analysis_json}: {e}"),
         }

@@ -5,7 +5,7 @@
 
 use crate::writer::CodeWriter;
 use crate::CodegenOptions;
-use llstar_core::{DecisionKind, DfaState, GrammarAnalysis, PredSource};
+use llstar_core::{CompiledDfa, DecisionKind, DfaState, GrammarAnalysis, NextTable, PredSource};
 use llstar_grammar::{Alt, Block, Ebnf, Element, Grammar};
 
 /// Walks grammar constructs in the exact order the ATN builder numbered
@@ -111,7 +111,7 @@ impl<'a> ParserGen<'a> {
         }
         // Predictors for every decision that was referenced.
         let used = std::mem::take(&mut self.used_decisions);
-        for d in used {
+        for &d in &used {
             self.emit_predictor(w, d);
         }
         w.close("}");
@@ -126,8 +126,51 @@ impl<'a> ParserGen<'a> {
             "codegen call-site order diverged from ATN construction"
         );
         self.emit_expected_sets(w);
+        self.emit_prediction_tables(w, &used);
         if self.coverage {
             self.emit_coverage_support(w);
+        }
+    }
+
+    /// Emits the compiled prediction tables as `static` arrays: the
+    /// grammar-wide token→class map plus, per emitted predictor, the
+    /// accept/default side tables and the dense (or row-displaced)
+    /// transition table the predictor loop indexes. This is the
+    /// generated-parser counterpart of ANTLR's serialized decision
+    /// tables. Nothing is emitted when lowering was disabled (the
+    /// predictors then carry unrolled per-state `match`es instead).
+    fn emit_prediction_tables(&self, w: &mut CodeWriter, used: &[usize]) {
+        let Some(classes) = self.analysis.tables.classes() else {
+            return;
+        };
+        if used.is_empty() {
+            return;
+        }
+        let fmt = |xs: &[u32]| -> String {
+            xs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ")
+        };
+        w.blank();
+        w.line("// Compiled prediction tables: one row-compressed DFA per decision");
+        w.line("// over token equivalence classes. u32::MAX marks \"no transition\",");
+        w.line("// u16::MAX marks \"no alternative\".");
+        let map = fmt(&classes.map().iter().map(|&c| c as u32).collect::<Vec<_>>());
+        w.line(&format!("static CLASS_MAP: &[u8] = &[{map}];"));
+        for &d in used {
+            let (_, table) = self.analysis.tables.get(d).expect("tables are enabled");
+            let accept = fmt(&table.accept.iter().map(|&a| a as u32).collect::<Vec<_>>());
+            w.line(&format!("static D{d}_ACCEPT: &[u16] = &[{accept}];"));
+            let default = fmt(&table.default_alt.iter().map(|&a| a as u32).collect::<Vec<_>>());
+            w.line(&format!("static D{d}_DEFAULT: &[u16] = &[{default}];"));
+            match &table.table {
+                NextTable::Dense(next) => {
+                    w.line(&format!("static D{d}_NEXT: &[u32] = &[{}];", fmt(next)));
+                }
+                NextTable::RowDisplaced { base, check, next } => {
+                    w.line(&format!("static D{d}_BASE: &[u32] = &[{}];", fmt(base)));
+                    w.line(&format!("static D{d}_CHECK: &[u32] = &[{}];", fmt(check)));
+                    w.line(&format!("static D{d}_NEXT: &[u32] = &[{}];", fmt(next)));
+                }
+            }
         }
     }
 
@@ -1093,14 +1136,85 @@ impl<'a> ParserGen<'a> {
         w.line("let mut s = 0usize;");
         w.line("let mut i = 0usize;");
         w.line("let _ = &mut i;");
-        w.open("loop {");
-        w.open("match s {");
-        for (sid, st) in dfa.states.iter().enumerate() {
-            self.emit_dfa_state(w, decision, sid, st, rule_name, dset);
+        if let Some((_, table)) = self.analysis.tables.get(decision) {
+            self.emit_table_predictor_body(w, decision, table, dfa, rule_name, dset);
+        } else {
+            w.open("loop {");
+            w.open("match s {");
+            for (sid, st) in dfa.states.iter().enumerate() {
+                self.emit_dfa_state(w, decision, sid, st, rule_name, dset);
+            }
+            w.line("_ => unreachable!(\"generated DFA has no such state\"),");
+            w.close("}");
+            w.close("}");
         }
-        w.line("_ => unreachable!(\"generated DFA has no such state\"),");
         w.close("}");
+    }
+
+    /// Emits the table-driven predictor loop: accept check, class-mapped
+    /// transition lookup, then (on a miss) predicate arms for the few
+    /// states that carry them, the default side table, and the no-viable
+    /// error. Semantically identical to the unrolled per-state `match`
+    /// (see `emit_dfa_state`) — the parity suites compare the two paths
+    /// byte for byte — but dispatch is pure array indexing.
+    fn emit_table_predictor_body(
+        &self,
+        w: &mut CodeWriter,
+        decision: usize,
+        table: &CompiledDfa,
+        dfa: &llstar_core::LookaheadDfa,
+        rule_name: &str,
+        dset: usize,
+    ) {
+        w.open("loop {");
+        w.line(&format!("let __a = D{decision}_ACCEPT[s];"));
+        w.line(&format!(
+            "if __a != u16::MAX {{ return {}; }}",
+            self.predict_ok_expr(decision, "__a")
+        ));
+        w.line("let __c = CLASS_MAP[self.la(i + 1) as usize] as usize;");
+        match &table.table {
+            NextTable::Dense(_) => {
+                w.line(&format!("let __t = D{decision}_NEXT[s * {} + __c];", table.num_classes));
+            }
+            NextTable::RowDisplaced { .. } => {
+                w.line(&format!("let __slot = D{decision}_BASE[s] as usize + __c;"));
+                w.line(&format!(
+                    "let __t = if D{decision}_CHECK[__slot] == s as u32 {{ D{decision}_NEXT[__slot] }} else {{ u32::MAX }};"
+                ));
+            }
+        }
+        w.open("if __t != u32::MAX {");
+        w.line("s = __t as usize;");
+        w.line("i += 1;");
+        if self.coverage {
+            w.line("if self.speculating == 0 { self.cov_path.push(__t); }");
+        }
+        w.line("continue;");
         w.close("}");
+        // Predicate transitions live outside the table: a `match` with
+        // arms only for the (rare) states that carry them.
+        if dfa.states.iter().any(|st| !st.preds.is_empty()) {
+            w.open("match s {");
+            for (sid, st) in dfa.states.iter().enumerate() {
+                if st.preds.is_empty() {
+                    continue;
+                }
+                w.open(&format!("{sid} => {{"));
+                self.emit_state_preds(w, st, decision);
+                w.close("}");
+            }
+            w.line("_ => {}");
+            w.close("}");
+        }
+        w.line(&format!("let __d = D{decision}_DEFAULT[s];"));
+        w.line(&format!(
+            "if __d != u16::MAX {{ return {}; }}",
+            self.predict_ok_expr(decision, "__d")
+        ));
+        w.line(&format!(
+            "return Err(self.nv_err(i, {dset}, \"no viable alternative for rule {rule_name}\"));"
+        ));
         w.close("}");
     }
 
@@ -1108,6 +1222,12 @@ impl<'a> ParserGen<'a> {
     /// coverage, routed through `cov_stop` (which records the path walked
     /// so far and hands `alt` back).
     fn predict_ok(&self, decision: usize, alt: u16) -> String {
+        self.predict_ok_expr(decision, &alt.to_string())
+    }
+
+    /// [`ParserGen::predict_ok`] for a runtime alternative expression
+    /// (the table-driven predictors read `alt` out of a side table).
+    fn predict_ok_expr(&self, decision: usize, alt: &str) -> String {
         if self.coverage {
             format!("Ok(self.cov_stop({decision}, {alt}, i as u64, __bt, __spec))")
         } else {
@@ -1161,6 +1281,19 @@ impl<'a> ParserGen<'a> {
         rule_name: &str,
         dset: usize,
     ) {
+        self.emit_state_preds(w, st, decision);
+        if let Some(alt) = st.default_alt {
+            w.line(&format!("return {};", self.predict_ok(decision, alt)));
+        } else {
+            w.line(&format!(
+                "return Err(self.nv_err(i, {dset}, \"no viable alternative for rule {rule_name}\"));"
+            ));
+        }
+    }
+
+    /// Emits the predicate transitions of one DFA state, in evaluation
+    /// order (shared by the unrolled and table-driven predictors).
+    fn emit_state_preds(&self, w: &mut CodeWriter, st: &DfaState, decision: usize) {
         for &(pred, alt) in &st.preds {
             let ok = self.predict_ok(decision, alt);
             match pred {
@@ -1195,13 +1328,6 @@ impl<'a> ParserGen<'a> {
                     }
                 }
             }
-        }
-        if let Some(alt) = st.default_alt {
-            w.line(&format!("return {};", self.predict_ok(decision, alt)));
-        } else {
-            w.line(&format!(
-                "return Err(self.nv_err(i, {dset}, \"no viable alternative for rule {rule_name}\"));"
-            ));
         }
     }
 }

@@ -11,13 +11,15 @@
 //!   the LL(1) fallback.
 
 use crate::atn::{Atn, AtnEdge, Decision, DecisionId};
+use crate::compiled::CompiledTables;
 use crate::config::{Config, PredSource, StackArena, StackId};
 use crate::dfa::{DfaState, DfaStateId, LookaheadDfa};
+use crate::fxhash::FxHashMap;
 use crate::metrics::{DecisionMetrics, FallbackReason};
 use crate::recovery::RecoverySets;
 use llstar_grammar::Grammar;
 use llstar_lexer::TokenType;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -80,6 +82,11 @@ pub struct GrammarAnalysis {
     /// recomputed from the ATN on every construction path (including
     /// cache loads — like the ATN itself, they are never serialized).
     pub recovery: RecoverySets,
+    /// Compiled prediction tables (token equivalence classes + dense or
+    /// row-displaced transition tables), lowered from the decision DFAs
+    /// on every construction path — including cache loads — and never
+    /// serialized, like [`RecoverySets`].
+    pub tables: CompiledTables,
     /// Wall-clock time spent analyzing (grammar → DFAs). For cache loads
     /// this is the deserialization time, not a subset-construction time.
     pub elapsed: Duration,
@@ -176,16 +183,18 @@ pub fn analyze_with(grammar: &Grammar, options: &AnalysisOptions) -> GrammarAnal
     let start = Instant::now();
     let atn = Atn::from_grammar(grammar);
     let threads = effective_threads(options.threads, atn.decisions.len());
-    let decisions = if threads <= 1 {
+    let decisions: Vec<DecisionAnalysis> = if threads <= 1 {
         atn.decisions.iter().map(|d| analyze_decision(grammar, &atn, d, options)).collect()
     } else {
         analyze_decisions_parallel(grammar, &atn, options, threads)
     };
     let recovery = RecoverySets::compute(grammar, &atn);
+    let tables = CompiledTables::lower(grammar.vocab.len(), decisions.iter().map(|d| &d.dfa));
     GrammarAnalysis {
         atn,
         decisions,
         recovery,
+        tables,
         elapsed: start.elapsed(),
         from_cache: false,
         options: options.clone(),
@@ -204,11 +213,14 @@ fn effective_threads(requested: usize, decisions: usize) -> usize {
 }
 
 /// Fans the per-decision subset constructions out over `threads` scoped
-/// workers. Decisions are claimed from a shared atomic cursor (cheap
-/// dynamic load balancing: decision costs vary wildly), and every result
-/// is written back into its [`DecisionId`] slot, so the assembled vector
-/// — and therefore `serialize_analysis` output and warning order — is
-/// byte-identical to the sequential path.
+/// workers. Decisions are claimed from a shared atomic cursor over a
+/// **largest-first** schedule (see [`estimate_decision_work`]): handing
+/// the most expensive decisions out first keeps a skewed grammar's one
+/// giant decision from landing last and serializing the tail of the run.
+/// Every result is written back into its [`DecisionId`] slot, so the
+/// assembled vector — and therefore `serialize_analysis` output and
+/// warning order — is byte-identical to the sequential path regardless
+/// of claim order.
 fn analyze_decisions_parallel(
     grammar: &Grammar,
     atn: &Atn,
@@ -216,6 +228,11 @@ fn analyze_decisions_parallel(
     threads: usize,
 ) -> Vec<DecisionAnalysis> {
     let n = atn.decisions.len();
+    // Largest estimated work first; ties broken by DecisionId so the
+    // schedule itself is deterministic.
+    let mut order: Vec<usize> = (0..n).collect();
+    let work: Vec<usize> = (0..n).map(|i| estimate_decision_work(atn, &atn.decisions[i])).collect();
+    order.sort_by(|&a, &b| work[b].cmp(&work[a]).then(a.cmp(&b)));
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
@@ -223,10 +240,11 @@ fn analyze_decisions_parallel(
                 scope.spawn(|| {
                     let mut local: Vec<(usize, DecisionAnalysis)> = Vec::new();
                     loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                        if slot >= n {
                             break;
                         }
+                        let i = order[slot];
                         let d = &atn.decisions[i];
                         local.push((i, analyze_decision(grammar, atn, d, options)));
                     }
@@ -242,6 +260,36 @@ fn analyze_decisions_parallel(
         }
         slots.into_iter().map(|s| s.expect("every decision is claimed exactly once")).collect()
     })
+}
+
+/// Cheap proxy for a decision's subset-construction cost: the number of
+/// ATN states reachable from the decision state, following `Rule` edges
+/// into both the callee's submachine and the local follow state (the two
+/// places closure goes). A BFS over the ATN is a few microseconds even
+/// for large grammars — negligible next to the constructions it orders.
+fn estimate_decision_work(atn: &Atn, decision: &Decision) -> usize {
+    let mut seen = vec![false; atn.states.len()];
+    let mut queue = vec![decision.state];
+    seen[decision.state] = true;
+    let mut count = 0usize;
+    while let Some(s) = queue.pop() {
+        count += 1;
+        for (edge, target) in &atn.states[s].edges {
+            let mut visit = |t: crate::atn::AtnStateId| {
+                if !seen[t] {
+                    seen[t] = true;
+                    queue.push(t);
+                }
+            };
+            if let AtnEdge::Rule { rule, follow } = edge {
+                visit(atn.rule_entry[rule.index()]);
+                visit(*follow);
+            } else {
+                visit(*target);
+            }
+        }
+    }
+    count
 }
 
 /// Analyzes a single decision, falling back to LL(1) on a
@@ -361,9 +409,9 @@ struct DfaBuilder<'a> {
     /// mode the lookahead depth joins the key: merging states across
     /// depths would close cycles and silently reintroduce unbounded
     /// lookahead.
-    interned: HashMap<(Vec<Config>, u32), DfaStateId>,
+    interned: FxHashMap<(Vec<Config>, u32), DfaStateId>,
     /// One shared accept state per alternative (the paper's `f_i`).
-    accept_states: HashMap<u16, DfaStateId>,
+    accept_states: FxHashMap<u16, DfaStateId>,
     /// Configs per live (expandable) DFA state.
     state_configs: Vec<Option<Vec<Config>>>,
     state_depth: Vec<u32>,
@@ -389,8 +437,8 @@ impl<'a> DfaBuilder<'a> {
             abort_on_multi_recursion,
             stacks: StackArena::new(),
             dfa: LookaheadDfa::new(decision.id),
-            interned: HashMap::new(),
-            accept_states: HashMap::new(),
+            interned: FxHashMap::default(),
+            accept_states: FxHashMap::default(),
             state_configs: vec![None],
             state_depth: vec![0],
             warnings: Vec::new(),

@@ -6,8 +6,8 @@
 //! follows Definition 6 (equal, one empty, or one a suffix of the other).
 
 use crate::atn::AtnStateId;
+use crate::fxhash::FxHashMap;
 use llstar_grammar::{PredId, SynPredId};
-use std::collections::HashMap;
 
 /// An interned call stack. `StackId::EMPTY` is the empty stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -39,7 +39,7 @@ impl StackId {
 pub struct StackArena {
     /// `nodes[id-1] = (top, rest)`; id 0 is the empty stack.
     nodes: Vec<(AtnStateId, StackId)>,
-    intern: HashMap<(AtnStateId, StackId), StackId>,
+    intern: FxHashMap<(AtnStateId, StackId), StackId>,
 }
 
 impl StackArena {

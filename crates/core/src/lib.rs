@@ -36,9 +36,11 @@
 pub mod analysis;
 pub mod atn;
 pub mod cache;
+pub mod compiled;
 pub mod config;
 pub mod coverage;
 pub mod dfa;
+pub mod fxhash;
 pub mod json;
 pub mod metrics;
 pub mod recovery;
@@ -53,9 +55,13 @@ pub use atn::{Atn, AtnEdge, AtnState, AtnStateId, Decision, DecisionId, Decision
 pub use cache::{
     analyze_cached, analyze_cached_metered, analyze_cached_with, cache_path, CacheMiss, CacheStatus,
 };
+pub use compiled::{
+    CompiledDfa, CompiledTables, NextTable, TokenClasses, DENSE_CELL_BUDGET, NO_ALT, NO_TARGET,
+};
 pub use config::{Config, PredSource, StackArena, StackId};
 pub use coverage::{CoverageMap, DecisionCoverage};
 pub use dfa::{DecisionClass, DfaState, DfaStateId, LookaheadDfa};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use json::Json;
 pub use metrics::{AnalysisRecord, CacheMetrics, DecisionMetrics, FallbackReason};
 pub use recovery::{RecoverySets, TokenSet};

@@ -451,10 +451,18 @@ pub fn deserialize_analysis(
         });
     }
     let recovery = crate::recovery::RecoverySets::compute(grammar, &atn);
+    // Like the recovery sets, compiled prediction tables are derived
+    // data: relowered from the deserialized DFAs so cache loads carry
+    // them without widening the serialized format.
+    let tables = crate::compiled::CompiledTables::lower(
+        grammar.vocab.len(),
+        decisions.iter().map(|d| &d.dfa),
+    );
     Ok(GrammarAnalysis {
         atn,
         decisions,
         recovery,
+        tables,
         elapsed: Duration::ZERO,
         from_cache: true,
         options,
@@ -518,6 +526,24 @@ mod tests {
         let b = deserialize_analysis(&g, &text).unwrap();
         for (da, db) in a.decisions.iter().zip(&b.decisions) {
             assert_eq!(da.dfa.classify(), db.dfa.classify());
+        }
+    }
+
+    #[test]
+    fn loaded_analysis_carries_compiled_tables() {
+        let g = grammar();
+        let a = analyze(&g);
+        let text = serialize_analysis(&g, &a);
+        let b = deserialize_analysis(&g, &text).unwrap();
+        assert!(b.tables.enabled(), "cache loads must relower prediction tables");
+        assert_eq!(a.tables.classes(), b.tables.classes());
+        assert_eq!(a.tables.dfas().len(), b.tables.dfas().len());
+        for (ta, tb) in a.tables.dfas().iter().zip(b.tables.dfas()) {
+            assert_eq!(ta.num_states, tb.num_states);
+            assert_eq!(ta.table, tb.table);
+            assert_eq!(ta.accept, tb.accept);
+            assert_eq!(ta.default_alt, tb.default_alt);
+            assert_eq!(ta.preds, tb.preds);
         }
     }
 

@@ -35,7 +35,6 @@
 
 use llstar_grammar::{Alt, Block, Ebnf, Element, Grammar, RuleId};
 use llstar_lexer::{Token, TokenType};
-use std::collections::HashMap;
 use std::fmt;
 
 /// A packrat parse failure at the deepest token reached.
@@ -100,7 +99,10 @@ pub struct PackratParser<'g, H: PackratHooks = AllTrue> {
     grammar: &'g Grammar,
     tokens: Vec<Token>,
     pos: usize,
-    memo: HashMap<(RuleId, usize), Memo>,
+    /// Flat memo table: `memo[rule][pos]`, rows lazily sized to the
+    /// input. O(1) per probe, no hashing, allocations reused across
+    /// backtracking (and across parses — see [`PackratParser::recognize`]).
+    memo: Vec<Vec<Option<Memo>>>,
     memoize: bool,
     stats: PackratStats,
     deepest: usize,
@@ -132,7 +134,7 @@ impl<'g, H: PackratHooks> PackratParser<'g, H> {
             grammar,
             tokens,
             pos: 0,
-            memo: HashMap::new(),
+            memo: vec![Vec::new(); grammar.rules.len()],
             memoize: true,
             stats: PackratStats::default(),
             deepest: 0,
@@ -172,7 +174,10 @@ impl<'g, H: PackratHooks> PackratParser<'g, H> {
             .rule_id(rule_name)
             .unwrap_or_else(|| panic!("unknown start rule {rule_name:?}"));
         self.pos = 0;
-        self.memo.clear();
+        // Blank the rows in place: the buffers stay warm for re-parses.
+        for row in &mut self.memo {
+            row.clear();
+        }
         self.stats = PackratStats::default();
         self.deepest = 0;
         if self.parse_rule(rule) && self.la().is_eof() {
@@ -204,13 +209,13 @@ impl<'g, H: PackratHooks> PackratParser<'g, H> {
         if !self.burn_fuel() {
             return false;
         }
-        let key = (rule, self.pos);
+        let start = self.pos;
         if self.memoize {
-            if let Some(m) = self.memo.get(&key) {
+            if let Some(m) = self.memo[rule.index()].get(start).copied().flatten() {
                 self.stats.memo_hits += 1;
                 return match m {
                     Memo::Success(stop) => {
-                        self.pos = *stop;
+                        self.pos = stop;
                         true
                     }
                     Memo::Failure => false,
@@ -222,7 +227,11 @@ impl<'g, H: PackratHooks> PackratParser<'g, H> {
         if self.memoize {
             self.stats.memo_entries += 1;
             let entry = if ok { Memo::Success(self.pos) } else { Memo::Failure };
-            self.memo.insert(key, entry);
+            let row = &mut self.memo[rule.index()];
+            if row.len() <= start {
+                row.resize(start + 1, None);
+            }
+            row[start] = Some(entry);
         }
         ok
     }

@@ -16,25 +16,50 @@ use crate::stats::ParseStats;
 use crate::stream::TokenStream;
 use crate::trace::{MemoKind, TraceEvent, TraceSink};
 use crate::tree::ParseTree;
-use llstar_core::{Atn, AtnEdge, AtnStateId, DecisionId, GrammarAnalysis, PredSource, StateKind};
+use llstar_core::{
+    Atn, AtnEdge, AtnStateId, DecisionId, GrammarAnalysis, PredSource, StateKind, NO_TARGET,
+};
 use llstar_grammar::{Grammar, RuleId, SynPredId};
 use llstar_lexer::{Token, TokenType};
-use std::collections::HashMap;
-
-/// Memoization key: a rule or a syntactic-predicate fragment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum MemoKey {
-    Rule(RuleId),
-    SynPred(SynPredId),
-}
 
 /// Memoized outcome of a speculative sub-parse at a position.
-#[derive(Debug, Clone)]
-enum MemoResult {
+///
+/// Memo storage is a flat table: one row per rule (or syntactic
+/// predicate), indexed by token position — O(1) lookups with no hashing,
+/// and the rows' allocations are reused across speculation.
+#[derive(Debug, Clone, Default)]
+enum MemoEntry {
+    /// Nothing memoized at this position.
+    #[default]
+    Vacant,
     /// Parsed successfully, stopping at this token index.
     Success(usize),
     /// Failed with this error.
     Failure(ParseError),
+}
+
+/// Flat packrat memo rows, indexed by `row_id × token position`.
+#[derive(Debug, Default)]
+struct MemoTable {
+    rows: Vec<Vec<MemoEntry>>,
+}
+
+impl MemoTable {
+    fn new(rows: usize) -> Self {
+        MemoTable { rows: vec![Vec::new(); rows] }
+    }
+
+    fn get(&self, row: usize, pos: usize) -> &MemoEntry {
+        self.rows[row].get(pos).unwrap_or(&MemoEntry::Vacant)
+    }
+
+    fn set(&mut self, row: usize, pos: usize, entry: MemoEntry) {
+        let row = &mut self.rows[row];
+        if row.len() <= pos {
+            row.resize(pos + 1, MemoEntry::Vacant);
+        }
+        row[pos] = entry;
+    }
 }
 
 /// Recovery-mode state: the pluggable strategy plus the errors recorded
@@ -78,7 +103,8 @@ pub struct Parser<'g, H: Hooks> {
     tokens: TokenStream,
     hooks: H,
     stats: ParseStats,
-    memo: HashMap<(MemoKey, usize), MemoResult>,
+    memo_rules: MemoTable,
+    memo_preds: MemoTable,
     speculating: u32,
     furthest_error: Option<ParseError>,
     memoize: bool,
@@ -92,6 +118,11 @@ pub struct Parser<'g, H: Hooks> {
     /// was called; timing never enters the trace stream or coverage
     /// maps, which must stay byte-deterministic.
     timing: Option<Vec<u64>>,
+    /// Predict through the analysis's compiled tables (dense/row-displaced
+    /// dispatch) instead of scanning `DfaState::edges`. On by default;
+    /// both paths are byte-identical (see `tests/prediction_parity`), and
+    /// the linear path remains as the fallback when tables are disabled.
+    compiled_dispatch: bool,
 }
 
 impl<'g, H: Hooks> Parser<'g, H> {
@@ -110,7 +141,8 @@ impl<'g, H: Hooks> Parser<'g, H> {
             tokens,
             hooks,
             stats: ParseStats::new(decision_count),
-            memo: HashMap::new(),
+            memo_rules: MemoTable::new(grammar.rules.len()),
+            memo_preds: MemoTable::new(grammar.synpreds.len()),
             speculating: 0,
             furthest_error: None,
             memoize: grammar.options.memoize,
@@ -118,7 +150,15 @@ impl<'g, H: Hooks> Parser<'g, H> {
             recovery: None,
             follow_stack: Vec::new(),
             timing: None,
+            compiled_dispatch: true,
         }
+    }
+
+    /// Selects the prediction dispatch: compiled tables (default) or the
+    /// linear edge scan. Exposed so the parity suite can run both paths;
+    /// output is byte-identical either way.
+    pub fn set_compiled_dispatch(&mut self, compiled: bool) {
+        self.compiled_dispatch = compiled;
     }
 
     /// Starts accumulating per-decision prediction wall-clock, readable
@@ -337,21 +377,22 @@ impl<'g, H: Hooks> Parser<'g, H> {
         build: bool,
     ) -> Result<Option<ParseTree>, ParseError> {
         let start = self.tokens.index();
-        let key = (MemoKey::Rule(rule), start);
         if self.speculating > 0 && self.memoize {
-            if let Some(m) = self.memo.get(&key).cloned() {
+            let m = self.memo_rules.get(rule.index(), start).clone();
+            if !matches!(m, MemoEntry::Vacant) {
                 self.emit(TraceEvent::MemoHit {
                     kind: MemoKind::Rule,
                     id: rule.index() as u32,
                     token_index: start,
-                    success: matches!(m, MemoResult::Success(_)),
+                    success: matches!(m, MemoEntry::Success(_)),
                 });
                 return match m {
-                    MemoResult::Success(stop) => {
+                    MemoEntry::Success(stop) => {
                         self.tokens.seek(stop);
                         Ok(None)
                     }
-                    MemoResult::Failure(e) => Err(e),
+                    MemoEntry::Failure(e) => Err(e),
+                    MemoEntry::Vacant => unreachable!("vacant entries fall through"),
                 };
             }
         }
@@ -370,8 +411,8 @@ impl<'g, H: Hooks> Parser<'g, H> {
         self.emit(exit);
         if self.speculating > 0 && self.memoize {
             let memo_value = match &result {
-                Ok(_) => MemoResult::Success(self.tokens.index()),
-                Err(e) => MemoResult::Failure(e.clone()),
+                Ok(_) => MemoEntry::Success(self.tokens.index()),
+                Err(e) => MemoEntry::Failure(e.clone()),
             };
             self.emit(TraceEvent::MemoWrite {
                 kind: MemoKind::Rule,
@@ -379,7 +420,7 @@ impl<'g, H: Hooks> Parser<'g, H> {
                 token_index: start,
                 success: result.is_ok(),
             });
-            self.memo.insert(key, memo_value);
+            self.memo_rules.set(rule.index(), start, memo_value);
         }
         result.map(|children| {
             build.then(|| {
@@ -556,8 +597,21 @@ impl<'g, H: Hooks> Parser<'g, H> {
 
     /// Predicts an alternative at a decision by simulating its lookahead
     /// DFA over the remaining input (Figure 5).
+    ///
+    /// Dispatch normally runs through the grammar's [`CompiledTables`]
+    /// (class-mapped array indexing); the linear `DfaState::target` scan
+    /// remains both as the fallback when lowering is disabled and as the
+    /// parity baseline. The two paths visit the same states in the same
+    /// order and emit the same events, byte for byte.
+    ///
+    /// [`CompiledTables`]: llstar_core::CompiledTables
     fn predict(&mut self, decision: DecisionId) -> Result<u16, ParseError> {
-        let dfa = &self.analysis.decisions[decision.index()].dfa;
+        // `self.analysis` is a `&'g` field; copying it out unties the
+        // table borrows from `&mut self`.
+        let analysis = self.analysis;
+        let dfa = &analysis.decisions[decision.index()].dfa;
+        let compiled =
+            if self.compiled_dispatch { analysis.tables.get(decision.index()) } else { None };
         let start_index = self.tokens.index();
         // The DFA path is only materialized when a sink is listening; the
         // stats fold doesn't need it.
@@ -569,12 +623,22 @@ impl<'g, H: Hooks> Parser<'g, H> {
         let mut backtracked = false;
         let mut deepest_spec: u64 = 0;
         let alt = loop {
-            let st = &dfa.states[cur];
-            if let Some(alt) = st.accept {
+            let accept = match compiled {
+                Some((_, table)) => table.accept_alt(cur),
+                None => dfa.states[cur].accept,
+            };
+            if let Some(alt) = accept {
                 break alt;
             }
             let next = self.tokens.la(depth as usize + 1);
-            if let Some(target) = st.target(next) {
+            let target = match compiled {
+                Some((classes, table)) => match table.next(cur, classes.class_of(next)) {
+                    NO_TARGET => None,
+                    t => Some(t as usize),
+                },
+                None => dfa.states[cur].target(next),
+            };
+            if let Some(target) = target {
                 depth += 1;
                 cur = target;
                 if tracing {
@@ -582,9 +646,11 @@ impl<'g, H: Hooks> Parser<'g, H> {
                 }
                 continue;
             }
-            if !st.preds.is_empty() || st.default_alt.is_some() {
-                let preds = st.preds.clone();
-                let default_alt = st.default_alt;
+            let (preds, default_alt) = match compiled {
+                Some((_, table)) => (table.preds_of(cur).to_vec(), table.default_of(cur)),
+                None => (dfa.states[cur].preds.clone(), dfa.states[cur].default_alt),
+            };
+            if !preds.is_empty() || default_alt.is_some() {
                 let mut chosen = None;
                 for (pred, alt) in preds {
                     match pred {
@@ -932,18 +998,18 @@ impl<'g, H: Hooks> Parser<'g, H> {
     /// `(matched, tokens consumed)`. Rewinds the stream.
     fn eval_synpred(&mut self, sp: SynPredId) -> (bool, u64) {
         let start = self.tokens.index();
-        let key = (MemoKey::SynPred(sp), start);
         if self.memoize {
-            if let Some(m) = self.memo.get(&key).cloned() {
+            let m = self.memo_preds.get(sp.0 as usize, start).clone();
+            if !matches!(m, MemoEntry::Vacant) {
                 self.emit(TraceEvent::MemoHit {
                     kind: MemoKind::SynPred,
                     id: sp.0,
                     token_index: start,
-                    success: matches!(m, MemoResult::Success(_)),
+                    success: matches!(m, MemoEntry::Success(_)),
                 });
                 return match m {
-                    MemoResult::Success(stop) => (true, (stop - start) as u64),
-                    MemoResult::Failure(_) => (false, 0),
+                    MemoEntry::Success(stop) => (true, (stop - start) as u64),
+                    _ => (false, 0),
                 };
             }
         }
@@ -957,8 +1023,8 @@ impl<'g, H: Hooks> Parser<'g, H> {
         self.tokens.seek(start);
         if self.memoize {
             let value = match &result {
-                Ok(_) => MemoResult::Success(start + consumed as usize),
-                Err(e) => MemoResult::Failure(e.clone()),
+                Ok(_) => MemoEntry::Success(start + consumed as usize),
+                Err(e) => MemoEntry::Failure(e.clone()),
             };
             self.emit(TraceEvent::MemoWrite {
                 kind: MemoKind::SynPred,
@@ -966,7 +1032,7 @@ impl<'g, H: Hooks> Parser<'g, H> {
                 token_index: start,
                 success: result.is_ok(),
             });
-            self.memo.insert(key, value);
+            self.memo_preds.set(sp.0 as usize, start, value);
         }
         self.emit(TraceEvent::BacktrackExit {
             synpred: sp.0,

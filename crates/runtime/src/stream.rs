@@ -98,18 +98,24 @@ impl TokenStream {
     }
 
     /// Ensures at least `n` tokens are buffered (or the stream has
-    /// finished with EOF).
+    /// finished with EOF). The source match is resolved once up front —
+    /// the pull loop itself fills incrementally without re-entering it
+    /// per token.
     fn fill_to(&mut self, n: usize) {
-        while !self.finished && self.tokens.len() < n {
-            let Source::Lazy(pull) = &mut self.source else {
-                unreachable!("unfinished streams are lazy")
-            };
+        if self.finished || self.tokens.len() >= n {
+            return;
+        }
+        let Source::Lazy(pull) = &mut self.source else {
+            unreachable!("unfinished streams are lazy")
+        };
+        while self.tokens.len() < n {
             match pull() {
                 Some(tok) => {
                     let eof = tok.ttype.is_eof();
                     self.tokens.push(tok);
                     if eof {
                         self.finished = true;
+                        break;
                     }
                 }
                 None => {
@@ -117,6 +123,7 @@ impl TokenStream {
                     let line = self.tokens.last().map_or(1, |t| t.line);
                     self.tokens.push(Token::eof(offset, line, 1));
                     self.finished = true;
+                    break;
                 }
             }
         }
@@ -124,15 +131,23 @@ impl TokenStream {
 
     /// The token type `i` tokens ahead (1-based: `la(1)` is the current
     /// token). Saturates at EOF.
+    #[inline]
     pub fn la(&mut self, i: usize) -> TokenType {
         self.lt(i).ttype
     }
 
     /// The token `i` ahead (1-based), saturating at EOF.
+    #[inline]
     pub fn lt(&mut self, i: usize) -> Token {
         debug_assert!(i >= 1, "lookahead is 1-based");
+        // Fast path: the position is already buffered (always true for a
+        // fully-lexed `Source::Complete` stream within bounds).
+        let pos = self.index + i - 1;
+        if pos < self.tokens.len() {
+            return self.tokens[pos];
+        }
         self.fill_to(self.index + i);
-        let pos = (self.index + i - 1).min(self.tokens.len() - 1);
+        let pos = pos.min(self.tokens.len() - 1);
         self.tokens[pos]
     }
 
@@ -323,5 +338,29 @@ mod tests {
     fn cloning_live_lazy_stream_panics() {
         let ts = TokenStream::from_source(|| None);
         let _ = ts.clone();
+    }
+
+    #[test]
+    fn fill_stops_pulling_at_eof() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let pulls = Rc::new(Cell::new(0usize));
+        let counter = pulls.clone();
+        let buffer = toks(2); // 2 tokens + EOF
+        let mut i = 0;
+        let mut ts = TokenStream::from_source(move || {
+            counter.set(counter.get() + 1);
+            let t = buffer.get(i).copied();
+            i += 1;
+            t
+        });
+        // Ask far past the end: the fill loop must stop at the EOF token
+        // instead of draining the source's `None` tail.
+        assert_eq!(ts.la(50), TokenType::EOF);
+        assert_eq!(pulls.get(), 3, "two tokens + the EOF pull, nothing after");
+        // Fully buffered now: further lookahead touches the source never.
+        assert_eq!(ts.la(99), TokenType::EOF);
+        assert_eq!(ts.la(1), TokenType(1));
+        assert_eq!(pulls.get(), 3);
     }
 }

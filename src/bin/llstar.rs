@@ -708,6 +708,16 @@ fn report(grammar: &Grammar, analysis: &GrammarAnalysis) {
         }
     }
     println!("decision classes: {fixed} fixed LL(k), {cyclic} cyclic, {backtrack} backtracking");
+    if let Some(classes) = analysis.tables.classes() {
+        let (dense, displaced, bytes) = analysis.tables.summary();
+        println!(
+            "compiled tables: {} token classes; {dense} dense, {displaced} row-displaced \
+             ({bytes} bytes)",
+            classes.num_classes()
+        );
+    } else {
+        println!("compiled tables: disabled (over 256 token classes); linear dispatch");
+    }
     if analysis.from_cache {
         println!("analysis loaded from cache; DFA construction skipped");
     } else if let Some(slowest) =

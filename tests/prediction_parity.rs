@@ -1,0 +1,251 @@
+//! Compiled-table prediction parity: routing the interpreter through the
+//! dense/row-displaced [`CompiledTables`] dispatch must be **byte
+//! identical** to the linear `DfaState::edges` scan — same parse trees,
+//! same `TraceEvent` JSONL stream (DFA paths included), same coverage
+//! JSON — over every suite grammar and its full corpus. Plus property
+//! tests: randomly generated DFAs round-trip through the lowering (the
+//! compiled tables agree with the linear scan on accept/default/pred
+//! behavior over random token strings, for both representations).
+//!
+//! [`CompiledTables`]: llstar::core::CompiledTables
+
+use llstar::core::{
+    analyze, CompiledDfa, GrammarAnalysis, TokenClasses, DENSE_CELL_BUDGET, NO_TARGET,
+};
+use llstar::grammar::{apply_peg_mode, parse_grammar, Grammar};
+use llstar::runtime::{CoverageSink, JsonlSink, NopHooks, Parser, TokenStream};
+use llstar_core::dfa::{DfaState, LookaheadDfa};
+use llstar_core::{DecisionId, PredSource};
+use llstar_grammar::SynPredId;
+use llstar_lexer::TokenType;
+use llstar_rng::Rng64;
+use std::path::{Path, PathBuf};
+
+const STEMS: &[&str] = &["calculator", "config", "json", "paper_section2"];
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// Every `*.txt` under `grammars/corpus/<stem>/` plus the smoke input,
+/// sorted for determinism.
+fn input_files(stem: &str) -> Vec<PathBuf> {
+    let dir = repo_path(&format!("grammars/corpus/{stem}"));
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {dir:?}: {e}"))
+        .map(|entry| entry.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "txt"))
+        .collect();
+    files.push(repo_path(&format!("grammars/smoke/{stem}.txt")));
+    files.sort();
+    assert!(files.len() > 1, "thin corpus for {stem}");
+    files
+}
+
+fn load_grammar(stem: &str) -> (Grammar, GrammarAnalysis) {
+    let source = std::fs::read_to_string(repo_path(&format!("grammars/{stem}.g")))
+        .expect("grammar file readable");
+    let grammar = apply_peg_mode(parse_grammar(&source).expect("grammar parses"));
+    let analysis = analyze(&grammar);
+    (grammar, analysis)
+}
+
+/// Parses every input with the chosen dispatch, returning the rendered
+/// trees, the full trace JSONL, and the corpus coverage JSON.
+fn run_corpus(
+    g: &Grammar,
+    a: &GrammarAnalysis,
+    files: &[PathBuf],
+    compiled: bool,
+) -> (String, String, String) {
+    let start = g.start_rule().name.clone();
+    let scanner = g.lexer.build().expect("lexer builds");
+    let mut trees = String::new();
+    let mut trace_sink = JsonlSink::new(Vec::<u8>::new());
+    let mut cov_sink = CoverageSink::new(g, a);
+    for file in files {
+        let input = std::fs::read_to_string(file).expect("corpus file readable");
+        // Trace pass.
+        let tokens = scanner.tokenize(&input).expect("corpus input lexes");
+        let mut parser = Parser::new(g, a, TokenStream::new(tokens.clone()), NopHooks);
+        parser.set_compiled_dispatch(compiled);
+        parser.set_trace_sink(&mut trace_sink);
+        let tree = parser
+            .parse_to_eof(&start)
+            .unwrap_or_else(|e| panic!("parse failed on {file:?} (compiled={compiled}): {e}"));
+        trees.push_str(&format!("{tree:?}\n"));
+        // Coverage pass (separate parse: one sink slot per parser).
+        let mut parser = Parser::new(g, a, TokenStream::new(tokens), NopHooks);
+        parser.set_compiled_dispatch(compiled);
+        parser.set_trace_sink(&mut cov_sink);
+        parser.parse_to_eof(&start).expect("coverage pass parses");
+        cov_sink.finish_file();
+    }
+    let (bytes, err) = trace_sink.into_inner();
+    assert!(err.is_none(), "trace sink I/O error");
+    let trace = String::from_utf8(bytes).expect("trace is utf8");
+    (trees, trace, cov_sink.into_map().to_json())
+}
+
+#[test]
+fn compiled_dispatch_is_byte_identical_over_the_corpus() {
+    for stem in STEMS {
+        let (g, a) = load_grammar(stem);
+        assert!(a.tables.enabled(), "{stem}: suite grammars must lower");
+        let files = input_files(stem);
+        let (trees_c, trace_c, cov_c) = run_corpus(&g, &a, &files, true);
+        let (trees_l, trace_l, cov_l) = run_corpus(&g, &a, &files, false);
+        assert_eq!(trees_c, trees_l, "{stem}: parse trees diverged");
+        assert_eq!(trace_c, trace_l, "{stem}: trace streams diverged");
+        assert_eq!(cov_c, cov_l, "{stem}: coverage JSON diverged");
+        assert!(!trace_c.is_empty() && trace_c.contains("predict-stop"));
+    }
+}
+
+#[test]
+fn error_positions_match_across_dispatch_modes() {
+    // No-viable paths exercise the pred/default fallback ordering; the
+    // reported errors must match exactly too.
+    for (stem, junk) in
+        [("calculator", "1 + + 2"), ("json", "{\"a\": }"), ("config", "[section\nkey =")]
+    {
+        let (g, a) = load_grammar(stem);
+        let start = g.start_rule().name.clone();
+        let scanner = g.lexer.build().expect("lexer builds");
+        let Ok(tokens) = scanner.tokenize(junk) else { continue };
+        let mut errors = Vec::new();
+        for compiled in [true, false] {
+            let mut parser = Parser::new(&g, &a, TokenStream::new(tokens.clone()), NopHooks);
+            parser.set_compiled_dispatch(compiled);
+            let err = parser.parse_to_eof(&start).expect_err("junk input must fail");
+            errors.push(format!("{err:?}"));
+        }
+        assert_eq!(errors[0], errors[1], "{stem}: errors diverged on {junk:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random-DFA lowering round-trip properties
+// ---------------------------------------------------------------------
+
+/// A random, structurally valid lookahead DFA: every state gets random
+/// token edges (deduplicated per token), and terminal shapes — accept,
+/// predicates, default — are sprinkled in.
+fn random_dfa(rng: &mut Rng64, vocab: usize) -> LookaheadDfa {
+    let num_states = rng.gen_range(1usize..=24);
+    let mut dfa = LookaheadDfa::new(DecisionId(0));
+    dfa.states.resize_with(num_states, DfaState::default);
+    for s in 0..num_states {
+        if rng.gen_bool(0.25) {
+            dfa.states[s].accept = Some(rng.gen_range(1u16..=4));
+            continue; // accept states need no edges
+        }
+        let fanout = rng.gen_range(0usize..=vocab.min(6));
+        for _ in 0..fanout {
+            let tok = TokenType(rng.gen_range(0u32..vocab as u32));
+            let target = rng.gen_range(0usize..num_states);
+            if dfa.states[s].edges.iter().all(|&(t, _)| t != tok) {
+                dfa.states[s].edges.push((tok, target));
+            }
+        }
+        if rng.gen_bool(0.2) {
+            let n_preds = rng.gen_range(1usize..=2);
+            for _ in 0..n_preds {
+                let alt = rng.gen_range(1u16..=4);
+                let sp = SynPredId(rng.gen_range(0u32..3));
+                let pred =
+                    if rng.gen_bool(0.5) { PredSource::Syn(sp) } else { PredSource::NotSyn(sp) };
+                dfa.states[s].preds.push((pred, alt));
+            }
+        }
+        if rng.gen_bool(0.3) {
+            dfa.states[s].default_alt = Some(rng.gen_range(1u16..=4));
+        }
+    }
+    dfa
+}
+
+/// Asserts `compiled` agrees with the linear scan of `dfa` at every
+/// state: accept/default/pred side tables, and the transition function
+/// over the whole vocabulary.
+fn assert_lowering_matches(dfa: &LookaheadDfa, classes: &TokenClasses, compiled: &CompiledDfa) {
+    for (s, st) in dfa.states.iter().enumerate() {
+        assert_eq!(compiled.accept_alt(s), st.accept, "accept of s{s}");
+        assert_eq!(compiled.default_of(s), st.default_alt, "default of s{s}");
+        assert_eq!(compiled.preds_of(s), st.preds.as_slice(), "preds of s{s}");
+        for t in 0..classes.map().len() as u32 {
+            let token = TokenType(t);
+            let linear = st.target(token).map(|x| x as u32).unwrap_or(NO_TARGET);
+            let lowered = compiled.next(s, classes.class_of(token));
+            assert_eq!(lowered, linear, "transition s{s} --t{t}-->");
+        }
+    }
+}
+
+/// Walks a random token string through the DFA with both dispatches and
+/// asserts the state sequences and terminal outcomes agree.
+fn walk_both(dfa: &LookaheadDfa, classes: &TokenClasses, compiled: &CompiledDfa, rng: &mut Rng64) {
+    let vocab = classes.map().len() as u32;
+    let mut cur = 0usize;
+    for _ in 0..64 {
+        let tok = TokenType(rng.gen_range(0u32..vocab));
+        let linear = dfa.states[cur].target(tok);
+        let lowered = match compiled.next(cur, classes.class_of(tok)) {
+            NO_TARGET => None,
+            t => Some(t as usize),
+        };
+        assert_eq!(lowered, linear, "walk diverged at s{cur} on t{}", tok.0);
+        match linear {
+            Some(next) if compiled.accept_alt(next).is_none() => cur = next,
+            Some(next) => {
+                assert_eq!(compiled.accept_alt(next), dfa.states[next].accept);
+                cur = 0; // restart at accept, like repeated predictions
+            }
+            None => cur = 0, // restart on a dead token
+        }
+    }
+}
+
+#[test]
+fn random_dfas_round_trip_through_lowering() {
+    let mut rng = Rng64::seed_from_u64(0xD15BA7C4);
+    for round in 0..200 {
+        let vocab = rng.gen_range(2usize..=40);
+        let dfa = random_dfa(&mut rng, vocab);
+        let classes = TokenClasses::compute(vocab, std::iter::once(&dfa))
+            .unwrap_or_else(|| panic!("round {round}: partition overflow"));
+        assert!(classes.num_classes() <= vocab.max(1));
+        // Both representations, not just the auto-chosen one.
+        let dense = CompiledDfa::lower_dense(&dfa, &classes);
+        assert!(!dense.is_row_displaced());
+        assert_lowering_matches(&dfa, &classes, &dense);
+        let displaced = CompiledDfa::lower_row_displaced(&dfa, &classes);
+        assert!(displaced.is_row_displaced());
+        assert_lowering_matches(&dfa, &classes, &displaced);
+        // The auto choice follows the size policy — dense within the
+        // cell budget, displacement past it only when it saves at least
+        // a quarter of the dense cells — and stays correct.
+        let auto = CompiledDfa::lower(&dfa, &classes);
+        assert_eq!(
+            auto.is_row_displaced(),
+            dense.table_cells() > DENSE_CELL_BUDGET
+                && displaced.table_cells() * 4 <= dense.table_cells() * 3,
+            "representation choice off policy"
+        );
+        walk_both(&dfa, &classes, &auto, &mut rng);
+    }
+}
+
+#[test]
+fn lowering_is_deterministic() {
+    let mut rng = Rng64::seed_from_u64(42);
+    let dfa = random_dfa(&mut rng, 16);
+    let classes = TokenClasses::compute(16, std::iter::once(&dfa)).expect("partition fits");
+    let a = CompiledDfa::lower(&dfa, &classes);
+    let b = CompiledDfa::lower(&dfa, &classes);
+    assert_eq!(a.table, b.table);
+    assert_eq!(a.accept, b.accept);
+    assert_eq!(a.default_alt, b.default_alt);
+    assert_eq!(a.preds, b.preds);
+    assert_eq!(TokenClasses::compute(16, std::iter::once(&dfa)).expect("partition fits"), classes);
+}
