@@ -1,0 +1,55 @@
+//! Gauntlet bench mode: tokens/sec, lookahead-depth distribution,
+//! backtrack rate, and memo footprint for every `grammar × engine` cell
+//! of the real-world grammar gauntlet — the paper's Tables 3–4
+//! reproduced over realistic grammars and MB-scale generated corpora.
+//!
+//! Appends schema-versioned `gauntlet` rows to `BENCH_analysis.json`
+//! (creating the file with the stream header when absent).
+//!
+//! Flags:
+//! - `--quick`: measure the 10 KB smoke corpus instead of the tier
+//!   selected by `LLSTAR_GAUNTLET_TIER` (default 1 MB) — CI smoke mode.
+//! - `--json PATH`: also write a standalone schema-versioned JSONL
+//!   stream (header + gauntlet rows) to `PATH`.
+
+use llstar_bench::gauntlet::GAUNTLET_BENCH_SEED;
+use llstar_bench::{format_gauntlet, gauntlet_all, gauntlet_jsonl};
+use llstar_suite::gauntlet::Tier;
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
+
+    let tier = if quick { Tier::Smoke } else { Tier::from_env() };
+    eprintln!("gauntlet: measuring {} corpora (seed {GAUNTLET_BENCH_SEED:#x})", tier.label());
+    let rows = gauntlet_all(tier, GAUNTLET_BENCH_SEED);
+    println!("{}", format_gauntlet(&rows));
+
+    let jsonl = gauntlet_jsonl(&rows);
+    if let Err(e) = append_rows("BENCH_analysis.json", &jsonl) {
+        eprintln!("warning: could not update BENCH_analysis.json: {e}");
+    } else {
+        eprintln!("appended {} gauntlet rows to BENCH_analysis.json", rows.len());
+    }
+    if let Some(path) = json_path {
+        let stream = llstar_bench::report::bench_stream_header() + &jsonl;
+        std::fs::write(&path, stream).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {} gauntlet rows to {path}", rows.len());
+    }
+}
+
+/// Appends `rows` to the bench JSONL, writing the schema header first
+/// when the file does not exist yet.
+fn append_rows(path: &str, rows: &str) -> std::io::Result<()> {
+    let fresh = !std::path::Path::new(path).exists();
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    if fresh {
+        file.write_all(llstar_bench::report::bench_stream_header().as_bytes())?;
+    }
+    file.write_all(rows.as_bytes())
+}

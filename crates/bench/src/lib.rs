@@ -9,10 +9,12 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod gauntlet;
 pub mod harness;
 pub mod report;
 
 pub use figures::{cyclic_figure, figure1, figure2, figure6, Figure};
+pub use gauntlet::{format_gauntlet, gauntlet_all, gauntlet_jsonl, gauntlet_run, GauntletRow};
 pub use harness::BenchGroup;
 pub use report::{
     can_backtrack_by_id, decision_classes, format_recovery, format_table1, format_table2,

@@ -593,4 +593,108 @@ mod tests {
         assert_eq!(dense + displaced, 2);
         assert!(bytes > 0);
     }
+
+    // -----------------------------------------------------------------
+    // Boundary regressions: the exact edges of the class-count limit,
+    // the dense-cell budget, and the ≥¼-saving displacement policy.
+    // -----------------------------------------------------------------
+
+    /// A hub DFA whose start state fans out on tokens `1..=k`, each to a
+    /// distinct accept state: tokens `1..=k` land in `k` distinct
+    /// classes, everything else shares one more, so `k + 1` classes.
+    fn fanout_dfa(k: usize) -> LookaheadDfa {
+        let mut dfa = LookaheadDfa::new(DecisionId(0));
+        dfa.states.resize_with(k + 1, DfaState::default);
+        for t in 1..=k {
+            dfa.states[0].edges.push((TokenType(t as u32), t));
+            dfa.states[t].accept = Some(1);
+        }
+        dfa
+    }
+
+    #[test]
+    fn exactly_256_classes_still_lower() {
+        // 255 fanout edges + the everything-else class = 256 classes,
+        // the last value a u8 class map can represent.
+        let dfa = fanout_dfa(255);
+        let classes = TokenClasses::compute(256, std::iter::once(&dfa))
+            .expect("256 classes must fit the u8 class map");
+        assert_eq!(classes.num_classes(), 256);
+        let tables = CompiledTables::lower(256, std::iter::once(&dfa));
+        assert!(tables.enabled(), "lowering must stay enabled at the 256-class boundary");
+        // Behaviour parity right at the boundary.
+        let (classes, compiled) = tables.get(0).unwrap();
+        for (s, st) in dfa.states.iter().enumerate() {
+            for t in 0..256u32 {
+                let token = TokenType(t);
+                let linear = st.target(token).map(|x| x as u32).unwrap_or(NO_TARGET);
+                assert_eq!(compiled.next(s, classes.class_of(token)), linear, "s{s} t{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn class_257_disables_lowering() {
+        // One more distinguishable token pushes the partition to 257
+        // classes — past the u8 map — so lowering must bail, not wrap.
+        let dfa = fanout_dfa(256);
+        assert!(TokenClasses::compute(257, std::iter::once(&dfa)).is_none());
+        assert!(!CompiledTables::lower(257, std::iter::once(&dfa)).enabled());
+    }
+
+    /// An `n`-state DFA whose first `k` states each carry a single edge
+    /// on token 1 (all to the same accept state): exactly 2 token
+    /// classes, so the dense table has `2n` cells, and row displacement
+    /// packs the `k` one-cell rows into `base(n) + 2 × (k + 1)` cells.
+    fn single_edge_dfa(n: usize, k: usize) -> LookaheadDfa {
+        assert!(k < n);
+        let mut dfa = LookaheadDfa::new(DecisionId(0));
+        dfa.states.resize_with(n, DfaState::default);
+        for s in 0..k {
+            dfa.states[s].edges.push((TokenType(1), n - 1));
+        }
+        dfa.states[n - 1].accept = Some(1);
+        dfa
+    }
+
+    #[test]
+    fn dense_table_exactly_at_budget_stays_dense() {
+        // 2048 states × 2 classes = 4096 cells = DENSE_CELL_BUDGET. The
+        // budget check is inclusive: exactly-at-budget tables stay dense
+        // even though displacement would save far more than a quarter.
+        let dfa = single_edge_dfa(2048, 40);
+        let classes = TokenClasses::compute(2, std::iter::once(&dfa)).unwrap();
+        assert_eq!(classes.num_classes(), 2);
+        let compiled = CompiledDfa::lower(&dfa, &classes);
+        assert_eq!(compiled.table_cells(), DENSE_CELL_BUDGET);
+        assert!(!compiled.is_row_displaced(), "at-budget tables must stay dense");
+        // One more state crosses the budget, and the (now considered)
+        // displaced form easily clears the ¼ saving.
+        let dfa = single_edge_dfa(2049, 40);
+        let compiled = CompiledDfa::lower(&dfa, &classes);
+        assert!(compiled.is_row_displaced(), "one cell past the budget must compress");
+    }
+
+    #[test]
+    fn quarter_saving_tie_takes_displacement() {
+        // Tie algebra: dense = 2n cells, displaced = n + 2(k + 1) cells,
+        // so "displaced × 4 == dense × 3" exactly when n = 4k + 4. With
+        // k = 600, n = 2404: dense = 4808 (over budget), displaced =
+        // 3606, and 3606 × 4 == 4808 × 3 == 14424 — the policy's `<=`
+        // must take displacement when the saving is exactly a quarter.
+        let (k, n) = (600, 2404);
+        let dfa = single_edge_dfa(n, k);
+        let classes = TokenClasses::compute(2, std::iter::once(&dfa)).unwrap();
+        let dense = CompiledDfa::lower_dense(&dfa, &classes);
+        let displaced = CompiledDfa::lower_row_displaced(&dfa, &classes);
+        assert_eq!(dense.table_cells(), 2 * n);
+        assert_eq!(displaced.table_cells(), n + 2 * (k + 1));
+        assert_eq!(displaced.table_cells() * 4, dense.table_cells() * 3, "tie as constructed");
+        assert!(CompiledDfa::lower(&dfa, &classes).is_row_displaced());
+        // One more occupied row breaks the tie the other way: the saving
+        // is now under a quarter, so the faster dense dispatch wins.
+        let dfa = single_edge_dfa(n, k + 1);
+        let classes = TokenClasses::compute(2, std::iter::once(&dfa)).unwrap();
+        assert!(!CompiledDfa::lower(&dfa, &classes).is_row_displaced());
+    }
 }

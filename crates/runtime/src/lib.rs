@@ -34,6 +34,7 @@ pub mod error;
 pub mod hooks;
 pub mod parser;
 pub mod recovery;
+pub mod session;
 pub mod stats;
 pub mod stream;
 pub mod trace;
@@ -49,6 +50,7 @@ pub use parser::{
     parse_text, parse_text_recovering, parse_text_recovering_traced, parse_text_traced, Parser,
 };
 pub use recovery::{BailErrorStrategy, DefaultErrorStrategy, ErrorStrategy, Repair, RepairContext};
+pub use session::{ParseSession, SessionError};
 pub use stats::{DecisionStats, ParseStats};
 pub use stream::TokenStream;
 pub use trace::{

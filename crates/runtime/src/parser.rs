@@ -60,6 +60,14 @@ impl MemoTable {
         }
         row[pos] = entry;
     }
+
+    /// Blanks every row in place; the allocations stay warm so a
+    /// re-parse fills them without reallocating.
+    fn clear(&mut self) {
+        for row in &mut self.rows {
+            row.clear();
+        }
+    }
 }
 
 /// Recovery-mode state: the pluggable strategy plus the errors recorded
@@ -151,6 +159,32 @@ impl<'g, H: Hooks> Parser<'g, H> {
             follow_stack: Vec::new(),
             timing: None,
             compiled_dispatch: true,
+        }
+    }
+
+    /// Rearms the parser for a fresh parse over `tokens`: clears all
+    /// per-parse state (stats, memo tables, speculation depth, recorded
+    /// errors, resync stack, decision timing) while keeping the grammar,
+    /// analysis, hooks, trace sink, and configuration — dispatch mode,
+    /// memoization, recovery strategy and error cap — exactly as set.
+    /// Memo-table row allocations stay warm, so a long-lived parser
+    /// re-parses many inputs without reallocating its tables. This is
+    /// the re-entrant entry point [`crate::ParseSession`], the gauntlet
+    /// oracle, and the benches drive.
+    pub fn reset(&mut self, tokens: TokenStream) {
+        self.tokens = tokens;
+        self.stats.reset();
+        self.memo_rules.clear();
+        self.memo_preds.clear();
+        self.speculating = 0;
+        self.furthest_error = None;
+        self.follow_stack.clear();
+        if let Some(r) = &mut self.recovery {
+            r.errors.clear();
+            r.in_error_mode = false;
+        }
+        if let Some(t) = &mut self.timing {
+            t.iter_mut().for_each(|slot| *slot = 0);
         }
     }
 

@@ -1,0 +1,169 @@
+//! Re-entrant parse sessions: build the scanner and parser once, then
+//! parse many inputs back to back. [`ParseSession`] keeps the lexer
+//! DFA, the parser's memo-table allocations, and all configuration
+//! (dispatch mode, memoization, recovery, trace sink) warm across
+//! inputs via [`Parser::reset`] — the entry point the gauntlet's
+//! differential oracle and the bench harness drive when they walk a
+//! corpus through one engine configuration.
+
+use crate::error::ParseError;
+use crate::hooks::Hooks;
+use crate::parser::Parser;
+use crate::stats::ParseStats;
+use crate::stream::TokenStream;
+use crate::tree::ParseTree;
+use llstar_core::GrammarAnalysis;
+use llstar_grammar::Grammar;
+use llstar_lexer::{LexBuildError, LexError, Scanner, Token};
+use std::fmt;
+
+/// A lex or parse failure from [`ParseSession::parse_to_eof`].
+#[derive(Debug)]
+pub enum SessionError {
+    /// The input failed to tokenize.
+    Lex(LexError),
+    /// The token stream failed to parse (or had trailing input).
+    Parse(ParseError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Lex(e) => write!(f, "lex error: {e}"),
+            SessionError::Parse(e) => write!(f, "parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// A long-lived parsing pipeline for one `(grammar, start rule)` pair:
+/// scanner built once, parser state recycled between inputs.
+pub struct ParseSession<'g, H: Hooks> {
+    scanner: Scanner,
+    parser: Parser<'g, H>,
+    start_rule: String,
+    parses: u64,
+}
+
+impl<'g, H: Hooks> ParseSession<'g, H> {
+    /// Builds the scanner and parser for `start_rule`.
+    ///
+    /// # Errors
+    /// Returns the lexer-construction error if the grammar's lexer
+    /// cannot be built.
+    ///
+    /// # Panics
+    /// Panics if `start_rule` is not a rule of the grammar (a caller
+    /// bug, matching [`Parser::parse`]).
+    pub fn new(
+        grammar: &'g Grammar,
+        analysis: &'g GrammarAnalysis,
+        start_rule: &str,
+        hooks: H,
+    ) -> Result<Self, LexBuildError> {
+        assert!(grammar.rule_by_name(start_rule).is_some(), "unknown start rule {start_rule:?}");
+        let scanner = grammar.lexer.build()?;
+        let parser =
+            Parser::new(grammar, analysis, TokenStream::new(vec![Token::eof(0, 1, 1)]), hooks);
+        Ok(ParseSession { scanner, parser, start_rule: start_rule.to_string(), parses: 0 })
+    }
+
+    /// Lexes `source` and parses it to EOF, recycling the parser state
+    /// from the previous input.
+    ///
+    /// # Errors
+    /// Returns [`SessionError::Lex`] when tokenization fails and
+    /// [`SessionError::Parse`] when parsing does.
+    pub fn parse_to_eof(&mut self, source: &str) -> Result<ParseTree, SessionError> {
+        let tokens = self.scanner.tokenize(source).map_err(SessionError::Lex)?;
+        self.parser.reset(TokenStream::new(tokens));
+        self.parses += 1;
+        let start = self.start_rule.clone();
+        self.parser.parse_to_eof(&start).map_err(SessionError::Parse)
+    }
+
+    /// The underlying parser, for configuration (dispatch mode,
+    /// memoization, recovery, trace sink) and post-parse inspection.
+    pub fn parser(&mut self) -> &mut Parser<'g, H> {
+        &mut self.parser
+    }
+
+    /// Statistics from the most recent parse.
+    pub fn stats(&self) -> &ParseStats {
+        self.parser.stats()
+    }
+
+    /// How many inputs this session has parsed.
+    pub fn parses(&self) -> u64 {
+        self.parses
+    }
+}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NopHooks;
+    use llstar_core::analyze;
+    use llstar_grammar::{apply_peg_mode, parse_grammar};
+
+    const DEMO: &str = r#"
+    grammar Demo;
+    s : stmt* EOF ;
+    stmt : ID '=' expr ';' ;
+    expr : term ('+' term)* ;
+    term : ID | INT ;
+    ID : [a-z]+ ;
+    INT : [0-9]+ ;
+    WS : [ \t\r\n]+ -> skip ;
+    "#;
+
+    fn setup() -> (Grammar, GrammarAnalysis) {
+        let g = apply_peg_mode(parse_grammar(DEMO).expect("grammar"));
+        let a = analyze(&g);
+        (g, a)
+    }
+
+    fn fresh_parse(g: &Grammar, a: &GrammarAnalysis, input: &str) -> ParseTree {
+        let scanner = g.lexer.build().expect("lexer");
+        let tokens = TokenStream::new(scanner.tokenize(input).expect("lexes"));
+        let mut parser = Parser::new(g, a, tokens, NopHooks);
+        parser.parse_to_eof("s").expect("parses")
+    }
+
+    #[test]
+    fn reparses_match_fresh_parsers() {
+        let (g, a) = setup();
+        let mut session = ParseSession::new(&g, &a, "s", NopHooks).expect("session");
+        for input in ["a = 1;", "b = a + 2;\nc = b + b + 3;", "", "x = y;"] {
+            let via_session = session.parse_to_eof(input).expect("session parses");
+            let fresh = fresh_parse(&g, &a, input);
+            assert_eq!(
+                format!("{via_session:?}"),
+                format!("{fresh:?}"),
+                "session tree differs from fresh parser on {input:?}"
+            );
+        }
+        assert_eq!(session.parses(), 4);
+    }
+
+    #[test]
+    fn stats_reflect_only_latest_parse() {
+        let (g, a) = setup();
+        let mut session = ParseSession::new(&g, &a, "s", NopHooks).expect("session");
+        session.parse_to_eof("a = 1; b = 2; c = 3;").expect("parses");
+        let big: u64 = session.stats().total_events();
+        session.parse_to_eof("a = 1;").expect("parses");
+        let small = session.stats().total_events();
+        assert!(small < big, "stats must reset between parses: {small} !< {big}");
+    }
+
+    #[test]
+    fn lex_and_parse_errors_are_distinguished() {
+        let (g, a) = setup();
+        let mut session = ParseSession::new(&g, &a, "s", NopHooks).expect("session");
+        assert!(matches!(session.parse_to_eof("a = ?;"), Err(SessionError::Lex(_))));
+        assert!(matches!(session.parse_to_eof("a = ;"), Err(SessionError::Parse(_))));
+        // The session stays usable after both failure modes.
+        session.parse_to_eof("a = 1;").expect("recovers");
+    }
+}

@@ -92,6 +92,12 @@ impl CodeGen {
         self.out.lines().count()
     }
 
+    /// Number of bytes emitted so far (the gauntlet generators target
+    /// corpus sizes in bytes, not lines).
+    pub fn bytes_emitted(&self) -> usize {
+        self.out.len()
+    }
+
     /// Finishes generation, returning the program text.
     pub fn finish(self) -> String {
         self.out

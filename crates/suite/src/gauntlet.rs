@@ -1,0 +1,782 @@
+//! The real-world grammar gauntlet: three realistic grammars (a
+//! Java-8-scale statement/expression subset, a SQL SELECT/DDL subset,
+//! and production-shaped JSON) with deterministic, byte-targeted corpus
+//! generators. Corpora are *built at test time*, never checked in: each
+//! generator is seeded ([`llstar_rng::Rng64`]), partly
+//! grammar-derivation-driven (a pool of [`sample_sentence`] fragments is
+//! spliced into the structured output), and sized by [`Tier`] knobs from
+//! 10 KB to 10 MB.
+//!
+//! [`sample_sentence`]: crate::derivation::sample_sentence
+
+use crate::common::CodeGen;
+use crate::derivation::sample_sentence;
+use llstar_grammar::{apply_peg_mode, parse_grammar, Grammar};
+
+/// The Java-8 statement/expression subset (PEG mode).
+pub const JAVA8_GRAMMAR: &str = include_str!("../../../grammars/gauntlet/java8.g");
+/// The SQL SELECT/DDL subset (manual predicates, no PEG mode).
+pub const SQL_GRAMMAR: &str = include_str!("../../../grammars/gauntlet/sql.g");
+/// Production-shaped JSON (LL(1)).
+pub const JSON_GRAMMAR: &str = include_str!("../../../grammars/gauntlet/json.g");
+
+/// One gauntlet grammar with its byte-targeted corpus generator.
+#[derive(Clone, Copy)]
+pub struct GauntletEntry {
+    /// Short name used in oracle labels and bench rows.
+    pub name: &'static str,
+    /// The grammar source text (also shipped under `grammars/gauntlet/`).
+    pub source: &'static str,
+    /// The rule parsing starts from.
+    pub start_rule: &'static str,
+    /// Generates an input of at least this many bytes from a seed.
+    pub generate: fn(usize, u64) -> String,
+}
+
+impl GauntletEntry {
+    /// Parses and prepares the grammar (PEG mode applied when requested).
+    ///
+    /// # Panics
+    /// Panics if the bundled grammar fails to parse (a bug in this crate).
+    pub fn load(&self) -> Grammar {
+        let g = parse_grammar(self.source)
+            .unwrap_or_else(|e| panic!("gauntlet grammar {} is invalid: {e}", self.name));
+        apply_peg_mode(g)
+    }
+}
+
+impl std::fmt::Debug for GauntletEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GauntletEntry").field("name", &self.name).finish()
+    }
+}
+
+/// All three gauntlet grammars.
+pub fn all() -> Vec<GauntletEntry> {
+    vec![
+        GauntletEntry {
+            name: "java8",
+            source: JAVA8_GRAMMAR,
+            start_rule: "compilationUnit",
+            generate: generate_java8,
+        },
+        GauntletEntry {
+            name: "sql",
+            source: SQL_GRAMMAR,
+            start_rule: "script",
+            generate: generate_sql,
+        },
+        GauntletEntry {
+            name: "json",
+            source: JSON_GRAMMAR,
+            start_rule: "document",
+            generate: generate_json,
+        },
+    ]
+}
+
+/// Looks a gauntlet grammar up by name.
+pub fn by_name(name: &str) -> Option<GauntletEntry> {
+    all().into_iter().find(|e| e.name == name)
+}
+
+// ---------------------------------------------------------------------
+// Corpus tiers
+// ---------------------------------------------------------------------
+
+/// Corpus size knob: total bytes generated per (grammar, tier) cell.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Tier {
+    /// ~10 KB across a few files — the per-PR CI smoke tier.
+    Smoke,
+    /// ~1 MB — the acceptance tier the oracle runs by default.
+    Mega,
+    /// ~10 MB — the nightly stress tier.
+    Deca,
+}
+
+impl Tier {
+    /// Total corpus bytes for this tier.
+    pub fn bytes(self) -> usize {
+        match self {
+            Tier::Smoke => 10 << 10,
+            Tier::Mega => 1 << 20,
+            Tier::Deca => 10 << 20,
+        }
+    }
+
+    /// How many files the corpus is split into (multi-file corpora
+    /// exercise the coverage-merge path).
+    pub fn files(self) -> usize {
+        match self {
+            Tier::Smoke => 3,
+            Tier::Mega => 4,
+            Tier::Deca => 8,
+        }
+    }
+
+    /// Human-readable size label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Smoke => "10KB",
+            Tier::Mega => "1MB",
+            Tier::Deca => "10MB",
+        }
+    }
+
+    /// The tier selected by `LLSTAR_GAUNTLET_TIER` (`smoke`/`10kb`,
+    /// `1mb`/`mega`, `10mb`/`deca`), defaulting to [`Tier::Mega`] — the
+    /// acceptance tier.
+    pub fn from_env() -> Tier {
+        match std::env::var("LLSTAR_GAUNTLET_TIER").ok().as_deref() {
+            Some("smoke") | Some("10kb") => Tier::Smoke,
+            Some("10mb") | Some("deca") => Tier::Deca,
+            Some("1mb") | Some("mega") | None => Tier::Mega,
+            Some(other) => panic!("unknown LLSTAR_GAUNTLET_TIER {other:?}"),
+        }
+    }
+}
+
+/// Builds the deterministic corpus for `(entry, tier, seed)`: the tier's
+/// byte budget split across [`Tier::files`] labeled inputs. Same
+/// arguments ⇒ byte-identical corpus.
+pub fn corpus(entry: &GauntletEntry, tier: Tier, seed: u64) -> Vec<(String, String)> {
+    let files = tier.files();
+    let per_file = tier.bytes() / files;
+    (0..files)
+        .map(|i| {
+            let file_seed = seed.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let text = (entry.generate)(per_file, file_seed);
+            (format!("{}/{}-{i:02}.txt", entry.name, tier.label()), text)
+        })
+        .collect()
+}
+
+/// Samples up to `count` derivation fragments from `rule`, skipping
+/// seeds the sampler cannot realize. The pool keeps generators
+/// grammar-derivation-driven without re-sampling per splice site.
+fn derivation_pool(
+    grammar: &Grammar,
+    rule: &str,
+    count: usize,
+    seed: u64,
+    depth: usize,
+) -> Vec<String> {
+    (0..count as u64)
+        .filter_map(|i| sample_sentence(grammar, rule, seed.wrapping_add(i), depth))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Java 8 generator
+// ---------------------------------------------------------------------
+
+/// Generates a Java-8-flavored compilation unit of at least
+/// `target_bytes` bytes.
+pub fn generate_java8(target_bytes: usize, seed: u64) -> String {
+    let grammar = by_name("java8").expect("java8 entry").load();
+    let mut g = CodeGen::new(seed);
+    let pool = derivation_pool(&grammar, "statement", 24, seed ^ 0xA5A5_5A5A, 9);
+    g.line("package com.example.gauntlet;");
+    g.line("import java.util.List;");
+    g.line("import static java.lang.Math.*;");
+    g.line("");
+    let mut class_no = 0;
+    while g.bytes_emitted() < target_bytes {
+        class_no += 1;
+        emit_java_type(&mut g, class_no, &pool);
+        g.line("");
+    }
+    g.finish()
+}
+
+fn emit_java_type(g: &mut CodeGen, no: usize, pool: &[String]) {
+    match g.below(8) {
+        0 => {
+            g.line(&format!("interface Api{no} {{"));
+            g.indented(|g| {
+                for _ in 0..g.below(3) + 1 {
+                    let name = g.fresh("op");
+                    g.line(&format!("int {name}(int value, long mask);"));
+                }
+            });
+            g.line("}");
+        }
+        1 => {
+            g.line(&format!("enum State{no} {{"));
+            g.indented(|g| g.line("IDLE, RUNNING, DONE;"));
+            g.line("}");
+        }
+        _ => emit_java_class(g, no, pool),
+    }
+}
+
+fn emit_java_class(g: &mut CodeGen, no: usize, pool: &[String]) {
+    let extends =
+        if g.chance(0.3) { format!(" extends Base{}", g.below(4)) } else { String::new() };
+    g.line(&format!("public class Widget{no}{extends} {{"));
+    g.indented(|g| {
+        // Fields.
+        for _ in 0..g.below(4) + 1 {
+            let name = g.ident();
+            match g.below(5) {
+                0 => {
+                    let v = g.int_lit();
+                    g.line(&format!("private int {name} = {v};"));
+                }
+                1 => {
+                    let bits = g.below(1 << 16);
+                    g.line(&format!("static final long {name} = 0x{bits:x}L;"));
+                }
+                2 => {
+                    let n = g.below(64) + 1;
+                    g.line(&format!("protected int[] {name} = new int[{n}];"));
+                }
+                3 => {
+                    let (a, b, c) = (g.int_lit(), g.int_lit(), g.int_lit());
+                    g.line(&format!("int[] {name} = {{ {a}, {b}, {c} }};"));
+                }
+                _ => {
+                    let s = g.str_lit();
+                    g.line(&format!("private String {name} = {s};"));
+                }
+            }
+        }
+        if g.chance(0.25) {
+            g.line("static {");
+            g.indented(|g| emit_java_stmt(g, 2, pool));
+            g.line("}");
+        }
+        if g.chance(0.4) {
+            g.line(&format!("Widget{no}(int seedValue) {{"));
+            g.indented(|g| g.line("this.count = seedValue;"));
+            g.line("}");
+        }
+        // Methods.
+        for _ in 0..g.below(4) + 2 {
+            emit_java_method(g, pool);
+        }
+    });
+    g.line("}");
+}
+
+fn emit_java_method(g: &mut CodeGen, pool: &[String]) {
+    let name = g.fresh("run");
+    let ret = g.pick(&["void", "int", "boolean", "long", "String", "int[]"]);
+    let throws = if g.chance(0.2) { " throws RuntimeException" } else { "" };
+    g.line(&format!("public {ret} {name}(int depth, long flags){throws} {{"));
+    g.indented(|g| {
+        let stmts = g.below(6) + 3;
+        for _ in 0..stmts {
+            emit_java_stmt(g, 2, pool);
+        }
+        match ret {
+            "void" => {}
+            "boolean" => g.line("return depth > 0 && flags != 0;"),
+            "String" => {
+                let s = g.str_lit();
+                g.line(&format!("return {s} + depth;"));
+            }
+            "int[]" => g.line("return new int[] { depth, 0 };"),
+            _ => {
+                let e = java_expr(g, 2);
+                g.line(&format!("return {e};"));
+            }
+        }
+    });
+    g.line("}");
+}
+
+fn emit_java_stmt(g: &mut CodeGen, depth: usize, pool: &[String]) {
+    if depth == 0 {
+        let id = g.ident();
+        let e = java_expr(g, 1);
+        g.line(&format!("{id} = {e};"));
+        return;
+    }
+    match g.below(16) {
+        0 => {
+            let id = g.fresh("v");
+            let e = java_expr(g, depth);
+            let ty = g.pick(&["int", "long", "boolean", "double"]);
+            g.line(&format!("{ty} {id} = {e};"));
+        }
+        1 => {
+            let c = java_cond(g);
+            g.line(&format!("if ({c}) {{"));
+            g.indented(|g| emit_java_stmt(g, depth - 1, pool));
+            if g.chance(0.5) {
+                g.line("} else {");
+                g.indented(|g| emit_java_stmt(g, depth - 1, pool));
+            }
+            g.line("}");
+        }
+        2 => {
+            let i = g.fresh("i");
+            let n = g.int_lit();
+            g.line(&format!("for (int {i} = 0; {i} < {n}; {i}++) {{"));
+            g.indented(|g| emit_java_stmt(g, depth - 1, pool));
+            g.line("}");
+        }
+        3 => {
+            let v = g.fresh("item");
+            let src = g.ident();
+            g.line(&format!("for (int {v} : {src}) {{"));
+            g.indented(|g| emit_java_stmt(g, depth - 1, pool));
+            g.line("}");
+        }
+        4 => {
+            let c = java_cond(g);
+            g.line(&format!("while ({c}) {{"));
+            g.indented(|g| emit_java_stmt(g, depth - 1, pool));
+            g.line("}");
+        }
+        5 => {
+            g.line("try {");
+            g.indented(|g| emit_java_stmt(g, depth - 1, pool));
+            if g.chance(0.7) {
+                g.line("} catch (IllegalStateException | RuntimeException failure) {");
+                g.indented(|g| {
+                    let id = g.ident();
+                    g.line(&format!("{id} = 0;"));
+                });
+            }
+            g.line("} finally {");
+            g.indented(|g| {
+                let id = g.ident();
+                g.line(&format!("{id}--;"));
+            });
+            g.line("}");
+        }
+        6 => {
+            let scrut = g.ident();
+            g.line(&format!("switch ({scrut}) {{"));
+            g.indented(|g| {
+                for case in 0..g.below(3) + 1 {
+                    g.line(&format!("case {case}:"));
+                    g.indented(|g| {
+                        emit_java_stmt(g, 0, pool);
+                        g.line("break;");
+                    });
+                }
+                g.line("default:");
+                g.indented(|g| emit_java_stmt(g, 0, pool));
+            });
+            g.line("}");
+        }
+        7 => {
+            // Lambdas: expression- and block-bodied, plus a method ref.
+            let id = g.fresh("fn");
+            match g.below(3) {
+                0 => {
+                    let e = java_expr(g, 1);
+                    g.line(&format!("Runnable {id} = () -> {e};"));
+                }
+                1 => {
+                    g.line(&format!("Combiner {id} = (left, right) -> {{"));
+                    g.indented(|g| g.line("return left + right;"));
+                    g.line("};");
+                }
+                _ => g.line(&format!("Factory {id} = java.util.ArrayList::new;")),
+            }
+        }
+        8 => {
+            let id = g.ident();
+            let op = g.pick(&["+=", "-=", "*=", "&=", "|=", "^=", "<<=", ">>="]);
+            let e = java_expr(g, 1);
+            g.line(&format!("{id} {op} {e};"));
+        }
+        9 => {
+            let e = java_expr(g, 1);
+            g.line(&format!("assert depth >= 0 : {e};"));
+        }
+        10 => {
+            g.line("synchronized (this) {");
+            g.indented(|g| emit_java_stmt(g, depth - 1, pool));
+            g.line("}");
+        }
+        11 => {
+            let msg = g.str_lit();
+            let c = java_cond(g);
+            g.line(&format!("if ({c}) throw new IllegalStateException({msg});"));
+        }
+        12 if !pool.is_empty() => {
+            // Grammar-derivation-driven splice: a statement sampled by
+            // random derivation, guaranteed to be in the language.
+            let pick = g.below(pool.len());
+            let stmt = pool[pick].clone();
+            g.line(&stmt);
+        }
+        13 => {
+            g.line("do {");
+            g.indented(|g| emit_java_stmt(g, 0, pool));
+            let c = java_cond(g);
+            g.line(&format!("}} while ({c});"));
+        }
+        _ => {
+            let id = g.ident();
+            let call = java_call(g);
+            g.line(&format!("{id} = {call};"));
+        }
+    }
+}
+
+fn java_cond(g: &mut CodeGen) -> String {
+    let a = g.ident();
+    let b = g.int_lit();
+    match g.below(4) {
+        0 => format!("{a} < {b}"),
+        1 => format!("{a} != {b} && {a} >= 0"),
+        2 => format!("({a} & {b}) == 0"),
+        _ => format!("{a} instanceof String || {a} == null"),
+    }
+}
+
+fn java_call(g: &mut CodeGen) -> String {
+    let recv = g.ident();
+    let m = g.pick(&["compute", "reduce", "apply", "merge", "resolve"]);
+    let a = java_expr(g, 1);
+    format!("{recv}.{m}({a}, flags)")
+}
+
+fn java_expr(g: &mut CodeGen, depth: usize) -> String {
+    if depth == 0 {
+        return java_atom(g);
+    }
+    match g.below(12) {
+        0 => format!("{} + {}", java_expr(g, depth - 1), java_atom(g)),
+        1 => format!("{} * ({} - {})", java_atom(g), java_atom(g), java_atom(g)),
+        2 => format!("{} << {}", java_atom(g), g.below(16)),
+        3 => format!("{} >>> {}", java_atom(g), g.below(8)),
+        4 => format!("{} & ~{}", java_atom(g), java_atom(g)),
+        5 => format!("{} ^ {} | {}", java_atom(g), java_atom(g), java_atom(g)),
+        6 => {
+            let c = java_cond(g);
+            format!("{c} ? {} : {}", java_atom(g), java_atom(g))
+        }
+        7 => format!("(int) {}", java_atom(g)),
+        8 => java_call(g),
+        9 => format!("new Widget{}({})", g.below(8) + 1, java_atom(g)),
+        10 => format!("{}[{}]", g.ident(), g.below(16)),
+        _ => java_atom(g),
+    }
+}
+
+fn java_atom(g: &mut CodeGen) -> String {
+    match g.below(6) {
+        0 => g.int_lit(),
+        1 => g.ident(),
+        2 => g.str_lit(),
+        3 => "0x7fL".to_string(),
+        4 => format!("{}.{}", g.ident(), g.ident()),
+        _ => format!("{}.5", g.below(100)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// SQL generator
+// ---------------------------------------------------------------------
+
+const SQL_TABLES: &[&str] = &["users", "orders", "events", "items", "payments"];
+const SQL_COLS: &[&str] =
+    &["id", "user_id", "total", "qty", "price", "created_ts", "status", "region", "score"];
+
+/// Generates a SQL SELECT/DDL script of at least `target_bytes` bytes.
+pub fn generate_sql(target_bytes: usize, seed: u64) -> String {
+    let grammar = by_name("sql").expect("sql entry").load();
+    let mut g = CodeGen::new(seed);
+    let pool = derivation_pool(&grammar, "selectStmt", 24, seed ^ 0x5A5A_A5A5, 9);
+    for t in SQL_TABLES {
+        g.line(&format!(
+            "create table if not exists {t} ( id int primary key, user_id int references users ( id ), \
+             total float not null, qty int default 0, price decimal ( 10 , 2 ), created_ts timestamp, \
+             status varchar ( 16 ), region text, score float, check ( qty >= 0 ) );"
+        ));
+    }
+    g.line("create unique index idx_users_id on users ( id asc );");
+    while g.bytes_emitted() < target_bytes {
+        match g.below(12) {
+            0 => emit_create_table(&mut g),
+            1 => {
+                let v = g.fresh("view_");
+                let sel = sql_select(&mut g, 2);
+                g.line(&format!("create view {v} as {sel};"));
+            }
+            2 => {
+                let i = g.fresh("idx_");
+                let t = g.pick(SQL_TABLES);
+                let c = g.pick(SQL_COLS);
+                let o = g.pick(&["asc", "desc"]);
+                g.line(&format!("create index if not exists {i} on {t} ( {c} {o}, id );"));
+            }
+            3 => {
+                let t = g.pick(SQL_TABLES);
+                let c = g.fresh("extra_");
+                g.line(&format!("alter table {t} add column {c} bigint default 0;"));
+            }
+            4 => {
+                let t = g.fresh("tmp_");
+                g.line(&format!("drop table if exists {t};"));
+            }
+            5 if !pool.is_empty() => {
+                // Derivation splice: a whole SELECT sampled from the
+                // grammar itself.
+                let pick = g.below(pool.len());
+                let sel = pool[pick].clone();
+                g.line(&format!("{sel};"));
+            }
+            6 => {
+                // CTE chain feeding a final select.
+                let c1 = g.fresh("cte_");
+                let c2 = g.fresh("cte_");
+                let inner1 = sql_select(&mut g, 1);
+                let inner2 = sql_select(&mut g, 1);
+                g.line(&format!(
+                    "with {c1} as ( {inner1} ), {c2} ( k, v ) as ( {inner2} ) \
+                     select * from {c1} join {c2} on {c1}.id = {c2}.k where {c2}.v > 0;"
+                ));
+            }
+            7 => {
+                // UNION chain with ordering and limit.
+                let a = sql_select(&mut g, 1);
+                let b = sql_select(&mut g, 1);
+                let lim = g.below(100) + 1;
+                let off = g.below(10);
+                g.line(&format!(
+                    "{a} union all {b} order by 1 desc nulls last limit {lim} offset {off};"
+                ));
+            }
+            _ => {
+                let sel = sql_select(&mut g, 2);
+                g.line(&format!("{sel};"));
+            }
+        }
+    }
+    g.finish()
+}
+
+fn emit_create_table(g: &mut CodeGen) {
+    let t = g.fresh("t");
+    let c1 = g.fresh("c");
+    let c2 = g.fresh("c");
+    g.line(&format!(
+        "create table {t} ( {c1} int not null, {c2} varchar ( 32 ) unique, amount numeric ( 8 , 3 ), \
+         primary key ( {c1} ), foreign key ( {c2} ) references users ( id ), check ( {c1} > 0 ) );"
+    ));
+}
+
+fn sql_select(g: &mut CodeGen, depth: usize) -> String {
+    let t = g.pick(SQL_TABLES);
+    let mut sel = match g.below(4) {
+        0 => format!("select * from {t}"),
+        1 => {
+            let c = g.pick(SQL_COLS);
+            format!("select distinct {c}, count ( * ) as n from {t}")
+        }
+        2 => {
+            let c = g.pick(SQL_COLS);
+            let agg = g.pick(&["sum", "avg", "min", "max"]);
+            format!("select {t}.*, {agg} ( distinct {c} ) from {t}")
+        }
+        _ => {
+            let c = g.pick(SQL_COLS);
+            let hi = g.below(1000);
+            let mid = g.below(100);
+            let cse = format!(
+                "case when {c} > {hi} then 'high' when {c} > {mid} then 'mid' else 'low' end"
+            );
+            format!("select {cse} as bucket, cast ( {c} as bigint ) from {t}")
+        }
+    };
+    if g.chance(0.5) {
+        let t2 = g.pick(SQL_TABLES);
+        let j = g.pick(&["inner join", "left join", "left outer join", "cross join"]);
+        if j == "cross join" {
+            sel.push_str(&format!(" {j} {t2}"));
+        } else {
+            sel.push_str(&format!(" {j} {t2} on {t}.id = {t2}.user_id"));
+        }
+    }
+    if g.chance(0.7) {
+        sel.push_str(&format!(" where {}", sql_pred(g, depth)));
+    }
+    if g.chance(0.3) {
+        let c = g.pick(SQL_COLS);
+        sel.push_str(&format!(" group by {c} having count ( * ) > {}", g.below(10)));
+    }
+    sel
+}
+
+fn sql_pred(g: &mut CodeGen, depth: usize) -> String {
+    let c = g.pick(SQL_COLS);
+    if depth == 0 {
+        return format!("{c} = {}", g.below(1000));
+    }
+    match g.below(8) {
+        0 => format!("{c} between {} and {}", g.below(100), g.below(1000) + 100),
+        1 => format!("{c} is not null and {}", sql_pred(g, depth - 1)),
+        2 => format!("not {c} like 'pre%'"),
+        3 => {
+            let t = g.pick(SQL_TABLES);
+            format!("exists ( select 1 from {t} where {t}.user_id = {c} )")
+        }
+        4 => {
+            let t = g.pick(SQL_TABLES);
+            format!("{c} in ( select id from {t} where score > 0.5 )")
+        }
+        5 => format!("{c} in ( {}, {}, {} )", g.below(10), g.below(10) + 10, g.below(10) + 20),
+        6 => format!("( {} ) or {c} <> {}", sql_pred(g, depth - 1), g.below(50)),
+        _ => format!("coalesce ( {c}, 0 ) >= {} - abs ( -{} )", g.below(100), g.below(9) + 1),
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON generator
+// ---------------------------------------------------------------------
+
+const JSON_KEYS: &[&str] = &[
+    "id", "name", "kind", "tags", "meta", "payload", "children", "enabled", "weight", "source",
+    "version", "extra",
+];
+
+/// Generates a production-shaped JSON document of at least
+/// `target_bytes` bytes: one top-level object holding record batches,
+/// deep nests, and derivation-sampled fragments.
+pub fn generate_json(target_bytes: usize, seed: u64) -> String {
+    let grammar = by_name("json").expect("json entry").load();
+    let mut g = CodeGen::new(seed);
+    let pool = derivation_pool(&grammar, "value", 24, seed ^ 0x0F0F_F0F0, 7);
+    g.line("{");
+    g.indented(|g| {
+        g.line("\"schema\": \"gauntlet-v1\",");
+        g.line(&format!("\"seed\": {},", seed % 100_000));
+        let mut batch = 0;
+        while g.bytes_emitted() < target_bytes {
+            batch += 1;
+            let records = g.below(6) + 2;
+            let mut rows = Vec::new();
+            for _ in 0..records {
+                rows.push(json_value(g, 3, &pool));
+            }
+            g.line(&format!("\"batch{batch}\": [ {} ],", rows.join(", ")));
+        }
+        g.line("\"complete\": true");
+    });
+    g.line("}");
+    g.finish()
+}
+
+fn json_value(g: &mut CodeGen, depth: usize, pool: &[String]) -> String {
+    if depth == 0 {
+        return json_scalar(g);
+    }
+    match g.below(10) {
+        0..=2 => json_scalar(g),
+        3 if !pool.is_empty() => {
+            let pick = g.below(pool.len());
+            pool[pick].clone()
+        }
+        4..=6 => {
+            let n = g.below(4) + 1;
+            let mut pairs = Vec::new();
+            for k in 0..n {
+                let key = g.pick(JSON_KEYS).to_string();
+                let val = json_value(g, depth - 1, pool);
+                // Keys must be unique-ish for realism but the grammar
+                // doesn't care; suffix to avoid exact repeats.
+                pairs.push(format!("\"{key}{k}\": {val}"));
+            }
+            format!("{{ {} }}", pairs.join(", "))
+        }
+        _ => {
+            let n = g.below(5) + 1;
+            let items: Vec<String> = (0..n).map(|_| json_value(g, depth - 1, pool)).collect();
+            format!("[ {} ]", items.join(", "))
+        }
+    }
+}
+
+fn json_scalar(g: &mut CodeGen) -> String {
+    match g.below(10) {
+        0 => "true".to_string(),
+        1 => "false".to_string(),
+        2 => "null".to_string(),
+        3 => format!("-{}", g.below(10_000)),
+        4 => format!("{}.{:03}", g.below(1000), g.below(1000)),
+        5 => format!("{}e-{}", g.below(100), g.below(10) + 1),
+        6 => format!("{}.{}E+{}", g.below(10), g.below(100), g.below(5) + 1),
+        7 => {
+            let w = g.pick(&["alpha", "beta", "gamma", "delta"]);
+            format!("\"{w} \\\"quoted\\\" \\\\ {w}\"")
+        }
+        8 => format!("\"line\\nbreak{}\"", g.below(100)),
+        _ => {
+            let w = g.pick(&["service", "worker", "cache", "frontend", "ingest"]);
+            format!("\"{w}-{}\"", g.below(1000))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_load_and_validate() {
+        let entries = all();
+        assert_eq!(entries.len(), 3);
+        for e in entries {
+            let g = e.load();
+            assert!(g.rule_by_name(e.start_rule).is_some(), "{}: start rule", e.name);
+            let errors: Vec<_> = llstar_grammar::validate(&g)
+                .into_iter()
+                .filter(llstar_grammar::GrammarIssue::is_error)
+                .collect();
+            assert!(errors.is_empty(), "{}: {errors:?}", e.name);
+        }
+    }
+
+    #[test]
+    fn generators_hit_byte_targets_deterministically() {
+        for e in all() {
+            let a = (e.generate)(10_000, 7);
+            let b = (e.generate)(10_000, 7);
+            let c = (e.generate)(10_000, 8);
+            assert_eq!(a, b, "{}: generator is nondeterministic", e.name);
+            assert_ne!(a, c, "{}: seed is ignored", e.name);
+            assert!(a.len() >= 10_000, "{}: only {} bytes", e.name, a.len());
+            assert!(a.len() < 40_000, "{}: overshoot to {} bytes", e.name, a.len());
+        }
+    }
+
+    #[test]
+    fn corpus_tiers_split_budget_across_files() {
+        for e in all() {
+            let files = corpus(&e, Tier::Smoke, 42);
+            assert_eq!(files.len(), Tier::Smoke.files());
+            let total: usize = files.iter().map(|(_, text)| text.len()).sum();
+            assert!(total >= Tier::Smoke.bytes(), "{}: thin corpus ({total} bytes)", e.name);
+            assert_eq!(files, corpus(&e, Tier::Smoke, 42), "{}: corpus not deterministic", e.name);
+        }
+    }
+
+    #[test]
+    fn smoke_corpora_lex_and_parse() {
+        for e in all() {
+            let g = e.load();
+            let a = llstar_core::analyze(&g);
+            let scanner = g.lexer.build().expect("lexer builds");
+            for (label, text) in corpus(&e, Tier::Smoke, 1) {
+                let tokens = scanner
+                    .tokenize(&text)
+                    .unwrap_or_else(|err| panic!("{label}: lex error {err}"));
+                let stream = llstar_runtime::TokenStream::new(tokens);
+                let mut parser =
+                    llstar_runtime::Parser::new(&g, &a, stream, llstar_runtime::NopHooks);
+                parser
+                    .parse_to_eof(e.start_rule)
+                    .unwrap_or_else(|err| panic!("{label}: parse error {err}"));
+            }
+        }
+    }
+}

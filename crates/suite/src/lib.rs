@@ -17,6 +17,7 @@ pub mod c;
 pub mod common;
 pub mod csharp;
 pub mod derivation;
+pub mod gauntlet;
 pub mod java;
 pub mod ratsjava;
 pub mod sql;

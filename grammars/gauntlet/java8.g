@@ -1,0 +1,120 @@
+// Gauntlet: a Java-8-scale statement/expression subset, run in PEG mode
+// like the paper's Java 1.5 grammar. Beyond the suite's Java analog it
+// adds try/catch/finally, enhanced-for, lambdas, method references,
+// ternary/bitwise/shift operator strata, array creators with
+// initializers, and compound assignment — the constructs that force
+// deep lookahead and backtracking on realistic statement code.
+grammar GauntletJava8;
+options { backtrack = true; memoize = true; }
+
+compilationUnit : packageDecl? importDecl* typeDecl* EOF ;
+packageDecl : 'package' qualifiedName ';' ;
+importDecl : 'import' 'static'? qualifiedName ('.' '*')? ';' ;
+typeDecl : classDecl | interfaceDecl | enumDecl ;
+classDecl
+    : modifier* 'class' ID ('extends' qualifiedName)?
+      ('implements' qualifiedName (',' qualifiedName)*)? classBody ;
+interfaceDecl : modifier* 'interface' ID ('extends' qualifiedName)? classBody ;
+enumDecl : modifier* 'enum' ID '{' ID (',' ID)* (';' member*)? '}' ;
+classBody : '{' member* '}' ;
+member : fieldDecl | methodDecl | ctorDecl | classDecl | initBlock ;
+initBlock : 'static'? block ;
+fieldDecl : modifier* typ varDeclarator (',' varDeclarator)* ';' ;
+varDeclarator : ID ('[' ']')* ('=' varInit)? ;
+varInit : expression | arrayInit ;
+arrayInit : '{' (varInit (',' varInit)*)? ','? '}' ;
+methodDecl
+    : modifier* ('void' | typ) ID '(' params? ')' ('throws' qualifiedName (',' qualifiedName)*)? (block | ';') ;
+ctorDecl : modifier* ID '(' params? ')' block ;
+params : param (',' param)* ;
+param : 'final'? typ '...'? ID ('[' ']')* ;
+modifier
+    : 'public' | 'private' | 'protected' | 'static' | 'final'
+    | 'abstract' | 'synchronized' | 'native' | 'transient' | 'volatile' | 'strictfp'
+    ;
+qualifiedName : ID ('.' ID)* ;
+typ : (qualifiedName | primitiveType) ('[' ']')* ;
+primitiveType : 'int' | 'boolean' | 'char' | 'byte' | 'short' | 'long' | 'float' | 'double' ;
+
+block : '{' statement* '}' ;
+statement
+    : block
+    | 'if' parExpression statement ('else' statement)?
+    | 'for' '(' typ ID ':' expression ')' statement
+    | 'for' '(' forInit? ';' expression? ';' expressionList? ')' statement
+    | 'while' parExpression statement
+    | 'do' statement 'while' parExpression ';'
+    | 'try' block (catchClause+ finallyClause? | finallyClause)
+    | 'switch' parExpression '{' switchCase* '}'
+    | 'synchronized' parExpression block
+    | 'return' expression? ';'
+    | 'throw' expression ';'
+    | 'break' ';'
+    | 'continue' ';'
+    | 'assert' expression (':' expression)? ';'
+    | localVarDecl ';'
+    | expression ';'
+    | ';'
+    ;
+catchClause : 'catch' '(' qualifiedName ('|' qualifiedName)* ID ')' block ;
+finallyClause : 'finally' block ;
+switchCase : ('case' expression | 'default') ':' statement* ;
+forInit : localVarDecl | expressionList ;
+localVarDecl : 'final'? typ varDeclarator (',' varDeclarator)* ;
+parExpression : '(' expression ')' ;
+expressionList : expression (',' expression)* ;
+
+expression : lambda | conditional (assignOp expression)? ;
+assignOp
+    : '=' | '+=' | '-=' | '*=' | '/=' | '%='
+    | '&=' | '|=' | '^=' | '<<=' | '>>=' | '>>>='
+    ;
+lambda : lambdaParams '->' lambdaBody ;
+lambdaParams : ID | '(' ')' | '(' ID (',' ID)* ')' ;
+lambdaBody : block | expression ;
+conditional : logicalOr ('?' expression ':' conditional)? ;
+logicalOr : logicalAnd ('||' logicalAnd)* ;
+logicalAnd : bitOr ('&&' bitOr)* ;
+bitOr : bitXor ('|' bitXor)* ;
+bitXor : bitAnd ('^' bitAnd)* ;
+bitAnd : equality ('&' equality)* ;
+equality : relational (('==' | '!=') relational)* ;
+relational : shift (('<' | '>' | '<=' | '>=') shift | 'instanceof' typ)* ;
+shift : additive (('<<' | '>>' | '>>>') additive)* ;
+additive : multiplicative (('+' | '-') multiplicative)* ;
+multiplicative : unary (('*' | '/' | '%') unary)* ;
+unary
+    : ('!' | '~' | '-' | '+' | '++' | '--') unary
+    | ('(' primitiveType ')')=> '(' primitiveType ')' unary
+    | postfix
+    ;
+postfix : primary postfixOp* ;
+postfixOp : '.' ID arguments? | '[' expression ']' | arguments | '++' | '--' ;
+arguments : '(' expressionList? ')' ;
+primary
+    : parExpression
+    | literal
+    | 'new' creator
+    | qualifiedName '::' ('new' | ID)
+    | ID
+    ;
+creator
+    : qualifiedName arguments classBody?
+    | qualifiedName ('[' expression ']')+ ('[' ']')*
+    | qualifiedName ('[' ']')+ arrayInit
+    | primitiveType ('[' expression ']')+ ('[' ']')*
+    | primitiveType ('[' ']')+ arrayInit
+    ;
+literal
+    : INT | FLOAT | STRING | CHARLIT
+    | 'true' | 'false' | 'null' | 'this' | 'super'
+    ;
+
+ID : [a-zA-Z_$] [a-zA-Z0-9_$]* ;
+FLOAT : [0-9]+ '.' [0-9]+ ([fFdD])? | [0-9]+ [fFdD] ;
+INT : '0x' [0-9a-fA-F]+ ([lL])? | [0-9]+ ([lL])? ;
+STRING : '"' (~["\\\n] | '\\' .)* '"' ;
+CHARLIT : '\'' (~['\\\n] | '\\' .) '\'' ;
+WS : [ \t\r\n]+ -> skip ;
+LINE_COMMENT : '//' (~[\n])* -> skip ;
+COMMENT : '/*' ((~[*])* '*'+ ~[*/])* (~[*])* '*'+ '/' -> skip ;

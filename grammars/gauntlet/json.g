@@ -1,0 +1,15 @@
+// Gauntlet: production-shaped JSON (RFC 8259 value grammar, LL(1)
+// throughout). The grammar itself is small; the gauntlet stresses it
+// with MB-scale generated documents — deep nesting, long arrays,
+// escape-heavy strings, and scientific-notation numbers.
+grammar GauntletJson;
+
+document : value ;
+value : object | array | STRING | NUMBER | 'true' | 'false' | 'null' ;
+object : '{' (pair (',' pair)*)? '}' ;
+pair : STRING ':' value ;
+array : '[' (value (',' value)*)? ']' ;
+
+STRING : '"' (~["\\] | '\\' .)* '"' ;
+NUMBER : '-'? [0-9]+ ('.' [0-9]+)? ([eE] [+\-]? [0-9]+)? ;
+WS : [ \t\r\n]+ -> skip ;

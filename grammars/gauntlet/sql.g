@@ -1,0 +1,128 @@
+// Gauntlet: a SQL SELECT/DDL subset shaped like a warehouse workload —
+// WITH-clause CTEs, UNION chains, joins, correlated EXISTS/IN
+// subqueries, CASE expressions, and a DDL surface (CREATE TABLE with
+// column and table constraints, views, indexes, ALTER, DROP). Like the
+// paper's TSQL grammar, almost every decision is keyword-dispatched
+// LL(1); manual syntactic predicates disambiguate parenthesized
+// subqueries from parenthesized expressions.
+grammar GauntletSql;
+
+script : stmt* EOF ;
+stmt
+    : withSelect ';'
+    | createTable ';'
+    | createView ';'
+    | createIndex ';'
+    | alterTable ';'
+    | dropStmt ';'
+    ;
+
+withSelect : withClause? selectStmt ;
+withClause : 'with' cte (',' cte)* ;
+cte : ID ('(' columnList ')')? 'as' '(' selectStmt ')' ;
+
+selectStmt : selectCore (('union' 'all'? | 'intersect' | 'except') selectCore)* orderByClause? limitClause? ;
+selectCore
+    : 'select' ('distinct' | 'all')? selectList
+      ('from' tableSource joinClause*)?
+      whereClause? groupByClause? havingClause?
+    ;
+selectList : '*' | selectItem (',' selectItem)* ;
+// `ID '.' '*'` must precede the expression alternative: under PEG
+// ordered choice an expression would capture the bare `ID` prefix of
+// `t.*` and strand the `.` (the LL(*) DFA is order-insensitive here).
+selectItem : ID '.' '*' | expr ('as'? ID)? ;
+tableSource : tableName ('as'? ID)? | '(' selectStmt ')' ('as'? ID)? ;
+tableName : ID ('.' ID)* ;
+joinClause
+    : ('inner' | 'left' 'outer'? | 'right' 'outer'? | 'full' 'outer'? | 'cross')? 'join'
+      tableSource ('on' expr)?
+    ;
+whereClause : 'where' expr ;
+groupByClause : 'group' 'by' expr (',' expr)* ;
+havingClause : 'having' expr ;
+orderByClause : 'order' 'by' orderItem (',' orderItem)* ;
+orderItem : expr ('asc' | 'desc')? ('nulls' ('first' | 'last'))? ;
+limitClause : 'limit' INT ('offset' INT)? ;
+
+createTable
+    : 'create' 'table' ('if' 'not' 'exists')? tableName
+      '(' tableElement (',' tableElement)* ')'
+    ;
+tableElement : tableConstraint | columnDef ;
+columnDef : ID typeName columnOption* ;
+typeName
+    : ('int' | 'bigint' | 'smallint' | 'float' | 'real' | 'bit' | 'date' | 'timestamp' | 'text' | 'blob')
+    | ('varchar' | 'char' | 'decimal' | 'numeric') ('(' INT (',' INT)? ')')?
+    ;
+columnOption
+    : 'not' 'null'
+    | 'null'
+    | 'primary' 'key'
+    | 'unique'
+    | 'default' literal
+    | 'references' tableName ('(' ID ')')?
+    | 'check' '(' expr ')'
+    ;
+tableConstraint
+    : 'primary' 'key' '(' columnList ')'
+    | 'unique' '(' columnList ')'
+    | 'foreign' 'key' '(' columnList ')' 'references' tableName ('(' columnList ')')?
+    | 'check' '(' expr ')'
+    ;
+columnList : ID (',' ID)* ;
+createView : 'create' 'view' tableName ('(' columnList ')')? 'as' withSelect ;
+createIndex : 'create' 'unique'? 'index' ('if' 'not' 'exists')? ID 'on' tableName '(' orderItem (',' orderItem)* ')' ;
+alterTable
+    : 'alter' 'table' tableName
+      ( 'add' 'column'? columnDef
+      | 'drop' 'column'? ID
+      | 'rename' ('to' ID | 'column'? ID 'to' ID)
+      )
+    ;
+dropStmt : 'drop' ('table' | 'view' | 'index') ('if' 'exists')? tableName ;
+
+expr : orExpr ;
+orExpr : andExpr ('or' andExpr)* ;
+andExpr : notExpr ('and' notExpr)* ;
+notExpr : 'not' notExpr | comparison ;
+comparison
+    : addExpr
+      ( ('=' | '<>' | '!=' | '<' | '>' | '<=' | '>=') addExpr
+      | 'not'? 'between' addExpr 'and' addExpr
+      | 'not'? 'like' STRING
+      | 'not'? 'in' '(' (('select')=> selectStmt | exprList) ')'
+      | 'is' 'not'? 'null'
+      )?
+    ;
+addExpr : mulExpr (('+' | '-' | '||') mulExpr)* ;
+mulExpr : unaryExpr (('*' | '/' | '%') unaryExpr)* ;
+unaryExpr : '-' unaryExpr | primary ;
+primary
+    : literal
+    | caseExpr
+    | castExpr
+    | 'exists' '(' selectStmt ')'
+    | funcCall
+    | columnRef
+    | ('(' 'select')=> '(' selectStmt ')'
+    | ('(' 'with')=> '(' withSelect ')'
+    | '(' expr ')'
+    ;
+caseExpr : 'case' caseInput? ('when' expr 'then' expr)+ ('else' expr)? 'end' ;
+caseInput : expr ;
+castExpr : 'cast' '(' expr 'as' typeName ')' ;
+funcCall
+    : ('count' | 'sum' | 'avg' | 'min' | 'max') '(' ('distinct'? expr | '*') ')'
+    | ('coalesce' | 'nullif' | 'substr' | 'lower' | 'upper' | 'abs' | 'round' | 'length') '(' exprList ')'
+    ;
+columnRef : ID ('.' ID)* ;
+exprList : expr (',' expr)* ;
+literal : INT | FLOAT | STRING | 'null' | 'true' | 'false' ;
+
+ID : [a-zA-Z_] [a-zA-Z0-9_]* ;
+FLOAT : [0-9]+ '.' [0-9]+ ;
+INT : [0-9]+ ;
+STRING : '\'' (~['\n])* '\'' ;
+WS : [ \t\r\n]+ -> skip ;
+LINE_COMMENT : '--' (~[\n])* -> skip ;

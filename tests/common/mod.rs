@@ -1,0 +1,243 @@
+//! Corpus-walking and engine-setup helpers shared by the parity and
+//! gauntlet suites. Each integration-test binary compiles its own copy,
+//! so helpers a given suite doesn't use are expected dead code.
+#![allow(dead_code)]
+
+use llstar::core::{analyze, GrammarAnalysis};
+use llstar::grammar::{apply_peg_mode, parse_grammar, Grammar};
+use llstar::runtime::{CoverageSink, JsonlSink, NopHooks, Parser, TeeSink, TokenStream};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The four checked-in repo grammars with shipped corpora under
+/// `grammars/corpus/<stem>/`.
+pub const SUITE_STEMS: &[&str] = &["calculator", "config", "json", "paper_section2"];
+
+/// A path relative to the repo root.
+pub fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// The smoke input for a repo grammar.
+pub fn smoke_file(stem: &str) -> PathBuf {
+    repo_path(&format!("grammars/smoke/{stem}.txt"))
+}
+
+/// Every `*.txt` under `grammars/corpus/<stem>/`, sorted by file name
+/// for determinism.
+pub fn corpus_files(stem: &str) -> Vec<PathBuf> {
+    let dir = repo_path(&format!("grammars/corpus/{stem}"));
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {dir:?}: {e}"))
+        .map(|entry| entry.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "txt"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "empty corpus for {stem}");
+    files
+}
+
+/// The full input set for a repo grammar: the corpus directory plus the
+/// smoke input, sorted.
+pub fn input_files(stem: &str) -> Vec<PathBuf> {
+    let mut files = corpus_files(stem);
+    files.push(smoke_file(stem));
+    files.sort();
+    assert!(files.len() > 1, "thin corpus for {stem}");
+    files
+}
+
+/// Loads and analyzes a repo grammar from `grammars/<stem>.g`.
+pub fn load_grammar(stem: &str) -> (Grammar, GrammarAnalysis) {
+    let source = std::fs::read_to_string(repo_path(&format!("grammars/{stem}.g")))
+        .expect("grammar file readable");
+    load_grammar_source(&source)
+}
+
+/// Parses, PEG-lowers, and analyzes grammar source text.
+pub fn load_grammar_source(source: &str) -> (Grammar, GrammarAnalysis) {
+    let grammar = apply_peg_mode(parse_grammar(source).expect("grammar parses"));
+    let analysis = analyze(&grammar);
+    (grammar, analysis)
+}
+
+/// Compiles a generated parser module plus a `fn main` driver into a
+/// standalone executable under a per-process temp dir, returning the
+/// executable path.
+pub fn compile_generated(tag: &str, code: &str, driver: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("llstar_gen_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let src_path = dir.join("parser_main.rs");
+    std::fs::write(&src_path, format!("{code}\n{driver}\n")).expect("write generated source");
+
+    let exe = dir.join("parser_main");
+    let out = Command::new("rustc")
+        .args(["--edition", "2021", "-O", "-o"])
+        .arg(&exe)
+        .arg(&src_path)
+        .output()
+        .expect("rustc runs");
+    assert!(
+        out.status.success(),
+        "generated code failed to compile:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    exe
+}
+
+/// Everything one interpreter configuration produces over a corpus:
+/// rendered trees, the trace JSONL stream, and the merged coverage JSON.
+pub struct InterpArtifacts {
+    pub trees: String,
+    pub trace: String,
+    pub coverage: String,
+}
+
+/// Parses every `(label, text)` input with the chosen dispatch mode,
+/// returning rendered trees (debug format, one per line), the full trace
+/// JSONL, and the corpus coverage JSON. Panics with `label` on failure.
+pub fn interp_corpus(
+    g: &Grammar,
+    a: &GrammarAnalysis,
+    inputs: &[(String, String)],
+    compiled: bool,
+) -> InterpArtifacts {
+    let start = g.start_rule().name.clone();
+    let scanner = g.lexer.build().expect("lexer builds");
+    let mut trees = String::new();
+    let mut trace_sink = JsonlSink::new(Vec::<u8>::new());
+    let mut cov_sink = CoverageSink::new(g, a);
+    for (label, text) in inputs {
+        let tokens = scanner
+            .tokenize(text)
+            .unwrap_or_else(|e| panic!("{label}: corpus input fails to lex: {e}"));
+        // Trace pass.
+        let mut parser = Parser::new(g, a, TokenStream::new(tokens.clone()), NopHooks);
+        parser.set_compiled_dispatch(compiled);
+        parser.set_trace_sink(&mut trace_sink);
+        let tree = parser
+            .parse_to_eof(&start)
+            .unwrap_or_else(|e| panic!("parse failed on {label} (compiled={compiled}): {e}"));
+        trees.push_str(&format!("{tree:?}\n"));
+        // Coverage pass (separate parse: one sink slot per parser).
+        let mut parser = Parser::new(g, a, TokenStream::new(tokens), NopHooks);
+        parser.set_compiled_dispatch(compiled);
+        parser.set_trace_sink(&mut cov_sink);
+        parser.parse_to_eof(&start).expect("coverage pass parses");
+        cov_sink.finish_file();
+    }
+    let (bytes, err) = trace_sink.into_inner();
+    assert!(err.is_none(), "trace sink I/O error");
+    let trace = String::from_utf8(bytes).expect("trace is utf8");
+    InterpArtifacts { trees, trace, coverage: cov_sink.into_map().to_json() }
+}
+
+/// One interpreter configuration's view of a corpus, sized for MB-scale
+/// inputs: per-input tree renderings (full s-expressions when `full`,
+/// else FNV fingerprints of them), a fingerprint of the trace JSONL
+/// stream, and the merged coverage JSON (always full — it is small).
+pub struct OracleRun {
+    pub trees: Vec<String>,
+    pub trace_fp: String,
+    pub coverage: String,
+}
+
+/// Parses every `(label, text)` input **once** with the chosen dispatch
+/// mode, teeing the trace stream into both a JSONL fingerprint and the
+/// corpus coverage fold. The single-pass tee matters at gauntlet scale:
+/// the PEG-mode grammars interpret at tens of kilotokens per second, so
+/// each extra pass over a megabyte corpus costs seconds.
+pub fn oracle_interp_run(
+    g: &Grammar,
+    a: &GrammarAnalysis,
+    start: &str,
+    inputs: &[(String, String)],
+    compiled: bool,
+    full: bool,
+) -> OracleRun {
+    let scanner = g.lexer.build().expect("lexer builds");
+    let mut jsonl = JsonlSink::new(HashWriter::new());
+    let mut cov = CoverageSink::new(g, a);
+    let mut trees = Vec::with_capacity(inputs.len());
+    for (label, text) in inputs {
+        let tokens = scanner
+            .tokenize(text)
+            .unwrap_or_else(|e| panic!("{label}: corpus input fails to lex: {e}"));
+        let mut tee = TeeSink(&mut jsonl, &mut cov);
+        let mut parser = Parser::new(g, a, TokenStream::new(tokens), NopHooks);
+        parser.set_compiled_dispatch(compiled);
+        parser.set_trace_sink(&mut tee);
+        let tree = parser
+            .parse_to_eof(start)
+            .unwrap_or_else(|e| panic!("parse failed on {label} (compiled={compiled}): {e}"));
+        drop(parser);
+        cov.finish_file();
+        let sexpr = tree.to_sexpr(g, text);
+        trees.push(if full { sexpr } else { fingerprint(sexpr.as_bytes()) });
+    }
+    let (hasher, err) = jsonl.into_inner();
+    assert!(err.is_none(), "trace sink I/O error");
+    OracleRun { trees, trace_fp: hasher.fingerprint(), coverage: cov.into_map().to_json() }
+}
+
+/// Reads a file set into `(label, text)` pairs for [`interp_corpus`].
+pub fn read_inputs(files: &[PathBuf]) -> Vec<(String, String)> {
+    files
+        .iter()
+        .map(|f| {
+            (f.display().to_string(), std::fs::read_to_string(f).expect("corpus file readable"))
+        })
+        .collect()
+}
+
+/// An `io::Write` that keeps only an FNV-1a 64 fingerprint and byte
+/// count, so MB-scale trace streams can be compared without buffering.
+pub struct HashWriter {
+    hash: u64,
+    len: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl HashWriter {
+    pub fn new() -> Self {
+        HashWriter { hash: FNV_OFFSET, len: 0 }
+    }
+
+    /// `fnv=<hash>:len=<bytes>` — equal iff the streams were byte-equal
+    /// (up to hash collision).
+    pub fn fingerprint(&self) -> String {
+        format!("fnv={:016x}:len={}", self.hash, self.len)
+    }
+}
+
+impl Default for HashWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl io::Write for HashWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        for &b in buf {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+        self.len += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// FNV-1a 64 over a byte string (the same function [`HashWriter`]
+/// streams), rendered like [`HashWriter::fingerprint`].
+pub fn fingerprint(bytes: &[u8]) -> String {
+    let mut w = HashWriter::new();
+    io::Write::write_all(&mut w, bytes).expect("hash writer never fails");
+    w.fingerprint()
+}

@@ -6,39 +6,14 @@
 //! backtrack/memo attribution.
 
 use llstar::codegen::{generate_with, CodegenOptions};
-use llstar::core::{analyze, GrammarAnalysis};
-use llstar::grammar::{apply_peg_mode, parse_grammar, Grammar};
+use llstar::core::GrammarAnalysis;
+use llstar::grammar::Grammar;
 use llstar::runtime::{CoverageSink, NopHooks, Parser, TokenStream};
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-const STEMS: &[&str] = &["calculator", "config", "json", "paper_section2"];
-
-fn repo_path(rel: &str) -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
-}
-
-/// The corpus for a suite grammar: every `*.txt` under
-/// `grammars/corpus/<stem>/`, sorted by file name for determinism.
-fn corpus_files(stem: &str) -> Vec<PathBuf> {
-    let dir = repo_path(&format!("grammars/corpus/{stem}"));
-    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
-        .unwrap_or_else(|e| panic!("corpus dir {dir:?}: {e}"))
-        .map(|entry| entry.expect("dir entry").path())
-        .filter(|p| p.extension().is_some_and(|e| e == "txt"))
-        .collect();
-    files.sort();
-    assert!(!files.is_empty(), "empty corpus for {stem}");
-    files
-}
-
-fn load_grammar(stem: &str) -> (Grammar, GrammarAnalysis) {
-    let source = std::fs::read_to_string(repo_path(&format!("grammars/{stem}.g")))
-        .expect("grammar file readable");
-    let grammar = apply_peg_mode(parse_grammar(&source).expect("grammar parses"));
-    let analysis = analyze(&grammar);
-    (grammar, analysis)
-}
+mod common;
+use common::{compile_generated, corpus_files, load_grammar, smoke_file, SUITE_STEMS};
 
 /// Folds the interpreter's trace stream into coverage JSON across a
 /// corpus (the reference side of the parity check).
@@ -84,25 +59,7 @@ fn main() {{
 }}
 "#
     );
-
-    let dir = std::env::temp_dir().join(format!("llstar_coverage_{stem}_{}", std::process::id()));
-    std::fs::create_dir_all(&dir).expect("temp dir");
-    let src_path = dir.join("parser_main.rs");
-    std::fs::write(&src_path, format!("{code}\n{driver}\n")).expect("write generated source");
-
-    let exe = dir.join("parser_main");
-    let out = Command::new("rustc")
-        .args(["--edition", "2021", "-O", "-o"])
-        .arg(&exe)
-        .arg(&src_path)
-        .output()
-        .expect("rustc runs");
-    assert!(
-        out.status.success(),
-        "generated code failed to compile:\n{}",
-        String::from_utf8_lossy(&out.stderr)
-    );
-    exe
+    compile_generated(&format!("coverage_{stem}"), &code, &driver)
 }
 
 fn generated_coverage(exe: &Path, files: &[PathBuf]) -> String {
@@ -118,7 +75,7 @@ fn generated_coverage(exe: &Path, files: &[PathBuf]) -> String {
 
 #[test]
 fn coverage_json_is_byte_identical_across_engines() {
-    for stem in STEMS {
+    for stem in SUITE_STEMS {
         let (g, a) = load_grammar(stem);
         let exe = build_generated(stem, &g, &a);
 
@@ -129,7 +86,7 @@ fn coverage_json_is_byte_identical_across_engines() {
         assert_eq!(got, expected, "{stem}: engines diverged over grammars/corpus/{stem}/");
 
         // Single smoke input (the per-file shape, files = 1).
-        let smoke = vec![repo_path(&format!("grammars/smoke/{stem}.txt"))];
+        let smoke = vec![smoke_file(stem)];
         let expected = interpreter_coverage(&g, &a, &smoke);
         let got = generated_coverage(&exe, &smoke);
         assert_eq!(got, expected, "{stem}: engines diverged over grammars/smoke/{stem}.txt");
@@ -141,7 +98,7 @@ fn corpus_covers_every_alternative() {
     // The shipped corpora are full-coverage fixtures: the CI smoke step
     // runs `llstar coverage --fail-uncovered` over them, so regressions
     // here should fail loudly with the rule/alt that lost coverage.
-    for stem in STEMS {
+    for stem in SUITE_STEMS {
         let (g, a) = load_grammar(stem);
         let files = corpus_files(stem);
         let json = interpreter_coverage(&g, &a, &files);

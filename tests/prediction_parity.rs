@@ -9,96 +9,29 @@
 //!
 //! [`CompiledTables`]: llstar::core::CompiledTables
 
-use llstar::core::{
-    analyze, CompiledDfa, GrammarAnalysis, TokenClasses, DENSE_CELL_BUDGET, NO_TARGET,
-};
-use llstar::grammar::{apply_peg_mode, parse_grammar, Grammar};
-use llstar::runtime::{CoverageSink, JsonlSink, NopHooks, Parser, TokenStream};
+use llstar::core::{CompiledDfa, TokenClasses, DENSE_CELL_BUDGET, NO_TARGET};
+use llstar::runtime::{NopHooks, Parser, TokenStream};
 use llstar_core::dfa::{DfaState, LookaheadDfa};
 use llstar_core::{DecisionId, PredSource};
 use llstar_grammar::SynPredId;
 use llstar_lexer::TokenType;
 use llstar_rng::Rng64;
-use std::path::{Path, PathBuf};
 
-const STEMS: &[&str] = &["calculator", "config", "json", "paper_section2"];
-
-fn repo_path(rel: &str) -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
-}
-
-/// Every `*.txt` under `grammars/corpus/<stem>/` plus the smoke input,
-/// sorted for determinism.
-fn input_files(stem: &str) -> Vec<PathBuf> {
-    let dir = repo_path(&format!("grammars/corpus/{stem}"));
-    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
-        .unwrap_or_else(|e| panic!("corpus dir {dir:?}: {e}"))
-        .map(|entry| entry.expect("dir entry").path())
-        .filter(|p| p.extension().is_some_and(|e| e == "txt"))
-        .collect();
-    files.push(repo_path(&format!("grammars/smoke/{stem}.txt")));
-    files.sort();
-    assert!(files.len() > 1, "thin corpus for {stem}");
-    files
-}
-
-fn load_grammar(stem: &str) -> (Grammar, GrammarAnalysis) {
-    let source = std::fs::read_to_string(repo_path(&format!("grammars/{stem}.g")))
-        .expect("grammar file readable");
-    let grammar = apply_peg_mode(parse_grammar(&source).expect("grammar parses"));
-    let analysis = analyze(&grammar);
-    (grammar, analysis)
-}
-
-/// Parses every input with the chosen dispatch, returning the rendered
-/// trees, the full trace JSONL, and the corpus coverage JSON.
-fn run_corpus(
-    g: &Grammar,
-    a: &GrammarAnalysis,
-    files: &[PathBuf],
-    compiled: bool,
-) -> (String, String, String) {
-    let start = g.start_rule().name.clone();
-    let scanner = g.lexer.build().expect("lexer builds");
-    let mut trees = String::new();
-    let mut trace_sink = JsonlSink::new(Vec::<u8>::new());
-    let mut cov_sink = CoverageSink::new(g, a);
-    for file in files {
-        let input = std::fs::read_to_string(file).expect("corpus file readable");
-        // Trace pass.
-        let tokens = scanner.tokenize(&input).expect("corpus input lexes");
-        let mut parser = Parser::new(g, a, TokenStream::new(tokens.clone()), NopHooks);
-        parser.set_compiled_dispatch(compiled);
-        parser.set_trace_sink(&mut trace_sink);
-        let tree = parser
-            .parse_to_eof(&start)
-            .unwrap_or_else(|e| panic!("parse failed on {file:?} (compiled={compiled}): {e}"));
-        trees.push_str(&format!("{tree:?}\n"));
-        // Coverage pass (separate parse: one sink slot per parser).
-        let mut parser = Parser::new(g, a, TokenStream::new(tokens), NopHooks);
-        parser.set_compiled_dispatch(compiled);
-        parser.set_trace_sink(&mut cov_sink);
-        parser.parse_to_eof(&start).expect("coverage pass parses");
-        cov_sink.finish_file();
-    }
-    let (bytes, err) = trace_sink.into_inner();
-    assert!(err.is_none(), "trace sink I/O error");
-    let trace = String::from_utf8(bytes).expect("trace is utf8");
-    (trees, trace, cov_sink.into_map().to_json())
-}
+mod common;
+use common::{input_files, interp_corpus, load_grammar, read_inputs, SUITE_STEMS};
 
 #[test]
 fn compiled_dispatch_is_byte_identical_over_the_corpus() {
-    for stem in STEMS {
+    for stem in SUITE_STEMS {
         let (g, a) = load_grammar(stem);
         assert!(a.tables.enabled(), "{stem}: suite grammars must lower");
-        let files = input_files(stem);
-        let (trees_c, trace_c, cov_c) = run_corpus(&g, &a, &files, true);
-        let (trees_l, trace_l, cov_l) = run_corpus(&g, &a, &files, false);
-        assert_eq!(trees_c, trees_l, "{stem}: parse trees diverged");
-        assert_eq!(trace_c, trace_l, "{stem}: trace streams diverged");
-        assert_eq!(cov_c, cov_l, "{stem}: coverage JSON diverged");
-        assert!(!trace_c.is_empty() && trace_c.contains("predict-stop"));
+        let inputs = read_inputs(&input_files(stem));
+        let c = interp_corpus(&g, &a, &inputs, true);
+        let l = interp_corpus(&g, &a, &inputs, false);
+        assert_eq!(c.trees, l.trees, "{stem}: parse trees diverged");
+        assert_eq!(c.trace, l.trace, "{stem}: trace streams diverged");
+        assert_eq!(c.coverage, l.coverage, "{stem}: coverage JSON diverged");
+        assert!(!c.trace.is_empty() && c.trace.contains("predict-stop"));
     }
 }
 

@@ -3,11 +3,12 @@
 //! error nodes included) and **byte-identical diagnostic JSONL**.
 
 use llstar::codegen::generate;
-use llstar::core::analyze;
-use llstar::grammar::{apply_peg_mode, parse_grammar};
 use llstar::runtime::{diagnostics_jsonl, parse_text_recovering, Diagnostic};
 use std::path::PathBuf;
 use std::process::Command;
+
+mod common;
+use common::{compile_generated, load_grammar_source};
 
 const STMTS: &str = r#"
 grammar Stmts;
@@ -41,34 +42,14 @@ fn main() {
 "#;
 
 fn build_generated(name: &str, grammar_src: &str) -> PathBuf {
-    let g = apply_peg_mode(parse_grammar(grammar_src).expect("test grammar parses"));
-    let a = analyze(&g);
+    let (g, a) = load_grammar_source(grammar_src);
     let code = generate(&g, &a).expect("generation succeeds");
-
-    let dir = std::env::temp_dir().join(format!("llstar_recovery_{name}_{}", std::process::id()));
-    std::fs::create_dir_all(&dir).expect("temp dir");
-    let src_path = dir.join("parser_main.rs");
-    std::fs::write(&src_path, format!("{code}\n{DRIVER}\n")).expect("write generated source");
-
-    let exe = dir.join("parser_main");
-    let out = Command::new("rustc")
-        .args(["--edition", "2021", "-O", "-o"])
-        .arg(&exe)
-        .arg(&src_path)
-        .output()
-        .expect("rustc runs");
-    assert!(
-        out.status.success(),
-        "generated code failed to compile:\n{}",
-        String::from_utf8_lossy(&out.stderr)
-    );
-    exe
+    compile_generated(&format!("recovery_{name}"), &code, DRIVER)
 }
 
 #[test]
 fn generated_recovery_diagnostics_are_byte_identical() {
-    let g = apply_peg_mode(parse_grammar(STMTS).expect("grammar"));
-    let a = analyze(&g);
+    let (g, a) = load_grammar_source(STMTS);
     let exe = build_generated("stmts", STMTS);
 
     // One input per repair shape: clean, missing token (insertion),
@@ -102,8 +83,7 @@ fn generated_recovery_diagnostics_are_byte_identical() {
 
 #[test]
 fn generated_recovery_respects_max_errors_cap() {
-    let g = apply_peg_mode(parse_grammar(STMTS).expect("grammar"));
-    let a = analyze(&g);
+    let (g, a) = load_grammar_source(STMTS);
     let code = generate(&g, &a).expect("generation succeeds");
 
     let driver = r#"
@@ -162,8 +142,7 @@ WS : [ ]+ -> skip ;
 
 #[test]
 fn generated_gate_recovery_diagnostics_are_byte_identical() {
-    let g = apply_peg_mode(parse_grammar(PEGGY).expect("grammar"));
-    let a = analyze(&g);
+    let (g, a) = load_grammar_source(PEGGY);
     let exe = build_generated("peggy", PEGGY);
 
     let inputs = ["a b c ; x b ;", "a b x ; x b ;", "a b c ; a b ;", "a b ; x ;", "a a a ;"];

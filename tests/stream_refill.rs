@@ -1,0 +1,184 @@
+//! `TokenStream::fill_to` incremental refill behaviour: pulls must cross
+//! the source's internal buffer boundaries transparently, lookahead must
+//! pull exactly what it needs (no over-read past EOF), and zero-length /
+//! EOF-only inputs must round-trip through both the interpreter and a
+//! generated parser.
+
+mod common;
+
+use common::compile_generated;
+use llstar::core::analyze;
+use llstar::grammar::{apply_peg_mode, parse_grammar, Grammar};
+use llstar::runtime::{parse_text, NopHooks, Parser, TokenStream};
+use llstar_lexer::Token;
+use std::cell::Cell;
+use std::process::Command;
+use std::rc::Rc;
+
+const TINY: &str = r#"
+grammar Tiny;
+prog : stat* EOF ;
+stat : ID '=' expr ';' ;
+expr : term ('+' term)* ;
+term : ID | INT ;
+ID : [a-z]+ ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;
+"#;
+
+const DRIVER: &str = r#"
+fn main() {
+    let input = std::env::args().nth(1).expect("input argument");
+    match parse(&input) {
+        Ok(tree) => println!("{}", tree.to_sexpr(&input)),
+        Err(e) => {
+            println!("ERROR {e}");
+            std::process::exit(1);
+        }
+    }
+}
+"#;
+
+fn tiny() -> (Grammar, llstar::core::GrammarAnalysis) {
+    let g = apply_peg_mode(parse_grammar(TINY).expect("tiny grammar parses"));
+    let a = analyze(&g);
+    (g, a)
+}
+
+fn lex(g: &Grammar, text: &str) -> Vec<Token> {
+    g.lexer.build().expect("lexer builds").tokenize(text).expect("input lexes")
+}
+
+/// A lazy source that holds tokens in an internal batch buffer of size
+/// `batch`, refilling only when the parser's demand drains it — the
+/// shape of a socket or pipe delivering tokens in fixed-size frames.
+/// Returns the source plus a refill counter.
+fn batched_source(
+    tokens: Vec<Token>,
+    batch: usize,
+) -> (impl FnMut() -> Option<Token>, Rc<Cell<usize>>) {
+    assert!(batch >= 1);
+    let refills = Rc::new(Cell::new(0usize));
+    let r = refills.clone();
+    let mut queue: Vec<Token> = Vec::new(); // reversed batch; pop() yields in order
+    let mut next = 0usize;
+    let source = move || {
+        if queue.is_empty() && next < tokens.len() {
+            let end = (next + batch).min(tokens.len());
+            queue.extend(tokens[next..end].iter().rev().copied());
+            next = end;
+            r.set(r.get() + 1);
+        }
+        queue.pop()
+    };
+    (source, refills)
+}
+
+#[test]
+fn refill_crosses_batch_boundaries_for_every_batch_size() {
+    let (g, a) = tiny();
+    let input = "a = 1 + b ; c = 2 ; d = e + 3 + f ;";
+    let tokens = lex(&g, input);
+    let total = tokens.len();
+    let (expected, _) = parse_text(&g, &a, input, "prog", NopHooks).expect("eager parse");
+    let expected = expected.to_sexpr(&g, input);
+
+    // Batch sizes straddling every interesting boundary: single-token
+    // frames, frames smaller than the k=2 decision lookahead window,
+    // frames that split statements, and one frame larger than the input.
+    for batch in [1, 2, 3, 5, 7, total + 10] {
+        let (source, refills) = batched_source(tokens.clone(), batch);
+        let mut parser = Parser::new(&g, &a, TokenStream::from_source(source), NopHooks);
+        let tree = parser.parse_to_eof("prog").expect("lazy parse succeeds");
+        assert_eq!(tree.to_sexpr(&g, input), expected, "batch size {batch} changed the tree");
+        assert_eq!(
+            refills.get(),
+            total.div_ceil(batch),
+            "fill_to must drain the source across exactly ceil({total}/{batch}) refills"
+        );
+    }
+}
+
+#[test]
+fn fill_to_pulls_exactly_what_lookahead_requires() {
+    let (g, _) = tiny();
+    let tokens = lex(&g, "a = 1 ; b = 2 ;"); // 8 tokens + EOF
+    let total = tokens.len();
+    let pulled = Rc::new(Cell::new(0usize));
+    let p = pulled.clone();
+    let mut i = 0;
+    let mut ts = TokenStream::from_source(move || {
+        let t = tokens.get(i).copied();
+        if t.is_some() {
+            i += 1;
+            p.set(p.get().max(i));
+        }
+        t
+    });
+
+    assert_eq!(ts.buffered_len(), 0, "construction pulls nothing");
+    ts.la(1);
+    assert_eq!(ts.buffered_len(), 1, "la(1) buffers exactly one token");
+    ts.la(4);
+    assert_eq!(ts.buffered_len(), 4, "la(4) fills to exactly four");
+    ts.la(3);
+    assert_eq!(pulled.get(), 4, "lookahead within the buffer is the fast path: no pull");
+    // Crossing the buffered boundary by one pulls exactly one more.
+    ts.la(5);
+    assert_eq!(ts.buffered_len(), 5);
+    // consume() pre-fills one past the new cursor and no further.
+    ts.consume();
+    assert!(ts.buffered_len() <= 5 + 1, "consume over-pulled: {}", ts.buffered_len());
+    // Asking far past EOF stops at the source's EOF token.
+    ts.la(500);
+    assert_eq!(ts.buffered_len(), total, "saturating lookahead stops at EOF");
+    assert_eq!(pulled.get(), total, "the None tail is never drained");
+}
+
+#[test]
+fn zero_length_and_eof_only_inputs_through_both_engines() {
+    let (g, a) = tiny();
+    let exe = compile_generated(
+        "refill_tiny",
+        &llstar::codegen::generate(&g, &a).expect("codegen"),
+        DRIVER,
+    );
+
+    // Zero-length and whitespace-only inputs both lex to an EOF-only
+    // stream; `prog : stat* EOF` accepts them in every engine.
+    for input in ["", "   \t\n"] {
+        let (tree, _) = parse_text(&g, &a, input, "prog", NopHooks)
+            .unwrap_or_else(|e| panic!("interpreter rejects {input:?}: {e}"));
+        let interp = tree.to_sexpr(&g, input);
+
+        let out = Command::new(&exe).arg(input).output().expect("generated parser runs");
+        assert!(out.status.success(), "generated parser rejects {input:?}");
+        let generated = String::from_utf8_lossy(&out.stdout).trim().to_string();
+        assert_eq!(interp, generated, "engines disagree on {input:?}");
+    }
+}
+
+#[test]
+fn eof_only_lazy_stream_synthesizes_eof_and_parses() {
+    let (g, a) = tiny();
+
+    // A source that is exhausted from the start: fill_to must synthesize
+    // the EOF token on the first pull and never re-enter the source.
+    let pulls = Rc::new(Cell::new(0usize));
+    let p = pulls.clone();
+    let mut parser = Parser::new(
+        &g,
+        &a,
+        TokenStream::from_source(move || {
+            p.set(p.get() + 1);
+            None
+        }),
+        NopHooks,
+    );
+    let tree = parser.parse_to_eof("prog").expect("empty stream parses");
+    assert_eq!(pulls.get(), 1, "one probing pull synthesizes EOF; the tail is never drained");
+
+    // The synthesized-EOF tree matches the eager zero-length parse.
+    let (eager, _) = parse_text(&g, &a, "", "prog", NopHooks).expect("eager empty parse");
+    assert_eq!(tree.to_sexpr(&g, ""), eager.to_sexpr(&g, ""));
+}
