@@ -12,7 +12,6 @@
 use llstar_bench::{report, BenchGroup};
 use llstar_core::{analyze_with, AnalysisOptions};
 use std::hint::black_box;
-use std::io::Write as _;
 use std::time::Duration;
 
 fn main() {
@@ -35,20 +34,11 @@ fn main() {
 
     let rows = report::scaling_all(3);
     println!("{}", report::format_scaling(&rows));
-    if let Err(e) = append_scaling_rows("BENCH_analysis.json", &report::scaling_jsonl(&rows)) {
+    if let Err(e) =
+        report::append_bench_rows(report::bench_analysis_path(), &report::scaling_jsonl(&rows))
+    {
         eprintln!("warning: could not update BENCH_analysis.json: {e}");
     } else {
         eprintln!("appended {} scaling rows to BENCH_analysis.json", rows.len());
     }
-}
-
-/// Appends `rows` to the bench JSONL, writing the schema header first
-/// when the file does not exist yet.
-fn append_scaling_rows(path: &str, rows: &str) -> std::io::Result<()> {
-    let fresh = !std::path::Path::new(path).exists();
-    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
-    if fresh {
-        file.write_all(report::bench_stream_header().as_bytes())?;
-    }
-    file.write_all(rows.as_bytes())
 }

@@ -13,9 +13,8 @@
 //!   stream (header + gauntlet rows) to `PATH`.
 
 use llstar_bench::gauntlet::GAUNTLET_BENCH_SEED;
-use llstar_bench::{format_gauntlet, gauntlet_all, gauntlet_jsonl};
+use llstar_bench::{format_gauntlet, gauntlet_all, gauntlet_jsonl, report};
 use llstar_suite::gauntlet::Tier;
-use std::io::Write as _;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,25 +30,14 @@ fn main() {
     println!("{}", format_gauntlet(&rows));
 
     let jsonl = gauntlet_jsonl(&rows);
-    if let Err(e) = append_rows("BENCH_analysis.json", &jsonl) {
+    if let Err(e) = report::append_bench_rows(report::bench_analysis_path(), &jsonl) {
         eprintln!("warning: could not update BENCH_analysis.json: {e}");
     } else {
         eprintln!("appended {} gauntlet rows to BENCH_analysis.json", rows.len());
     }
     if let Some(path) = json_path {
-        let stream = llstar_bench::report::bench_stream_header() + &jsonl;
+        let stream = report::bench_stream_header() + &jsonl;
         std::fs::write(&path, stream).unwrap_or_else(|e| panic!("write {path}: {e}"));
         eprintln!("wrote {} gauntlet rows to {path}", rows.len());
     }
-}
-
-/// Appends `rows` to the bench JSONL, writing the schema header first
-/// when the file does not exist yet.
-fn append_rows(path: &str, rows: &str) -> std::io::Result<()> {
-    let fresh = !std::path::Path::new(path).exists();
-    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
-    if fresh {
-        file.write_all(llstar_bench::report::bench_stream_header().as_bytes())?;
-    }
-    file.write_all(rows.as_bytes())
 }

@@ -18,7 +18,6 @@
 
 use llstar_bench::{report, BenchGroup};
 use std::hint::black_box;
-use std::io::Write as _;
 use std::time::Duration;
 
 const SEED: u64 = 0x11a7_ab1e;
@@ -62,7 +61,7 @@ fn main() {
     println!("{}", report::format_prediction(&rows));
 
     let jsonl = report::prediction_jsonl(&rows);
-    if let Err(e) = append_prediction_rows("BENCH_analysis.json", &jsonl) {
+    if let Err(e) = report::append_bench_rows(report::bench_analysis_path(), &jsonl) {
         eprintln!("warning: could not update BENCH_analysis.json: {e}");
     } else {
         eprintln!("appended {} prediction rows to BENCH_analysis.json", rows.len());
@@ -92,15 +91,4 @@ fn main() {
         }
         eprintln!("gate passed: compiled dispatch at least matches linear on all decisions");
     }
-}
-
-/// Appends `rows` to the bench JSONL, writing the schema header first
-/// when the file does not exist yet.
-fn append_prediction_rows(path: &str, rows: &str) -> std::io::Result<()> {
-    let fresh = !std::path::Path::new(path).exists();
-    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
-    if fresh {
-        file.write_all(report::bench_stream_header().as_bytes())?;
-    }
-    file.write_all(rows.as_bytes())
 }

@@ -11,6 +11,7 @@
 pub mod figures;
 pub mod gauntlet;
 pub mod harness;
+pub mod overhead;
 pub mod report;
 
 pub use figures::{cyclic_figure, figure1, figure2, figure6, Figure};

@@ -1,0 +1,244 @@
+//! Metrics-overhead bench: what the always-on counters cost. Every
+//! gauntlet grammar's tier corpus is parsed by the compiled-dispatch
+//! interpreter in four observability modes:
+//!
+//! - `metrics-off` — counters disabled ([`Parser::set_metrics_enabled`]),
+//!   the hypothetical zero-instrumentation baseline;
+//! - `metrics-on` — the production default (counters enabled, no sink);
+//! - `trace-sampled-64` — counters plus a [`SamplingSink`] keeping 1 in
+//!   64 top-level prediction windows, serialized to a null writer;
+//! - `trace-full` — counters plus the full JSONL trace stream to a null
+//!   writer (the price of `llstar trace`, for scale).
+//!
+//! The off/on pair is measured best-of-`reps` (the gate compares those
+//! two); the trace modes run once — they exist to bound the tiers, not
+//! to gate. Timing excludes lexing: token streams are materialized
+//! before the clock starts, exactly like the gauntlet bench.
+
+use llstar_core::{analyze, GrammarAnalysis, Json};
+use llstar_runtime::{JsonlSink, NopHooks, Parser, SamplingSink, TokenStream, TraceSink};
+use llstar_suite::gauntlet::{self, GauntletEntry, Tier};
+use std::time::{Duration, Instant};
+
+/// Corpus seed for the overhead rows (shared with the gauntlet bench so
+/// the two measure the same inputs).
+pub use crate::gauntlet::GAUNTLET_BENCH_SEED;
+
+/// Sampling divisor for the `trace-sampled-64` mode.
+pub const SAMPLE_N: u64 = 64;
+
+/// The observability configurations, measured in this order.
+pub const MODES: [&str; 4] = ["metrics-off", "metrics-on", "trace-sampled-64", "trace-full"];
+
+/// One `grammar × mode` measurement.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Gauntlet grammar name.
+    pub grammar: &'static str,
+    /// Corpus tier label.
+    pub tier: &'static str,
+    /// Observability mode (see [`MODES`]).
+    pub mode: &'static str,
+    /// Repetitions measured (row keeps the best).
+    pub reps: u32,
+    /// Corpus tokens (EOF excluded).
+    pub input_tokens: usize,
+    /// Best whole-corpus parse time, lexing excluded.
+    pub parse_time: Duration,
+    /// Tokens per second at the best rep.
+    pub tokens_per_sec: u64,
+    /// Slowdown versus this grammar's `metrics-off` row, in percent
+    /// (clamped at 0: a faster-than-baseline rep is measurement noise).
+    pub overhead_pct: f64,
+}
+
+fn pass(
+    g: &llstar_grammar::Grammar,
+    a: &GrammarAnalysis,
+    start: &str,
+    streams: &[Vec<llstar_lexer::Token>],
+    metrics: bool,
+    sink: Option<&mut dyn TraceSink>,
+) -> Duration {
+    let mut parser = Parser::new(g, a, TokenStream::new(streams[0].clone()), NopHooks);
+    parser.set_metrics_enabled(metrics);
+    if let Some(sink) = sink {
+        parser.set_trace_sink(sink);
+    }
+    let mut elapsed = Duration::ZERO;
+    for (i, stream) in streams.iter().enumerate() {
+        let tokens = TokenStream::new(stream.clone());
+        if i > 0 {
+            parser.reset(tokens);
+        }
+        let t0 = Instant::now();
+        parser
+            .parse_to_eof(start)
+            .unwrap_or_else(|e| panic!("overhead bench: corpus input rejected: {e}"));
+        elapsed += t0.elapsed();
+    }
+    elapsed
+}
+
+fn best_of(reps: u32, mut one: impl FnMut() -> Duration) -> Duration {
+    (0..reps).map(|_| one()).min().expect("at least one rep")
+}
+
+/// Measures all four modes for one gauntlet grammar.
+pub fn overhead_run(entry: &GauntletEntry, tier: Tier, seed: u64, reps: u32) -> Vec<OverheadRow> {
+    let inputs = gauntlet::corpus(entry, tier, seed);
+    let g = entry.load();
+    let a = analyze(&g);
+    let scanner = g.lexer.build().expect("gauntlet lexer builds");
+    let streams: Vec<Vec<llstar_lexer::Token>> = inputs
+        .iter()
+        .map(|(label, text)| {
+            scanner.tokenize(text).unwrap_or_else(|e| panic!("{label}: fails to lex: {e}"))
+        })
+        .collect();
+    let input_tokens: usize = streams.iter().map(|s| s.len() - 1).sum();
+    let start = entry.start_rule;
+
+    let timings: Vec<(&'static str, u32, Duration)> = MODES
+        .iter()
+        .map(|&mode| {
+            let (r, t) = match mode {
+                "metrics-off" => {
+                    (reps, best_of(reps, || pass(&g, &a, start, &streams, false, None)))
+                }
+                "metrics-on" => (reps, best_of(reps, || pass(&g, &a, start, &streams, true, None))),
+                "trace-sampled-64" => {
+                    let mut out = JsonlSink::new(std::io::sink());
+                    let mut sampler = SamplingSink::new(&mut out, SAMPLE_N);
+                    (1, pass(&g, &a, start, &streams, true, Some(&mut sampler)))
+                }
+                "trace-full" => {
+                    let mut out = JsonlSink::new(std::io::sink());
+                    (1, pass(&g, &a, start, &streams, true, Some(&mut out)))
+                }
+                _ => unreachable!("unknown mode"),
+            };
+            (mode, r, t)
+        })
+        .collect();
+
+    let off = timings[0].2;
+    timings
+        .into_iter()
+        .map(|(mode, r, t)| {
+            let overhead = (100.0 * (t.as_secs_f64() / off.as_secs_f64() - 1.0)).max(0.0);
+            OverheadRow {
+                grammar: entry.name,
+                tier: tier.label(),
+                mode,
+                reps: r,
+                input_tokens,
+                parse_time: t,
+                tokens_per_sec: if t.as_secs_f64() > 0.0 {
+                    (input_tokens as f64 / t.as_secs_f64()) as u64
+                } else {
+                    0
+                },
+                overhead_pct: overhead,
+            }
+        })
+        .collect()
+}
+
+/// Measures every gauntlet grammar at `tier`.
+pub fn overhead_all(tier: Tier, seed: u64, reps: u32) -> Vec<OverheadRow> {
+    gauntlet::all().iter().flat_map(|e| overhead_run(e, tier, seed, reps)).collect()
+}
+
+/// JSONL export — the `metrics_overhead` record type in
+/// `BENCH_analysis.json`. Fractional overhead is a scaled integer
+/// (`overhead-pct-milli`), matching the stream's u64-only number model.
+pub fn overhead_jsonl(rows: &[OverheadRow]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        let line = Json::Object(vec![
+            ("type".into(), Json::Str("metrics_overhead".into())),
+            ("grammar".into(), Json::Str(r.grammar.to_string())),
+            ("tier".into(), Json::Str(r.tier.to_string())),
+            ("mode".into(), Json::Str(r.mode.to_string())),
+            ("reps".into(), Json::Num(u64::from(r.reps))),
+            ("input-tokens".into(), Json::Num(r.input_tokens as u64)),
+            ("parse-micros".into(), Json::Num(r.parse_time.as_micros() as u64)),
+            ("tokens-per-sec".into(), Json::Num(r.tokens_per_sec)),
+            ("overhead-pct-milli".into(), Json::Num((r.overhead_pct * 1000.0) as u64)),
+        ]);
+        out.push_str(&line.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the rows as an aligned text table.
+pub fn format_overhead(rows: &[OverheadRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} {:<6} {:<18} {:>4} {:>12} {:>12} {:>12} {:>9}\n",
+        "grammar", "tier", "mode", "reps", "tokens", "micros", "tok/s", "overhead"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:<6} {:<18} {:>4} {:>12} {:>12} {:>12} {:>8.2}%\n",
+            r.grammar,
+            r.tier,
+            r.mode,
+            r.reps,
+            r.input_tokens,
+            r.parse_time.as_micros(),
+            r.tokens_per_sec,
+            r.overhead_pct,
+        ));
+    }
+    out
+}
+
+/// The gate the CI bench step enforces: `metrics-on` within
+/// `tolerance_pct` of `metrics-off` for every grammar. Returns the
+/// violations (grammar, measured overhead).
+pub fn gate_violations(rows: &[OverheadRow], tolerance_pct: f64) -> Vec<(&'static str, f64)> {
+    rows.iter()
+        .filter(|r| r.mode == "metrics-on" && r.overhead_pct > tolerance_pct)
+        .map(|r| (r.grammar, r.overhead_pct))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_rows_cover_every_mode_and_jsonl_round_trips() {
+        let entry = gauntlet::by_name("json").expect("json gauntlet entry");
+        let rows = overhead_run(&entry, Tier::Smoke, GAUNTLET_BENCH_SEED, 2);
+        assert_eq!(rows.len(), MODES.len());
+        for (row, mode) in rows.iter().zip(MODES) {
+            assert_eq!(row.mode, mode);
+            assert!(row.input_tokens > 0);
+            assert!(row.parse_time > Duration::ZERO, "{mode}: zero parse time");
+        }
+        assert_eq!(rows[0].overhead_pct, 0.0, "baseline row must have zero overhead");
+
+        let jsonl = overhead_jsonl(&rows);
+        let parsed = crate::report::load_bench_rows(&jsonl).expect("rows parse");
+        assert_eq!(parsed.len(), rows.len());
+        for row in &parsed {
+            assert_eq!(row.get("type").and_then(Json::as_str), Some("metrics_overhead"));
+            assert!(row.get("overhead-pct-milli").and_then(Json::as_u64).is_some());
+        }
+
+        // An obviously-breached gate trips; the real rows at smoke tier
+        // are too noisy to assert on here (the 1 MB tier gates in CI).
+        assert!(gate_violations(&rows, f64::INFINITY).is_empty());
+        let mut slow = rows.clone();
+        for r in &mut slow {
+            if r.mode == "metrics-on" {
+                r.overhead_pct = 50.0;
+            }
+        }
+        assert_eq!(gate_violations(&slow, 5.0), vec![("json", 50.0)]);
+    }
+}

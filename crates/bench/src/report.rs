@@ -996,12 +996,64 @@ pub fn prediction_jsonl(rows: &[PredictionRow]) -> String {
 /// newline), so the mixed bench stream is versioned like every other
 /// machine-readable output.
 pub fn bench_stream_header() -> String {
-    let mut line = llstar_core::schema::schema_line(
-        "bench-analysis",
-        llstar_core::schema::BENCH_STREAM_VERSION,
-    );
+    let mut line = llstar_core::schema::StreamKind::BenchAnalysis.header_line();
     line.push('\n');
     line
+}
+
+/// Absolute path of the canonical `BENCH_analysis.json` at the
+/// workspace root. `cargo bench` runs each harness with the *package*
+/// directory as CWD, so a relative path would silently land in
+/// `crates/bench/` instead of the committed stream.
+pub fn bench_analysis_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_analysis.json")
+}
+
+/// Appends pre-rendered JSONL `rows` to the bench-analysis stream at
+/// `path`, writing the schema header first when the file does not exist
+/// yet — the one append path every bench binary shares (profile,
+/// prediction, scaling, gauntlet, metrics-overhead).
+///
+/// # Errors
+/// Propagates I/O errors from opening or writing the file.
+pub fn append_bench_rows(path: impl AsRef<std::path::Path>, rows: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let path = path.as_ref();
+    let fresh = !path.exists();
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    if fresh {
+        file.write_all(bench_stream_header().as_bytes())?;
+    }
+    file.write_all(rows.as_bytes())
+}
+
+/// Loads a bench-analysis stream back: validates the leading schema
+/// header through the shared [`llstar_core::schema`] checker (headerless
+/// pre-versioning files are accepted) and parses each data row.
+///
+/// # Errors
+/// Returns the 1-based line number and a description for the first
+/// unparsable line or a mismatched header.
+pub fn load_bench_rows(text: &str) -> Result<Vec<Json>, (usize, String)> {
+    let mut rows = Vec::new();
+    let mut first = true;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = Json::parse(line).map_err(|e| (i + 1, e))?;
+        if std::mem::take(&mut first) && llstar_core::schema::parse_schema_header(&value).is_some()
+        {
+            llstar_core::schema::check_header(
+                &value,
+                llstar_core::schema::StreamKind::BenchAnalysis,
+            )
+            .map_err(|e| (i + 1, e))?;
+            continue;
+        }
+        rows.push(value);
+    }
+    Ok(rows)
 }
 
 // ---------------------------------------------------------------------------
@@ -1265,12 +1317,46 @@ mod tests {
     fn bench_stream_is_versioned() {
         let header = bench_stream_header();
         let v = Json::parse(header.trim_end()).expect("valid header");
-        llstar_core::schema::check_stream_header(
-            &v,
+        llstar_core::schema::check_header(&v, llstar_core::schema::StreamKind::BenchAnalysis)
+            .expect("header matches this build");
+    }
+
+    #[test]
+    fn bench_rows_round_trip_through_append_and_load() {
+        let dir = std::env::temp_dir().join(format!("llstar-bench-rows-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_analysis.json");
+        let path = path.to_str().expect("utf-8 temp path");
+        let _ = std::fs::remove_file(path);
+
+        // First append creates the file with a header; the second must
+        // not duplicate it.
+        append_bench_rows(path, "{\"type\":\"gauntlet\",\"tokens\":10}\n").expect("append");
+        append_bench_rows(path, "{\"type\":\"metrics_overhead\",\"on-micros\":5}\n")
+            .expect("append again");
+        let text = std::fs::read_to_string(path).expect("read back");
+        assert!(text.starts_with(&bench_stream_header()), "{text}");
+        assert_eq!(text.matches("\"type\":\"schema\"").count(), 1, "{text}");
+
+        let rows = load_bench_rows(&text).expect("load");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("type").and_then(Json::as_str), Some("gauntlet"));
+        assert_eq!(rows[1].get("type").and_then(Json::as_str), Some("metrics_overhead"));
+
+        // Headerless (pre-versioning) files still load; a bumped header
+        // is rejected through the shared checker.
+        let (_, body) = text.split_once('\n').expect("has header line");
+        assert_eq!(load_bench_rows(body).expect("headerless load").len(), 2);
+        let bumped = llstar_core::schema::schema_line(
             "bench-analysis",
-            llstar_core::schema::BENCH_STREAM_VERSION,
-        )
-        .expect("header matches this build");
+            llstar_core::schema::BENCH_STREAM_VERSION + 1,
+        ) + "\n";
+        let (line, err) = load_bench_rows(&bumped).expect_err("version bump rejected");
+        assert_eq!(line, 1);
+        assert!(err.contains("schema version"), "{err}");
+
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_dir(&dir);
     }
 
     #[test]

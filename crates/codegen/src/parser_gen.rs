@@ -43,11 +43,16 @@ struct ParserGen<'a> {
     /// Emit direct coverage counters (`Parser::cov`) mirroring the
     /// interpreter's `CoverageSink` fold byte-for-byte.
     coverage: bool,
+    /// Emit direct metric counters (`Parser::met`) mirroring the
+    /// interpreter's always-on `ParseMetrics` byte-for-byte.
+    metrics: bool,
     /// The grammar memoizes (`options.memoize`): memo hit/miss coverage
     /// counters are only emitted then, matching the interpreter's
     /// memoization gate (the generated engine always memoizes, but
     /// counting uncounted traffic would break parity).
     count_memo: bool,
+    /// As `count_memo`, for the metric memo counters.
+    met_memo: bool,
     /// Interned expected-token sets, in first-use order; emitted as the
     /// `EXPECTED_SETS` static the recovery helpers index into.
     sets: Vec<Vec<u32>>,
@@ -83,7 +88,9 @@ pub fn emit_parser(
         used_decisions: Vec::new(),
         trace: options.trace,
         coverage: options.coverage,
+        metrics: options.metrics,
         count_memo: options.coverage && grammar.options.memoize,
+        met_memo: options.metrics && grammar.options.memoize,
         sets: Vec::new(),
         set_ids: std::collections::HashMap::new(),
         token_site: 0,
@@ -130,6 +137,16 @@ impl<'a> ParserGen<'a> {
         if self.coverage {
             self.emit_coverage_support(w);
         }
+        if self.metrics {
+            self.emit_metrics_support(w);
+        }
+    }
+
+    /// Whether any per-prediction instrumentation is on (coverage or
+    /// metrics) — both need the `__bt`/`__spec` predictor locals and the
+    /// `last_spec` speculation-width side channel.
+    fn instrument(&self) -> bool {
+        self.coverage || self.metrics
     }
 
     /// Emits the compiled prediction tables as `static` arrays: the
@@ -320,6 +337,148 @@ impl<'a> ParserGen<'a> {
         w.close("}");
     }
 
+    /// Emits the metric statics (`MET_DECISION_RULES`, the grammar
+    /// fingerprint when coverage hasn't already emitted it), the
+    /// log-linear bucket function, and the `Metrics` / `MetDecision`
+    /// accumulator types whose `to_json` rendering is byte-identical to
+    /// the runtime's `MetricsSnapshot::to_json(engine, false)`.
+    fn emit_metrics_support(&self, w: &mut CodeWriter) {
+        w.blank();
+        if !self.coverage {
+            let fingerprint = llstar_core::grammar_fingerprint(self.grammar);
+            w.line("/// Fingerprint of the source grammar (keys metric documents).");
+            w.line(&format!("pub const GRAMMAR_FINGERPRINT: u64 = {fingerprint};"));
+        }
+        let rules: Vec<String> = self
+            .analysis
+            .atn
+            .decisions
+            .iter()
+            .map(|d| format!("{:?}", self.grammar.rule(d.rule).name))
+            .collect();
+        w.line("/// Owning rule name per decision (metric exposition labels).");
+        w.line(&format!("static MET_DECISION_RULES: &[&str] = &[{}];", rules.join(", ")));
+        w.blank();
+        w.line("/// Log-linear bucket index of `v` in an `n`-bucket histogram:");
+        w.line("/// identity below 16, then two sub-buckets per power of two,");
+        w.line("/// clamped (identical to the runtime's `metrics::bucket_of`).");
+        w.open("fn met_bucket(v: u64, n: usize) -> usize {");
+        w.open("if v < 16 {");
+        w.line("v as usize");
+        w.close("}");
+        w.open("else {");
+        w.line("let msb = 63 - v.leading_zeros() as usize;");
+        w.line("let sub = ((v >> (msb - 1)) & 1) as usize;");
+        w.line("(16 + (msb - 4) * 2 + sub).min(n - 1)");
+        w.close("}");
+        w.close("}");
+        w.blank();
+        w.line("/// Renders a histogram as a JSON array, trailing zeros trimmed");
+        w.line("/// (the runtime's rendering exactly).");
+        w.open("fn met_hist_json(hist: &[u64]) -> String {");
+        w.line("let len = hist.iter().rposition(|&v| v != 0).map_or(0, |i| i + 1);");
+        w.line("let items: Vec<String> = hist[..len].iter().map(|v| v.to_string()).collect();");
+        w.line("format!(\"[{}]\", items.join(\",\"))");
+        w.close("}");
+        w.blank();
+        w.line("/// Per-decision metric slots (see `Metrics`).");
+        w.line("#[derive(Debug, Clone, PartialEq, Eq)]");
+        w.open("pub struct MetDecision {");
+        w.line("/// Completed predictions (all speculation depths).");
+        w.line("pub events: u64,");
+        w.line("/// Sum of effective lookahead depths.");
+        w.line("pub la_sum: u64,");
+        w.line("/// Deepest effective lookahead seen.");
+        w.line("pub la_max: u64,");
+        w.line("/// Predictions that fell over to backtracking.");
+        w.line("pub backtracks: u64,");
+        w.line("/// Sum of deepest-speculation token counts.");
+        w.line("pub spec_sum: u64,");
+        w.line("/// Log-linear histogram of effective lookahead depth.");
+        w.line("pub hist: [u64; 32],");
+        w.close("}");
+        w.blank();
+        w.line("/// Mergeable metric counters; `to_json` renders the same bytes");
+        w.line("/// as the runtime's `MetricsSnapshot::to_json(engine, false)`");
+        w.line("/// for the same runs.");
+        w.line("#[derive(Debug, Clone, PartialEq, Eq)]");
+        w.open("pub struct Metrics {");
+        w.line("/// Completed parses (bumped by `finish_parse`).");
+        w.line("pub parses: u64,");
+        w.line("/// Tokens consumed by completed parses.");
+        w.line("pub tokens: u64,");
+        w.line("/// Memo-table hits.");
+        w.line("pub memo_hits: u64,");
+        w.line("/// Memo-table entries written.");
+        w.line("pub memo_entries: u64,");
+        w.line("/// Histogram of tokens per parse.");
+        w.line("pub tokens_hist: [u64; 64],");
+        w.line("/// Histogram of memo entries written per parse.");
+        w.line("pub memo_hist: [u64; 64],");
+        w.line("/// `memo_entries` at the last `finish_parse` (per-parse deltas).");
+        w.line("memo_mark: u64,");
+        w.line("/// Per-decision counters, indexed by decision id.");
+        w.line("pub decisions: Vec<MetDecision>,");
+        w.close("}");
+        w.blank();
+        w.open("impl Metrics {");
+        w.line("/// An all-zero accumulator shaped for this grammar.");
+        w.open("pub fn new() -> Metrics {");
+        w.line("Metrics { parses: 0, tokens: 0, memo_hits: 0, memo_entries: 0, tokens_hist: [0; 64], memo_hist: [0; 64], memo_mark: 0, decisions: MET_DECISION_RULES.iter().map(|_| MetDecision { events: 0, la_sum: 0, la_max: 0, backtracks: 0, spec_sum: 0, hist: [0; 32] }).collect() }");
+        w.close("}");
+        w.blank();
+        w.line("/// Marks one successful parse-to-EOF over `tokens` consumed");
+        w.line("/// tokens (the runtime's `ParseMetrics::finish_parse`).");
+        w.open("pub fn finish_parse(&mut self, tokens: u64) {");
+        w.line("self.parses += 1;");
+        w.line("self.tokens += tokens;");
+        w.line("self.tokens_hist[met_bucket(tokens, 64)] += 1;");
+        w.line("let delta = self.memo_entries - self.memo_mark;");
+        w.line("self.memo_mark = self.memo_entries;");
+        w.line("self.memo_hist[met_bucket(delta, 64)] += 1;");
+        w.close("}");
+        w.blank();
+        w.line("/// Adds `other` into `self`, cell by cell (`la_max` via max).");
+        w.open("pub fn merge(&mut self, other: &Metrics) {");
+        w.line("self.parses += other.parses;");
+        w.line("self.tokens += other.tokens;");
+        w.line("self.memo_hits += other.memo_hits;");
+        w.line("self.memo_entries += other.memo_entries;");
+        w.line("for (a, b) in self.tokens_hist.iter_mut().zip(&other.tokens_hist) { *a += b; }");
+        w.line("for (a, b) in self.memo_hist.iter_mut().zip(&other.memo_hist) { *a += b; }");
+        w.open("for (a, b) in self.decisions.iter_mut().zip(&other.decisions) {");
+        w.line("a.events += b.events;");
+        w.line("a.la_sum += b.la_sum;");
+        w.line("a.la_max = a.la_max.max(b.la_max);");
+        w.line("a.backtracks += b.backtracks;");
+        w.line("a.spec_sum += b.spec_sum;");
+        w.line("for (x, y) in a.hist.iter_mut().zip(&b.hist) { *x += y; }");
+        w.close("}");
+        w.close("}");
+        w.blank();
+        w.line("/// The deterministic snapshot JSON (field order and bytes match");
+        w.line("/// the runtime's timing-free form exactly; zero-event decisions");
+        w.line("/// are omitted).");
+        w.open("pub fn to_json(&self, engine: &str) -> String {");
+        w.line("let mut out = String::new();");
+        w.line("out.push_str(&format!(\"{{\\\"type\\\":\\\"metrics\\\",\\\"fingerprint\\\":{},\\\"engine\\\":{},\\\"parses\\\":{},\\\"tokens\\\":{},\\\"memo-hits\\\":{},\\\"memo-entries\\\":{},\\\"tokens-hist\\\":{},\\\"memo-hist\\\":{},\\\"decisions\\\":[\", GRAMMAR_FINGERPRINT, json_quote(engine), self.parses, self.tokens, self.memo_hits, self.memo_entries, met_hist_json(&self.tokens_hist), met_hist_json(&self.memo_hist)));");
+        w.line("let mut first = true;");
+        w.open("for (d, m) in self.decisions.iter().enumerate() {");
+        w.line("if m.events == 0 { continue; }");
+        w.line("if !first { out.push(','); }");
+        w.line("first = false;");
+        w.line("out.push_str(&format!(\"{{\\\"decision\\\":{},\\\"rule\\\":{},\\\"events\\\":{},\\\"la-sum\\\":{},\\\"la-max\\\":{},\\\"backtracks\\\":{},\\\"spec-sum\\\":{},\\\"hist\\\":{}}}\", d, json_quote(MET_DECISION_RULES[d]), m.events, m.la_sum, m.la_max, m.backtracks, m.spec_sum, met_hist_json(&m.hist)));");
+        w.close("}");
+        w.line("out.push_str(\"]}\");");
+        w.line("out");
+        w.close("}");
+        w.close("}");
+        w.blank();
+        w.open("impl Default for Metrics {");
+        w.line("fn default() -> Metrics { Metrics::new() }");
+        w.close("}");
+    }
+
     /// Interns an expected set, returning its `EXPECTED_SETS` index.
     fn set_id(&mut self, set: &llstar_core::TokenSet) -> usize {
         let key: Vec<u32> = set.iter().map(|t| t.0).collect();
@@ -398,21 +557,33 @@ impl<'a> ParserGen<'a> {
             w.line("/// popped through by the next enclosing successful stop —");
             w.line("/// exactly the interpreter fold's rule.");
             w.line("cov_stack: Vec<u32>,");
+        }
+        if self.metrics {
+            w.line("/// Metric counters accumulated by this parser.");
+            w.line("pub met: Metrics,");
+        }
+        if self.instrument() {
             w.line("/// Tokens consumed by the most recent syntactic-predicate");
             w.line("/// evaluation (memoized failures report 0).");
-            w.line("cov_last_spec: u64,");
+            w.line("last_spec: u64,");
         }
         w.close("}");
         w.blank();
         w.open("impl<'h, H: Hooks> Parser<'h, H> {");
         w.line("/// Creates a parser over a token buffer ending in EOF.");
         w.open("pub fn new(tokens: Vec<Token>, hooks: &'h mut H) -> Self {");
-        let cov_init = if self.coverage {
-            ", cov: Coverage::new(), cov_path: Vec::new(), cov_stack: Vec::new(), cov_last_spec: 0"
-        } else {
-            ""
-        };
-        w.line(&format!("Parser {{ tokens, pos: 0, speculating: 0, memo: std::collections::HashMap::new(), hooks, recovering: false, max_errors: 0, in_error_mode: false, errors: Vec::new(), follow: Vec::new(), nv: None, last_err_idx: usize::MAX{cov_init} }}"));
+        let mut extra_init = String::new();
+        if self.coverage {
+            extra_init
+                .push_str(", cov: Coverage::new(), cov_path: Vec::new(), cov_stack: Vec::new()");
+        }
+        if self.metrics {
+            extra_init.push_str(", met: Metrics::new()");
+        }
+        if self.instrument() {
+            extra_init.push_str(", last_spec: 0");
+        }
+        w.line(&format!("Parser {{ tokens, pos: 0, speculating: 0, memo: std::collections::HashMap::new(), hooks, recovering: false, max_errors: 0, in_error_mode: false, errors: Vec::new(), follow: Vec::new(), nv: None, last_err_idx: usize::MAX{extra_init} }}"));
         w.close("}");
         if self.coverage {
             w.blank();
@@ -462,6 +633,25 @@ impl<'a> ParserGen<'a> {
             w.line("let counts = &mut self.cov.rules[rid];");
             w.line("let idx = if counts.len() == 1 { 0 } else if alt >= 1 { alt as usize - 1 } else { return };");
             w.line("if let Some(slot) = counts.get_mut(idx) { *slot += 1; }");
+            w.close("}");
+        }
+        if self.metrics {
+            w.blank();
+            w.line("/// Folds one completed prediction of `d` into the metric");
+            w.line("/// counters: all speculation depths count (the prediction");
+            w.line("/// sequence is engine-invariant, so this matches the");
+            w.line("/// interpreter's `record_predict` byte-for-byte). Returns");
+            w.line("/// `alt` so predictor return sites stay expressions.");
+            w.open("fn met_stop(&mut self, d: usize, alt: u16, depth: u64, backtracked: bool, spec: u64) -> u16 {");
+            w.line("let la = depth.max(1).max(spec);");
+            w.line("let m = &mut self.met.decisions[d];");
+            w.line("m.events += 1;");
+            w.line("m.la_sum += la;");
+            w.line("m.la_max = m.la_max.max(la);");
+            w.line("m.backtracks += backtracked as u64;");
+            w.line("m.spec_sum += spec;");
+            w.line("m.hist[met_bucket(la, 32)] += 1;");
+            w.line("alt");
             w.close("}");
         }
         w.blank();
@@ -730,20 +920,25 @@ impl<'a> ParserGen<'a> {
         w.line("let start = self.pos;");
         w.open("if self.speculating > 0 {");
         w.open(&format!("match self.memo.get(&({rid}, start)) {{"));
+        let mut hit = String::new();
+        if self.met_memo {
+            hit.push_str("self.met.memo_hits += 1; ");
+        }
         if self.count_memo {
-            // The memo borrow is copied out before `cov_memo` retakes
-            // `&mut self`.
-            w.line(&format!(
-                "Some(Memo::Stop(stop)) => {{ let stop = *stop; self.cov_memo(true); self.pos = stop; return Ok(Tree::Rule {{ rule: {rid}, alt: 0, children: Vec::new() }}); }}"
-            ));
-            w.line(
-                "Some(Memo::Fail(e)) => { let e = e.clone(); self.cov_memo(true); return Err(e); }",
-            );
-        } else {
+            hit.push_str("self.cov_memo(true); ");
+        }
+        if hit.is_empty() {
             w.line(&format!(
                 "Some(Memo::Stop(stop)) => {{ self.pos = *stop; return Ok(Tree::Rule {{ rule: {rid}, alt: 0, children: Vec::new() }}); }}"
             ));
             w.line("Some(Memo::Fail(e)) => return Err(e.clone()),");
+        } else {
+            // The memo borrow is copied out before the counter helpers
+            // retake `&mut self`.
+            w.line(&format!(
+                "Some(Memo::Stop(stop)) => {{ let stop = *stop; {hit}self.pos = stop; return Ok(Tree::Rule {{ rule: {rid}, alt: 0, children: Vec::new() }}); }}"
+            ));
+            w.line(&format!("Some(Memo::Fail(e)) => {{ let e = e.clone(); {hit}return Err(e); }}"));
         }
         w.line("None => {}");
         w.close("}");
@@ -754,6 +949,9 @@ impl<'a> ParserGen<'a> {
         w.line("Ok(_) => Memo::Stop(self.pos),");
         w.line("Err(e) => Memo::Fail(e.clone()),");
         w.close("};");
+        if self.met_memo {
+            w.line("self.met.memo_entries += 1;");
+        }
         if self.count_memo {
             w.line("self.cov_memo(false);");
         }
@@ -810,14 +1008,20 @@ impl<'a> ParserGen<'a> {
         } else {
             String::new()
         };
-        let memo_hit = if self.count_memo { "self.cov_memo(true); " } else { "" };
+        let mut memo_hit = String::new();
+        if self.met_memo {
+            memo_hit.push_str("self.met.memo_hits += 1; ");
+        }
+        if self.count_memo {
+            memo_hit.push_str("self.cov_memo(true); ");
+        }
         w.open(&format!("match self.memo.get(&({memo_key}, start)) {{"));
-        if self.coverage {
+        if self.instrument() {
             w.line(&format!(
-                "Some(Memo::Stop(stop)) => {{ let stop = *stop; {trace_hit}{memo_hit}self.cov_last_spec = (stop - start) as u64; return true; }}"
+                "Some(Memo::Stop(stop)) => {{ let stop = *stop; {trace_hit}{memo_hit}self.last_spec = (stop - start) as u64; return true; }}"
             ));
             w.line(&format!(
-                "Some(Memo::Fail(_)) => {{ {trace_hit}{memo_hit}self.cov_last_spec = 0; return false; }}"
+                "Some(Memo::Fail(_)) => {{ {trace_hit}{memo_hit}self.last_spec = 0; return false; }}"
             ));
         } else if self.trace {
             w.line(&format!("Some(Memo::Stop(_)) => {{ {trace_hit}return true; }}"));
@@ -836,13 +1040,16 @@ impl<'a> ParserGen<'a> {
         w.line("self.speculating -= 1;");
         w.line("let stop = self.pos;");
         w.line("self.pos = start;");
-        if self.coverage {
-            w.line("self.cov_last_spec = (stop - start) as u64;");
+        if self.instrument() {
+            w.line("self.last_spec = (stop - start) as u64;");
         }
         w.open("let entry = match &result {");
         w.line("Ok(()) => Memo::Stop(stop),");
         w.line("Err(e) => Memo::Fail(e.clone()),");
         w.close("};");
+        if self.met_memo {
+            w.line("self.met.memo_entries += 1;");
+        }
         if self.count_memo {
             w.line("self.cov_memo(false);");
         }
@@ -1130,6 +1337,8 @@ impl<'a> ParserGen<'a> {
             // speculation depth zero.
             w.line(&format!("self.cov_stack.push({decision});"));
             w.line("if self.speculating == 0 { self.cov_path.clear(); self.cov_path.push(0); }");
+        }
+        if self.instrument() {
             w.line("let mut __bt = false;");
             w.line("let mut __spec = 0u64;");
         }
@@ -1227,11 +1436,23 @@ impl<'a> ParserGen<'a> {
 
     /// [`ParserGen::predict_ok`] for a runtime alternative expression
     /// (the table-driven predictors read `alt` out of a side table).
+    /// With both instrumentations on, the recorders nest — each hands
+    /// `alt` back, so the return site stays a single expression.
     fn predict_ok_expr(&self, decision: usize, alt: &str) -> String {
-        if self.coverage {
-            format!("Ok(self.cov_stop({decision}, {alt}, i as u64, __bt, __spec))")
-        } else {
-            format!("Ok({alt})")
+        // When both instrumentations are on the calls cannot nest (two
+        // overlapping `&mut self` receivers), so the inner result is
+        // bound to a local between them.
+        match (self.coverage, self.metrics) {
+            (false, false) => format!("Ok({alt})"),
+            (true, false) => {
+                format!("Ok(self.cov_stop({decision}, {alt}, i as u64, __bt, __spec))")
+            }
+            (false, true) => {
+                format!("Ok(self.met_stop({decision}, {alt}, i as u64, __bt, __spec))")
+            }
+            (true, true) => format!(
+                "Ok({{ let __alt = self.cov_stop({decision}, {alt}, i as u64, __bt, __spec); self.met_stop({decision}, __alt, i as u64, __bt, __spec) }})"
+            ),
         }
     }
 
@@ -1305,23 +1526,23 @@ impl<'a> ParserGen<'a> {
                     ));
                 }
                 PredSource::Syn(sp) => {
-                    if self.coverage {
+                    if self.instrument() {
                         // The speculation depth is folded in before the
                         // outcome check, matching the interpreter (failed
                         // speculative parses still deepen the histogram).
                         w.line("__bt = true;");
                         w.line(&format!("let __ok = self.synpred_{}();", sp.0));
-                        w.line("__spec = __spec.max(self.cov_last_spec);");
+                        w.line("__spec = __spec.max(self.last_spec);");
                         w.line(&format!("if __ok {{ return {ok}; }}"));
                     } else {
                         w.line(&format!("if self.synpred_{}() {{ return Ok({alt}); }}", sp.0));
                     }
                 }
                 PredSource::NotSyn(sp) => {
-                    if self.coverage {
+                    if self.instrument() {
                         w.line("__bt = true;");
                         w.line(&format!("let __ok = self.synpred_{}();", sp.0));
-                        w.line("__spec = __spec.max(self.cov_last_spec);");
+                        w.line("__spec = __spec.max(self.last_spec);");
                         w.line(&format!("if !__ok {{ return {ok}; }}"));
                     } else {
                         w.line(&format!("if !self.synpred_{}() {{ return Ok({alt}); }}", sp.0));

@@ -37,6 +37,88 @@ pub const COVERAGE_SCHEMA_VERSION: u64 = 1;
 /// Version of the `bench-analysis` JSONL stream (`BENCH_analysis.json`).
 pub const BENCH_STREAM_VERSION: u64 = 1;
 
+/// Version of the `metrics` JSONL stream (cumulative
+/// [`MetricsSnapshot`] lines from the always-on metrics substrate).
+///
+/// [`MetricsSnapshot`]: https://docs.rs/llstar-runtime
+pub const METRICS_STREAM_VERSION: u64 = 1;
+
+/// Every versioned machine-readable output, as one table: the stream
+/// parsers all route their header checks through [`check_header`] /
+/// [`StreamKind::header_line`] so a version bump (or a new stream) is a
+/// one-line change here instead of a hunt across crates.
+///
+/// `Coverage` is the odd one out: a single JSON document carrying a
+/// `"schema"` field rather than a JSONL stream with a header line.
+/// [`check_header`] still works for replaying coverage-adjacent streams,
+/// but document validation goes through [`check_schema_field`] with
+/// [`StreamKind::version`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKind {
+    /// Trace event JSONL (`TraceEvent` per line).
+    Trace,
+    /// Diagnostics JSONL (one diagnostic per line).
+    Diagnostics,
+    /// Mixed `profile --json` stream.
+    Profile,
+    /// Coverage-map JSON document (`"schema"` field, not a header line).
+    Coverage,
+    /// `BENCH_analysis.json` rows.
+    BenchAnalysis,
+    /// Always-on metrics snapshots (`llstar metrics --json`).
+    Metrics,
+}
+
+impl StreamKind {
+    /// Every stream kind, for table-driven tests and tooling.
+    pub const ALL: [StreamKind; 6] = [
+        StreamKind::Trace,
+        StreamKind::Diagnostics,
+        StreamKind::Profile,
+        StreamKind::Coverage,
+        StreamKind::BenchAnalysis,
+        StreamKind::Metrics,
+    ];
+
+    /// The `"stream"` name written in header lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamKind::Trace => "trace",
+            StreamKind::Diagnostics => "diagnostics",
+            StreamKind::Profile => "profile",
+            StreamKind::Coverage => "coverage",
+            StreamKind::BenchAnalysis => "bench-analysis",
+            StreamKind::Metrics => "metrics",
+        }
+    }
+
+    /// The version this build reads and writes.
+    pub fn version(self) -> u64 {
+        match self {
+            StreamKind::Trace => TRACE_STREAM_VERSION,
+            StreamKind::Diagnostics => DIAGNOSTICS_STREAM_VERSION,
+            StreamKind::Profile => PROFILE_STREAM_VERSION,
+            StreamKind::Coverage => COVERAGE_SCHEMA_VERSION,
+            StreamKind::BenchAnalysis => BENCH_STREAM_VERSION,
+            StreamKind::Metrics => METRICS_STREAM_VERSION,
+        }
+    }
+
+    /// The header line (no trailing newline) declaring this stream.
+    pub fn header_line(self) -> String {
+        schema_line(self.name(), self.version())
+    }
+}
+
+/// Validates a parsed header `value` against `kind`'s name and version —
+/// the one checkpoint every stream parser routes through.
+///
+/// # Errors
+/// As [`check_stream_header`].
+pub fn check_header(value: &Json, kind: StreamKind) -> Result<(), String> {
+    check_stream_header(value, kind.name(), kind.version())
+}
+
 /// Renders the header line (without trailing newline) declaring
 /// `stream` at `version`.
 pub fn schema_line(stream: &str, version: u64) -> String {
@@ -124,6 +206,55 @@ mod tests {
 
         let event = Json::parse(r#"{"type":"predict-start","decision":0,"token":0}"#).unwrap();
         assert!(parse_schema_header(&event).is_none());
+    }
+
+    #[test]
+    fn every_stream_kind_round_trips_and_rejects_mismatches() {
+        // Table-driven over the full registry: each kind's header line
+        // must parse, validate against itself, reject a version bump,
+        // and reject every *other* kind's header.
+        for kind in StreamKind::ALL {
+            let parsed = Json::parse(&kind.header_line())
+                .unwrap_or_else(|e| panic!("{}: header line must parse: {e}", kind.name()));
+            assert_eq!(
+                parse_schema_header(&parsed),
+                Some((kind.name(), kind.version())),
+                "{}: header fields",
+                kind.name()
+            );
+            check_header(&parsed, kind)
+                .unwrap_or_else(|e| panic!("{}: self-check failed: {e}", kind.name()));
+
+            let bumped = Json::parse(&schema_line(kind.name(), kind.version() + 1)).unwrap();
+            let err = check_header(&bumped, kind).unwrap_err();
+            assert!(
+                err.contains(&format!("version {}", kind.version() + 1)),
+                "{}: version mismatch must name the offending version: {err}",
+                kind.name()
+            );
+
+            for other in StreamKind::ALL {
+                if other.name() == kind.name() {
+                    continue;
+                }
+                let err =
+                    check_header(&Json::parse(&other.header_line()).unwrap(), kind).unwrap_err();
+                assert!(
+                    err.contains("stream mismatch"),
+                    "{} vs {}: cross-stream header must be rejected: {err}",
+                    kind.name(),
+                    other.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_kind_names_are_distinct() {
+        let mut names: Vec<&str> = StreamKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), StreamKind::ALL.len(), "duplicate stream names");
     }
 
     #[test]

@@ -185,7 +185,7 @@ impl Diagnostic {
 /// Serializes diagnostics as JSONL: a schema header line, then one
 /// object per line. Generated parsers emit the identical bytes.
 pub fn diagnostics_jsonl(diags: &[Diagnostic]) -> String {
-    let mut out = schema::schema_line("diagnostics", schema::DIAGNOSTICS_STREAM_VERSION);
+    let mut out = schema::StreamKind::Diagnostics.header_line();
     out.push('\n');
     for d in diags {
         out.push_str(&d.to_json());
@@ -210,7 +210,7 @@ pub fn parse_diagnostics_jsonl(text: &str) -> Result<Vec<Diagnostic>, (usize, St
         }
         let value = Json::parse(line).map_err(|e| (i + 1, e))?;
         if std::mem::take(&mut first) && schema::parse_schema_header(&value).is_some() {
-            schema::check_stream_header(&value, "diagnostics", schema::DIAGNOSTICS_STREAM_VERSION)
+            schema::check_header(&value, schema::StreamKind::Diagnostics)
                 .map_err(|e| (i + 1, e))?;
             continue;
         }

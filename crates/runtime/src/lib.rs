@@ -32,6 +32,7 @@ pub mod coverage;
 pub mod diagnostics;
 pub mod error;
 pub mod hooks;
+pub mod metrics;
 pub mod parser;
 pub mod recovery;
 pub mod session;
@@ -46,6 +47,10 @@ pub use coverage::CoverageSink;
 pub use diagnostics::{diagnostics_jsonl, parse_diagnostics_jsonl, render_all, Diagnostic};
 pub use error::{ParseError, ParseErrorKind};
 pub use hooks::{HookContext, Hooks, MapHooks, NopHooks};
+pub use metrics::{
+    parse_metrics_jsonl, validate_prometheus, DecisionCounters, MetricsHandle, MetricsRegistry,
+    MetricsSnapshot, ParseMetrics,
+};
 pub use parser::{
     parse_text, parse_text_recovering, parse_text_recovering_traced, parse_text_traced, Parser,
 };
@@ -54,7 +59,8 @@ pub use session::{ParseSession, SessionError};
 pub use stats::{DecisionStats, ParseStats};
 pub use stream::TokenStream;
 pub use trace::{
-    parse_jsonl, JsonlSink, MemoKind, NopSink, RingSink, TeeSink, TraceEvent, TraceSink,
+    parse_jsonl, JsonlSink, MemoKind, NopSink, RingSink, SamplingSink, TeeSink, TraceEvent,
+    TraceSink,
 };
 pub use tree::ParseTree;
 pub use visit::{covered_text, find_rule_nodes, walk, TreeListener};

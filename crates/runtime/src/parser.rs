@@ -11,6 +11,7 @@
 
 use crate::error::{ParseError, ParseErrorKind};
 use crate::hooks::{HookContext, Hooks};
+use crate::metrics::{MetricsSnapshot, ParseMetrics};
 use crate::recovery::{DefaultErrorStrategy, ErrorStrategy, Repair, RepairContext};
 use crate::stats::ParseStats;
 use crate::stream::TokenStream;
@@ -131,6 +132,11 @@ pub struct Parser<'g, H: Hooks> {
     /// both paths are byte-identical (see `tests/prediction_parity`), and
     /// the linear path remains as the fallback when tables are disabled.
     compiled_dispatch: bool,
+    /// The always-on metric counters (lookahead depth, backtrack,
+    /// memo traffic, tokens/parse). Unlike the trace pipeline this has
+    /// no sink indirection and no per-event values — each record site
+    /// is a handful of unconditional array increments.
+    metrics: ParseMetrics,
 }
 
 impl<'g, H: Hooks> Parser<'g, H> {
@@ -159,12 +165,13 @@ impl<'g, H: Hooks> Parser<'g, H> {
             follow_stack: Vec::new(),
             timing: None,
             compiled_dispatch: true,
+            metrics: ParseMetrics::new(decision_count),
         }
     }
 
     /// Rearms the parser for a fresh parse over `tokens`: clears all
-    /// per-parse state (stats, memo tables, speculation depth, recorded
-    /// errors, resync stack, decision timing) while keeping the grammar,
+    /// per-parse state (stats, metrics, memo tables, speculation depth,
+    /// recorded errors, resync stack, decision timing) while keeping the grammar,
     /// analysis, hooks, trace sink, and configuration — dispatch mode,
     /// memoization, recovery strategy and error cap — exactly as set.
     /// Memo-table row allocations stay warm, so a long-lived parser
@@ -174,6 +181,7 @@ impl<'g, H: Hooks> Parser<'g, H> {
     pub fn reset(&mut self, tokens: TokenStream) {
         self.tokens = tokens;
         self.stats.reset();
+        self.metrics.reset();
         self.memo_rules.clear();
         self.memo_preds.clear();
         self.speculating = 0;
@@ -307,6 +315,31 @@ impl<'g, H: Hooks> Parser<'g, H> {
         &self.stats
     }
 
+    /// The always-on metric counters accumulated since the last
+    /// [`Parser::reset`].
+    pub fn metrics(&self) -> &ParseMetrics {
+        &self.metrics
+    }
+
+    /// Disables (or re-enables) metric recording. Exists solely so the
+    /// `metrics_overhead` bench can measure the off-baseline; metrics
+    /// are on by default and stay on in production paths.
+    pub fn set_metrics_enabled(&mut self, enabled: bool) {
+        self.metrics.set_enabled(enabled);
+    }
+
+    /// Exports the metric counters as a labelled snapshot: fingerprinted
+    /// to the grammar, with each decision row named after its owning
+    /// rule. Deterministic for a given parse sequence — the parity
+    /// suite compares this byte-for-byte across engines.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let fingerprint = llstar_core::grammar_fingerprint(self.grammar);
+        self.metrics.snapshot(fingerprint, |d| {
+            let rule = self.analysis.atn.decisions[d].rule;
+            self.grammar.rule(rule).name.clone()
+        })
+    }
+
     /// The hooks, for inspecting embedder state after a parse.
     pub fn hooks(&self) -> &H {
         &self.hooks
@@ -368,10 +401,12 @@ impl<'g, H: Hooks> Parser<'g, H> {
                 if let ParseTree::Rule { children, .. } = &mut tree {
                     children.push(ParseTree::Error { tokens: skipped, inserted: None });
                 }
+                self.metrics.finish_parse(self.tokens.index() as u64);
                 return Ok(tree);
             }
             return Err(self.deepest_error(err));
         }
+        self.metrics.finish_parse(self.tokens.index() as u64);
         Ok(tree)
     }
 
@@ -414,6 +449,7 @@ impl<'g, H: Hooks> Parser<'g, H> {
         if self.speculating > 0 && self.memoize {
             let m = self.memo_rules.get(rule.index(), start).clone();
             if !matches!(m, MemoEntry::Vacant) {
+                self.metrics.record_memo_hit();
                 self.emit(TraceEvent::MemoHit {
                     kind: MemoKind::Rule,
                     id: rule.index() as u32,
@@ -448,6 +484,7 @@ impl<'g, H: Hooks> Parser<'g, H> {
                 Ok(_) => MemoEntry::Success(self.tokens.index()),
                 Err(e) => MemoEntry::Failure(e.clone()),
             };
+            self.metrics.record_memo_write();
             self.emit(TraceEvent::MemoWrite {
                 kind: MemoKind::Rule,
                 id: rule.index() as u32,
@@ -731,6 +768,12 @@ impl<'g, H: Hooks> Parser<'g, H> {
             }
             return Err(self.no_viable(decision, depth));
         };
+        self.metrics.record_predict(
+            decision.index(),
+            depth.max(1).max(deepest_spec),
+            backtracked,
+            deepest_spec,
+        );
         self.emit(TraceEvent::PredictStop {
             decision: decision.0,
             token_index: start_index,
@@ -1035,6 +1078,7 @@ impl<'g, H: Hooks> Parser<'g, H> {
         if self.memoize {
             let m = self.memo_preds.get(sp.0 as usize, start).clone();
             if !matches!(m, MemoEntry::Vacant) {
+                self.metrics.record_memo_hit();
                 self.emit(TraceEvent::MemoHit {
                     kind: MemoKind::SynPred,
                     id: sp.0,
@@ -1060,6 +1104,7 @@ impl<'g, H: Hooks> Parser<'g, H> {
                 Ok(_) => MemoEntry::Success(start + consumed as usize),
                 Err(e) => MemoEntry::Failure(e.clone()),
             };
+            self.metrics.record_memo_write();
             self.emit(TraceEvent::MemoWrite {
                 kind: MemoKind::SynPred,
                 id: sp.0,

@@ -8,6 +8,7 @@
 
 use crate::error::ParseError;
 use crate::hooks::Hooks;
+use crate::metrics::MetricsSnapshot;
 use crate::parser::Parser;
 use crate::stats::ParseStats;
 use crate::stream::TokenStream;
@@ -44,6 +45,10 @@ pub struct ParseSession<'g, H: Hooks> {
     parser: Parser<'g, H>,
     start_rule: String,
     parses: u64,
+    /// Metric counters accumulated across every input this session has
+    /// parsed (the per-parse counters in the parser reset each input;
+    /// this is where they add up), plus wall-clock parse latency.
+    metrics: MetricsSnapshot,
 }
 
 impl<'g, H: Hooks> ParseSession<'g, H> {
@@ -66,7 +71,8 @@ impl<'g, H: Hooks> ParseSession<'g, H> {
         let scanner = grammar.lexer.build()?;
         let parser =
             Parser::new(grammar, analysis, TokenStream::new(vec![Token::eof(0, 1, 1)]), hooks);
-        Ok(ParseSession { scanner, parser, start_rule: start_rule.to_string(), parses: 0 })
+        let metrics = MetricsSnapshot::empty(llstar_core::grammar_fingerprint(grammar));
+        Ok(ParseSession { scanner, parser, start_rule: start_rule.to_string(), parses: 0, metrics })
     }
 
     /// Lexes `source` and parses it to EOF, recycling the parser state
@@ -80,7 +86,13 @@ impl<'g, H: Hooks> ParseSession<'g, H> {
         self.parser.reset(TokenStream::new(tokens));
         self.parses += 1;
         let start = self.start_rule.clone();
-        self.parser.parse_to_eof(&start).map_err(SessionError::Parse)
+        let started = std::time::Instant::now();
+        let result = self.parser.parse_to_eof(&start).map_err(SessionError::Parse);
+        if self.parser.metrics().enabled() {
+            self.metrics.merge(&self.parser.metrics_snapshot());
+            self.metrics.record_latency(started.elapsed().as_micros() as u64);
+        }
+        result
     }
 
     /// The underlying parser, for configuration (dispatch mode,
@@ -97,6 +109,14 @@ impl<'g, H: Hooks> ParseSession<'g, H> {
     /// How many inputs this session has parsed.
     pub fn parses(&self) -> u64 {
         self.parses
+    }
+
+    /// Metric counters accumulated over every input parsed so far
+    /// (per-parse counters from [`Parser::metrics`] reset each input;
+    /// this snapshot is their session-lifetime sum, with wall-clock
+    /// latency recorded per parse).
+    pub fn metrics(&self) -> &MetricsSnapshot {
+        &self.metrics
     }
 }
 #[cfg(test)]
@@ -155,6 +175,67 @@ mod tests {
         session.parse_to_eof("a = 1;").expect("parses");
         let small = session.stats().total_events();
         assert!(small < big, "stats must reset between parses: {small} !< {big}");
+    }
+
+    #[test]
+    fn reuse_fully_resets_per_parse_state() {
+        // Regression guard for [`Parser::reset`]: every per-parse
+        // observability surface — stats, trace stream, metric counters
+        // (and therefore the coverage fold, which is a pure function of
+        // the trace) — must come out of a recycled session identical to
+        // a fresh parser's, with zero carry-over between inputs.
+        let (g, a) = setup();
+        let input = "a = b + 1;\nc = a + a + 2;";
+
+        // Reference: one fresh parser over `input`.
+        let scanner = g.lexer.build().expect("lexer");
+        let mut fresh_sink = crate::trace::RingSink::unbounded();
+        let tokens = TokenStream::new(scanner.tokenize(input).expect("lexes"));
+        let mut fresh = Parser::new(&g, &a, tokens, NopHooks);
+        fresh.set_trace_sink(&mut fresh_sink);
+        fresh.parse_to_eof("s").expect("fresh parses");
+        let fresh_events = fresh.stats().total_events();
+        let fresh_metrics = fresh.metrics_snapshot();
+        let fresh_json = fresh_metrics.to_json("session", false);
+        drop(fresh);
+        let fresh_trace = fresh_sink.into_events();
+
+        // Session: the same input parsed twice through recycled state.
+        let mut session_sink = crate::trace::RingSink::unbounded();
+        let mut session = ParseSession::new(&g, &a, "s", NopHooks).expect("session");
+        session.parser().set_trace_sink(&mut session_sink);
+        let mut per_parse = Vec::new();
+        for round in 0..2 {
+            session.parse_to_eof(input).unwrap_or_else(|e| panic!("round {round}: {e}"));
+            assert_eq!(
+                session.stats().total_events(),
+                fresh_events,
+                "round {round}: stats carried over from the previous parse"
+            );
+            per_parse.push(session.parser().metrics_snapshot().to_json("session", false));
+        }
+        assert_eq!(per_parse[0], fresh_json, "first session parse differs from a fresh parser");
+        assert_eq!(per_parse[0], per_parse[1], "metric counters carried over between inputs");
+
+        // The session-level accumulator is the one place totals are
+        // allowed to grow: exactly the fresh snapshot folded in twice.
+        let mut doubled = MetricsSnapshot::empty(fresh_metrics.fingerprint);
+        doubled.merge(&fresh_metrics);
+        doubled.merge(&fresh_metrics);
+        assert_eq!(
+            session.metrics().to_json("session", false),
+            doubled.to_json("session", false),
+            "session accumulator is not the sum of its parses"
+        );
+
+        // Both trace windows must replay the fresh parser's stream
+        // exactly (this is also what pins the coverage fold, which is
+        // derived from the trace).
+        drop(session);
+        let events = session_sink.into_events();
+        assert_eq!(events.len(), fresh_trace.len() * 2, "trace stream length diverged");
+        assert_eq!(&events[..fresh_trace.len()], &fresh_trace[..], "first trace window diverged");
+        assert_eq!(&events[fresh_trace.len()..], &fresh_trace[..], "trace state carried over");
     }
 
     #[test]

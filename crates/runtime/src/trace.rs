@@ -473,7 +473,7 @@ impl<W: Write> TraceSink for JsonlSink<W> {
         }
         if !self.headed {
             self.headed = true;
-            let header = schema::schema_line("trace", schema::TRACE_STREAM_VERSION);
+            let header = schema::StreamKind::Trace.header_line();
             if let Err(e) = writeln!(self.out, "{header}") {
                 self.error = Some(e);
                 return;
@@ -489,6 +489,88 @@ impl<W: Write> TraceSink for JsonlSink<W> {
             return Err(e);
         }
         self.out.flush()
+    }
+}
+
+/// 1-in-N trace sampling: forwards every `n`-th *top-level prediction
+/// window* — a [`TraceEvent::PredictStart`] at speculation window depth
+/// 0 through its matching [`TraceEvent::PredictStop`], including every
+/// nested event in between — and drops the windows in between. Events
+/// outside any prediction window (rule spans, recovery) always pass
+/// through, so the sampled stream keeps its structural skeleton.
+///
+/// Sampling is counter-based, not random: the k-th top-level window is
+/// kept iff `k % n == 0`, so a sampled stream for a given grammar +
+/// input is as byte-deterministic as the full one, and `n = 1` is
+/// byte-identical to the unsampled stream. This turns full tracing into
+/// a dial (1/64 keeps the event stream's shape at ~1/64 the cost)
+/// rather than the on/off cliff the always-on metrics substrate sits
+/// beneath; see DESIGN.md's two-tier observability section.
+///
+/// Windows nest via the same pop-until-match discipline as the coverage
+/// fold: a `PredictStop` closes stack entries down to its decision id,
+/// so a top-level prediction abandoned by a no-viable error (which never
+/// emits its stop) is closed by the next outer stop — until then its
+/// dangling entry keeps the sink in that window's fate.
+pub struct SamplingSink<'a> {
+    inner: &'a mut dyn TraceSink,
+    n: u64,
+    windows: u64,
+    /// Decision ids of the open prediction windows (outermost first).
+    stack: Vec<u32>,
+    /// Whether the current top-level window is forwarded.
+    active: bool,
+}
+
+impl<'a> SamplingSink<'a> {
+    /// Samples 1 in `n` top-level prediction windows into `inner`
+    /// (`n = 0` is treated as 1: keep everything).
+    pub fn new(inner: &'a mut dyn TraceSink, n: u64) -> Self {
+        SamplingSink { inner, n: n.max(1), windows: 0, stack: Vec::new(), active: true }
+    }
+
+    /// Top-level prediction windows seen so far (kept and dropped).
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+}
+
+impl TraceSink for SamplingSink<'_> {
+    fn event(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::PredictStart { decision, .. } => {
+                if self.stack.is_empty() {
+                    self.active = self.windows.is_multiple_of(self.n);
+                    self.windows += 1;
+                }
+                self.stack.push(*decision);
+                if self.active {
+                    self.inner.event(event);
+                }
+            }
+            TraceEvent::PredictStop { decision, .. } => {
+                // The stop belongs to the window it closes: decide
+                // forwarding before popping.
+                let forward = self.stack.is_empty() || self.active;
+                if forward {
+                    self.inner.event(event);
+                }
+                while let Some(top) = self.stack.pop() {
+                    if top == *decision {
+                        break;
+                    }
+                }
+            }
+            _ => {
+                if self.stack.is_empty() || self.active {
+                    self.inner.event(event);
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
     }
 }
 
@@ -527,8 +609,7 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, (usize, String)> {
         }
         let value = Json::parse(line).map_err(|e| (i + 1, e))?;
         if std::mem::take(&mut first) && schema::parse_schema_header(&value).is_some() {
-            schema::check_stream_header(&value, "trace", schema::TRACE_STREAM_VERSION)
-                .map_err(|e| (i + 1, e))?;
+            schema::check_header(&value, schema::StreamKind::Trace).map_err(|e| (i + 1, e))?;
             continue;
         }
         events.push(TraceEvent::from_json(&value).map_err(|e| (i + 1, e))?);
@@ -630,6 +711,105 @@ mod tests {
         assert_eq!(line, 2);
         let (line, _) = parse_jsonl("{\"type\":\"martian\"}").unwrap_err();
         assert_eq!(line, 1);
+    }
+
+    /// A stream with three top-level prediction windows (the second
+    /// containing a nested prediction inside a backtrack) plus
+    /// out-of-window structural events.
+    fn windowed_events() -> Vec<TraceEvent> {
+        let stop = |decision: u32| TraceEvent::PredictStop {
+            decision,
+            token_index: 0,
+            alt: 1,
+            lookahead: 1,
+            path: vec![0],
+            backtracked: false,
+            spec_depth: 0,
+        };
+        vec![
+            TraceEvent::RuleEnter { rule: 0, token_index: 0 },
+            TraceEvent::PredictStart { decision: 0, token_index: 0 },
+            stop(0),
+            TraceEvent::PredictStart { decision: 1, token_index: 1 },
+            TraceEvent::BacktrackEnter { synpred: 0, token_index: 1, nesting: 0 },
+            TraceEvent::PredictStart { decision: 2, token_index: 1 },
+            stop(2),
+            TraceEvent::BacktrackExit {
+                synpred: 0,
+                token_index: 1,
+                matched: true,
+                consumed: 2,
+                nesting: 0,
+            },
+            stop(1),
+            TraceEvent::PredictStart { decision: 0, token_index: 3 },
+            stop(0),
+            TraceEvent::RuleExit { rule: 0, token_index: 4, alt: 1, ok: true },
+        ]
+    }
+
+    #[test]
+    fn sampling_one_in_one_is_byte_identical() {
+        let mut full = RingSink::unbounded();
+        let mut sampled_inner = RingSink::unbounded();
+        {
+            let mut sampled = SamplingSink::new(&mut sampled_inner, 1);
+            for e in windowed_events() {
+                full.event(&e);
+                sampled.event(&e);
+            }
+            assert_eq!(sampled.windows(), 3);
+        }
+        assert_eq!(sampled_inner.into_events(), full.into_events());
+    }
+
+    #[test]
+    fn sampling_keeps_whole_windows_and_skeleton() {
+        let mut inner = RingSink::unbounded();
+        {
+            let mut sampled = SamplingSink::new(&mut inner, 2);
+            for e in windowed_events() {
+                sampled.event(&e);
+            }
+        }
+        let kept = inner.into_events();
+        // Windows 0 (decision 0) and 2 (decision 0 again) survive; window
+        // 1 — including its nested decision-2 prediction — is dropped
+        // whole. Out-of-window rule spans always pass.
+        let kinds: Vec<String> = kept
+            .iter()
+            .map(|e| match e {
+                TraceEvent::RuleEnter { .. } => "enter".into(),
+                TraceEvent::RuleExit { .. } => "exit".into(),
+                TraceEvent::PredictStart { decision, .. } => format!("start{decision}"),
+                TraceEvent::PredictStop { decision, .. } => format!("stop{decision}"),
+                other => panic!("unexpected sampled event {other:?}"),
+            })
+            .collect();
+        assert_eq!(kinds, ["enter", "start0", "stop0", "start0", "stop0", "exit"]);
+    }
+
+    #[test]
+    fn sampling_closes_abandoned_windows_on_outer_stop() {
+        // A no-viable inner prediction never emits its stop; the outer
+        // stop's pop-until-match must still close both entries so the
+        // next window gets a fresh sampling decision.
+        let mut inner = RingSink::unbounded();
+        let mut sampled = SamplingSink::new(&mut inner, 2);
+        sampled.event(&TraceEvent::PredictStart { decision: 0, token_index: 0 });
+        sampled.event(&TraceEvent::PredictStart { decision: 1, token_index: 0 });
+        sampled.event(&TraceEvent::PredictStop {
+            decision: 0,
+            token_index: 0,
+            alt: 1,
+            lookahead: 1,
+            path: vec![],
+            backtracked: false,
+            spec_depth: 0,
+        });
+        assert!(sampled.stack.is_empty(), "outer stop closes the dangling inner entry");
+        sampled.event(&TraceEvent::PredictStart { decision: 2, token_index: 1 });
+        assert_eq!(sampled.windows(), 2);
     }
 
     #[test]

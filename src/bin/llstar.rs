@@ -30,9 +30,10 @@ use llstar::core::{
 };
 use llstar::grammar::{apply_peg_mode, parse_grammar, validate, Grammar};
 use llstar::runtime::{
-    chrome_trace, diagnostics_jsonl, parse_text, parse_text_recovering_traced, parse_text_traced,
-    render_all, CoverageSink, Diagnostic, NopHooks, ParseStats, Parser, RingSink, TeeSink,
-    TokenStream, TraceEvent, TraceSink,
+    chrome_trace, diagnostics_jsonl, parse_metrics_jsonl, parse_text, parse_text_recovering_traced,
+    parse_text_traced, render_all, validate_prometheus, CoverageSink, Diagnostic, MetricsSnapshot,
+    NopHooks, ParseSession, ParseStats, Parser, RingSink, TeeSink, TokenStream, TraceEvent,
+    TraceSink,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -59,12 +60,30 @@ struct Flags {
     /// `--coverage`: emit coverage counters in generated parsers
     /// (`generate`).
     coverage: bool,
+    /// `--metrics`: emit metric counters in generated parsers
+    /// (`generate`).
+    metrics: bool,
     /// `--chrome-trace <file>`: export a Chrome `trace_event` file
     /// (`coverage`).
     chrome_trace: Option<PathBuf>,
     /// `--fail-uncovered`: exit non-zero when alternatives stay
     /// uncovered (`coverage`).
     fail_uncovered: bool,
+    /// `--prometheus`: render Prometheus text exposition (`metrics`).
+    prometheus: bool,
+    /// `--sample N`: keep 1 in N top-level prediction windows in the
+    /// trace stream (`profile`).
+    sample: Option<u64>,
+    /// `--validate <file>`: check a Prometheus exposition file instead
+    /// of measuring (`metrics`).
+    validate: Option<PathBuf>,
+    /// `--once`: render a single frame and exit (`watch`).
+    once: bool,
+    /// `--top N`: dashboard rows (`watch`, default 10).
+    top: Option<usize>,
+    /// `--interval-ms N`: dashboard refresh period (`watch`, default
+    /// 1000).
+    interval_ms: Option<u64>,
 }
 
 impl Flags {
@@ -91,8 +110,15 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
         diagnostics: false,
         max_errors: None,
         coverage: false,
+        metrics: false,
         chrome_trace: None,
         fail_uncovered: false,
+        prometheus: false,
+        sample: None,
+        validate: None,
+        once: false,
+        top: None,
+        interval_ms: None,
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -124,11 +150,31 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                     Some(n.parse().map_err(|_| format!("--max-errors: bad count {n:?}"))?);
             }
             "--coverage" => flags.coverage = true,
+            "--metrics" => flags.metrics = true,
             "--chrome-trace" => {
                 let path = it.next().ok_or("--chrome-trace needs a file path")?;
                 flags.chrome_trace = Some(PathBuf::from(path));
             }
             "--fail-uncovered" => flags.fail_uncovered = true,
+            "--prometheus" => flags.prometheus = true,
+            "--sample" => {
+                let n = it.next().ok_or("--sample needs a divisor")?;
+                flags.sample = Some(n.parse().map_err(|_| format!("--sample: bad divisor {n:?}"))?);
+            }
+            "--validate" => {
+                let path = it.next().ok_or("--validate needs a file path")?;
+                flags.validate = Some(PathBuf::from(path));
+            }
+            "--once" => flags.once = true,
+            "--top" => {
+                let n = it.next().ok_or("--top needs a row count")?;
+                flags.top = Some(n.parse().map_err(|_| format!("--top: bad row count {n:?}"))?);
+            }
+            "--interval-ms" => {
+                let n = it.next().ok_or("--interval-ms needs a millisecond count")?;
+                flags.interval_ms =
+                    Some(n.parse().map_err(|_| format!("--interval-ms: bad count {n:?}"))?);
+            }
             _ => positional.push(arg.clone()),
         }
     }
@@ -161,7 +207,11 @@ fn main() -> ExitCode {
             let code = generate_with(
                 g,
                 a,
-                CodegenOptions { trace: flags.trace, coverage: flags.coverage },
+                CodegenOptions {
+                    trace: flags.trace,
+                    coverage: flags.coverage,
+                    metrics: flags.metrics,
+                },
             )?;
             match args.get(2) {
                 Some(path) => {
@@ -182,6 +232,11 @@ fn main() -> ExitCode {
             with_grammar(&args, &flags, 2, |g, a| profile(g, a, args.get(2), &flags))
         }
         Some("coverage") => with_grammar(&args, &flags, 3, |g, a| coverage(g, a, &args[2], &flags)),
+        Some("metrics") => match &flags.validate {
+            Some(path) => validate_prometheus_file(path),
+            None => with_grammar(&args, &flags, 3, |g, a| metrics_cmd(g, a, &args[2], &flags)),
+        },
+        Some("watch") => watch(&args, &flags),
         Some("parse") => with_grammar(&args, &flags, 4, |g, a| {
             let rule = &args[2];
             // Optional: --dfa <file> loads pre-compiled DFAs instead of
@@ -220,6 +275,8 @@ fn main() -> ExitCode {
                  llstar parse    <grammar.g> <rule> <file> [--dfa f]  parse a file\n\
                  llstar profile  <grammar.g> [input]        per-decision analysis + runtime costs\n\
                  llstar coverage <grammar.g> <corpus>       corpus coverage + hotspot report\n\
+                 llstar metrics  <grammar.g> <corpus>       parse corpus, report metric counters\n\
+                 llstar watch    <metrics.jsonl>            live dashboard over a metrics stream\n\
                  \n\
                  shared flags (check/dfa/generate/compile/parse/profile/coverage):\n\
                  --jobs N       analysis worker threads (0 = all cores, 1 = sequential)\n\
@@ -231,10 +288,23 @@ fn main() -> ExitCode {
                  --json <path>  export analysis records / diagnostics as JSONL\n\
                  --diagnostics  recover from syntax errors, report all of them\n\
                  --max-errors N cap collected diagnostics (implies --diagnostics)\n\
+                 --sample N     keep 1 in N prediction windows in the profile trace\n\
                  \n\
                  generate flags:\n\
                  --trace        emit Hooks::trace callbacks in the generated parser\n\
                  --coverage     emit coverage counters in the generated parser\n\
+                 --metrics      emit metric counters in the generated parser\n\
+                 \n\
+                 metrics flags (corpus = a directory of .txt inputs or one file):\n\
+                 --rule <name>      start rule (default: first rule)\n\
+                 --prometheus       print Prometheus text exposition instead of the table\n\
+                 --json <path>      write a schema-versioned metrics JSONL stream\n\
+                 --validate <file>  check a Prometheus exposition file, no parsing\n\
+                 \n\
+                 watch flags:\n\
+                 --once             render one frame and exit\n\
+                 --top N            dashboard rows (default 10)\n\
+                 --interval-ms N    refresh period (default 1000)\n\
                  \n\
                  coverage flags (corpus = a directory of .txt inputs, one input\n\
                  file, or a trace/profile .jsonl to replay):\n\
@@ -371,10 +441,20 @@ fn profile(
                 Some(name) => name.clone(),
                 None => grammar.start_rule().name.clone(),
             };
+            // `--sample N` thins the recorded stream to 1 in N top-level
+            // prediction windows; the parse itself is unaffected.
+            let mut sampler;
+            let traced: &mut dyn TraceSink = match flags.sample {
+                Some(n) => {
+                    sampler = llstar::runtime::SamplingSink::new(&mut sink, n);
+                    &mut sampler
+                }
+                None => &mut sink,
+            };
             let stats = match flags.recovery() {
                 Some(max_errors) => {
                     let (_, errors, stats) = parse_text_recovering_traced(
-                        grammar, analysis, &text, &rule, NopHooks, max_errors, &mut sink,
+                        grammar, analysis, &text, &rule, NopHooks, max_errors, traced,
                     )?;
                     diags = Diagnostic::from_errors(grammar, &errors);
                     if !diags.is_empty() {
@@ -384,11 +464,17 @@ fn profile(
                 }
                 None => {
                     let (_, stats) =
-                        parse_text_traced(grammar, analysis, &text, &rule, NopHooks, &mut sink)?;
+                        parse_text_traced(grammar, analysis, &text, &rule, NopHooks, traced)?;
                     stats
                 }
             };
-            eprintln!("parsed {path} from rule {rule}: {} trace events", sink.seen());
+            match flags.sample {
+                Some(n) => eprintln!(
+                    "parsed {path} from rule {rule}: {} trace events kept (1 in {n} windows)",
+                    sink.seen()
+                ),
+                None => eprintln!("parsed {path} from rule {rule}: {} trace events", sink.seen()),
+            }
             Some(stats)
         }
         None => None,
@@ -492,7 +578,7 @@ fn profile(
     }
 
     if let Some(path) = &flags.json {
-        let mut out = schema::schema_line("profile", schema::PROFILE_STREAM_VERSION);
+        let mut out = schema::StreamKind::Profile.header_line();
         out.push('\n');
         let mut lines = 1usize;
         for d in &analysis.atn.decisions {
@@ -629,6 +715,169 @@ fn coverage(
     Ok(())
 }
 
+/// `llstar metrics <grammar.g> <corpus>`: parses the corpus through one
+/// re-entrant [`ParseSession`] (the always-on counters accumulating
+/// across inputs) and reports them — a human summary table by default,
+/// Prometheus text exposition with `--prometheus`, plus a
+/// schema-versioned `metrics v1` JSONL stream with `--json <path>`
+/// (the file `llstar watch` tails).
+fn metrics_cmd(
+    grammar: &Grammar,
+    analysis: &GrammarAnalysis,
+    corpus: &str,
+    flags: &Flags,
+) -> Result<(), String> {
+    let files = corpus_inputs(Path::new(corpus))?;
+    let rule = match &flags.rule {
+        Some(name) => name.clone(),
+        None => grammar.start_rule().name.clone(),
+    };
+    let mut session =
+        ParseSession::new(grammar, analysis, &rule, NopHooks).map_err(|e| e.to_string())?;
+    for file in &files {
+        let input =
+            std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+        session.parse_to_eof(&input).map_err(|e| format!("{}: {e}", file.display()))?;
+    }
+    eprintln!("parsed {} corpus file(s) from rule {rule}", files.len());
+    let snap = session.metrics();
+
+    if flags.prometheus {
+        print!("{}", snap.to_prometheus("session"));
+    } else {
+        print!("{}", metrics_table(snap, flags.top.unwrap_or(usize::MAX)));
+    }
+    if let Some(out) = &flags.json {
+        let mut text = MetricsSnapshot::stream_header();
+        text.push('\n');
+        text.push_str(&snap.to_json("session", true));
+        text.push('\n');
+        std::fs::write(out, text).map_err(|e| format!("{}: {e}", out.display()))?;
+        eprintln!("wrote metrics JSONL to {}", out.display());
+    }
+    Ok(())
+}
+
+/// `llstar metrics --validate <file>`: checks a Prometheus text
+/// exposition file (our own or anyone's) without parsing a corpus.
+fn validate_prometheus_file(path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let samples = validate_prometheus(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!("{}: valid Prometheus exposition, {samples} samples", path.display());
+    Ok(())
+}
+
+/// The `llstar metrics` / `llstar watch` summary: totals line, latency
+/// quantiles, then the hottest decisions (by prediction events).
+fn metrics_table(snap: &MetricsSnapshot, top: usize) -> String {
+    use llstar::runtime::metrics::hist_quantile;
+    let mut out = String::new();
+    let events: u64 = snap.decisions.iter().map(|d| d.counters.events).sum();
+    let secs = snap.elapsed_micros as f64 / 1e6;
+    let rate =
+        if secs > 0.0 { format!("{:.0} tok/s", snap.tokens as f64 / secs) } else { "-".into() };
+    out.push_str(&format!(
+        "grammar {:016x}: {} parses, {} tokens ({rate}), {} decision events, \
+         memo {:.1}% hit ({} hits / {} entries)\n",
+        snap.fingerprint,
+        snap.parses,
+        snap.tokens,
+        events,
+        snap.memo_hit_pct(),
+        snap.memo_hits,
+        snap.memo_entries,
+    ));
+    if snap.elapsed_micros > 0 {
+        out.push_str(&format!(
+            "latency: p50 {}us, p99 {}us per parse\n",
+            hist_quantile(&snap.latency_hist, 0.50),
+            hist_quantile(&snap.latency_hist, 0.99),
+        ));
+    }
+    out.push_str(&format!(
+        "{:<5} {:<16} {:>10} {:>7} {:>6} {:>6} {:>6} {:>6} {:>8}\n",
+        "dec", "rule", "events", "share", "p50-k", "p99-k", "max-k", "back%", "spec/ev"
+    ));
+    let mut rows: Vec<_> = snap.decisions.iter().collect();
+    rows.sort_by(|a, b| {
+        b.counters.events.cmp(&a.counters.events).then(a.decision.cmp(&b.decision))
+    });
+    for d in rows.into_iter().take(top) {
+        let c = &d.counters;
+        out.push_str(&format!(
+            "d{:<4} {:<16} {:>10} {:>6.1}% {:>6} {:>6} {:>6} {:>5.1}% {:>8.2}\n",
+            d.decision,
+            d.rule,
+            c.events,
+            100.0 * c.events as f64 / events.max(1) as f64,
+            c.p50_lookahead(),
+            c.p99_lookahead(),
+            c.la_max,
+            100.0 * c.backtracks as f64 / c.events.max(1) as f64,
+            c.spec_sum as f64 / c.events.max(1) as f64,
+        ));
+    }
+    out
+}
+
+/// `llstar watch <metrics.jsonl>`: refresh-in-place dashboard over a
+/// metrics stream. Each frame re-reads the file, takes the latest
+/// snapshot line (lines are cumulative), and renders the hot-decision
+/// table plus an events/sec rate derived from the previous frame.
+/// `--once` renders a single frame without clearing the screen (and
+/// fails loudly when the file is missing or malformed).
+fn watch(args: &[String], flags: &Flags) -> Result<(), String> {
+    let path = args
+        .get(1)
+        .ok_or("usage: llstar watch <metrics.jsonl> [--once] [--top N] [--interval-ms N]")?;
+    let top = flags.top.unwrap_or(10);
+    let interval = std::time::Duration::from_millis(flags.interval_ms.unwrap_or(1000));
+    let mut prev: Option<(u64, u64, std::time::Instant)> = None;
+    loop {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let snaps = parse_metrics_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+                match snaps.last() {
+                    Some((engine, snap)) => {
+                        let now = std::time::Instant::now();
+                        let events: u64 = snap.decisions.iter().map(|d| d.counters.events).sum();
+                        let rate = prev.map(|(pe, pt, at)| {
+                            let dt = now.duration_since(at).as_secs_f64().max(1e-9);
+                            (
+                                (events.saturating_sub(pe)) as f64 / dt,
+                                (snap.tokens.saturating_sub(pt)) as f64 / dt,
+                            )
+                        });
+                        if !flags.once {
+                            // Clear screen, home cursor: refresh in place.
+                            print!("\x1b[2J\x1b[H");
+                        }
+                        println!("llstar watch — {path} (engine {engine})");
+                        match rate {
+                            Some((ev, tok)) => {
+                                println!("rate: {ev:.0} events/s, {tok:.0} tokens/s")
+                            }
+                            None => println!("rate: warming up"),
+                        }
+                        print!("{}", metrics_table(snap, top));
+                        use std::io::Write as _;
+                        let _ = std::io::stdout().flush();
+                        prev = Some((events, snap.tokens, now));
+                    }
+                    None if flags.once => return Err(format!("{path}: no metrics snapshot lines")),
+                    None => println!("{path}: no metrics snapshot lines yet"),
+                }
+            }
+            Err(e) if flags.once => return Err(format!("{path}: {e}")),
+            Err(e) => println!("waiting for {path}: {e}"),
+        }
+        if flags.once {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
 /// The corpus inputs behind a path: every `*.txt` in a directory
 /// (sorted by name for deterministic merges), or the file itself.
 fn corpus_inputs(path: &Path) -> Result<Vec<PathBuf>, String> {
@@ -662,10 +911,10 @@ fn replay_events(text: &str) -> Result<Vec<TraceEvent>, String> {
         if std::mem::take(&mut first) {
             if let Some((stream, _)) = schema::parse_schema_header(&value) {
                 let expected = match stream {
-                    "profile" => ("profile", schema::PROFILE_STREAM_VERSION),
-                    _ => ("trace", schema::TRACE_STREAM_VERSION),
+                    "profile" => schema::StreamKind::Profile,
+                    _ => schema::StreamKind::Trace,
                 };
-                schema::check_stream_header(&value, expected.0, expected.1)
+                schema::check_header(&value, expected)
                     .map_err(|e| format!("line {}: {e}", i + 1))?;
                 continue;
             }

@@ -442,3 +442,131 @@ fn coverage_replays_recorded_jsonl() {
     assert!(!ok, "future schema versions must be rejected");
     assert!(stderr.contains("version 99"), "{stderr}");
 }
+
+#[test]
+fn metrics_reports_hot_decisions_table() {
+    let g = grammar_path();
+    let corpus = partial_corpus();
+    let (ok, stdout, stderr) = llstar(&["metrics", &g, &corpus]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("parsed 2 corpus file(s)"), "{stderr}");
+    assert!(stdout.contains("2 parses"), "{stdout}");
+    assert!(stdout.contains("rule"), "hot-decision table missing:\n{stdout}");
+    assert!(stdout.contains("p99-k"), "{stdout}");
+    assert!(stdout.contains(" s"), "decision rows must name the rule:\n{stdout}");
+}
+
+#[test]
+fn metrics_prometheus_output_validates() {
+    let g = grammar_path();
+    let corpus = partial_corpus();
+    let (ok, stdout, stderr) = llstar(&["metrics", &g, &corpus, "--prometheus"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("# TYPE llstar_parses_total counter"), "{stdout}");
+    assert!(stdout.contains("llstar_parses_total{"), "{stdout}");
+    assert!(stdout.contains("engine=\"session\""), "{stdout}");
+
+    // The tool's own exposition passes the tool's own validator.
+    let path = workdir().join("metrics.prom");
+    std::fs::write(&path, &stdout).unwrap();
+    let (ok, stdout, stderr) = llstar(&["metrics", "--validate", &path.to_string_lossy()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("valid Prometheus exposition"), "{stdout}");
+
+    // A corrupted exposition is rejected with the offending line.
+    let broken = workdir().join("metrics_broken.prom");
+    std::fs::write(&broken, "llstar_undeclared_total{x=\"1\"} 5\n").unwrap();
+    let (ok, _, stderr) = llstar(&["metrics", "--validate", &broken.to_string_lossy()]);
+    assert!(!ok, "invalid exposition must fail validation");
+    assert!(stderr.contains("line 1"), "{stderr}");
+}
+
+#[test]
+fn metrics_json_stream_feeds_watch() {
+    let g = grammar_path();
+    let corpus = partial_corpus();
+    let jsonl = workdir().join("metrics_stream.jsonl").to_string_lossy().to_string();
+    let (ok, _, stderr) = llstar(&["metrics", &g, &corpus, "--json", &jsonl]);
+    assert!(ok, "{stderr}");
+    let text = std::fs::read_to_string(&jsonl).unwrap();
+    assert!(
+        text.starts_with("{\"type\":\"schema\",\"stream\":\"metrics\",\"version\":1}"),
+        "{text}"
+    );
+    assert!(text.contains("\"type\":\"metrics\""), "{text}");
+    assert!(text.contains("\"latency-hist\""), "the CLI stream carries the timing tier: {text}");
+
+    // One dashboard frame over the stream.
+    let (ok, stdout, stderr) = llstar(&["watch", &jsonl, "--once", "--top", "3"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("llstar watch"), "{stdout}");
+    assert!(stdout.contains("2 parses"), "{stdout}");
+    assert!(stdout.contains("p99-k"), "{stdout}");
+
+    // A stream stamped by a future writer is rejected, not mis-rendered.
+    let bumped = workdir().join("metrics_stream_v99.jsonl");
+    std::fs::write(&bumped, text.replacen("\"version\":1", "\"version\":99", 1)).unwrap();
+    let (ok, _, stderr) = llstar(&["watch", &bumped.to_string_lossy(), "--once"]);
+    assert!(!ok, "future schema versions must be rejected");
+    assert!(stderr.contains("version 99"), "{stderr}");
+}
+
+#[test]
+fn watch_once_fails_on_missing_file() {
+    let missing = workdir().join("no_such_stream.jsonl");
+    let (ok, _, stderr) = llstar(&["watch", &missing.to_string_lossy(), "--once"]);
+    assert!(!ok, "missing stream must fail under --once");
+    assert!(stderr.contains("no_such_stream"), "{stderr}");
+}
+
+#[test]
+fn profile_sample_thins_the_trace() {
+    let g = grammar_path();
+    let dir = workdir();
+    let input = dir.join("sample_input.txt");
+    std::fs::write(&input, "unsigned unsigned int counter").unwrap();
+    let input = input.to_string_lossy().to_string();
+
+    let full = dir.join("profile_full.jsonl").to_string_lossy().to_string();
+    let (ok, _, stderr) = llstar(&["profile", &g, &input, "--json", &full]);
+    assert!(ok, "{stderr}");
+    let sampled = dir.join("profile_sampled.jsonl").to_string_lossy().to_string();
+    let (ok, _, stderr) = llstar(&["profile", &g, &input, "--json", &sampled, "--sample", "4"]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("1 in 4 windows"), "{stderr}");
+
+    let count = |path: &str| {
+        std::fs::read_to_string(path)
+            .unwrap()
+            .lines()
+            .filter(|l| l.contains("\"predict-start\""))
+            .count()
+    };
+    let (full_n, sampled_n) = (count(&full), count(&sampled));
+    assert!(full_n > 1, "fixture input must exercise several predictions, got {full_n}");
+    assert!(
+        sampled_n < full_n,
+        "sampling must thin the stream: {sampled_n} vs {full_n} prediction windows"
+    );
+
+    // The thinned stream still replays: whole windows are kept or
+    // dropped, never split.
+    let (ok, stdout, stderr) = llstar(&["coverage", &g, &sampled]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("alternatives covered"), "{stdout}");
+}
+
+#[test]
+fn generate_metrics_emits_counters() {
+    let g = grammar_path();
+    let (ok, stdout, _) = llstar(&["generate", &g, "--metrics"]);
+    assert!(ok);
+    assert!(stdout.contains("pub struct Metrics"), "{stdout}");
+    assert!(stdout.contains("pub met: Metrics"), "{stdout}");
+
+    // Default output stays metrics-free: the counters are opt-in for
+    // generated parsers (the interpreter is where they are always on).
+    let (ok, stdout, _) = llstar(&["generate", &g]);
+    assert!(ok);
+    assert!(!stdout.contains("pub struct Metrics"), "{stdout}");
+}

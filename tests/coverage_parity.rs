@@ -37,7 +37,7 @@ fn interpreter_coverage(g: &Grammar, a: &GrammarAnalysis, files: &[PathBuf]) -> 
 /// Compiles a coverage-instrumented generated parser plus a driver that
 /// parses every argv path and prints the merged coverage JSON.
 fn build_generated(stem: &str, g: &Grammar, a: &GrammarAnalysis) -> PathBuf {
-    let code = generate_with(g, a, CodegenOptions { trace: false, coverage: true })
+    let code = generate_with(g, a, CodegenOptions { coverage: true, ..Default::default() })
         .expect("generation succeeds");
     let start = &g.start_rule().name;
     let driver = format!(

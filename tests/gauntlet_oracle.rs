@@ -35,7 +35,7 @@ const ORACLE_SEED: u64 = 0x11_57a2_2011;
 /// s-expressions) cross the pipe: at the 10 MB tier a rendered tree is
 /// several times the input size.
 fn build_generated(entry: &GauntletEntry, g: &Grammar, a: &GrammarAnalysis) -> PathBuf {
-    let code = generate_with(g, a, CodegenOptions { trace: false, coverage: true })
+    let code = generate_with(g, a, CodegenOptions { coverage: true, ..Default::default() })
         .expect("generation succeeds");
     let start = entry.start_rule;
     let driver = format!(
